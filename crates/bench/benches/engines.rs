@@ -1,0 +1,47 @@
+//! Criterion benchmarks for whole fetch engines: records-per-second
+//! through each architecture on a realistic (espresso-profile)
+//! trace. This is the number that bounds how long the paper-scale
+//! sweeps take.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use nls_core::{EngineSpec, FetchEngine};
+use nls_icache::CacheConfig;
+use nls_trace::{synthesize, BenchProfile, GenConfig, TraceRecord, Walker};
+
+fn trace() -> Vec<TraceRecord> {
+    let p = BenchProfile::espresso();
+    let program = synthesize(&p, &GenConfig::for_profile(&p));
+    Walker::new(&program, 1).take(100_000).collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let records = trace();
+    let cache = CacheConfig::paper(16, 1);
+    let specs = [
+        ("btb_128_direct", EngineSpec::btb(128, 1)),
+        ("btb_256_4way", EngineSpec::btb(256, 4)),
+        ("nls_table_1024", EngineSpec::nls_table(1024)),
+        ("nls_cache_2", EngineSpec::nls_cache(2)),
+        ("johnson_2", EngineSpec::Johnson { preds_per_line: 2 }),
+    ];
+    let mut g = c.benchmark_group("engine_step");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    for (name, spec) in specs {
+        g.bench_function(name, |b| {
+            b.iter_batched_ref(
+                || spec.build(cache),
+                |engine| {
+                    for r in &records {
+                        engine.step(r);
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Criterion microbenchmarks for the individual hardware structures:
+//! instruction-cache access, BTB lookup/insert, PHT predict/update,
+//! NLS-table and return-stack operations. These establish that the
+//! simulator's inner loops are cheap enough for paper-scale sweeps.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use nls_icache::{CacheConfig, InstructionCache};
+use nls_predictors::{
+    Btb, BtbConfig, DirectionPredictor, LinePointer, NlsTable, Pht, ReturnStack,
+};
+use nls_trace::{Addr, BreakKind};
+
+/// A deterministic pseudo-random address stream with some locality.
+fn addr_stream(n: usize) -> Vec<Addr> {
+    let mut x = 0x12345678u64;
+    (0..n)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // 75% sequential-ish, 25% jumps within 256 KB.
+            let a = if i % 4 != 0 { (i as u64) * 4 % 0x40000 } else { (x % 0x40000) & !3 };
+            Addr::new(a)
+        })
+        .collect()
+}
+
+fn bench_icache(c: &mut Criterion) {
+    let addrs = addr_stream(4096);
+    let mut g = c.benchmark_group("icache");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    for cfg in [CacheConfig::paper(8, 1), CacheConfig::paper(32, 4)] {
+        g.bench_function(cfg.label(), |b| {
+            b.iter_batched_ref(
+                || InstructionCache::new(cfg),
+                |cache| {
+                    for &a in &addrs {
+                        black_box(cache.access(a));
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_btb(c: &mut Criterion) {
+    let addrs = addr_stream(4096);
+    let mut g = c.benchmark_group("btb");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    for cfg in [BtbConfig::new(128, 1), BtbConfig::new(256, 4)] {
+        g.bench_function(cfg.label(), |b| {
+            b.iter_batched_ref(
+                || Btb::new(cfg),
+                |btb| {
+                    for &a in &addrs {
+                        if btb.lookup(a).is_none() {
+                            btb.insert(a, a.offset(16), BreakKind::Unconditional);
+                        }
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_pht(c: &mut Criterion) {
+    let addrs = addr_stream(4096);
+    let mut g = c.benchmark_group("pht");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("gshare 4096 predict+update", |b| {
+        b.iter_batched_ref(
+            Pht::paper,
+            |pht| {
+                for (i, &a) in addrs.iter().enumerate() {
+                    let d = pht.predict(a);
+                    pht.update(a, d ^ (i % 7 == 0));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_nls_table(c: &mut Criterion) {
+    let addrs = addr_stream(4096);
+    let mut g = c.benchmark_group("nls_table");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("1024 lookup+update", |b| {
+        b.iter_batched_ref(
+            || NlsTable::new(1024),
+            |t| {
+                for &a in &addrs {
+                    black_box(t.lookup(a));
+                    t.update(
+                        a,
+                        BreakKind::Conditional,
+                        true,
+                        Some(LinePointer { set: 3, way: 0, inst: 1 }),
+                    );
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_ras(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ras");
+    g.throughput(Throughput::Elements(2048));
+    g.bench_function("32-entry push+pop", |b| {
+        b.iter_batched_ref(
+            ReturnStack::paper,
+            |ras| {
+                for i in 0..1024u64 {
+                    ras.push(Addr::new(i * 4));
+                }
+                for _ in 0..1024 {
+                    black_box(ras.pop());
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_icache, bench_btb, bench_pht, bench_nls_table, bench_ras);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks for the workload side: program synthesis
+//! cost per profile and trace-generation (walker) throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use nls_trace::{synthesize, BenchProfile, GenConfig, Walker};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesize");
+    for p in [BenchProfile::li(), BenchProfile::gcc()] {
+        let cfg = GenConfig::for_profile(&p);
+        g.bench_function(p.name, |b| {
+            b.iter(|| black_box(synthesize(&p, &cfg)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_walker(c: &mut Criterion) {
+    let mut g = c.benchmark_group("walker");
+    const N: usize = 100_000;
+    g.throughput(Throughput::Elements(N as u64));
+    for p in [BenchProfile::doduc(), BenchProfile::gcc()] {
+        let cfg = GenConfig::for_profile(&p);
+        let program = synthesize(&p, &cfg);
+        g.bench_function(p.name, |b| {
+            b.iter(|| {
+                let mut w = Walker::new(&program, 7);
+                let mut acc = 0u64;
+                for r in w.by_ref().take(N) {
+                    acc ^= r.pc.as_u64();
+                }
+                black_box(acc)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_walker);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! BTB not-taken policy ablation (§3 design choice).
+//!
+//! The paper keeps a branch's BTB entry when it executes not-taken
+//! ("we might need the taken target address again in the near
+//! future") rather than evicting it. This ablation measures both
+//! policies on the 128-entry direct-mapped BTB.
+
+use nls_bench::{fmt, sweep_config, Table};
+use nls_core::{drive, BtbEngine, FetchEngine, PenaltyModel};
+use nls_icache::CacheConfig;
+use nls_predictors::BtbConfig;
+use nls_trace::{synthesize, BenchProfile, GenConfig, Walker};
+
+fn main() {
+    let cfg = sweep_config();
+    let m = PenaltyModel::paper();
+    let cache = CacheConfig::paper(16, 1);
+
+    let mut t = Table::new(
+        "Ablation: BTB keep-vs-evict on not-taken (128 direct, 16K cache)",
+        &["program", "policy", "BEP", "%MfB"],
+    );
+    let mut avg = [(0.0f64, 0.0f64); 2];
+    let benches = BenchProfile::all();
+    for p in &benches {
+        let program = synthesize(p, &GenConfig::for_profile(p));
+        let trace: Vec<_> = Walker::new(&program, cfg.seed).take(cfg.trace_len).collect();
+        let mut engines: Vec<Box<dyn FetchEngine + Send>> = vec![
+            Box::new(BtbEngine::new(BtbConfig::new(128, 1), cache)),
+            Box::new(
+                BtbEngine::new(BtbConfig::new(128, 1), cache).with_evict_on_not_taken(),
+            ),
+        ];
+        drive(&trace, &mut engines);
+        for (i, (e, policy)) in engines.iter().zip(["keep (paper)", "evict"]).enumerate() {
+            let r = e.result(p.name);
+            t.row(vec![
+                p.name.into(),
+                policy.into(),
+                fmt(r.bep(&m), 3),
+                fmt(r.pct_misfetched(), 2),
+            ]);
+            avg[i].0 += r.bep(&m);
+            avg[i].1 += r.pct_misfetched();
+        }
+    }
+    let n = benches.len() as f64;
+    for (i, policy) in ["keep (paper)", "evict"].iter().enumerate() {
+        t.row(vec![
+            "average".into(),
+            (*policy).into(),
+            fmt(avg[i].0 / n, 3),
+            fmt(avg[i].1 / n, 2),
+        ]);
+    }
+    t.print();
+    let path = t.save("ablation_btb_policy");
+    println!("\nwrote {}", path.display());
+}

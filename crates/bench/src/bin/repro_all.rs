@@ -1,0 +1,118 @@
+//! Runs the complete reproduction: Table 1, Figures 3–8 and all
+//! ablations, writing every CSV into `results/` and printing a
+//! claim-by-claim verdict summary at the end.
+//!
+//! ```text
+//! cargo run --release -p nls-bench --bin repro_all
+//! NLS_TRACE_LEN=2_000_000 cargo run --release -p nls-bench --bin repro_all  # faster
+//! ```
+
+use std::process::Command;
+
+use nls_bench::{fmt, sweep_config, Table};
+use nls_core::{average, cross, paper_caches, run_sweep, EngineSpec, PenaltyModel};
+use nls_icache::CacheConfig;
+use nls_trace::BenchProfile;
+
+/// Runs a sibling experiment binary and panics on failure.
+fn run_binary(name: &str) {
+    println!("\n################ {name} ################\n");
+    let status = Command::new(env!("CARGO"))
+        .args(["run", "--release", "-q", "-p", "nls-bench", "--bin", name])
+        .status()
+        .expect("spawn experiment binary");
+    assert!(status.success(), "{name} failed");
+}
+
+fn main() {
+    for bin in [
+        "table1",
+        "fig3_rbe",
+        "fig4_nls_bep",
+        "fig5_btb_bep",
+        "fig6_access_time",
+        "fig7_per_program",
+        "fig8_cpi",
+        "attribution",
+        "ablation_johnson",
+        "ablation_pht",
+        "ablation_nls_cache_layout",
+        "ablation_btb_policy",
+        "ablation_trace_len",
+        "ablation_penalties",
+        "ext_code_layout",
+        "ext_wide_issue",
+        "ext_type_predictor",
+        "ext_set_prediction",
+    ] {
+        run_binary(bin);
+    }
+
+    // Claim-by-claim verdicts on the headline comparison.
+    println!("\n################ verdicts ################\n");
+    let cfg = sweep_config();
+    let m = PenaltyModel::paper();
+    let engines = [
+        EngineSpec::btb(128, 1),
+        EngineSpec::btb(256, 4),
+        EngineSpec::nls_table(1024),
+        EngineSpec::nls_cache(2),
+    ];
+    let runs = cross(&BenchProfile::all(), &paper_caches(), &engines);
+    let results = run_sweep(&runs, &cfg);
+    let avg_bep = |engine: &str, cache: CacheConfig| {
+        let per: Vec<_> = results
+            .iter()
+            .filter(|r| r.engine == engine && r.cache == cache.label())
+            .cloned()
+            .collect();
+        average(&per).bep(&m)
+    };
+
+    let mut verdicts = Table::new("Paper claims vs this reproduction", &["claim", "verdict", "evidence"]);
+    let c16 = CacheConfig::paper(16, 1);
+    let c8 = CacheConfig::paper(8, 1);
+    let c32 = CacheConfig::paper(32, 4);
+
+    let nls16 = avg_bep("1024 NLS table", c16);
+    let btb128 = avg_bep("128 direct BTB", c16);
+    verdicts.row(vec![
+        "1024 NLS-table beats equal-cost 128 direct BTB".into(),
+        if nls16 < btb128 { "HOLDS" } else { "FAILS" }.into(),
+        format!("BEP {} vs {}", fmt(nls16, 3), fmt(btb128, 3)),
+    ]);
+
+    let btb256 = avg_bep("256 4-way BTB", c16);
+    verdicts.row(vec![
+        "1024 NLS-table ~ 256 4-way BTB at half the cost".into(),
+        if (nls16 - btb256).abs() / btb256 < 0.12 { "HOLDS" } else { "CHECK" }.into(),
+        format!("BEP {} vs {}", fmt(nls16, 3), fmt(btb256, 3)),
+    ]);
+
+    let cache16 = avg_bep("NLS cache (2/line)", c16);
+    verdicts.row(vec![
+        "NLS-table beats equal-cost NLS-cache".into(),
+        if nls16 < cache16 { "HOLDS" } else { "FAILS" }.into(),
+        format!("BEP {} vs {}", fmt(nls16, 3), fmt(cache16, 3)),
+    ]);
+
+    let nls8 = avg_bep("1024 NLS table", c8);
+    let nls32 = avg_bep("1024 NLS table", c32);
+    verdicts.row(vec![
+        "NLS BEP falls with cache size/associativity".into(),
+        if nls32 < nls8 { "HOLDS" } else { "FAILS" }.into(),
+        format!("BEP 8K-direct {} -> 32K-4way {}", fmt(nls8, 3), fmt(nls32, 3)),
+    ]);
+
+    let btb128_8 = avg_bep("128 direct BTB", c8);
+    let btb128_32 = avg_bep("128 direct BTB", c32);
+    verdicts.row(vec![
+        "BTB BEP is insensitive to the cache".into(),
+        if (btb128_8 - btb128_32).abs() < 0.02 { "HOLDS" } else { "FAILS" }.into(),
+        format!("BEP {} vs {}", fmt(btb128_8, 3), fmt(btb128_32, 3)),
+    ]);
+
+    verdicts.print();
+    verdicts.save("verdicts");
+    println!("\nall results written under results/");
+}

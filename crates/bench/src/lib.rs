@@ -1,0 +1,168 @@
+//! Experiment harness: shared plumbing for the binaries that
+//! regenerate every table and figure of the paper.
+//!
+//! Each `src/bin/*` binary reproduces one table or figure (see
+//! DESIGN.md for the index) and both prints an aligned text table
+//! and writes a CSV into `results/`. The dynamic trace length is
+//! controlled by the `NLS_TRACE_LEN` environment variable
+//! (default 8,000,000 instructions per run).
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use nls_core::{SweepConfig, DEFAULT_TRACE_LEN};
+
+/// The sweep configuration used by all experiment binaries:
+/// `NLS_TRACE_LEN` instructions (default 8 M) with a fixed seed so
+/// every figure is reproducible bit-for-bit.
+pub fn sweep_config() -> SweepConfig {
+    let trace_len = std::env::var("NLS_TRACE_LEN")
+        .ok()
+        .and_then(|v| v.replace('_', "").parse::<usize>().ok())
+        .unwrap_or(DEFAULT_TRACE_LEN);
+    SweepConfig { trace_len, seed: 0x0b5e_55ed }
+}
+
+/// The directory experiment CSVs are written into (`results/` under
+/// the current directory); created on demand.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// A printable, CSV-writable results table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the headers.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// The CSV form (headers + rows, comma separated, quoted as
+    /// needed).
+    pub fn to_csv(&self) -> String {
+        let quote = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV into `results/<name>.csv` and returns the path.
+    pub fn save(&self, name: &str) -> PathBuf {
+        let path = results_dir().join(format!("{name}.csv"));
+        std::fs::write(&path, self.to_csv()).expect("write results CSV");
+        path
+    }
+}
+
+/// Formats a float with `digits` decimals (helper for table rows).
+pub fn fmt(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_and_serialises() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2.50".into()]);
+        let text = t.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("bb"));
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,bb\n1,2.50\n");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = Table::new("q", &["x"]);
+        t.row(vec!["a,b".into()]);
+        assert_eq!(t.to_csv(), "x\n\"a,b\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn fmt_rounds() {
+        assert_eq!(fmt(1.23456, 3), "1.235");
+    }
+}

@@ -1,0 +1,301 @@
+//! Argument parsing for the `nls` command-line tool.
+//!
+//! Hand-rolled (the workspace's dependency budget has no argument
+//! parser): subcommand + `--flag value` pairs, with typed parsers
+//! for the domain syntaxes:
+//!
+//! * cache specs: `"16K:4"` (capacity:associativity)
+//! * engine specs: `"btb:128:1"`, `"nls-table:1024"`,
+//!   `"nls-cache:2"`, `"johnson:2"`
+
+use std::collections::HashMap;
+use std::fmt;
+
+use nls_core::EngineSpec;
+use nls_icache::CacheConfig;
+use nls_trace::BenchProfile;
+
+/// A CLI parsing/validation error, with the message shown to the
+/// user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError(msg.into()))
+}
+
+/// Tokenised command line: a subcommand, `--key value` options
+/// (repeatable) and bare `--flag` switches.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// `--key value` pairs in order of appearance.
+    options: Vec<(String, String)>,
+    /// Bare `--switch` flags.
+    switches: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Tokenises `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a missing subcommand or an option with no value.
+    pub fn parse<I, S>(args: I) -> Result<ParsedArgs, CliError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = ParsedArgs::default();
+        let mut it = args.into_iter().map(Into::into).peekable();
+        match it.next() {
+            Some(cmd) if !cmd.starts_with("--") => out.command = cmd,
+            Some(flag) => return err(format!("expected a subcommand before {flag}")),
+            None => return err("missing subcommand; try `nls help`"),
+        }
+        while let Some(tok) = it.next() {
+            let Some(key) = tok.strip_prefix("--") else {
+                return err(format!("unexpected positional argument {tok:?}"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    let v = it.next().expect("peeked");
+                    out.options.push((key.to_string(), v));
+                }
+                _ => out.switches.push(key.to_string()),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The last value given for `--key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values given for `--key`, in order.
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Whether the bare switch `--key` appeared.
+    pub fn has_switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+
+    /// Rejects unknown option/switch names (catches typos early).
+    ///
+    /// # Errors
+    ///
+    /// Fails naming the first unrecognised option.
+    pub fn expect_only(&self, allowed: &[&str]) -> Result<(), CliError> {
+        let known: HashMap<&str, ()> = allowed.iter().map(|&k| (k, ())).collect();
+        for (k, _) in &self.options {
+            if !known.contains_key(k.as_str()) {
+                return err(format!("unknown option --{k} for `{}`", self.command));
+            }
+        }
+        for k in &self.switches {
+            if !known.contains_key(k.as_str()) {
+                return err(format!("unknown switch --{k} for `{}`", self.command));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a cache spec like `"16K:4"` or `"8k:1"` (capacity in KB,
+/// associativity). A bare `"16K"` means direct mapped.
+///
+/// # Errors
+///
+/// Fails on malformed capacity or associativity.
+pub fn parse_cache(spec: &str) -> Result<CacheConfig, CliError> {
+    let (size, assoc) = match spec.split_once(':') {
+        Some((s, a)) => (s, a),
+        None => (spec, "1"),
+    };
+    let size = size.trim_end_matches(['K', 'k']);
+    let kb: u64 = size
+        .parse()
+        .map_err(|_| CliError(format!("bad cache capacity in {spec:?} (want e.g. 16K:4)")))?;
+    let assoc: u32 = assoc
+        .parse()
+        .map_err(|_| CliError(format!("bad cache associativity in {spec:?}")))?;
+    if !kb.is_power_of_two() || !(1..=16).contains(&assoc) || !assoc.is_power_of_two() {
+        return err(format!("unsupported cache geometry {spec:?}"));
+    }
+    Ok(CacheConfig::paper(kb, assoc))
+}
+
+/// Parses an engine spec:
+///
+/// * `btb:ENTRIES:ASSOC` — e.g. `btb:128:1`
+/// * `nls-table:ENTRIES` — e.g. `nls-table:1024`
+/// * `nls-cache:PREDS_PER_LINE` — e.g. `nls-cache:2`
+/// * `johnson:PREDS_PER_LINE` — e.g. `johnson:2`
+///
+/// # Errors
+///
+/// Fails on unknown engine names or malformed parameters.
+pub fn parse_engine(spec: &str) -> Result<EngineSpec, CliError> {
+    let mut parts = spec.split(':');
+    let name = parts.next().unwrap_or_default();
+    let nums: Vec<&str> = parts.collect();
+    let num = |i: usize, what: &str| -> Result<usize, CliError> {
+        nums.get(i)
+            .ok_or_else(|| CliError(format!("{spec:?}: missing {what}")))?
+            .parse()
+            .map_err(|_| CliError(format!("{spec:?}: bad {what}")))
+    };
+    match name {
+        "btb" => {
+            let entries = num(0, "entry count")?;
+            let assoc = num(1, "associativity")? as u32;
+            if !entries.is_power_of_two() || !assoc.is_power_of_two() {
+                return err(format!("{spec:?}: sizes must be powers of two"));
+            }
+            Ok(EngineSpec::btb(entries, assoc))
+        }
+        "nls-table" => {
+            let entries = num(0, "entry count")?;
+            if !entries.is_power_of_two() {
+                return err(format!("{spec:?}: entries must be a power of two"));
+            }
+            Ok(EngineSpec::nls_table(entries))
+        }
+        "nls-cache" => Ok(EngineSpec::nls_cache(num(0, "predictors per line")? as u32)),
+        "johnson" => {
+            Ok(EngineSpec::Johnson { preds_per_line: num(0, "predictors per line")? as u32 })
+        }
+        other => err(format!(
+            "unknown engine {other:?} (want btb:E:A, nls-table:E, nls-cache:P or johnson:P)"
+        )),
+    }
+}
+
+/// Parses a benchmark name (`gcc`, `li`, ... or `all`).
+///
+/// # Errors
+///
+/// Fails on unknown names.
+pub fn parse_benches(name: &str) -> Result<Vec<BenchProfile>, CliError> {
+    if name.eq_ignore_ascii_case("all") {
+        return Ok(BenchProfile::all());
+    }
+    match BenchProfile::by_name(name) {
+        Some(p) => Ok(vec![p]),
+        None => err(format!(
+            "unknown benchmark {name:?} (want one of doduc, espresso, gcc, li, cfront, groff, all)"
+        )),
+    }
+}
+
+/// Parses a positive integer with optional `_` separators and `k`/`m`
+/// suffixes (`8_000_000`, `2m`, `500k`).
+///
+/// # Errors
+///
+/// Fails on malformed or zero values.
+pub fn parse_count(s: &str) -> Result<usize, CliError> {
+    let cleaned = s.replace('_', "").to_ascii_lowercase();
+    let (digits, mult) = match cleaned.strip_suffix('m') {
+        Some(d) => (d.to_string(), 1_000_000),
+        None => match cleaned.strip_suffix('k') {
+            Some(d) => (d.to_string(), 1_000),
+            None => (cleaned, 1),
+        },
+    };
+    let n: usize = digits
+        .parse()
+        .map_err(|_| CliError(format!("bad count {s:?} (want e.g. 2m, 500k, 8_000_000)")))?;
+    if n == 0 {
+        return err("count must be positive");
+    }
+    Ok(n * mult)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenises_subcommand_options_and_switches() {
+        let a = ParsedArgs::parse(["simulate", "--bench", "gcc", "--csv", "--len", "2m"]).unwrap();
+        assert_eq!(a.command, "simulate");
+        assert_eq!(a.get("bench"), Some("gcc"));
+        assert_eq!(a.get("len"), Some("2m"));
+        assert!(a.has_switch("csv"));
+        assert!(a.expect_only(&["bench", "csv", "len"]).is_ok());
+        assert!(a.expect_only(&["bench"]).is_err());
+    }
+
+    #[test]
+    fn repeated_options_collect_in_order() {
+        let a = ParsedArgs::parse(["x", "--engine", "a", "--engine", "b"]).unwrap();
+        assert_eq!(a.get_all("engine"), vec!["a", "b"]);
+        assert_eq!(a.get("engine"), Some("b"), "get returns the last");
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(ParsedArgs::parse(Vec::<String>::new()).is_err());
+        assert!(ParsedArgs::parse(["--flag"]).is_err());
+    }
+
+    #[test]
+    fn cache_specs() {
+        assert_eq!(parse_cache("16K:4").unwrap(), CacheConfig::paper(16, 4));
+        assert_eq!(parse_cache("8k").unwrap(), CacheConfig::paper(8, 1));
+        assert!(parse_cache("15K:1").is_err(), "non power of two");
+        assert!(parse_cache("16K:3").is_err());
+        assert!(parse_cache("x").is_err());
+    }
+
+    #[test]
+    fn engine_specs() {
+        assert_eq!(parse_engine("btb:128:1").unwrap(), EngineSpec::btb(128, 1));
+        assert_eq!(parse_engine("nls-table:1024").unwrap(), EngineSpec::nls_table(1024));
+        assert_eq!(parse_engine("nls-cache:2").unwrap(), EngineSpec::nls_cache(2));
+        assert_eq!(
+            parse_engine("johnson:2").unwrap(),
+            EngineSpec::Johnson { preds_per_line: 2 }
+        );
+        assert!(parse_engine("btb:100:1").is_err(), "non power of two");
+        assert!(parse_engine("btb:128").is_err(), "missing assoc");
+        assert!(parse_engine("frobnicator:9").is_err());
+    }
+
+    #[test]
+    fn bench_names() {
+        assert_eq!(parse_benches("gcc").unwrap()[0].name, "gcc");
+        assert_eq!(parse_benches("all").unwrap().len(), 6);
+        assert!(parse_benches("quake").is_err());
+    }
+
+    #[test]
+    fn counts() {
+        assert_eq!(parse_count("8_000_000").unwrap(), 8_000_000);
+        assert_eq!(parse_count("2m").unwrap(), 2_000_000);
+        assert_eq!(parse_count("500K").unwrap(), 500_000);
+        assert!(parse_count("0").is_err());
+        assert!(parse_count("abc").is_err());
+    }
+}

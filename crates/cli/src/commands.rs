@@ -1,0 +1,390 @@
+//! Subcommand implementations for the `nls` tool.
+//!
+//! Each command returns the text it would print, so the command
+//! layer is unit-testable without capturing stdout.
+
+use std::fmt::Write as _;
+
+use nls_core::{
+    fallthrough_way_prediction, run_one, EngineSpec, PenaltyModel, RunSpec, SweepConfig,
+};
+use nls_cost::access_time::{btb_access_ns, tagless_access_ns, TimingProcess};
+use nls_cost::rbe::{btb_rbe, nls_cache_rbe, nls_table_rbe, CacheGeometry};
+use nls_trace::{
+    read_trace, synthesize, write_trace, BenchProfile, GenConfig, TraceStats, Walker,
+};
+
+use crate::args::{
+    parse_benches, parse_cache, parse_count, parse_engine, CliError, ParsedArgs,
+};
+
+/// The help text (also shown on `nls help`).
+pub const USAGE: &str = "\
+nls — next cache line and set prediction simulator (Calder & Grunwald, ISCA 1995)
+
+USAGE:
+  nls simulate  --bench <NAME|all> [--cache 16K:1] [--engine btb:128:1]...
+                [--len 2m] [--seed N] [--csv]
+  nls table1    [--len 2m] [--seed N]
+  nls costs     [--cache-kb 8,16,32,64]
+  nls gen-trace --bench <NAME> --out <FILE> [--len 2m] [--seed N]
+  nls replay    --trace <FILE> [--cache 16K:1] [--engine nls-table:1024]...
+  nls set-pred  --bench <NAME|all> [--cache 16K:2] [--len 2m]
+  nls help
+
+ENGINES: btb:ENTRIES:ASSOC | nls-table:ENTRIES | nls-cache:PREDS | johnson:PREDS
+BENCHES: doduc espresso gcc li cfront groff | all
+";
+
+fn default_engines() -> Vec<EngineSpec> {
+    vec![EngineSpec::btb(128, 1), EngineSpec::nls_table(1024)]
+}
+
+fn sweep_config(a: &ParsedArgs) -> Result<SweepConfig, CliError> {
+    let trace_len = match a.get("len") {
+        Some(s) => parse_count(s)?,
+        None => 2_000_000,
+    };
+    let seed = match a.get("seed") {
+        Some(s) => s.parse().map_err(|_| CliError(format!("bad seed {s:?}")))?,
+        None => 0x0b5e_55ed,
+    };
+    Ok(SweepConfig { trace_len, seed })
+}
+
+fn engines_from(a: &ParsedArgs) -> Result<Vec<EngineSpec>, CliError> {
+    let specs = a.get_all("engine");
+    if specs.is_empty() {
+        return Ok(default_engines());
+    }
+    specs.iter().map(|s| parse_engine(s)).collect()
+}
+
+fn result_block(results: &[nls_core::SimResult], csv: bool) -> String {
+    let m = PenaltyModel::paper();
+    let mut out = String::new();
+    if csv {
+        let _ = writeln!(out, "bench,cache,engine,breaks,pct_mfb,pct_mpb,bep,miss_pct,cpi");
+        for r in results {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                r.bench,
+                r.cache,
+                r.engine,
+                r.breaks,
+                r.pct_misfetched(),
+                r.pct_mispredicted(),
+                r.bep(&m),
+                r.miss_pct(),
+                r.cpi(&m)
+            );
+        }
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<9} {:<11} {:<22} {:>8} {:>8} {:>7} {:>7} {:>7}",
+            "bench", "cache", "engine", "%MfB", "%MpB", "BEP", "miss%", "CPI"
+        );
+        for r in results {
+            let _ = writeln!(
+                out,
+                "{:<9} {:<11} {:<22} {:>8.2} {:>8.2} {:>7.3} {:>7.2} {:>7.3}",
+                r.bench,
+                r.cache,
+                r.engine,
+                r.pct_misfetched(),
+                r.pct_mispredicted(),
+                r.bep(&m),
+                r.miss_pct(),
+                r.cpi(&m)
+            );
+        }
+    }
+    out
+}
+
+/// `nls simulate`: run benchmarks through engines.
+///
+/// # Errors
+///
+/// Fails on malformed options.
+pub fn simulate(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["bench", "cache", "engine", "len", "seed", "csv"])?;
+    let benches = parse_benches(a.get("bench").unwrap_or("all"))?;
+    let cache = parse_cache(a.get("cache").unwrap_or("16K:1"))?;
+    let engines = engines_from(a)?;
+    let cfg = sweep_config(a)?;
+    let mut results = Vec::new();
+    for bench in benches {
+        let spec = RunSpec { bench, cache, engines: engines.clone() };
+        results.extend(run_one(&spec, &cfg));
+    }
+    Ok(result_block(&results, a.has_switch("csv")))
+}
+
+/// `nls table1`: the measured Table 1.
+///
+/// # Errors
+///
+/// Fails on malformed options.
+pub fn table1(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["len", "seed"])?;
+    let cfg = sweep_config(a)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<9} {:>8} {:>6} {:>6} {:>6} {:>7} {:>8} {:>7} {:>6} {:>5} {:>5} {:>6} {:>5}",
+        "program", "%breaks", "Q-50", "Q-90", "Q-99", "Q-100", "static", "%taken", "%CBr",
+        "%IJ", "%Br", "%Call", "%Ret"
+    );
+    for p in BenchProfile::all() {
+        let program = synthesize(&p, &GenConfig::for_profile(&p));
+        let mut w = Walker::new(&program, cfg.seed);
+        let s = TraceStats::from_trace(w.by_ref().take(cfg.trace_len));
+        let m = s.mix_percent();
+        let _ = writeln!(
+            out,
+            "{:<9} {:>8.2} {:>6} {:>6} {:>6} {:>7} {:>8} {:>7.2} {:>6.2} {:>5.2} {:>5.2} {:>6.2} {:>5.2}",
+            p.name,
+            s.pct_breaks(),
+            s.quantile(0.50),
+            s.quantile(0.90),
+            s.quantile(0.99),
+            s.q100(),
+            program.static_cond_sites(),
+            s.pct_taken(),
+            m[0],
+            m[1],
+            m[2],
+            m[3],
+            m[4],
+        );
+    }
+    Ok(out)
+}
+
+/// `nls costs`: RBE and access-time tables.
+///
+/// # Errors
+///
+/// Fails on malformed options.
+pub fn costs(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["cache-kb"])?;
+    let kbs: Vec<u64> = match a.get("cache-kb") {
+        Some(s) => s
+            .split(',')
+            .map(|x| x.trim().parse().map_err(|_| CliError(format!("bad size {x:?}"))))
+            .collect::<Result<_, _>>()?,
+        None => vec![8, 16, 32, 64],
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "RBE area (Mulder et al. model):");
+    for &kb in &kbs {
+        let g = CacheGeometry::paper(kb, 1);
+        let _ = writeln!(
+            out,
+            "  {kb:>3}K cache: NLS-cache(2/line) {:>8.0}   512-table {:>7.0}   1024-table {:>7.0}   2048-table {:>7.0}",
+            nls_cache_rbe(2, g),
+            nls_table_rbe(512, g),
+            nls_table_rbe(1024, g),
+            nls_table_rbe(2048, g),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  BTBs (cache independent): 128-direct {:.0}  128-4way {:.0}  256-direct {:.0}  256-4way {:.0}",
+        btb_rbe(128, 1),
+        btb_rbe(128, 4),
+        btb_rbe(256, 1),
+        btb_rbe(256, 4),
+    );
+    let t = TimingProcess::default();
+    let _ = writeln!(out, "access time (CACTI-style model):");
+    for entries in [128u64, 256] {
+        let _ = writeln!(
+            out,
+            "  {entries:>3}-entry BTB: direct {:.2} ns, 2-way {:.2} ns, 4-way {:.2} ns",
+            btb_access_ns(entries, 1, &t),
+            btb_access_ns(entries, 2, &t),
+            btb_access_ns(entries, 4, &t),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  1024-entry tag-less NLS table: {:.2} ns",
+        tagless_access_ns(1024, 14, &t)
+    );
+    Ok(out)
+}
+
+/// `nls gen-trace`: write a synthetic trace to a `.nlst` file.
+///
+/// # Errors
+///
+/// Fails on malformed options or I/O errors.
+pub fn gen_trace(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["bench", "out", "len", "seed"])?;
+    let bench = parse_benches(a.get("bench").ok_or(CliError("--bench is required".into()))?)?
+        .into_iter()
+        .next()
+        .expect("non-empty");
+    let out_path = a.get("out").ok_or(CliError("--out is required".into()))?;
+    let cfg = sweep_config(a)?;
+    let program = synthesize(&bench, &GenConfig::for_profile(&bench));
+    let records = Walker::new(&program, cfg.seed).take(cfg.trace_len);
+    let file = std::fs::File::create(out_path)
+        .map_err(|e| CliError(format!("cannot create {out_path}: {e}")))?;
+    let n = write_trace(file, records).map_err(|e| CliError(e.to_string()))?;
+    Ok(format!("wrote {n} records to {out_path}\n"))
+}
+
+/// `nls replay`: run a recorded trace through engines.
+///
+/// # Errors
+///
+/// Fails on malformed options, unreadable traces, or I/O errors.
+pub fn replay(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["trace", "cache", "engine", "csv"])?;
+    let path = a.get("trace").ok_or(CliError("--trace is required".into()))?;
+    let cache = parse_cache(a.get("cache").unwrap_or("16K:1"))?;
+    let engines = engines_from(a)?;
+    let file =
+        std::fs::File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
+    let records = read_trace(file).map_err(|e| CliError(e.to_string()))?;
+    let mut built: Vec<_> = engines.iter().map(|e| e.build(cache)).collect();
+    nls_core::drive(&records, &mut built);
+    let results: Vec<_> = built.iter().map(|e| e.result(path)).collect();
+    Ok(result_block(&results, a.has_switch("csv")))
+}
+
+/// `nls set-pred`: fall-through way prediction accuracy (§4.2).
+///
+/// # Errors
+///
+/// Fails on malformed options.
+pub fn set_pred(a: &ParsedArgs) -> Result<String, CliError> {
+    a.expect_only(&["bench", "cache", "len", "seed"])?;
+    let benches = parse_benches(a.get("bench").unwrap_or("all"))?;
+    let cache = parse_cache(a.get("cache").unwrap_or("16K:2"))?;
+    let cfg = sweep_config(a)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<9} {:>14} {:>12} {:>10}", "program", "crossings", "mispredicts", "accuracy");
+    for p in benches {
+        let program = synthesize(&p, &GenConfig::for_profile(&p));
+        let trace = Walker::new(&program, cfg.seed).take(cfg.trace_len);
+        let s = fallthrough_way_prediction(trace, cache);
+        let _ = writeln!(
+            out,
+            "{:<9} {:>14} {:>12} {:>9.2}%",
+            p.name,
+            s.line_crossings,
+            s.mispredicts,
+            100.0 * s.accuracy()
+        );
+    }
+    Ok(out)
+}
+
+/// Dispatches a parsed command line.
+///
+/// # Errors
+///
+/// Propagates the subcommand's error, or reports an unknown
+/// subcommand.
+pub fn dispatch(a: &ParsedArgs) -> Result<String, CliError> {
+    match a.command.as_str() {
+        "simulate" => simulate(a),
+        "table1" => table1(a),
+        "costs" => costs(a),
+        "gen-trace" => gen_trace(a),
+        "replay" => replay(a),
+        "set-pred" => set_pred(a),
+        "help" | "--help" => Ok(USAGE.to_string()),
+        other => Err(CliError(format!("unknown subcommand {other:?}; try `nls help`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        dispatch(&ParsedArgs::parse(args.iter().copied()).unwrap())
+    }
+
+    #[test]
+    fn help_lists_subcommands() {
+        let h = run(&["help"]).unwrap();
+        for cmd in ["simulate", "table1", "costs", "gen-trace", "replay", "set-pred"] {
+            assert!(h.contains(cmd), "usage should mention {cmd}");
+        }
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn simulate_produces_rows_for_each_engine() {
+        let out = run(&[
+            "simulate", "--bench", "li", "--cache", "8K:1", "--engine", "btb:128:1",
+            "--engine", "nls-table:512", "--len", "50k",
+        ])
+        .unwrap();
+        assert!(out.contains("128 direct BTB"));
+        assert!(out.contains("512 NLS table"));
+    }
+
+    #[test]
+    fn simulate_csv_mode() {
+        let out = run(&[
+            "simulate", "--bench", "li", "--cache", "8K:1", "--len", "50k", "--csv",
+        ])
+        .unwrap();
+        assert!(out.starts_with("bench,cache,engine"));
+        assert_eq!(out.lines().count(), 1 + 2, "header + two default engines");
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_option() {
+        assert!(run(&["simulate", "--bogus", "1"]).is_err());
+    }
+
+    #[test]
+    fn costs_reports_both_models() {
+        let out = run(&["costs"]).unwrap();
+        assert!(out.contains("RBE area"));
+        assert!(out.contains("access time"));
+        let custom = run(&["costs", "--cache-kb", "8"]).unwrap();
+        assert!(custom.contains("8K cache"));
+        assert!(!custom.contains("64K cache"));
+    }
+
+    #[test]
+    fn table1_has_six_programs() {
+        let out = run(&["table1", "--len", "100k"]).unwrap();
+        for p in ["doduc", "espresso", "gcc", "li", "cfront", "groff"] {
+            assert!(out.contains(p));
+        }
+    }
+
+    #[test]
+    fn gen_trace_then_replay_round_trips() {
+        let path = std::env::temp_dir().join("nls_cli_test.nlst");
+        let path_s = path.to_str().unwrap();
+        let out = run(&["gen-trace", "--bench", "li", "--out", path_s, "--len", "30k"]).unwrap();
+        assert!(out.contains("30000 records"));
+        let replayed = run(&["replay", "--trace", path_s, "--cache", "8K:1"]).unwrap();
+        assert!(replayed.contains("1024 NLS table"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn set_pred_reports_accuracy() {
+        let out = run(&["set-pred", "--bench", "li", "--cache", "8K:2", "--len", "100k"]).unwrap();
+        assert!(out.contains('%'));
+        assert!(out.contains("li"));
+    }
+}

@@ -1,0 +1,19 @@
+//! The `nls` command-line tool: interactive access to the NLS
+//! fetch-prediction simulator.
+//!
+//! ```text
+//! nls simulate --bench gcc --cache 16K:1 --engine btb:128:1 --engine nls-table:1024
+//! nls table1
+//! nls costs
+//! nls gen-trace --bench li --out li.nlst --len 2m
+//! nls replay --trace li.nlst --engine nls-table:1024
+//! nls set-pred --bench all --cache 16K:2
+//! ```
+//!
+//! The library half exists so the argument parsing ([`args`]) and
+//! the command implementations ([`commands`], which return their
+//! output as strings) are unit-testable; `src/main.rs` is a thin
+//! shell around [`commands::dispatch`].
+
+pub mod args;
+pub mod commands;

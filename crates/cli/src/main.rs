@@ -1,0 +1,24 @@
+//! The `nls` binary: see [`nls_cli`] for the command reference.
+
+use std::process::ExitCode;
+
+use nls_cli::args::ParsedArgs;
+use nls_cli::commands::{dispatch, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match ParsedArgs::parse(args).and_then(|a| dispatch(&a)) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The BTB-based fetch architecture (paper §3, Figure 1).
+
+use nls_icache::{CacheConfig, InstructionCache};
+use nls_predictors::{Btb, BtbConfig, DirectionPredictor, Pht, ReturnStack};
+use nls_trace::{BreakKind, TraceRecord};
+
+use crate::engine::{classify, BreakOutcome, Counters, FetchAction, FetchEngine};
+use crate::metrics::SimResult;
+
+/// The decoupled BTB + PHT + return-stack front end.
+///
+/// Policies follow the paper: only taken branches are entered into
+/// the BTB; an entry is left in place when its branch executes
+/// not-taken; conditional directions come from the shared PHT for
+/// *all* conditional branches, hit or miss; returns that hit in the
+/// BTB are redirected through the return stack.
+///
+/// # Examples
+///
+/// ```
+/// use nls_core::{BtbEngine, FetchEngine};
+/// use nls_icache::CacheConfig;
+/// use nls_predictors::BtbConfig;
+/// use nls_trace::{Addr, BreakKind, TraceRecord};
+///
+/// let mut engine = BtbEngine::new(BtbConfig::new(128, 1), CacheConfig::paper(8, 1));
+/// let branch = TraceRecord::branch(Addr::new(0x100), BreakKind::Unconditional, true, Addr::new(0x800));
+/// engine.step(&branch); // first encounter: misfetch, trains the BTB
+/// let result = engine.result("demo");
+/// assert_eq!(result.misfetches, 1);
+/// ```
+#[derive(Debug)]
+pub struct BtbEngine {
+    cache: InstructionCache,
+    btb: Btb,
+    pht: Pht,
+    ras: ReturnStack,
+    counters: Counters,
+    evict_not_taken: bool,
+}
+
+impl BtbEngine {
+    /// An engine with the paper's shared predictors (4096-entry
+    /// gshare PHT, 32-entry return stack).
+    pub fn new(btb: BtbConfig, cache: CacheConfig) -> Self {
+        Self::with_pht(btb, cache, Pht::paper())
+    }
+
+    /// An engine with a custom direction predictor (for PHT
+    /// ablations).
+    pub fn with_pht(btb: BtbConfig, cache: CacheConfig, pht: Pht) -> Self {
+        BtbEngine {
+            cache: InstructionCache::new(cache),
+            btb: Btb::new(btb),
+            pht,
+            ras: ReturnStack::paper(),
+            counters: Counters::default(),
+            evict_not_taken: false,
+        }
+    }
+
+    /// Policy ablation: evict a conditional branch's entry when it
+    /// executes not-taken, instead of the paper's keep-the-entry
+    /// policy ("we might need the taken target address again in the
+    /// near future", §3).
+    #[must_use]
+    pub fn with_evict_on_not_taken(mut self) -> Self {
+        self.evict_not_taken = true;
+        self
+    }
+
+    /// The instruction cache (for inspection in tests/diagnostics).
+    pub fn cache(&self) -> &InstructionCache {
+        &self.cache
+    }
+}
+
+impl FetchEngine for BtbEngine {
+    fn label(&self) -> String {
+        if self.evict_not_taken {
+            format!("{} (evict-NT)", self.btb.config().label())
+        } else {
+            self.btb.config().label()
+        }
+    }
+
+    fn step(&mut self, r: &TraceRecord) -> Option<BreakOutcome> {
+        self.counters.instructions += 1;
+        self.cache.access(r.pc);
+        let kind = r.class.break_kind()?;
+
+        // Fetch-time action selection.
+        let hit = self.btb.lookup(r.pc);
+        let pht_dir =
+            (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
+        let action = match hit {
+            Some(entry) => match entry.kind {
+                BreakKind::Return => FetchAction::ReturnStack(self.ras.pop()),
+                BreakKind::Conditional => {
+                    // The entry's own type selects the PHT; if the
+                    // direction says taken, fetch the stored target.
+                    if self.pht.predict(r.pc) {
+                        FetchAction::FullAddress(entry.target)
+                    } else {
+                        FetchAction::FallThrough
+                    }
+                }
+                _ => FetchAction::FullAddress(entry.target),
+            },
+            None => FetchAction::FallThrough,
+        };
+
+        let outcome = classify(r, kind, action, pht_dir, &mut self.ras, &self.cache);
+        self.counters.record(outcome, kind);
+
+        // Resolution-time updates.
+        match kind {
+            BreakKind::Conditional => self.pht.update(r.pc, r.taken),
+            BreakKind::Call => self.ras.push(r.pc.next()),
+            _ => {}
+        }
+        if r.taken {
+            self.btb.insert(r.pc, r.target, kind);
+        } else if self.evict_not_taken {
+            self.btb.remove(r.pc);
+        }
+        Some(outcome)
+    }
+
+    fn result(&self, bench: &str) -> SimResult {
+        SimResult {
+            engine: self.label(),
+            bench: bench.to_string(),
+            cache: self.cache.config().label(),
+            instructions: self.counters.instructions,
+            breaks: self.counters.breaks,
+            misfetches: self.counters.misfetches,
+            mispredicts: self.counters.mispredicts,
+            icache: *self.cache.stats(),
+            by_kind: self.counters.by_kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nls_trace::Addr;
+
+    fn engine() -> BtbEngine {
+        BtbEngine::new(BtbConfig::new(128, 1), CacheConfig::paper(8, 1))
+    }
+
+    fn uncond(pc: u64, target: u64) -> TraceRecord {
+        TraceRecord::branch(Addr::new(pc), BreakKind::Unconditional, true, Addr::new(target))
+    }
+
+    #[test]
+    fn first_taken_branch_misfetches_then_hits() {
+        let mut e = engine();
+        assert_eq!(e.step(&uncond(0x100, 0x800)), Some(BreakOutcome::Misfetch));
+        assert_eq!(e.step(&uncond(0x100, 0x800)), Some(BreakOutcome::Correct));
+    }
+
+    #[test]
+    fn sequential_instructions_are_not_breaks() {
+        let mut e = engine();
+        assert_eq!(e.step(&TraceRecord::sequential(Addr::new(0x100))), None);
+        let r = e.result("t");
+        assert_eq!(r.instructions, 1);
+        assert_eq!(r.breaks, 0);
+    }
+
+    #[test]
+    fn conditional_direction_comes_from_pht() {
+        let mut e = engine();
+        let pc = Addr::new(0x200);
+        let t = Addr::new(0x900);
+        // Train: repeatedly taken. First iteration misfetches (BTB
+        // cold); once PHT warms and BTB holds the target, Correct.
+        let mut last = BreakOutcome::Misfetch;
+        for _ in 0..40 {
+            last = e
+                .step(&TraceRecord::branch(pc, BreakKind::Conditional, true, t))
+                .unwrap();
+        }
+        assert_eq!(last, BreakOutcome::Correct);
+        // A sudden not-taken execution: PHT still says taken -> mispredict.
+        let out = e
+            .step(&TraceRecord::branch(pc, BreakKind::Conditional, false, t))
+            .unwrap();
+        assert_eq!(out, BreakOutcome::Mispredict);
+    }
+
+    #[test]
+    fn calls_and_returns_via_stack() {
+        let mut e = engine();
+        // call at 0x100 -> 0x800 (trains BTB), return at 0x800 -> 0x104
+        e.step(&TraceRecord::branch(Addr::new(0x100), BreakKind::Call, true, Addr::new(0x800)));
+        // First return: BTB cold for 0x800, stack is right -> misfetch.
+        let ret = TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x104));
+        assert_eq!(e.step(&ret), Some(BreakOutcome::Misfetch));
+        // Second round: BTB knows 0x800 is a return, stack is right.
+        e.step(&TraceRecord::branch(Addr::new(0x100), BreakKind::Call, true, Addr::new(0x800)));
+        assert_eq!(e.step(&ret), Some(BreakOutcome::Correct));
+    }
+
+    #[test]
+    fn indirect_jump_with_changing_target_mispredicts() {
+        let mut e = engine();
+        let pc = Addr::new(0x300);
+        let j = |t: u64| TraceRecord::branch(pc, BreakKind::IndirectJump, true, Addr::new(t));
+        assert_eq!(e.step(&j(0x1000)), Some(BreakOutcome::Mispredict)); // cold
+        assert_eq!(e.step(&j(0x1000)), Some(BreakOutcome::Correct)); // learned
+        assert_eq!(e.step(&j(0x2000)), Some(BreakOutcome::Mispredict)); // changed
+        assert_eq!(e.step(&j(0x2000)), Some(BreakOutcome::Correct)); // relearned
+    }
+
+    #[test]
+    fn not_taken_conditionals_never_enter_the_btb() {
+        let mut e = engine();
+        let pc = Addr::new(0x400);
+        let r = TraceRecord::branch(pc, BreakKind::Conditional, false, Addr::new(0x900));
+        for _ in 0..5 {
+            e.step(&r);
+        }
+        assert_eq!(e.btb.occupancy(), 0, "only taken branches are entered");
+    }
+
+    #[test]
+    fn result_counts_are_consistent() {
+        let mut e = engine();
+        for i in 0..10 {
+            e.step(&uncond(0x100 + i * 0x40, 0x100 + i * 0x40 + 0x400));
+        }
+        let r = e.result("demo");
+        assert_eq!(r.breaks, 10);
+        assert_eq!(r.misfetches + r.mispredicts, 10, "all cold branches penalised");
+        assert!(r.icache.accesses >= 10);
+    }
+}

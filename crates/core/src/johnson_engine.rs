@@ -1,0 +1,221 @@
+//! Johnson's coupled successor-index architecture (paper §6.2
+//! related work; the TFP / MIPS R8000 design).
+//!
+//! One pointer per cache-line region predicts the next fetch
+//! location outright — it is updated after *every* branch to
+//! wherever control actually went, so it doubles as a one-bit
+//! direction predictor. There is no decoupled PHT and no return
+//! stack; this engine exists to quantify what the paper's NLS
+//! improvements (taken-only pointer updates + decoupled two-level
+//! PHT + return stack) buy over the prior design.
+
+use nls_icache::{CacheConfig, InstructionCache};
+use nls_predictors::{JohnsonPredictors, LinePointer, NlsCacheConfig};
+use nls_trace::{Addr, BreakKind, TraceRecord};
+
+use crate::engine::{BreakOutcome, Counters, FetchEngine};
+use crate::metrics::SimResult;
+
+#[derive(Debug, Clone, Copy)]
+struct PendingSlot {
+    set: u32,
+    way: u8,
+    inst: u32,
+}
+
+/// The Johnson successor-index front end.
+///
+/// # Examples
+///
+/// ```
+/// use nls_core::{FetchEngine, JohnsonEngine};
+/// use nls_icache::CacheConfig;
+///
+/// let engine = JohnsonEngine::new(CacheConfig::paper(8, 1), 2);
+/// assert_eq!(engine.label(), "Johnson successor index (2/line)");
+/// ```
+#[derive(Debug)]
+pub struct JohnsonEngine {
+    cache: InstructionCache,
+    preds: JohnsonPredictors,
+    counters: Counters,
+    pending: Option<PendingSlot>,
+}
+
+impl JohnsonEngine {
+    /// An engine whose successor-index array matches `cache`.
+    pub fn new(cache: CacheConfig, preds_per_line: u32) -> Self {
+        let cfg = NlsCacheConfig::for_cache(&cache, preds_per_line);
+        JohnsonEngine {
+            cache: InstructionCache::new(cache),
+            preds: JohnsonPredictors::new(cfg),
+            counters: Counters::default(),
+            pending: None,
+        }
+    }
+
+    /// The instruction cache (for inspection).
+    pub fn cache(&self) -> &InstructionCache {
+        &self.cache
+    }
+
+    /// Whether `ptr` structurally denotes the location of `addr`
+    /// (same set row and instruction offset), regardless of
+    /// residency — used to infer the implied direction prediction.
+    fn denotes(&self, ptr: LinePointer, addr: Addr) -> bool {
+        let cfg = self.cache.config();
+        u64::from(ptr.set) == cfg.set_index(addr)
+            && u64::from(ptr.inst) == addr.offset_in_line(cfg.line_bytes)
+    }
+}
+
+impl FetchEngine for JohnsonEngine {
+    fn label(&self) -> String {
+        format!(
+            "Johnson successor index ({}/line)",
+            self.preds.config().preds_per_line
+        )
+    }
+
+    fn step(&mut self, r: &TraceRecord) -> Option<BreakOutcome> {
+        self.counters.instructions += 1;
+        let line_bytes = self.cache.config().line_bytes;
+        let set = self.cache.config().set_index(r.pc) as u32;
+
+        let acc = self.cache.access(r.pc);
+        if !acc.hit {
+            self.preds.invalidate_line(set, acc.way);
+        }
+
+        // Commit the previous branch's successor pointer: it records
+        // wherever control went, taken or not (Johnson's rule).
+        if let Some(p) = self.pending.take() {
+            let next = LinePointer::locate(r.pc, &self.cache);
+            self.preds.update(p.set, p.way, p.inst, next);
+        }
+
+        let kind = r.class.break_kind()?;
+
+        let inst = nls_predictors::NlsCachePredictors::inst_offset(r.pc, line_bytes);
+        let entry = self.preds.lookup(set, acc.way, inst);
+
+        let next_pc = r.next_pc();
+        let outcome = match entry.next {
+            Some(ptr) => {
+                if ptr.points_to(next_pc, &self.cache) {
+                    BreakOutcome::Correct
+                } else {
+                    // Wrong fetch. Decide misfetch vs mispredict from
+                    // what the pointer *implied*:
+                    match kind {
+                        BreakKind::Conditional => {
+                            // The pointer implies a direction: if it
+                            // denotes the fall-through, the implied
+                            // direction was not-taken, else taken.
+                            let implied_taken = !self.denotes(ptr, r.pc.next());
+                            if implied_taken == r.taken {
+                                BreakOutcome::Misfetch // right way, stale line
+                            } else {
+                                BreakOutcome::Mispredict // one-bit direction miss
+                            }
+                        }
+                        BreakKind::Unconditional | BreakKind::Call => BreakOutcome::Misfetch,
+                        // No address to check against until execute.
+                        BreakKind::IndirectJump | BreakKind::Return => BreakOutcome::Mispredict,
+                    }
+                }
+            }
+            None => {
+                // Untrained: fetch falls through.
+                match kind {
+                    BreakKind::Conditional => {
+                        if r.taken {
+                            BreakOutcome::Mispredict // implied not-taken was wrong
+                        } else {
+                            BreakOutcome::Correct
+                        }
+                    }
+                    BreakKind::Unconditional | BreakKind::Call => BreakOutcome::Misfetch,
+                    BreakKind::IndirectJump | BreakKind::Return => BreakOutcome::Mispredict,
+                }
+            }
+        };
+        self.counters.record(outcome, kind);
+        self.pending = Some(PendingSlot { set, way: acc.way, inst });
+        Some(outcome)
+    }
+
+    fn result(&self, bench: &str) -> SimResult {
+        SimResult {
+            engine: self.label(),
+            bench: bench.to_string(),
+            cache: self.cache.config().label(),
+            instructions: self.counters.instructions,
+            breaks: self.counters.breaks,
+            misfetches: self.counters.misfetches,
+            mispredicts: self.counters.mispredicts,
+            icache: *self.cache.stats(),
+            by_kind: self.counters.by_kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> JohnsonEngine {
+        JohnsonEngine::new(CacheConfig::paper(8, 1), 2)
+    }
+
+    fn step_branch(e: &mut JohnsonEngine, r: &TraceRecord) -> BreakOutcome {
+        let out = e.step(r).unwrap();
+        e.step(&TraceRecord::sequential(r.next_pc()));
+        out
+    }
+
+    fn cond(pc: u64, taken: bool, target: u64) -> TraceRecord {
+        TraceRecord::branch(Addr::new(pc), BreakKind::Conditional, taken, Addr::new(target))
+    }
+
+    #[test]
+    fn learns_a_stable_taken_branch() {
+        let mut e = engine();
+        let r = cond(0x100, true, 0x800);
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Mispredict); // untrained
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Correct);
+    }
+
+    #[test]
+    fn one_bit_behaviour_flips_on_every_change() {
+        let mut e = engine();
+        let t = |tk| cond(0x100, tk, 0x800);
+        step_branch(&mut e, &t(true)); // train: points at target
+        assert_eq!(step_branch(&mut e, &t(false)), BreakOutcome::Mispredict);
+        // Pointer now at fall-through; a taken execution mispredicts
+        // again (this is the 1-bit ping-pong a 2-bit PHT avoids).
+        assert_eq!(step_branch(&mut e, &t(true)), BreakOutcome::Mispredict);
+        assert_eq!(step_branch(&mut e, &t(true)), BreakOutcome::Correct);
+    }
+
+    #[test]
+    fn returns_have_no_stack_and_mispredict_on_new_callsites() {
+        let mut e = engine();
+        let ret1 = TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x104));
+        let ret2 = TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x204));
+        assert_eq!(step_branch(&mut e, &ret1), BreakOutcome::Mispredict);
+        assert_eq!(step_branch(&mut e, &ret1), BreakOutcome::Correct); // same site again
+        assert_eq!(step_branch(&mut e, &ret2), BreakOutcome::Mispredict); // new caller
+    }
+
+    #[test]
+    fn cache_refill_destroys_the_pointer() {
+        let cfg = CacheConfig::paper(8, 1);
+        let mut e = JohnsonEngine::new(cfg, 2);
+        let r = cond(0x100, true, 0x800);
+        step_branch(&mut e, &r);
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Correct);
+        e.step(&TraceRecord::sequential(Addr::new(0x100 + cfg.size_bytes)));
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Mispredict, "untrained after refill");
+    }
+}

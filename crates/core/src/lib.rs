@@ -1,0 +1,64 @@
+//! Fetch-prediction simulation: the core of the NLS reproduction.
+//!
+//! This crate assembles the substrates (`nls-trace`, `nls-icache`,
+//! `nls-predictors`) into the paper's complete fetch architectures
+//! and measures them the way the paper does (Calder & Grunwald,
+//! *Next Cache Line and Set Prediction*, ISCA 1995):
+//!
+//! * [`BtbEngine`] — the decoupled BTB + gshare PHT + return-stack
+//!   baseline of §3.
+//! * [`NlsTableEngine`] — the paper's contribution: a tag-less table
+//!   of next-line/set predictors decoupled from the cache (§4).
+//! * [`NlsCacheEngine`] — the coupled organisation with predictors
+//!   attached to cache lines.
+//! * [`JohnsonEngine`] — the prior successor-index design with
+//!   coupled one-bit prediction (§6.2).
+//! * [`SimResult`] / [`PenaltyModel`] — %MfB, %MpB, branch execution
+//!   penalty and CPI exactly as defined in §5.2.
+//! * [`run_sweep`] — parallel (benchmark × cache × architecture)
+//!   sweeps with deterministic results.
+//!
+//! # Quick start
+//!
+//! ```
+//! use nls_core::{run_one, EngineSpec, PenaltyModel, RunSpec, SweepConfig};
+//! use nls_icache::CacheConfig;
+//! use nls_trace::BenchProfile;
+//!
+//! let spec = RunSpec {
+//!     bench: BenchProfile::espresso(),
+//!     cache: CacheConfig::paper(8, 1),
+//!     engines: vec![EngineSpec::btb(128, 1), EngineSpec::nls_table(1024)],
+//! };
+//! let cfg = SweepConfig { trace_len: 100_000, seed: 1 };
+//! let results = run_one(&spec, &cfg);
+//! let penalties = PenaltyModel::paper();
+//! for r in &results {
+//!     assert!(r.bep(&penalties) < 1.5);
+//!     assert!(r.cpi(&penalties) >= 1.0);
+//! }
+//! ```
+
+mod btb_engine;
+mod engine;
+mod johnson_engine;
+mod metrics;
+mod nls_cache_engine;
+mod nls_table_engine;
+mod penalty;
+mod set_prediction;
+mod spec;
+mod sweep;
+
+pub use btb_engine::BtbEngine;
+pub use engine::{BreakOutcome, Counters, FetchAction, FetchEngine, KindCounts};
+pub use johnson_engine::JohnsonEngine;
+pub use metrics::{average, SimResult};
+pub use nls_cache_engine::NlsCacheEngine;
+pub use nls_table_engine::NlsTableEngine;
+pub use penalty::PenaltyModel;
+pub use set_prediction::{fallthrough_way_prediction, FallThroughWayStats};
+pub use spec::{EngineSpec, PhtSpec};
+pub use sweep::{
+    cross, drive, paper_caches, run_one, run_sweep, RunSpec, SweepConfig, DEFAULT_TRACE_LEN,
+};

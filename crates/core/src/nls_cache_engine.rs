@@ -1,0 +1,237 @@
+//! The NLS-cache fetch architecture: predictors coupled to cache
+//! lines (paper §4.1, the Johnson-style organisation with the
+//! paper's decoupled PHT).
+
+use nls_icache::{CacheConfig, InstructionCache};
+use nls_predictors::{
+    DirectionPredictor, LinePointer, NlsCacheConfig, NlsCachePredictors, NlsType, Pht,
+    ReturnStack,
+};
+use nls_trace::{BreakKind, TraceRecord};
+
+use crate::engine::{classify, BreakOutcome, Counters, FetchAction, FetchEngine};
+use crate::metrics::SimResult;
+
+/// A pending coupled-predictor update: slot coordinates captured at
+/// the branch's fetch, committed when the successor is fetched.
+#[derive(Debug, Clone, Copy)]
+struct PendingSlot {
+    set: u32,
+    way: u8,
+    inst: u32,
+    kind: BreakKind,
+    taken: bool,
+}
+
+/// The coupled NLS-cache front end.
+///
+/// Each instruction-cache frame carries `preds_per_line` NLS
+/// predictors (the paper recommends two per 8-instruction line).
+/// Refilling a frame destroys its predictors — the structural
+/// disadvantage the NLS-table removes.
+///
+/// # Examples
+///
+/// ```
+/// use nls_core::{FetchEngine, NlsCacheEngine};
+/// use nls_icache::CacheConfig;
+///
+/// let engine = NlsCacheEngine::new(CacheConfig::paper(8, 1), 2);
+/// assert_eq!(engine.label(), "NLS cache (2/line)");
+/// ```
+#[derive(Debug)]
+pub struct NlsCacheEngine {
+    cache: InstructionCache,
+    preds: NlsCachePredictors,
+    pht: Pht,
+    ras: ReturnStack,
+    counters: Counters,
+    pending: Option<PendingSlot>,
+}
+
+impl NlsCacheEngine {
+    /// An engine whose predictor array matches `cache`, with
+    /// `preds_per_line` predictors per line and the paper's shared
+    /// PHT and return stack.
+    pub fn new(cache: CacheConfig, preds_per_line: u32) -> Self {
+        Self::with_pht(cache, preds_per_line, Pht::paper())
+    }
+
+    /// An engine with a custom direction predictor.
+    pub fn with_pht(cache: CacheConfig, preds_per_line: u32, pht: Pht) -> Self {
+        let nls_cfg = NlsCacheConfig::for_cache(&cache, preds_per_line);
+        NlsCacheEngine {
+            cache: InstructionCache::new(cache),
+            preds: NlsCachePredictors::new(nls_cfg),
+            pht,
+            ras: ReturnStack::paper(),
+            counters: Counters::default(),
+            pending: None,
+        }
+    }
+
+    /// The instruction cache (for inspection).
+    pub fn cache(&self) -> &InstructionCache {
+        &self.cache
+    }
+
+    /// The coupled predictor array (for inspection).
+    pub fn predictors(&self) -> &NlsCachePredictors {
+        &self.preds
+    }
+}
+
+impl FetchEngine for NlsCacheEngine {
+    fn label(&self) -> String {
+        format!("NLS cache ({}/line)", self.preds.config().preds_per_line)
+    }
+
+    fn step(&mut self, r: &TraceRecord) -> Option<BreakOutcome> {
+        self.counters.instructions += 1;
+        let line_bytes = self.cache.config().line_bytes;
+        let set = self.cache.config().set_index(r.pc) as u32;
+
+        let acc = self.cache.access(r.pc);
+        if !acc.hit {
+            // The frame was refilled: its coupled predictors belong
+            // to the departed line and are invalidated.
+            self.preds.invalidate_line(set, acc.way);
+        }
+
+        // Commit the previous break's predictor update.
+        if let Some(p) = self.pending.take() {
+            let target = p
+                .taken
+                .then(|| LinePointer::locate(r.pc, &self.cache))
+                .flatten();
+            self.preds.update(p.set, p.way, p.inst, p.kind, p.taken, target);
+        }
+
+        let kind = r.class.break_kind()?;
+
+        let inst = NlsCachePredictors::inst_offset(r.pc, line_bytes);
+        let entry = self.preds.lookup(set, acc.way, inst);
+        let pht_dir =
+            (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
+        let action = match entry.ty {
+            NlsType::Invalid => FetchAction::FallThrough,
+            NlsType::Return => FetchAction::ReturnStack(self.ras.pop()),
+            NlsType::Conditional => {
+                if self.pht.predict(r.pc) {
+                    FetchAction::CachePointer(entry.ptr)
+                } else {
+                    FetchAction::FallThrough
+                }
+            }
+            NlsType::Other => FetchAction::CachePointer(entry.ptr),
+        };
+
+        let outcome = classify(r, kind, action, pht_dir, &mut self.ras, &self.cache);
+        self.counters.record(outcome, kind);
+
+        match kind {
+            BreakKind::Conditional => self.pht.update(r.pc, r.taken),
+            BreakKind::Call => self.ras.push(r.pc.next()),
+            _ => {}
+        }
+        self.pending = Some(PendingSlot { set, way: acc.way, inst, kind, taken: r.taken });
+        Some(outcome)
+    }
+
+    fn result(&self, bench: &str) -> SimResult {
+        SimResult {
+            engine: self.label(),
+            bench: bench.to_string(),
+            cache: self.cache.config().label(),
+            instructions: self.counters.instructions,
+            breaks: self.counters.breaks,
+            misfetches: self.counters.misfetches,
+            mispredicts: self.counters.mispredicts,
+            icache: *self.cache.stats(),
+            by_kind: self.counters.by_kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nls_trace::Addr;
+
+    fn engine() -> NlsCacheEngine {
+        NlsCacheEngine::new(CacheConfig::paper(8, 1), 2)
+    }
+
+    fn uncond(pc: u64, target: u64) -> TraceRecord {
+        TraceRecord::branch(Addr::new(pc), BreakKind::Unconditional, true, Addr::new(target))
+    }
+
+    fn step_branch(e: &mut NlsCacheEngine, r: &TraceRecord) -> BreakOutcome {
+        let out = e.step(r).unwrap();
+        e.step(&TraceRecord::sequential(r.next_pc()));
+        out
+    }
+
+    #[test]
+    fn trains_like_the_table_when_lines_stay_resident() {
+        let mut e = engine();
+        let r = uncond(0x100, 0x800);
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Misfetch);
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Correct);
+    }
+
+    #[test]
+    fn evicting_the_branchs_own_line_destroys_its_predictor() {
+        let cfg = CacheConfig::paper(8, 1);
+        let mut e = NlsCacheEngine::new(cfg, 2);
+        let r = uncond(0x100, 0x800);
+        step_branch(&mut e, &r);
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Correct);
+        // Evict the *branch's* line (same set as 0x100, different tag).
+        e.step(&TraceRecord::sequential(Addr::new(0x100 + cfg.size_bytes)));
+        // The branch's line refills and its predictor is gone: the
+        // coupled design misfetches where the table would still hit.
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Misfetch);
+    }
+
+    #[test]
+    fn table_survives_the_same_eviction() {
+        // Companion check: the decoupled table keeps its entry when
+        // the branch's line is evicted. This is the paper's central
+        // argument for the NLS-table.
+        let cfg = CacheConfig::paper(8, 1);
+        let mut e = crate::nls_table_engine::NlsTableEngine::new(1024, cfg);
+        let r = uncond(0x100, 0x800);
+        let step = |e: &mut crate::nls_table_engine::NlsTableEngine, r: &TraceRecord| {
+            let o = e.step(r).unwrap();
+            e.step(&TraceRecord::sequential(r.next_pc()));
+            o
+        };
+        step(&mut e, &r);
+        assert_eq!(step(&mut e, &r), BreakOutcome::Correct);
+        e.step(&TraceRecord::sequential(Addr::new(0x100 + cfg.size_bytes)));
+        assert_eq!(step(&mut e, &r), BreakOutcome::Correct, "table entry survived");
+    }
+
+    #[test]
+    fn two_branches_in_same_half_line_conflict() {
+        let mut e = engine();
+        // Both in the first 4-instruction half of the line at 0x100.
+        let a = uncond(0x100, 0x800);
+        let b = uncond(0x108, 0x900);
+        step_branch(&mut e, &a);
+        step_branch(&mut e, &b); // clobbers a's shared predictor
+        assert_eq!(step_branch(&mut e, &a), BreakOutcome::Misfetch);
+    }
+
+    #[test]
+    fn branches_in_different_halves_coexist() {
+        let mut e = engine();
+        let a = uncond(0x100, 0x800); // offset 0: first predictor
+        let b = uncond(0x110, 0x900); // offset 4: second predictor
+        step_branch(&mut e, &a);
+        step_branch(&mut e, &b);
+        assert_eq!(step_branch(&mut e, &a), BreakOutcome::Correct);
+        assert_eq!(step_branch(&mut e, &b), BreakOutcome::Correct);
+    }
+}

@@ -1,0 +1,371 @@
+//! The NLS-table fetch architecture (paper §4, Figure 2).
+
+use nls_icache::{CacheConfig, InstructionCache};
+use nls_predictors::{
+    BranchTypeTable, DirectionPredictor, LinePointer, NlsTable, NlsType, Pht, ReturnStack,
+};
+use nls_trace::{Addr, BreakKind, TraceRecord};
+
+use crate::engine::{classify, BreakOutcome, Counters, FetchAction, FetchEngine};
+use crate::metrics::SimResult;
+
+/// A pending NLS pointer update: a taken branch whose target's cache
+/// location can only be recorded once the target has actually been
+/// fetched (the entry is written "after instructions are decoded and
+/// the branch type and destinations are resolved", §4).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingUpdate {
+    /// The branch instruction to update the predictor for.
+    pub pc: Addr,
+    /// Its resolved kind.
+    pub kind: BreakKind,
+    /// Whether it was taken (taken branches update the pointer).
+    pub taken: bool,
+}
+
+/// The decoupled NLS-table front end: a tag-less table of next
+/// line/set predictors plus the shared PHT and return stack.
+///
+/// # Examples
+///
+/// ```
+/// use nls_core::{FetchEngine, NlsTableEngine};
+/// use nls_icache::CacheConfig;
+/// use nls_trace::{Addr, BreakKind, TraceRecord};
+///
+/// let mut engine = NlsTableEngine::new(1024, CacheConfig::paper(8, 1));
+/// let branch = TraceRecord::branch(Addr::new(0x100), BreakKind::Unconditional, true, Addr::new(0x800));
+/// engine.step(&branch);                               // cold: misfetch
+/// engine.step(&TraceRecord::sequential(Addr::new(0x800))); // target fetch trains the pointer
+/// let outcome = engine.step(&branch).unwrap();
+/// assert_eq!(outcome, nls_core::BreakOutcome::Correct);
+/// ```
+#[derive(Debug)]
+pub struct NlsTableEngine {
+    cache: InstructionCache,
+    table: NlsTable,
+    pht: Pht,
+    ras: ReturnStack,
+    counters: Counters,
+    pending: Option<PendingUpdate>,
+    /// §4 extension: when `Some`, the engine does *not* assume a
+    /// predecode bit; branch-ness is predicted by this table at
+    /// fetch and trained at decode.
+    type_table: Option<BranchTypeTable>,
+}
+
+impl NlsTableEngine {
+    /// An engine with `entries` NLS predictors and the paper's
+    /// shared predictors.
+    pub fn new(entries: usize, cache: CacheConfig) -> Self {
+        Self::with_pht(entries, cache, Pht::paper())
+    }
+
+    /// An engine with a custom direction predictor.
+    pub fn with_pht(entries: usize, cache: CacheConfig, pht: Pht) -> Self {
+        NlsTableEngine {
+            cache: InstructionCache::new(cache),
+            table: NlsTable::new(entries),
+            pht,
+            ras: ReturnStack::paper(),
+            counters: Counters::default(),
+            pending: None,
+            type_table: None,
+        }
+    }
+
+    /// Drops the predecode-bit assumption (§4): instruction types
+    /// are predicted at fetch by a tag-less `entries`-bit table
+    /// instead of being known from the instruction encoding. A break
+    /// predicted as non-branch falls through (costing the usual
+    /// penalty), and a *sequential* instruction predicted as a
+    /// branch whose shared NLS entry would redirect costs one extra
+    /// misfetch bubble, counted in [`SimResult::misfetches`] (so
+    /// with this mode enabled, misfetches + mispredicts may exceed
+    /// the break count).
+    #[must_use]
+    pub fn with_type_predictor(mut self, entries: usize) -> Self {
+        self.type_table = Some(BranchTypeTable::new(entries));
+        self
+    }
+
+    /// The instruction cache (for inspection).
+    pub fn cache(&self) -> &InstructionCache {
+        &self.cache
+    }
+
+    /// The NLS table (for inspection).
+    pub fn table(&self) -> &NlsTable {
+        &self.table
+    }
+}
+
+impl FetchEngine for NlsTableEngine {
+    fn label(&self) -> String {
+        format!("{} NLS table", self.table.len())
+    }
+
+    fn step(&mut self, r: &TraceRecord) -> Option<BreakOutcome> {
+        self.counters.instructions += 1;
+        self.cache.access(r.pc);
+
+        // Commit the previous break's predictor update now that its
+        // successor (this very instruction) is resident.
+        if let Some(p) = self.pending.take() {
+            let target = p
+                .taken
+                .then(|| LinePointer::locate(r.pc, &self.cache))
+                .flatten();
+            self.table.update(p.pc, p.kind, p.taken, target);
+        }
+
+        // Without a predecode bit, branch-ness itself is predicted.
+        let predicted_branch = match &mut self.type_table {
+            Some(t) => {
+                let p = t.predict_branch(r.pc);
+                t.train(r.pc, r.is_break());
+                p
+            }
+            None => r.is_break(),
+        };
+
+        if !r.is_break() {
+            // A sequential instruction mistaken for a branch redirects
+            // fetch through the (aliased) NLS entry: one bubble,
+            // discovered at decode.
+            if predicted_branch {
+                let entry = self.table.lookup(r.pc);
+                let would_redirect = match entry.ty {
+                    NlsType::Invalid => false,
+                    NlsType::Conditional => self.pht.predict(r.pc),
+                    NlsType::Return | NlsType::Other => true,
+                };
+                if would_redirect {
+                    self.counters.misfetches += 1;
+                }
+            }
+            return None;
+        }
+        let kind = r.class.break_kind()?;
+
+        if !predicted_branch {
+            // A break mistaken for a sequential instruction falls
+            // through; classify with the fall-through action.
+            let pht_dir =
+                (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
+            let outcome = classify(
+                r,
+                kind,
+                FetchAction::FallThrough,
+                pht_dir,
+                &mut self.ras,
+                &self.cache,
+            );
+            self.counters.record(outcome, kind);
+            match kind {
+                BreakKind::Conditional => self.pht.update(r.pc, r.taken),
+                BreakKind::Call => self.ras.push(r.pc.next()),
+                _ => {}
+            }
+            self.pending = Some(PendingUpdate { pc: r.pc, kind, taken: r.taken });
+            return Some(outcome);
+        }
+
+        // Fetch-time action selection from the tag-less entry.
+        let entry = self.table.lookup(r.pc);
+        let pht_dir =
+            (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
+        let action = match entry.ty {
+            NlsType::Invalid => FetchAction::FallThrough,
+            NlsType::Return => FetchAction::ReturnStack(self.ras.pop()),
+            NlsType::Conditional => {
+                if self.pht.predict(r.pc) {
+                    FetchAction::CachePointer(entry.ptr)
+                } else {
+                    FetchAction::FallThrough
+                }
+            }
+            NlsType::Other => FetchAction::CachePointer(entry.ptr),
+        };
+
+        let outcome = classify(r, kind, action, pht_dir, &mut self.ras, &self.cache);
+        self.counters.record(outcome, kind);
+
+        // Resolution-time updates.
+        match kind {
+            BreakKind::Conditional => self.pht.update(r.pc, r.taken),
+            BreakKind::Call => self.ras.push(r.pc.next()),
+            _ => {}
+        }
+        self.pending = Some(PendingUpdate { pc: r.pc, kind, taken: r.taken });
+        Some(outcome)
+    }
+
+    fn result(&self, bench: &str) -> SimResult {
+        SimResult {
+            engine: self.label(),
+            bench: bench.to_string(),
+            cache: self.cache.config().label(),
+            instructions: self.counters.instructions,
+            breaks: self.counters.breaks,
+            misfetches: self.counters.misfetches,
+            mispredicts: self.counters.mispredicts,
+            icache: *self.cache.stats(),
+            by_kind: self.counters.by_kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> NlsTableEngine {
+        NlsTableEngine::new(1024, CacheConfig::paper(8, 1))
+    }
+
+    fn uncond(pc: u64, target: u64) -> TraceRecord {
+        TraceRecord::branch(Addr::new(pc), BreakKind::Unconditional, true, Addr::new(target))
+    }
+
+    /// Steps a branch followed by its target instruction, so the
+    /// pending pointer update lands.
+    fn step_branch(e: &mut NlsTableEngine, r: &TraceRecord) -> BreakOutcome {
+        let out = e.step(r).unwrap();
+        e.step(&TraceRecord::sequential(r.next_pc()));
+        out
+    }
+
+    #[test]
+    fn cold_branch_misfetches_then_pointer_hits() {
+        let mut e = engine();
+        let r = uncond(0x100, 0x800);
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Misfetch);
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Correct);
+    }
+
+    #[test]
+    fn displaced_target_line_costs_a_misfetch() {
+        let cfg = CacheConfig::paper(8, 1);
+        let mut e = NlsTableEngine::new(1024, cfg);
+        let r = uncond(0x100, 0x800);
+        step_branch(&mut e, &r); // train
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Correct);
+        // Evict the target's line with a conflicting access.
+        let conflict = Addr::new(0x800 + cfg.size_bytes);
+        e.step(&TraceRecord::sequential(conflict));
+        // The pointer is now stale: misfetch, not mispredict.
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Misfetch);
+    }
+
+    #[test]
+    fn aliased_branches_share_an_entry() {
+        let mut e = NlsTableEngine::new(16, CacheConfig::paper(8, 1));
+        // Two unconditional branches 16 instruction-slots apart alias.
+        let a = uncond(0x100, 0x800);
+        let b = uncond(0x100 + 16 * 4, 0x900);
+        step_branch(&mut e, &a);
+        assert_eq!(step_branch(&mut e, &a), BreakOutcome::Correct);
+        step_branch(&mut e, &b); // clobbers a's entry
+        assert_eq!(step_branch(&mut e, &a), BreakOutcome::Misfetch);
+    }
+
+    #[test]
+    fn conditional_uses_pht_and_pointer() {
+        let mut e = engine();
+        let pc = Addr::new(0x200);
+        let t = Addr::new(0x900);
+        let taken = TraceRecord::branch(pc, BreakKind::Conditional, true, t);
+        let mut last = BreakOutcome::Misfetch;
+        for _ in 0..40 {
+            last = step_branch(&mut e, &taken);
+        }
+        assert_eq!(last, BreakOutcome::Correct);
+        let not_taken = TraceRecord::branch(pc, BreakKind::Conditional, false, t);
+        assert_eq!(step_branch(&mut e, &not_taken), BreakOutcome::Mispredict);
+    }
+
+    #[test]
+    fn not_taken_does_not_erase_the_pointer() {
+        let mut e = engine();
+        let pc = Addr::new(0x200);
+        let t = Addr::new(0x900);
+        let taken = TraceRecord::branch(pc, BreakKind::Conditional, true, t);
+        let not_taken = TraceRecord::branch(pc, BreakKind::Conditional, false, t);
+        for _ in 0..40 {
+            step_branch(&mut e, &taken);
+        }
+        // A few not-taken executions (PHT will mispredict some), then
+        // taken again: the pointer must still be valid, so once the
+        // PHT direction recovers the branch is Correct, never
+        // misfetched on the pointer.
+        step_branch(&mut e, &not_taken);
+        step_branch(&mut e, &not_taken);
+        let mut outcomes = Vec::new();
+        for _ in 0..20 {
+            outcomes.push(step_branch(&mut e, &taken));
+        }
+        assert!(
+            outcomes.iter().all(|&o| o != BreakOutcome::Misfetch),
+            "pointer survived fall-throughs: {outcomes:?}"
+        );
+        assert_eq!(*outcomes.last().unwrap(), BreakOutcome::Correct);
+    }
+
+    #[test]
+    fn returns_use_the_stack_once_typed() {
+        let mut e = engine();
+        let call = TraceRecord::branch(Addr::new(0x100), BreakKind::Call, true, Addr::new(0x800));
+        let ret = TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x104));
+        // Round 1: both cold -> misfetches (stack itself is right).
+        assert_eq!(step_branch(&mut e, &call), BreakOutcome::Misfetch);
+        assert_eq!(step_branch(&mut e, &ret), BreakOutcome::Misfetch);
+        // Round 2: entry types known; stack correct.
+        assert_eq!(step_branch(&mut e, &call), BreakOutcome::Correct);
+        assert_eq!(step_branch(&mut e, &ret), BreakOutcome::Correct);
+    }
+
+    #[test]
+    fn type_predictor_learns_branch_locations() {
+        let mut e = NlsTableEngine::new(1024, CacheConfig::paper(8, 1))
+            .with_type_predictor(1024);
+        let r = uncond(0x100, 0x800);
+        // First pass: predicted non-branch (cold type table) -> the
+        // break falls through -> misfetch; second pass: branch-ness
+        // and pointer both known -> correct.
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Misfetch);
+        assert_eq!(step_branch(&mut e, &r), BreakOutcome::Correct);
+    }
+
+    #[test]
+    fn type_predictor_charges_false_positives() {
+        let entries = 16;
+        let mut e = NlsTableEngine::new(entries, CacheConfig::paper(8, 1))
+            .with_type_predictor(entries);
+        // Train a branch, then run a *sequential* instruction that
+        // aliases both the type bit and the NLS entry: fetch wrongly
+        // redirects -> one extra misfetch with no extra break.
+        // Target 0x804 so the target's own (sequential) training
+        // lands in a different type-table slot than the branch's.
+        let r = uncond(0x100, 0x804);
+        step_branch(&mut e, &r);
+        step_branch(&mut e, &r);
+        let breaks_before = e.result("t").breaks;
+        let misfetch_before = e.result("t").misfetches;
+        let aliased = Addr::new(0x100 + 16 * 4);
+        e.step(&TraceRecord::sequential(aliased));
+        let after = e.result("t");
+        assert_eq!(after.breaks, breaks_before, "sequential is not a break");
+        assert_eq!(after.misfetches, misfetch_before + 1, "false-positive bubble");
+    }
+
+    #[test]
+    fn indirect_jump_staleness_is_a_mispredict() {
+        let mut e = engine();
+        let pc = Addr::new(0x300);
+        let j = |t: u64| TraceRecord::branch(pc, BreakKind::IndirectJump, true, Addr::new(t));
+        assert_eq!(step_branch(&mut e, &j(0x1000)), BreakOutcome::Mispredict); // cold
+        assert_eq!(step_branch(&mut e, &j(0x1000)), BreakOutcome::Correct);
+        assert_eq!(step_branch(&mut e, &j(0x2000)), BreakOutcome::Mispredict); // target changed
+    }
+}

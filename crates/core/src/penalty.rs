@@ -1,0 +1,46 @@
+//! Pipeline penalty model.
+
+/// Cycle costs of the three fetch-related penalty events (§5.2).
+///
+/// The paper assumes a one-cycle misfetch penalty (wrong instruction
+/// fetched, fixed at decode), a four-cycle mispredict penalty (wrong
+/// path discovered at execute), and a five-cycle instruction-cache
+/// miss penalty, "reasonable for current superscalar architectures"
+/// in 1995. All three are parameters here so sensitivity ablations
+/// can vary them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenaltyModel {
+    /// Cycles lost per misfetched branch.
+    pub misfetch_cycles: f64,
+    /// Cycles lost per mispredicted branch.
+    pub mispredict_cycles: f64,
+    /// Cycles lost per instruction-cache miss.
+    pub icache_miss_cycles: f64,
+}
+
+impl PenaltyModel {
+    /// The paper's costs: 1 / 4 / 5 cycles.
+    pub fn paper() -> Self {
+        PenaltyModel { misfetch_cycles: 1.0, mispredict_cycles: 4.0, icache_miss_cycles: 5.0 }
+    }
+}
+
+impl Default for PenaltyModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_costs() {
+        let m = PenaltyModel::paper();
+        assert_eq!(m.misfetch_cycles, 1.0);
+        assert_eq!(m.mispredict_cycles, 4.0);
+        assert_eq!(m.icache_miss_cycles, 5.0);
+        assert_eq!(PenaltyModel::default(), m);
+    }
+}

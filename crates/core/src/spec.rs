@@ -1,0 +1,157 @@
+//! Declarative engine specifications for sweeps.
+
+use nls_icache::CacheConfig;
+use nls_predictors::{BtbConfig, Pht, PhtIndexing};
+
+use crate::btb_engine::BtbEngine;
+use crate::engine::FetchEngine;
+use crate::johnson_engine::JohnsonEngine;
+use crate::nls_cache_engine::NlsCacheEngine;
+use crate::nls_table_engine::NlsTableEngine;
+
+/// Which conditional direction predictor a spec'd engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhtSpec {
+    /// The paper's 4096-entry gshare (default).
+    Gshare,
+    /// Pan et al. degenerate (history-only index).
+    GlobalOnly,
+    /// PC-indexed bimodal.
+    Bimodal,
+    /// McFarling combining predictor (gshare + bimodal + chooser).
+    Tournament,
+    /// Gshare with a custom size / counter width.
+    Custom { entries: usize, counter_bits: u8, indexing: PhtIndexing },
+}
+
+impl PhtSpec {
+    fn build(self) -> Pht {
+        match self {
+            PhtSpec::Gshare => Pht::paper(),
+            PhtSpec::GlobalOnly => Pht::new(4096, 2, PhtIndexing::GlobalOnly),
+            PhtSpec::Bimodal => Pht::new(4096, 2, PhtIndexing::Bimodal),
+            PhtSpec::Tournament => Pht::new(4096, 2, PhtIndexing::Tournament),
+            PhtSpec::Custom { entries, counter_bits, indexing } => {
+                Pht::new(entries, counter_bits, indexing)
+            }
+        }
+    }
+}
+
+/// A buildable fetch-architecture description: everything needed to
+/// instantiate an engine for a given instruction cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineSpec {
+    /// A decoupled BTB front end.
+    Btb {
+        /// BTB entries (128 or 256 in the paper).
+        entries: usize,
+        /// BTB associativity (1, 2 or 4).
+        assoc: u32,
+        /// Direction predictor.
+        pht: PhtSpec,
+    },
+    /// The decoupled NLS-table front end.
+    NlsTable {
+        /// Table entries (512, 1024 or 2048 in the paper).
+        entries: usize,
+        /// Direction predictor.
+        pht: PhtSpec,
+    },
+    /// The coupled NLS-cache front end.
+    NlsCache {
+        /// Predictors per cache line (1, 2 or 4).
+        preds_per_line: u32,
+        /// Direction predictor.
+        pht: PhtSpec,
+    },
+    /// Johnson's coupled successor-index design (no PHT, no RAS).
+    Johnson {
+        /// Predictors per cache line.
+        preds_per_line: u32,
+    },
+}
+
+impl EngineSpec {
+    /// Shorthand for a gshare-equipped BTB.
+    pub fn btb(entries: usize, assoc: u32) -> Self {
+        EngineSpec::Btb { entries, assoc, pht: PhtSpec::Gshare }
+    }
+
+    /// Shorthand for a gshare-equipped NLS table.
+    pub fn nls_table(entries: usize) -> Self {
+        EngineSpec::NlsTable { entries, pht: PhtSpec::Gshare }
+    }
+
+    /// Shorthand for a gshare-equipped NLS cache.
+    pub fn nls_cache(preds_per_line: u32) -> Self {
+        EngineSpec::NlsCache { preds_per_line, pht: PhtSpec::Gshare }
+    }
+
+    /// Instantiates the engine for `cache`.
+    pub fn build(&self, cache: CacheConfig) -> Box<dyn FetchEngine + Send> {
+        match *self {
+            EngineSpec::Btb { entries, assoc, pht } => Box::new(BtbEngine::with_pht(
+                BtbConfig::new(entries, assoc),
+                cache,
+                pht.build(),
+            )),
+            EngineSpec::NlsTable { entries, pht } => {
+                Box::new(NlsTableEngine::with_pht(entries, cache, pht.build()))
+            }
+            EngineSpec::NlsCache { preds_per_line, pht } => {
+                Box::new(NlsCacheEngine::with_pht(cache, preds_per_line, pht.build()))
+            }
+            EngineSpec::Johnson { preds_per_line } => {
+                Box::new(JohnsonEngine::new(cache, preds_per_line))
+            }
+        }
+    }
+
+    /// The four BTB configurations of Figures 5/7/8 plus the
+    /// 1024-entry NLS-table.
+    pub fn paper_comparison_set() -> Vec<EngineSpec> {
+        vec![
+            Self::btb(128, 1),
+            Self::btb(128, 4),
+            Self::btb(256, 1),
+            Self::btb(256, 4),
+            Self::nls_table(1024),
+        ]
+    }
+
+    /// The NLS organisations of Figure 4: the NLS-cache (two
+    /// predictors per line) and the three NLS-table sizes.
+    pub fn paper_nls_set() -> Vec<EngineSpec> {
+        vec![
+            Self::nls_cache(2),
+            Self::nls_table(512),
+            Self::nls_table(1024),
+            Self::nls_table(2048),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_produces_correct_labels() {
+        let cache = CacheConfig::paper(8, 1);
+        assert_eq!(EngineSpec::btb(128, 1).build(cache).label(), "128 direct BTB");
+        assert_eq!(EngineSpec::btb(256, 4).build(cache).label(), "256 4-way BTB");
+        assert_eq!(EngineSpec::nls_table(1024).build(cache).label(), "1024 NLS table");
+        assert_eq!(EngineSpec::nls_cache(2).build(cache).label(), "NLS cache (2/line)");
+        assert_eq!(
+            EngineSpec::Johnson { preds_per_line: 2 }.build(cache).label(),
+            "Johnson successor index (2/line)"
+        );
+    }
+
+    #[test]
+    fn paper_sets_have_expected_sizes() {
+        assert_eq!(EngineSpec::paper_comparison_set().len(), 5);
+        assert_eq!(EngineSpec::paper_nls_set().len(), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! The simulation driver: single runs and parallel configuration
+//! sweeps.
+//!
+//! One *run* walks a synthetic workload once and feeds every record
+//! to a group of engines (they are independent consumers, so trace
+//! generation is amortised across architectures). A *sweep* executes
+//! many runs — (benchmark × cache configuration) pairs — across
+//! threads with deterministic result ordering.
+
+use nls_icache::CacheConfig;
+use nls_trace::{synthesize, BenchProfile, GenConfig, TraceRecord, Walker};
+use parking_lot::Mutex;
+
+use crate::engine::FetchEngine;
+use crate::metrics::SimResult;
+use crate::spec::EngineSpec;
+
+/// Default dynamic trace length for paper-scale experiments.
+pub const DEFAULT_TRACE_LEN: usize = 8_000_000;
+
+/// Global sweep parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Dynamic instructions per run.
+    pub trace_len: usize,
+    /// Walker RNG seed (program synthesis has its own per-profile
+    /// seed in [`GenConfig`]).
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { trace_len: DEFAULT_TRACE_LEN, seed: 0x0b5e_55ed }
+    }
+}
+
+/// One (workload, cache, engines) simulation unit.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The workload profile.
+    pub bench: BenchProfile,
+    /// The instruction-cache geometry every engine in this run uses.
+    pub cache: CacheConfig,
+    /// The fetch architectures to drive over the trace.
+    pub engines: Vec<EngineSpec>,
+}
+
+/// Runs a prepared trace through a set of engines. Exposed for
+/// integration tests that hand-craft traces.
+pub fn drive<'a, I>(trace: I, engines: &mut [Box<dyn FetchEngine + Send>])
+where
+    I: IntoIterator<Item = &'a TraceRecord>,
+{
+    for r in trace {
+        for e in engines.iter_mut() {
+            e.step(r);
+        }
+    }
+}
+
+/// Executes one run: synthesises the workload, walks `trace_len`
+/// records, feeds every engine, and returns one result per engine
+/// (in `engines` order).
+pub fn run_one(spec: &RunSpec, cfg: &SweepConfig) -> Vec<SimResult> {
+    let gen_cfg = GenConfig::for_profile(&spec.bench);
+    let program = synthesize(&spec.bench, &gen_cfg);
+    let mut engines: Vec<Box<dyn FetchEngine + Send>> =
+        spec.engines.iter().map(|e| e.build(spec.cache)).collect();
+    let walker = Walker::new(&program, cfg.seed);
+    for r in walker.take(cfg.trace_len) {
+        for e in engines.iter_mut() {
+            e.step(&r);
+        }
+    }
+    engines.iter().map(|e| e.result(spec.bench.name)).collect()
+}
+
+/// Executes `runs` across threads. Results are returned flattened in
+/// run order (then engine order within each run), independent of
+/// scheduling.
+pub fn run_sweep(runs: &[RunSpec], cfg: &SweepConfig) -> Vec<SimResult> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(runs.len().max(1));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Vec<SimResult>>>> = Mutex::new(vec![None; runs.len()]);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= runs.len() {
+                    break;
+                }
+                let results = run_one(&runs[i], cfg);
+                slots.lock()[i] = Some(results);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every run produced results"))
+        .collect::<Vec<_>>()
+        .concat()
+}
+
+/// The cross product of benchmarks × cache configurations, each with
+/// the same engine list — the shape of every figure in the paper.
+pub fn cross(
+    benches: &[BenchProfile],
+    caches: &[CacheConfig],
+    engines: &[EngineSpec],
+) -> Vec<RunSpec> {
+    let mut runs = Vec::with_capacity(benches.len() * caches.len());
+    for bench in benches {
+        for &cache in caches {
+            runs.push(RunSpec { bench: bench.clone(), cache, engines: engines.to_vec() });
+        }
+    }
+    runs
+}
+
+/// The six cache configurations of the paper's figures: 8/16/32 KB,
+/// direct-mapped and 4-way.
+pub fn paper_caches() -> Vec<CacheConfig> {
+    let mut v = Vec::new();
+    for kb in [8, 16, 32] {
+        for assoc in [1, 4] {
+            v.push(CacheConfig::paper(kb, assoc));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SweepConfig {
+        SweepConfig { trace_len: 60_000, seed: 7 }
+    }
+
+    #[test]
+    fn run_one_produces_one_result_per_engine() {
+        let spec = RunSpec {
+            bench: BenchProfile::li(),
+            cache: CacheConfig::paper(8, 1),
+            engines: vec![EngineSpec::btb(128, 1), EngineSpec::nls_table(1024)],
+        };
+        let results = run_one(&spec, &small_cfg());
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].engine, "128 direct BTB");
+        assert_eq!(results[1].engine, "1024 NLS table");
+        for r in &results {
+            assert_eq!(r.instructions, 60_000);
+            assert!(r.breaks > 5_000, "li is branch dense: {}", r.breaks);
+            assert!(r.misfetches + r.mispredicts < r.breaks);
+        }
+    }
+
+    #[test]
+    fn sweep_matches_sequential_runs_and_preserves_order() {
+        let runs = cross(
+            &[BenchProfile::li(), BenchProfile::espresso()],
+            &[CacheConfig::paper(8, 1), CacheConfig::paper(8, 4)],
+            &[EngineSpec::nls_table(512)],
+        );
+        let cfg = small_cfg();
+        let parallel = run_sweep(&runs, &cfg);
+        let sequential: Vec<SimResult> =
+            runs.iter().flat_map(|r| run_one(r, &cfg)).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn paper_caches_are_six() {
+        let caches = paper_caches();
+        assert_eq!(caches.len(), 6);
+        assert_eq!(caches[0].label(), "8K direct");
+        assert_eq!(caches[5].label(), "32K 4-way");
+    }
+
+    #[test]
+    fn drive_feeds_every_engine() {
+        use nls_trace::{Addr, TraceRecord};
+        let trace = vec![
+            TraceRecord::sequential(Addr::new(0)),
+            TraceRecord::sequential(Addr::new(4)),
+        ];
+        let mut engines: Vec<Box<dyn FetchEngine + Send>> = vec![
+            EngineSpec::nls_table(512).build(CacheConfig::paper(8, 1)),
+            EngineSpec::btb(128, 1).build(CacheConfig::paper(8, 1)),
+        ];
+        drive(&trace, &mut engines);
+        for e in &engines {
+            assert_eq!(e.result("t").instructions, 2);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the fetch engines: total, panic-free and
+//! internally consistent on arbitrary (even incoherent) traces, and
+//! exactly deterministic.
+
+use proptest::prelude::*;
+
+use nls_core::{EngineSpec, FetchEngine, PenaltyModel};
+use nls_icache::CacheConfig;
+use nls_trace::{Addr, BreakKind, TraceRecord};
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    let addr = (0u64..200_000).prop_map(Addr::from_inst_index);
+    prop_oneof![
+        3 => addr.clone().prop_map(TraceRecord::sequential),
+        1 => (addr.clone(), addr.clone(), any::<bool>())
+            .prop_map(|(pc, t, taken)| TraceRecord::branch(pc, BreakKind::Conditional, taken, t)),
+        1 => (addr.clone(), addr.clone())
+            .prop_map(|(pc, t)| TraceRecord::branch(pc, BreakKind::Unconditional, true, t)),
+        1 => (addr.clone(), addr.clone())
+            .prop_map(|(pc, t)| TraceRecord::branch(pc, BreakKind::Call, true, t)),
+        1 => (addr.clone(), addr.clone())
+            .prop_map(|(pc, t)| TraceRecord::branch(pc, BreakKind::Return, true, t)),
+        1 => (addr.clone(), addr)
+            .prop_map(|(pc, t)| TraceRecord::branch(pc, BreakKind::IndirectJump, true, t)),
+    ]
+}
+
+fn all_specs() -> Vec<EngineSpec> {
+    vec![
+        EngineSpec::btb(128, 1),
+        EngineSpec::btb(256, 4),
+        EngineSpec::nls_table(512),
+        EngineSpec::nls_cache(2),
+        EngineSpec::Johnson { preds_per_line: 2 },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_are_total_and_consistent(records in prop::collection::vec(arb_record(), 0..500),
+                                        kb in prop_oneof![Just(8u64), Just(16)],
+                                        assoc in prop_oneof![Just(1u32), Just(4)]) {
+        let cache = CacheConfig::paper(kb, assoc);
+        let m = PenaltyModel::paper();
+        for spec in all_specs() {
+            let mut engine = spec.build(cache);
+            let mut expected_breaks = 0u64;
+            for r in &records {
+                let out = engine.step(r);
+                prop_assert_eq!(out.is_some(), r.is_break());
+                if r.is_break() {
+                    expected_breaks += 1;
+                }
+            }
+            let result = engine.result("prop");
+            prop_assert_eq!(result.instructions, records.len() as u64);
+            prop_assert_eq!(result.breaks, expected_breaks);
+            prop_assert!(result.misfetches + result.mispredicts <= result.breaks);
+            prop_assert!(result.icache.misses <= result.icache.accesses);
+            prop_assert!(result.bep(&m) >= 0.0);
+            prop_assert!(result.cpi(&m) >= 1.0);
+        }
+    }
+
+    #[test]
+    fn engines_are_deterministic(records in prop::collection::vec(arb_record(), 0..300)) {
+        let cache = CacheConfig::paper(8, 2);
+        for spec in all_specs() {
+            let run = || {
+                let mut engine = spec.build(cache);
+                for r in &records {
+                    engine.step(r);
+                }
+                engine.result("prop")
+            };
+            prop_assert_eq!(run(), run());
+        }
+    }
+
+    #[test]
+    fn misfetch_and_mispredict_never_overlap_per_break(
+        records in prop::collection::vec(arb_record(), 0..300)
+    ) {
+        // Step one record at a time and check each break adds at
+        // most one penalty event across the two counters.
+        let cache = CacheConfig::paper(8, 1);
+        for spec in all_specs() {
+            let mut engine = spec.build(cache);
+            let mut prev = (0u64, 0u64);
+            for r in &records {
+                engine.step(r);
+                let res = engine.result("prop");
+                let now = (res.misfetches, res.mispredicts);
+                let delta = (now.0 - prev.0) + (now.1 - prev.1);
+                prop_assert!(delta <= 1, "one break produced {delta} penalty events");
+                if !r.is_break() {
+                    prop_assert_eq!(delta, 0);
+                }
+                prev = now;
+            }
+        }
+    }
+
+    #[test]
+    fn a_break_free_trace_has_zero_penalties(pcs in prop::collection::vec(0u64..100_000, 1..300)) {
+        let cache = CacheConfig::paper(8, 1);
+        for spec in all_specs() {
+            let mut engine = spec.build(cache);
+            for &i in &pcs {
+                engine.step(&TraceRecord::sequential(Addr::from_inst_index(i)));
+            }
+            let r = engine.result("prop");
+            prop_assert_eq!(r.breaks, 0);
+            prop_assert_eq!(r.misfetches, 0);
+            prop_assert_eq!(r.mispredicts, 0);
+        }
+    }
+}

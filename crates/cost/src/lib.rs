@@ -1,0 +1,23 @@
+//! Hardware cost models for fetch-prediction structures.
+//!
+//! The paper compares architectures at *equal implementation cost*,
+//! using two models this crate reimplements:
+//!
+//! * [`rbe`] — the register-bit-equivalent area model of Mulder,
+//!   Quach & Flynn, used for Figure 3's cost comparison and the
+//!   equal-cost pairings of §6 (1024-entry NLS-table ≈ 128-entry
+//!   BTB; 256-entry BTB ≈ twice the NLS-table).
+//! * [`access_time`] — a CACTI-style timing model after Wilton &
+//!   Jouppi, used for Figure 6's observation that associative BTBs
+//!   are 30–40 % slower than direct-mapped ones.
+//!
+//! ```
+//! use nls_cost::rbe::{btb_rbe, nls_table_rbe, CacheGeometry};
+//!
+//! let nls = nls_table_rbe(1024, CacheGeometry::paper(16, 1));
+//! let btb = btb_rbe(256, 1);
+//! assert!(btb > 1.5 * nls); // the 256 BTB costs ~2x the table
+//! ```
+
+pub mod access_time;
+pub mod rbe;

@@ -1,0 +1,331 @@
+//! The set-associative instruction cache.
+
+use nls_trace::Addr;
+
+use crate::config::{CacheConfig, Replacement};
+use crate::stats::CacheStats;
+
+/// One line frame: the tag of the resident line, if any.
+#[derive(Debug, Clone, Copy, Default)]
+struct Frame {
+    tag: u64,
+    valid: bool,
+    /// Monotone stamp used for LRU (last access) or FIFO (fill time).
+    stamp: u64,
+}
+
+/// Result of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// The way the line is in after the access (victim way on a miss).
+    pub way: u8,
+    /// On a miss, whether a valid line was evicted to make room.
+    pub evicted_valid: bool,
+}
+
+/// A set-associative instruction cache with demand fill.
+///
+/// Ways are what the paper calls "sets" in the NLS set field: a
+/// predicted `(line, set)` pair in the paper maps to a `(set index,
+/// way)` pair here.
+///
+/// # Examples
+///
+/// ```
+/// use nls_icache::{CacheConfig, InstructionCache};
+/// use nls_trace::Addr;
+///
+/// let mut cache = InstructionCache::new(CacheConfig::paper(8, 2));
+/// let a = Addr::new(0x1000);
+/// assert!(!cache.access(a).hit); // cold miss
+/// assert!(cache.access(a).hit);  // now resident
+/// assert!(cache.probe(a).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstructionCache {
+    cfg: CacheConfig,
+    /// `num_sets * assoc` frames, way-major within each set.
+    frames: Vec<Frame>,
+    clock: u64,
+    /// xorshift state for the Random policy (deterministic).
+    rand_state: u64,
+    stats: CacheStats,
+}
+
+impl InstructionCache {
+    /// An empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let n = (cfg.num_sets() * u64::from(cfg.assoc)) as usize;
+        InstructionCache {
+            cfg,
+            frames: vec![Frame::default(); n],
+            clock: 0,
+            rand_state: 0x9e37_79b9_7f4a_7c15,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Access statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the statistics (the contents stay; useful for warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
+        let base = (set * u64::from(self.cfg.assoc)) as usize;
+        base..base + self.cfg.assoc as usize
+    }
+
+    /// Demand-fetches the line containing `addr`, filling on a miss.
+    /// Counts one access (and possibly one miss) in the statistics.
+    pub fn access(&mut self, addr: Addr) -> AccessResult {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let set = self.cfg.set_index(addr);
+        let tag = self.cfg.tag(addr);
+        let range = self.set_range(set);
+        // Hit?
+        for (w, i) in range.clone().enumerate() {
+            let f = &mut self.frames[i];
+            if f.valid && f.tag == tag {
+                if self.cfg.replacement == Replacement::Lru {
+                    f.stamp = self.clock;
+                }
+                return AccessResult { hit: true, way: w as u8, evicted_valid: false };
+            }
+        }
+        // Miss: pick a victim.
+        self.stats.misses += 1;
+        let victim = self.pick_victim(range.clone());
+        let idx = range.start + victim as usize;
+        let evicted_valid = self.frames[idx].valid;
+        self.frames[idx] = Frame { tag, valid: true, stamp: self.clock };
+        AccessResult { hit: false, way: victim, evicted_valid }
+    }
+
+    fn pick_victim(&mut self, range: std::ops::Range<usize>) -> u8 {
+        // Prefer an invalid frame.
+        for (w, i) in range.clone().enumerate() {
+            if !self.frames[i].valid {
+                return w as u8;
+            }
+        }
+        match self.cfg.replacement {
+            // LRU and FIFO both evict the minimum stamp; they differ
+            // in whether hits refresh the stamp (see `access`).
+            Replacement::Lru | Replacement::Fifo => {
+                let mut best = 0u8;
+                let mut best_stamp = u64::MAX;
+                for (w, i) in range.enumerate() {
+                    if self.frames[i].stamp < best_stamp {
+                        best_stamp = self.frames[i].stamp;
+                        best = w as u8;
+                    }
+                }
+                best
+            }
+            Replacement::Random => {
+                // xorshift64*
+                let mut x = self.rand_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rand_state = x;
+                (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % u64::from(self.cfg.assoc)) as u8
+            }
+        }
+    }
+
+    /// Checks residency without side effects: the way holding
+    /// `addr`'s line, if resident.
+    pub fn probe(&self, addr: Addr) -> Option<u8> {
+        let set = self.cfg.set_index(addr);
+        let tag = self.cfg.tag(addr);
+        self.set_range(set)
+            .enumerate()
+            .find(|&(_, i)| self.frames[i].valid && self.frames[i].tag == tag)
+            .map(|(w, _)| w as u8)
+    }
+
+    /// Whether `addr`'s line is resident in exactly way `way` of its
+    /// set — the tag check an NLS set prediction must pass.
+    pub fn resident_at(&self, addr: Addr, way: u8) -> bool {
+        if u32::from(way) >= self.cfg.assoc {
+            return false;
+        }
+        let set = self.cfg.set_index(addr);
+        let idx = self.set_range(set).start + way as usize;
+        self.frames[idx].valid && self.frames[idx].tag == self.cfg.tag(addr)
+    }
+
+    /// The tag currently resident at `(set, way)`, if any. Used by
+    /// diagnostics and the NLS-cache predictor invalidation logic.
+    pub fn tag_at(&self, set: u64, way: u8) -> Option<u64> {
+        assert!(set < self.cfg.num_sets(), "set {set} out of range");
+        assert!(u32::from(way) < self.cfg.assoc, "way {way} out of range");
+        let idx = self.set_range(set).start + way as usize;
+        let f = &self.frames[idx];
+        f.valid.then_some(f.tag)
+    }
+
+    /// Invalidates the entire cache (keeps statistics).
+    pub fn flush(&mut self) {
+        for f in &mut self.frames {
+            f.valid = false;
+        }
+    }
+
+    /// Number of valid lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.frames.iter().filter(|f| f.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr_at(set: u64, tag: u64, cfg: &CacheConfig) -> Addr {
+        Addr::new((tag * cfg.num_sets() + set) * cfg.line_bytes)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = InstructionCache::new(CacheConfig::paper(8, 1));
+        let a = Addr::new(0x4000);
+        let r = c.access(a);
+        assert!(!r.hit);
+        assert!(!r.evicted_valid);
+        assert!(c.access(a).hit);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let cfg = CacheConfig::paper(8, 1);
+        let mut c = InstructionCache::new(cfg);
+        let a = addr_at(5, 1, &cfg);
+        let b = addr_at(5, 2, &cfg);
+        c.access(a);
+        let r = c.access(b);
+        assert!(!r.hit);
+        assert!(r.evicted_valid, "b evicts a in a direct-mapped cache");
+        assert!(!c.access(a).hit, "a was evicted");
+    }
+
+    #[test]
+    fn two_way_holds_two_conflicting_lines() {
+        let cfg = CacheConfig::paper(8, 2);
+        let mut c = InstructionCache::new(cfg);
+        let a = addr_at(5, 1, &cfg);
+        let b = addr_at(5, 2, &cfg);
+        c.access(a);
+        c.access(b);
+        assert!(c.access(a).hit);
+        assert!(c.access(b).hit);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cfg = CacheConfig::paper(8, 2);
+        let mut c = InstructionCache::new(cfg);
+        let a = addr_at(5, 1, &cfg);
+        let b = addr_at(5, 2, &cfg);
+        let d = addr_at(5, 3, &cfg);
+        c.access(a);
+        c.access(b);
+        c.access(a); // refresh a; b is now LRU
+        c.access(d); // evicts b
+        assert!(c.access(a).hit);
+        assert!(!c.access(b).hit);
+    }
+
+    #[test]
+    fn fifo_ignores_refresh() {
+        let cfg = CacheConfig::paper(8, 2).with_replacement(Replacement::Fifo);
+        let mut c = InstructionCache::new(cfg);
+        let a = addr_at(5, 1, &cfg);
+        let b = addr_at(5, 2, &cfg);
+        let d = addr_at(5, 3, &cfg);
+        c.access(a);
+        c.access(b);
+        c.access(a); // does not refresh under FIFO
+        c.access(d); // evicts a (oldest fill)
+        assert!(!c.access(a).hit);
+    }
+
+    #[test]
+    fn probe_has_no_side_effects() {
+        let mut c = InstructionCache::new(CacheConfig::paper(8, 2));
+        let a = Addr::new(0x8000);
+        assert_eq!(c.probe(a), None);
+        let way = c.access(a).way;
+        assert_eq!(c.probe(a), Some(way));
+        assert_eq!(c.stats().accesses, 1, "probe does not count as access");
+    }
+
+    #[test]
+    fn resident_at_checks_exact_way() {
+        let cfg = CacheConfig::paper(8, 2);
+        let mut c = InstructionCache::new(cfg);
+        let a = Addr::new(0x8000);
+        let way = c.access(a).way;
+        assert!(c.resident_at(a, way));
+        assert!(!c.resident_at(a, 1 - way));
+        assert!(!c.resident_at(a, 7), "out-of-range way is never resident");
+    }
+
+    #[test]
+    fn same_line_different_instruction_hits() {
+        let mut c = InstructionCache::new(CacheConfig::paper(8, 1));
+        c.access(Addr::new(0x1000));
+        assert!(c.access(Addr::new(0x101c)).hit, "same 32-byte line");
+        assert!(!c.access(Addr::new(0x1020)).hit, "next line");
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = InstructionCache::new(CacheConfig::paper(8, 4));
+        c.access(Addr::new(0x1000));
+        assert_eq!(c.resident_lines(), 1);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert!(!c.access(Addr::new(0x1000)).hit);
+    }
+
+    #[test]
+    fn tag_at_reports_contents() {
+        let cfg = CacheConfig::paper(8, 1);
+        let mut c = InstructionCache::new(cfg);
+        let a = addr_at(9, 3, &cfg);
+        c.access(a);
+        assert_eq!(c.tag_at(9, 0), Some(3));
+        assert_eq!(c.tag_at(10, 0), None);
+    }
+
+    #[test]
+    fn random_policy_is_deterministic() {
+        let cfg = CacheConfig::paper(8, 2).with_replacement(Replacement::Random);
+        let run = || {
+            let mut c = InstructionCache::new(cfg);
+            for i in 0..10_000u64 {
+                c.access(Addr::new((i * 0x520) % 0x40000 * 4 / 4 * 4));
+            }
+            c.stats().misses
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,172 @@
+//! Cache geometry configuration.
+
+use std::fmt;
+
+/// Replacement policy for associative caches. The paper's
+/// experiments use LRU; FIFO and Random are provided for ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Replacement {
+    /// Least-recently-used (the paper's configuration).
+    #[default]
+    Lru,
+    /// First-in first-out.
+    Fifo,
+    /// Pseudo-random victim selection (deterministic, seeded).
+    Random,
+}
+
+impl fmt::Display for Replacement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Replacement::Lru => "LRU",
+            Replacement::Fifo => "FIFO",
+            Replacement::Random => "random",
+        })
+    }
+}
+
+/// Geometry of an instruction cache.
+///
+/// The paper simulates 8 KB, 16 KB and 32 KB caches with 32-byte
+/// lines and direct-mapped, 2-way and 4-way organisations.
+///
+/// # Examples
+///
+/// ```
+/// use nls_icache::CacheConfig;
+///
+/// let c = CacheConfig::new(8 * 1024, 32, 1);
+/// assert_eq!(c.num_sets(), 256);
+/// assert_eq!(c.insts_per_line(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity (ways per set); 1 = direct mapped.
+    pub assoc: u32,
+    /// Victim selection policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Creates a configuration with LRU replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes`, `line_bytes` and `assoc` are
+    /// powers of two and `size_bytes >= line_bytes * assoc`.
+    pub fn new(size_bytes: u64, line_bytes: u64, assoc: u32) -> Self {
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc.is_power_of_two(), "associativity must be a power of two");
+        assert!(
+            size_bytes >= line_bytes * u64::from(assoc),
+            "cache must hold at least one set"
+        );
+        CacheConfig { size_bytes, line_bytes, assoc, replacement: Replacement::Lru }
+    }
+
+    /// The paper's standard geometry: `size_kb` KB, 32-byte lines.
+    pub fn paper(size_kb: u64, assoc: u32) -> Self {
+        Self::new(size_kb * 1024, 32, assoc)
+    }
+
+    /// Sets the replacement policy (builder style).
+    #[must_use]
+    pub fn with_replacement(mut self, replacement: Replacement) -> Self {
+        self.replacement = replacement;
+        self
+    }
+
+    /// Number of sets (rows). For a direct-mapped cache this equals
+    /// the number of line frames.
+    #[inline]
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * u64::from(self.assoc))
+    }
+
+    /// Total number of line frames (sets × ways).
+    #[inline]
+    pub fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Instructions per line (4-byte instructions).
+    #[inline]
+    pub fn insts_per_line(&self) -> u64 {
+        self.line_bytes / nls_trace::INST_BYTES
+    }
+
+    /// The set index of `addr`.
+    #[inline]
+    pub fn set_index(&self, addr: nls_trace::Addr) -> u64 {
+        (addr.as_u64() / self.line_bytes) % self.num_sets()
+    }
+
+    /// The tag of `addr` (bits above set index and line offset).
+    #[inline]
+    pub fn tag(&self, addr: nls_trace::Addr) -> u64 {
+        (addr.as_u64() / self.line_bytes) / self.num_sets()
+    }
+
+    /// A short human-readable label like `"16K 4-way"`.
+    pub fn label(&self) -> String {
+        let kb = self.size_bytes / 1024;
+        if self.assoc == 1 {
+            format!("{kb}K direct")
+        } else {
+            format!("{kb}K {}-way", self.assoc)
+        }
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}B lines, {})", self.label(), self.line_bytes, self.replacement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nls_trace::Addr;
+
+    #[test]
+    fn paper_geometries() {
+        for (kb, assoc, sets) in [(8, 1, 256), (8, 4, 64), (16, 2, 256), (32, 4, 256)] {
+            let c = CacheConfig::paper(kb, assoc);
+            assert_eq!(c.num_sets(), sets, "{kb}K {assoc}-way");
+            assert_eq!(c.num_lines(), kb * 1024 / 32);
+        }
+    }
+
+    #[test]
+    fn index_and_tag_partition_address() {
+        let c = CacheConfig::paper(8, 2);
+        let a = Addr::new(0x0004_2134);
+        let line_no = a.as_u64() / 32;
+        assert_eq!(c.set_index(a), line_no % c.num_sets());
+        assert_eq!(c.tag(a), line_no / c.num_sets());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(CacheConfig::paper(8, 1).label(), "8K direct");
+        assert_eq!(CacheConfig::paper(32, 4).label(), "32K 4-way");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_odd_size() {
+        let _ = CacheConfig::new(3000, 32, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one set")]
+    fn rejects_overlarge_assoc() {
+        let _ = CacheConfig::new(64, 32, 4);
+    }
+}

@@ -1,0 +1,32 @@
+//! Instruction-cache simulation for NLS fetch-prediction studies.
+//!
+//! This crate models the instruction caches of the paper (Calder &
+//! Grunwald, ISCA 1995): 8–64 KB, 32-byte lines, direct-mapped to
+//! 4-way set-associative with LRU replacement, plus FIFO/Random
+//! policies for ablations. Beyond ordinary demand access it exposes
+//! the *way-probe* operations an NLS predictor needs: checking
+//! whether a target line is resident in a specific predicted way
+//! ([`InstructionCache::resident_at`]) and locating a line without
+//! side effects ([`InstructionCache::probe`]).
+//!
+//! Terminology note: the paper calls a cache row a "line" and a way
+//! a "set" (its NLS predictor stores a *line field* and a *set
+//! field*). This crate uses the modern terms — `set` for the row
+//! index, `way` for the associativity position.
+//!
+//! ```
+//! use nls_icache::{CacheConfig, InstructionCache};
+//! use nls_trace::Addr;
+//!
+//! let mut cache = InstructionCache::new(CacheConfig::paper(16, 4));
+//! cache.access(Addr::new(0x1234_5678 & !3));
+//! assert_eq!(cache.stats().misses, 1);
+//! ```
+
+mod cache;
+mod config;
+mod stats;
+
+pub use cache::{AccessResult, InstructionCache};
+pub use config::{CacheConfig, Replacement};
+pub use stats::CacheStats;

@@ -1,0 +1,43 @@
+//! Cache access statistics.
+
+/// Demand-access counters for an [`crate::InstructionCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (one per instruction fetch).
+    pub accesses: u64,
+    /// Demand misses (line fills).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss rate as a percentage.
+    pub fn miss_pct(&self) -> f64 {
+        100.0 * self.miss_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_rate_handles_zero_accesses() {
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_ratio() {
+        let s = CacheStats { accesses: 200, misses: 30 };
+        assert!((s.miss_rate() - 0.15).abs() < 1e-12);
+        assert!((s.miss_pct() - 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests: the instruction cache against an executable
+//! reference model.
+
+use proptest::prelude::*;
+
+use nls_icache::{CacheConfig, InstructionCache, Replacement};
+use nls_trace::Addr;
+
+/// A trivially-correct LRU cache model: a vector of (set, tag) in
+/// recency order.
+struct RefLru {
+    cfg: CacheConfig,
+    /// Per set: resident tags, most recent last.
+    sets: Vec<Vec<u64>>,
+}
+
+impl RefLru {
+    fn new(cfg: CacheConfig) -> Self {
+        RefLru { cfg, sets: vec![Vec::new(); cfg.num_sets() as usize] }
+    }
+
+    /// Returns whether the access hit.
+    fn access(&mut self, addr: Addr) -> bool {
+        let set = self.cfg.set_index(addr) as usize;
+        let tag = self.cfg.tag(addr);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            ways.remove(pos);
+            ways.push(tag);
+            true
+        } else {
+            if ways.len() == self.cfg.assoc as usize {
+                ways.remove(0); // evict LRU
+            }
+            ways.push(tag);
+            false
+        }
+    }
+
+    fn contains(&self, addr: Addr) -> bool {
+        let set = self.cfg.set_index(addr) as usize;
+        self.sets[set].contains(&self.cfg.tag(addr))
+    }
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (prop_oneof![Just(1u64), Just(2), Just(4)], prop_oneof![Just(1u32), Just(2), Just(4)])
+        .prop_map(|(kb, assoc)| CacheConfig::paper(kb * 8, assoc))
+}
+
+fn arb_addrs() -> impl Strategy<Value = Vec<u64>> {
+    // Working set slightly larger than the biggest cache to force
+    // conflicts and capacity evictions.
+    prop::collection::vec(0u64..4096, 1..600).prop_map(|v| v.into_iter().map(|x| x * 32).collect())
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(cfg in arb_config(), addrs in arb_addrs()) {
+        let mut cache = InstructionCache::new(cfg);
+        let mut reference = RefLru::new(cfg);
+        for &a in &addrs {
+            let addr = Addr::new(a);
+            let hit = cache.access(addr).hit;
+            let ref_hit = reference.access(addr);
+            prop_assert_eq!(hit, ref_hit, "divergence at {:#x}", a);
+        }
+        // Residency agrees for every address touched.
+        for &a in &addrs {
+            let addr = Addr::new(a);
+            prop_assert_eq!(cache.probe(addr).is_some(), reference.contains(addr));
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(cfg in arb_config(), addrs in arb_addrs()) {
+        let mut cache = InstructionCache::new(cfg);
+        for &a in &addrs {
+            cache.access(Addr::new(a));
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!(cache.resident_lines() <= s.misses as usize,
+            "cannot hold more lines than were ever filled");
+        prop_assert!((0.0..=1.0).contains(&s.miss_rate()));
+    }
+
+    #[test]
+    fn probe_agrees_with_resident_at(cfg in arb_config(), addrs in arb_addrs()) {
+        let mut cache = InstructionCache::new(cfg);
+        for &a in &addrs {
+            cache.access(Addr::new(a));
+        }
+        for &a in &addrs {
+            let addr = Addr::new(a);
+            match cache.probe(addr) {
+                Some(way) => {
+                    prop_assert!(cache.resident_at(addr, way));
+                    // No other way holds it.
+                    for w in 0..cfg.assoc as u8 {
+                        if w != way {
+                            prop_assert!(!cache.resident_at(addr, w));
+                        }
+                    }
+                }
+                None => {
+                    for w in 0..cfg.assoc as u8 {
+                        prop_assert!(!cache.resident_at(addr, w));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded(assoc in prop_oneof![Just(1u32), Just(2), Just(4)],
+                                  addrs in arb_addrs()) {
+        let cfg = CacheConfig::paper(8, assoc);
+        let mut cache = InstructionCache::new(cfg);
+        for &a in &addrs {
+            cache.access(Addr::new(a));
+        }
+        prop_assert!(cache.resident_lines() as u64 <= cfg.num_lines());
+    }
+
+    #[test]
+    fn replacement_policies_only_change_victims_not_hits_on_refill_free_streams(
+        addrs in prop::collection::vec(0u64..64, 1..200)
+    ) {
+        // With a working set that fits, every policy behaves
+        // identically: cold misses then hits.
+        let base = CacheConfig::paper(8, 4);
+        for policy in [Replacement::Lru, Replacement::Fifo, Replacement::Random] {
+            let mut cache = InstructionCache::new(base.with_replacement(policy));
+            let mut distinct = std::collections::HashSet::new();
+            let mut misses = 0;
+            for &a in &addrs {
+                let addr = Addr::new(a * 32);
+                if !cache.access(addr).hit {
+                    misses += 1;
+                }
+                distinct.insert(a);
+            }
+            prop_assert_eq!(misses, distinct.len(), "{:?}", policy);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Branch target buffer.
+//!
+//! The paper's baseline fetch predictor (§3): a tagged buffer of the
+//! full target addresses of recently *taken* branches, plus the
+//! branch type. The design is decoupled — conditional directions
+//! come from the shared PHT, not from the BTB entry — and follows
+//! the paper's policies: only taken branches are entered; an entry
+//! is kept (not evicted) when its branch executes not-taken.
+
+use nls_trace::{Addr, BreakKind};
+
+/// Geometry of a BTB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BtbConfig {
+    /// Total entries (the paper evaluates 128 and 256).
+    pub entries: usize,
+    /// Associativity (1, 2 or 4 in the paper).
+    pub assoc: u32,
+}
+
+impl BtbConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` and `assoc` are powers of two with
+    /// `assoc <= entries`.
+    pub fn new(entries: usize, assoc: u32) -> Self {
+        assert!(entries.is_power_of_two(), "BTB entries must be a power of two");
+        assert!(assoc.is_power_of_two(), "BTB associativity must be a power of two");
+        assert!(entries >= assoc as usize, "BTB must have at least one set");
+        BtbConfig { entries, assoc }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.entries / self.assoc as usize
+    }
+
+    /// Short label like `"128 direct BTB"` or `"256 4-way BTB"`.
+    pub fn label(&self) -> String {
+        if self.assoc == 1 {
+            format!("{} direct BTB", self.entries)
+        } else {
+            format!("{} {}-way BTB", self.entries, self.assoc)
+        }
+    }
+}
+
+/// One BTB entry: tag, full target address and branch type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BtbEntry {
+    /// The taken target address.
+    pub target: Addr,
+    /// The branch type, used to select the prediction source (PHT
+    /// for conditionals, RAS for returns, the entry itself for the
+    /// rest).
+    pub kind: BreakKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    tag: u64,
+    entry: BtbEntry,
+    stamp: u64,
+}
+
+/// A set-associative, LRU branch target buffer.
+///
+/// # Examples
+///
+/// ```
+/// use nls_predictors::{Btb, BtbConfig};
+/// use nls_trace::{Addr, BreakKind};
+///
+/// let mut btb = Btb::new(BtbConfig::new(128, 4));
+/// let pc = Addr::new(0x400);
+/// assert!(btb.lookup(pc).is_none());
+/// btb.insert(pc, Addr::new(0x800), BreakKind::Unconditional);
+/// assert_eq!(btb.lookup(pc).unwrap().target, Addr::new(0x800));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    cfg: BtbConfig,
+    sets: Vec<Vec<Option<Slot>>>,
+    clock: u64,
+}
+
+impl Btb {
+    /// An empty BTB.
+    pub fn new(cfg: BtbConfig) -> Self {
+        Btb {
+            cfg,
+            sets: vec![vec![None; cfg.assoc as usize]; cfg.num_sets()],
+            clock: 0,
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &BtbConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_of(&self, pc: Addr) -> usize {
+        (pc.inst_index() % self.cfg.num_sets() as u64) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, pc: Addr) -> u64 {
+        pc.inst_index() / self.cfg.num_sets() as u64
+    }
+
+    /// Looks up `pc`, refreshing its LRU position on a hit.
+    pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
+        self.clock += 1;
+        let set = self.set_of(pc);
+        let tag = self.tag_of(pc);
+        let clock = self.clock;
+        self.sets[set]
+            .iter_mut()
+            .flatten()
+            .find(|s| s.tag == tag)
+            .map(|s| {
+                s.stamp = clock;
+                s.entry
+            })
+    }
+
+    /// Looks up `pc` without touching LRU state.
+    pub fn probe(&self, pc: Addr) -> Option<BtbEntry> {
+        let set = self.set_of(pc);
+        let tag = self.tag_of(pc);
+        self.sets[set]
+            .iter()
+            .flatten()
+            .find(|s| s.tag == tag)
+            .map(|s| s.entry)
+    }
+
+    /// Inserts or updates the entry for a *taken* branch at `pc`.
+    /// Existing entries are updated in place; otherwise the LRU way
+    /// of the set is replaced.
+    pub fn insert(&mut self, pc: Addr, target: Addr, kind: BreakKind) {
+        self.clock += 1;
+        let set = self.set_of(pc);
+        let tag = self.tag_of(pc);
+        let entry = BtbEntry { target, kind };
+        let ways = &mut self.sets[set];
+        // Update in place on a tag match.
+        if let Some(slot) = ways.iter_mut().flatten().find(|s| s.tag == tag) {
+            slot.entry = entry;
+            slot.stamp = self.clock;
+            return;
+        }
+        // Fill an empty way if one exists.
+        let victim = match ways.iter().position(Option::is_none) {
+            Some(i) => i,
+            None => {
+                // Evict the LRU way.
+                ways.iter()
+                    .enumerate()
+                    .min_by_key(|(_, s)| s.map(|s| s.stamp).unwrap_or(0))
+                    .map(|(i, _)| i)
+                    .expect("set is non-empty")
+            }
+        };
+        ways[victim] = Some(Slot { tag, entry, stamp: self.clock });
+    }
+
+    /// Removes the entry for `pc`, returning whether one existed.
+    /// Used by the evict-on-not-taken policy ablation (the paper
+    /// deliberately *keeps* entries when their branch falls through).
+    pub fn remove(&mut self, pc: Addr) -> bool {
+        let set = self.set_of(pc);
+        let tag = self.tag_of(pc);
+        for slot in &mut self.sets[set] {
+            if slot.map(|s| s.tag) == Some(tag) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc_in_set(set: u64, tag: u64, cfg: &BtbConfig) -> Addr {
+        Addr::from_inst_index(tag * cfg.num_sets() as u64 + set)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut b = Btb::new(BtbConfig::new(16, 1));
+        let pc = Addr::new(0x100);
+        assert!(b.lookup(pc).is_none());
+        b.insert(pc, Addr::new(0x200), BreakKind::Conditional);
+        let e = b.lookup(pc).unwrap();
+        assert_eq!(e.target, Addr::new(0x200));
+        assert_eq!(e.kind, BreakKind::Conditional);
+    }
+
+    #[test]
+    fn update_in_place_changes_target() {
+        let mut b = Btb::new(BtbConfig::new(16, 2));
+        let pc = Addr::new(0x100);
+        b.insert(pc, Addr::new(0x200), BreakKind::IndirectJump);
+        b.insert(pc, Addr::new(0x300), BreakKind::IndirectJump);
+        assert_eq!(b.lookup(pc).unwrap().target, Addr::new(0x300));
+        assert_eq!(b.occupancy(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let cfg = BtbConfig::new(16, 1);
+        let mut b = Btb::new(cfg);
+        let a = pc_in_set(3, 1, &cfg);
+        let c = pc_in_set(3, 2, &cfg);
+        b.insert(a, Addr::new(0x200), BreakKind::Call);
+        b.insert(c, Addr::new(0x300), BreakKind::Call);
+        assert!(b.lookup(a).is_none(), "conflicting insert evicted a");
+        assert!(b.lookup(c).is_some());
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let cfg = BtbConfig::new(16, 2);
+        let mut b = Btb::new(cfg);
+        let a = pc_in_set(3, 1, &cfg);
+        let c = pc_in_set(3, 2, &cfg);
+        let d = pc_in_set(3, 4, &cfg);
+        b.insert(a, Addr::new(0x20), BreakKind::Call);
+        b.insert(c, Addr::new(0x30), BreakKind::Call);
+        let _ = b.lookup(a); // refresh a; c is LRU
+        b.insert(d, Addr::new(0x40), BreakKind::Call);
+        assert!(b.lookup(a).is_some());
+        assert!(b.lookup(c).is_none());
+        assert!(b.lookup(d).is_some());
+    }
+
+    #[test]
+    fn probe_does_not_refresh_lru() {
+        let cfg = BtbConfig::new(16, 2);
+        let mut b = Btb::new(cfg);
+        let a = pc_in_set(3, 1, &cfg);
+        let c = pc_in_set(3, 2, &cfg);
+        let d = pc_in_set(3, 4, &cfg);
+        b.insert(a, Addr::new(0x20), BreakKind::Call);
+        b.insert(c, Addr::new(0x30), BreakKind::Call);
+        let _ = b.probe(a); // no refresh: a stays LRU
+        b.insert(d, Addr::new(0x40), BreakKind::Call);
+        assert!(b.probe(a).is_none(), "a was LRU and evicted");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(BtbConfig::new(128, 1).label(), "128 direct BTB");
+        assert_eq!(BtbConfig::new(256, 4).label(), "256 4-way BTB");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_entries_panics() {
+        let _ = BtbConfig::new(100, 1);
+    }
+}

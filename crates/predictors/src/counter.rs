@@ -1,0 +1,146 @@
+//! Saturating counters.
+
+/// An n-bit saturating up/down counter, the building block of
+/// bimodal and two-level conditional branch predictors.
+///
+/// The counter predicts *taken* when its value is in the upper half
+/// of its range. The paper's PHT uses 2-bit counters; the TFP (MIPS
+/// R8000) comparison uses 1-bit counters.
+///
+/// # Examples
+///
+/// ```
+/// use nls_predictors::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::new(2); // weakly not-taken (value 1)
+/// assert!(!c.predict_taken());
+/// c.update(true);
+/// assert!(c.predict_taken());
+/// c.update(true); // saturates at 3
+/// c.update(false);
+/// assert!(c.predict_taken()); // hysteresis: still taken
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u8,
+    max: u8,
+}
+
+impl SaturatingCounter {
+    /// A counter with `bits` bits (1..=7), initialised to the weakly
+    /// not-taken state just below the midpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 7.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=7).contains(&bits), "counter width {bits} out of range");
+        let max = (1u8 << bits) - 1;
+        SaturatingCounter { value: max / 2, max }
+    }
+
+    /// A counter with an explicit initial value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid width or `value > max`.
+    pub fn with_value(bits: u8, value: u8) -> Self {
+        let mut c = Self::new(bits);
+        assert!(value <= c.max, "initial value {value} exceeds max {}", c.max);
+        c.value = value;
+        c
+    }
+
+    /// Current counter value.
+    #[inline]
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Maximum (saturation) value.
+    #[inline]
+    pub fn max(self) -> u8 {
+        self.max
+    }
+
+    /// Predicted direction: taken when in the upper half.
+    #[inline]
+    pub fn predict_taken(self) -> bool {
+        self.value > self.max / 2
+    }
+
+    /// Trains the counter with a resolved outcome.
+    #[inline]
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            if self.value < self.max {
+                self.value += 1;
+            }
+        } else if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+}
+
+impl Default for SaturatingCounter {
+    /// A 2-bit counter (the paper's PHT entry).
+    fn default() -> Self {
+        SaturatingCounter::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_high_and_low() {
+        let mut c = SaturatingCounter::new(2);
+        for _ in 0..10 {
+            c.update(true);
+        }
+        assert_eq!(c.value(), 3);
+        for _ in 0..10 {
+            c.update(false);
+        }
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn one_bit_counter_flips_immediately() {
+        let mut c = SaturatingCounter::with_value(1, 0);
+        assert!(!c.predict_taken());
+        c.update(true);
+        assert!(c.predict_taken());
+        c.update(false);
+        assert!(!c.predict_taken());
+    }
+
+    #[test]
+    fn two_bit_hysteresis() {
+        let mut c = SaturatingCounter::with_value(2, 3);
+        c.update(false); // 3 -> 2: still predicts taken
+        assert!(c.predict_taken());
+        c.update(false); // 2 -> 1
+        assert!(!c.predict_taken());
+    }
+
+    #[test]
+    fn initial_state_is_weakly_not_taken() {
+        assert!(!SaturatingCounter::new(2).predict_taken());
+        assert_eq!(SaturatingCounter::new(2).value(), 1);
+        assert!(!SaturatingCounter::new(3).predict_taken());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_bits_panics() {
+        let _ = SaturatingCounter::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max")]
+    fn oversized_value_panics() {
+        let _ = SaturatingCounter::with_value(2, 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Global branch-history register.
+
+/// A k-bit global history register (GHR) recording the outcomes of
+/// the most recent conditional branches: taken = 1, not-taken = 0,
+/// newest outcome in the least-significant bit.
+///
+/// # Examples
+///
+/// ```
+/// use nls_predictors::GlobalHistory;
+///
+/// let mut ghr = GlobalHistory::new(4);
+/// ghr.push(true);
+/// ghr.push(false);
+/// ghr.push(true);
+/// assert_eq!(ghr.value(), 0b101);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GlobalHistory {
+    bits: u8,
+    value: u64,
+}
+
+impl GlobalHistory {
+    /// A zeroed history register of `bits` bits (1..=63).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 63.
+    pub fn new(bits: u8) -> Self {
+        assert!((1..=63).contains(&bits), "history width {bits} out of range");
+        GlobalHistory { bits, value: 0 }
+    }
+
+    /// Shifts in one resolved outcome.
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        self.value = ((self.value << 1) | u64::from(taken)) & ((1u64 << self.bits) - 1);
+    }
+
+    /// The current history pattern.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The register width in bits.
+    #[inline]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pushes_shift_left() {
+        let mut g = GlobalHistory::new(8);
+        for t in [true, true, false, true] {
+            g.push(t);
+        }
+        assert_eq!(g.value(), 0b1101);
+    }
+
+    #[test]
+    fn truncates_to_width() {
+        let mut g = GlobalHistory::new(2);
+        for _ in 0..5 {
+            g.push(true);
+        }
+        assert_eq!(g.value(), 0b11);
+        g.push(false);
+        assert_eq!(g.value(), 0b10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_panics() {
+        let _ = GlobalHistory::new(0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Johnson-style coupled successor-index prediction.
+//!
+//! Related-work baseline (§6.2): Johnson's design — also used by the
+//! TFP (MIPS R8000) and, with 2-bit counters, the UltraSPARC —
+//! stores a *successor index* with each cache-line region: a pointer
+//! to whatever line was fetched next the last time, whether that was
+//! the taken target or the fall-through. The pointer doubles as a
+//! one-bit direction predictor and is updated on **every** branch
+//! execution (the paper's NLS, by contrast, updates the pointer only
+//! on taken branches and gets direction from the decoupled PHT).
+
+use nls_trace::Addr;
+
+use crate::nls::LinePointer;
+use crate::nls_cache::NlsCacheConfig;
+
+/// One successor-index entry: the predicted next fetch location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SuccessorEntry {
+    /// Predicted next-fetch location, `None` until first trained.
+    pub next: Option<LinePointer>,
+}
+
+/// The per-frame successor-index array of a Johnson-style NLS-cache.
+///
+/// Shares the [`NlsCacheConfig`] geometry with the coupled NLS-cache
+/// (the paper compares them at one predictor per four instructions).
+#[derive(Debug, Clone)]
+pub struct JohnsonPredictors {
+    cfg: NlsCacheConfig,
+    entries: Vec<SuccessorEntry>,
+}
+
+impl JohnsonPredictors {
+    /// An array with all entries untrained.
+    pub fn new(cfg: NlsCacheConfig) -> Self {
+        JohnsonPredictors { cfg, entries: vec![SuccessorEntry::default(); cfg.total_predictors()] }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &NlsCacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u8, inst_offset: u32) -> usize {
+        debug_assert!(set < self.cfg.sets);
+        debug_assert!(u32::from(way) < self.cfg.ways);
+        debug_assert!(inst_offset < self.cfg.insts_per_line);
+        let pred = inst_offset / self.cfg.insts_per_pred();
+        ((set * self.cfg.ways + u32::from(way)) * self.cfg.preds_per_line + pred) as usize
+    }
+
+    /// The successor entry covering the branch at
+    /// `(set, way, inst_offset)`.
+    #[inline]
+    pub fn lookup(&self, set: u32, way: u8, inst_offset: u32) -> SuccessorEntry {
+        self.entries[self.slot(set, way, inst_offset)]
+    }
+
+    /// Johnson's update rule: after *every* branch execution, point
+    /// the entry at wherever control actually went (taken target or
+    /// fall-through). `next` is the resolved next-fetch location, if
+    /// it is resident in the cache.
+    pub fn update(&mut self, set: u32, way: u8, inst_offset: u32, next: Option<LinePointer>) {
+        let i = self.slot(set, way, inst_offset);
+        self.entries[i] = SuccessorEntry { next };
+    }
+
+    /// Invalidates the predictors of a refilled frame.
+    pub fn invalidate_line(&mut self, set: u32, way: u8) {
+        let base = ((set * self.cfg.ways + u32::from(way)) * self.cfg.preds_per_line) as usize;
+        for e in &mut self.entries[base..base + self.cfg.preds_per_line as usize] {
+            *e = SuccessorEntry::default();
+        }
+    }
+
+    /// Convenience: offset of `pc` within its line.
+    pub fn inst_offset(pc: Addr, line_bytes: u64) -> u32 {
+        pc.offset_in_line(line_bytes) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nls_icache::CacheConfig;
+
+    fn cfg() -> NlsCacheConfig {
+        NlsCacheConfig::for_cache(&CacheConfig::paper(8, 1), 2)
+    }
+
+    #[test]
+    fn starts_untrained() {
+        let p = JohnsonPredictors::new(cfg());
+        assert_eq!(p.lookup(0, 0, 0).next, None);
+    }
+
+    #[test]
+    fn update_overwrites_on_every_execution() {
+        let mut p = JohnsonPredictors::new(cfg());
+        let target = LinePointer { set: 9, way: 0, inst: 0 };
+        let fallthrough = LinePointer { set: 1, way: 0, inst: 3 };
+        p.update(0, 0, 2, Some(target));
+        assert_eq!(p.lookup(0, 0, 2).next, Some(target));
+        // A not-taken execution flips the pointer to the fall-through
+        // (this is the one-bit behaviour the paper improves on).
+        p.update(0, 0, 2, Some(fallthrough));
+        assert_eq!(p.lookup(0, 0, 2).next, Some(fallthrough));
+    }
+
+    #[test]
+    fn invalidate_clears_frame() {
+        let mut p = JohnsonPredictors::new(cfg());
+        p.update(3, 0, 0, Some(LinePointer::default()));
+        p.invalidate_line(3, 0);
+        assert_eq!(p.lookup(3, 0, 0).next, None);
+    }
+}

@@ -1,0 +1,45 @@
+//! Branch-prediction structures for the NLS reproduction.
+//!
+//! Everything the paper's two fetch architectures are assembled
+//! from (Calder & Grunwald, *Next Cache Line and Set Prediction*,
+//! ISCA 1995):
+//!
+//! * [`SaturatingCounter`], [`GlobalHistory`], [`Pht`] — conditional
+//!   direction prediction: the shared 4096-entry gshare PHT of §3,
+//!   plus the Pan-et-al "degenerate", bimodal and static variants
+//!   for ablations.
+//! * [`ReturnStack`] — the 32-entry circular return-address stack.
+//! * [`Btb`] — the tagged branch target buffer baseline (taken-only
+//!   allocation, keep-on-not-taken, LRU).
+//! * [`NlsTable`] — the paper's contribution: a tag-less table of
+//!   [`NlsEntry`] cache pointers decoupled from the cache.
+//! * [`NlsCachePredictors`] — the coupled organisation with
+//!   predictors attached to cache-line frames.
+//! * [`JohnsonPredictors`] — Johnson's successor-index design with
+//!   coupled one-bit direction prediction (§6.2 related work).
+//!
+//! These are pure data structures; the fetch *engines* that combine
+//! them with an instruction cache and classify misfetches and
+//! mispredicts live in the `nls-core` crate.
+
+mod btb;
+mod counter;
+mod history;
+mod johnson;
+mod nls;
+mod nls_cache;
+mod nls_table;
+mod pht;
+mod ras;
+mod type_table;
+
+pub use btb::{Btb, BtbConfig, BtbEntry};
+pub use counter::SaturatingCounter;
+pub use history::GlobalHistory;
+pub use johnson::{JohnsonPredictors, SuccessorEntry};
+pub use nls::{LinePointer, NlsEntry, NlsType};
+pub use nls_cache::{NlsCacheConfig, NlsCachePredictors};
+pub use nls_table::NlsTable;
+pub use pht::{DirectionPredictor, Pht, PhtIndexing, StaticPolicy, StaticPredictor};
+pub use ras::ReturnStack;
+pub use type_table::BranchTypeTable;

@@ -1,0 +1,174 @@
+//! NLS predictor entry types shared by the NLS-table and NLS-cache
+//! organisations.
+
+use nls_icache::InstructionCache;
+use nls_trace::{Addr, BreakKind};
+
+/// The two-bit NLS type field (§4 of the paper): selects the
+/// prediction source used when the fetched instruction is a branch.
+///
+/// | bits | meaning              | prediction source          |
+/// |------|----------------------|----------------------------|
+/// | 00   | invalid entry        | — (fall through)           |
+/// | 01   | return               | return stack               |
+/// | 10   | conditional branch   | NLS entry, gated by PHT    |
+/// | 11   | other branch types   | always the NLS entry       |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NlsType {
+    /// Unused entry (`00`).
+    #[default]
+    Invalid,
+    /// Return instruction (`01`): predict through the return stack.
+    Return,
+    /// Conditional branch (`10`): use the entry if the PHT predicts
+    /// taken, the precomputed fall-through line otherwise.
+    Conditional,
+    /// Unconditional branch, call or indirect jump (`11`): always
+    /// use the entry.
+    Other,
+}
+
+impl From<BreakKind> for NlsType {
+    fn from(kind: BreakKind) -> Self {
+        match kind {
+            BreakKind::Return => NlsType::Return,
+            BreakKind::Conditional => NlsType::Conditional,
+            BreakKind::Unconditional | BreakKind::Call | BreakKind::IndirectJump => {
+                NlsType::Other
+            }
+        }
+    }
+}
+
+/// A pointer into the instruction cache: the paper's *line field*
+/// (cache row + instruction within the line) and *set field* (which
+/// this crate calls the way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LinePointer {
+    /// Cache set (row) index — the high-order bits of the paper's
+    /// line field.
+    pub set: u32,
+    /// Way within the set — the paper's set field.
+    pub way: u8,
+    /// Instruction offset within the line — the low-order bits of
+    /// the paper's line field.
+    pub inst: u8,
+}
+
+impl LinePointer {
+    /// The pointer for `addr` given where its line currently resides
+    /// in `cache`, or `None` if the line is not resident.
+    pub fn locate(addr: Addr, cache: &InstructionCache) -> Option<LinePointer> {
+        let way = cache.probe(addr)?;
+        let cfg = cache.config();
+        Some(LinePointer {
+            set: cfg.set_index(addr) as u32,
+            way,
+            inst: addr.offset_in_line(cfg.line_bytes) as u8,
+        })
+    }
+
+    /// Whether this pointer currently fetches the instruction at
+    /// `addr` from `cache`: the set/offset bits must match `addr`
+    /// and `addr`'s line must be resident in the predicted way.
+    ///
+    /// A stale pointer — the target line was displaced, or the entry
+    /// belongs to a different branch — fails this check and costs a
+    /// misfetch (§7 of the paper).
+    pub fn points_to(&self, addr: Addr, cache: &InstructionCache) -> bool {
+        let cfg = cache.config();
+        u64::from(self.set) == cfg.set_index(addr)
+            && u64::from(self.inst) == addr.offset_in_line(cfg.line_bytes)
+            && cache.resident_at(addr, self.way)
+    }
+}
+
+/// A complete NLS predictor entry: type field plus cache pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NlsEntry {
+    /// The two-bit type field.
+    pub ty: NlsType,
+    /// The line/set pointer (meaningful unless `ty` is `Invalid`).
+    pub ptr: LinePointer,
+}
+
+impl NlsEntry {
+    /// Applies the paper's update rules after a branch resolves:
+    /// every executed branch updates the type field; only *taken*
+    /// branches update the line and set fields (a fall-through must
+    /// not erase the pointer to the taken target).
+    pub fn update(&mut self, kind: BreakKind, taken: bool, target: Option<LinePointer>) {
+        self.ty = kind.into();
+        if taken {
+            if let Some(ptr) = target {
+                self.ptr = ptr;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nls_icache::CacheConfig;
+
+    #[test]
+    fn type_field_mapping() {
+        assert_eq!(NlsType::from(BreakKind::Return), NlsType::Return);
+        assert_eq!(NlsType::from(BreakKind::Conditional), NlsType::Conditional);
+        assert_eq!(NlsType::from(BreakKind::Unconditional), NlsType::Other);
+        assert_eq!(NlsType::from(BreakKind::Call), NlsType::Other);
+        assert_eq!(NlsType::from(BreakKind::IndirectJump), NlsType::Other);
+    }
+
+    #[test]
+    fn locate_and_points_to_round_trip() {
+        let mut cache = InstructionCache::new(CacheConfig::paper(8, 2));
+        let addr = Addr::new(0x1234 & !3);
+        assert_eq!(LinePointer::locate(addr, &cache), None);
+        cache.access(addr);
+        let ptr = LinePointer::locate(addr, &cache).unwrap();
+        assert!(ptr.points_to(addr, &cache));
+        assert_eq!(u64::from(ptr.inst), addr.offset_in_line(32));
+    }
+
+    #[test]
+    fn displaced_line_breaks_pointer() {
+        let cfg = CacheConfig::paper(8, 1);
+        let mut cache = InstructionCache::new(cfg);
+        let a = Addr::new(0x1000);
+        let conflicting = Addr::new(0x1000 + cfg.size_bytes); // same set, different tag
+        cache.access(a);
+        let ptr = LinePointer::locate(a, &cache).unwrap();
+        cache.access(conflicting);
+        assert!(!ptr.points_to(a, &cache), "displaced target must not verify");
+    }
+
+    #[test]
+    fn pointer_does_not_match_other_address() {
+        let mut cache = InstructionCache::new(CacheConfig::paper(8, 1));
+        let a = Addr::new(0x1000);
+        let b = Addr::new(0x1004); // same line, different instruction
+        cache.access(a);
+        let ptr = LinePointer::locate(a, &cache).unwrap();
+        assert!(!ptr.points_to(b, &cache));
+    }
+
+    #[test]
+    fn update_rules() {
+        let mut cache = InstructionCache::new(CacheConfig::paper(8, 1));
+        let t1 = Addr::new(0x2000);
+        cache.access(t1);
+        let p1 = LinePointer::locate(t1, &cache).unwrap();
+
+        let mut e = NlsEntry::default();
+        assert_eq!(e.ty, NlsType::Invalid);
+        e.update(BreakKind::Conditional, true, Some(p1));
+        assert_eq!(e.ty, NlsType::Conditional);
+        assert_eq!(e.ptr, p1);
+
+        // Not taken: type may change, pointer must be preserved.
+        e.update(BreakKind::Conditional, false, None);
+        assert_eq!(e.ptr, p1, "fall-through must not erase the target pointer");
+    }
+}

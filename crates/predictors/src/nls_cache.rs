@@ -1,0 +1,224 @@
+//! The NLS-cache: NLS predictors coupled to instruction-cache lines.
+//!
+//! The organisation Johnson proposed and the paper uses as its
+//! coupled baseline (§4.1): each cache line frame carries a fixed
+//! number of NLS predictors (the paper found two per 8-instruction
+//! line most effective, each covering half the line). Because the
+//! predictors belong to the *frame*, they are invalidated whenever
+//! the frame is refilled, and a line with more branches than
+//! predictors must share them.
+
+use nls_trace::{Addr, BreakKind};
+
+use crate::nls::{LinePointer, NlsEntry};
+
+/// Geometry of an NLS-cache predictor array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NlsCacheConfig {
+    /// Cache sets (rows) — must match the instruction cache.
+    pub sets: u32,
+    /// Cache ways — must match the instruction cache.
+    pub ways: u32,
+    /// Instructions per cache line.
+    pub insts_per_line: u32,
+    /// Predictors per line (the paper evaluates 1, 2 and 4; 2 is the
+    /// recommended configuration).
+    pub preds_per_line: u32,
+}
+
+impl NlsCacheConfig {
+    /// Derives the predictor geometry from a cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `preds_per_line` is zero or does not divide the
+    /// instructions per line.
+    pub fn for_cache(cache: &nls_icache::CacheConfig, preds_per_line: u32) -> Self {
+        let insts_per_line = cache.insts_per_line() as u32;
+        assert!(preds_per_line > 0, "need at least one predictor per line");
+        assert!(
+            insts_per_line % preds_per_line == 0,
+            "predictors must evenly partition the line"
+        );
+        NlsCacheConfig {
+            sets: cache.num_sets() as u32,
+            ways: cache.assoc,
+            insts_per_line,
+            preds_per_line,
+        }
+    }
+
+    /// Total predictor entries (sets × ways × predictors/line).
+    pub fn total_predictors(&self) -> usize {
+        (self.sets * self.ways * self.preds_per_line) as usize
+    }
+
+    /// Instructions covered by each predictor.
+    pub fn insts_per_pred(&self) -> u32 {
+        self.insts_per_line / self.preds_per_line
+    }
+}
+
+/// The per-frame NLS predictor array of an NLS-cache.
+///
+/// Predictors are addressed by the *branch's own* location in the
+/// cache: `(set, way)` of the frame holding the branch plus the
+/// branch's offset within the line. [`NlsCachePredictors::invalidate_line`]
+/// must be called whenever the instruction cache refills a frame.
+///
+/// # Examples
+///
+/// ```
+/// use nls_icache::CacheConfig;
+/// use nls_predictors::{NlsCacheConfig, NlsCachePredictors, NlsType};
+/// use nls_trace::BreakKind;
+///
+/// let cfg = NlsCacheConfig::for_cache(&CacheConfig::paper(8, 1), 2);
+/// let mut preds = NlsCachePredictors::new(cfg);
+/// preds.update(3, 0, 1, BreakKind::Call, true, None);
+/// assert_eq!(preds.lookup(3, 0, 1).ty, NlsType::Other);
+/// // Offset 1 and offset 2 share the first predictor of the line:
+/// assert_eq!(preds.lookup(3, 0, 2).ty, NlsType::Other);
+/// // The second half of an 8-instruction line uses the second predictor:
+/// assert_eq!(preds.lookup(3, 0, 4).ty, NlsType::Invalid);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NlsCachePredictors {
+    cfg: NlsCacheConfig,
+    entries: Vec<NlsEntry>,
+}
+
+impl NlsCachePredictors {
+    /// A predictor array with all entries invalid.
+    pub fn new(cfg: NlsCacheConfig) -> Self {
+        NlsCachePredictors { cfg, entries: vec![NlsEntry::default(); cfg.total_predictors()] }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &NlsCacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn slot(&self, set: u32, way: u8, inst_offset: u32) -> usize {
+        debug_assert!(set < self.cfg.sets, "set {set} out of range");
+        debug_assert!(u32::from(way) < self.cfg.ways, "way {way} out of range");
+        debug_assert!(inst_offset < self.cfg.insts_per_line, "offset {inst_offset} out of range");
+        let pred = inst_offset / self.cfg.insts_per_pred();
+        ((set * self.cfg.ways + u32::from(way)) * self.cfg.preds_per_line + pred) as usize
+    }
+
+    /// The predictor covering the branch at `(set, way, inst_offset)`.
+    #[inline]
+    pub fn lookup(&self, set: u32, way: u8, inst_offset: u32) -> NlsEntry {
+        self.entries[self.slot(set, way, inst_offset)]
+    }
+
+    /// Resolution-time update (same rules as the NLS-table).
+    pub fn update(
+        &mut self,
+        set: u32,
+        way: u8,
+        inst_offset: u32,
+        kind: BreakKind,
+        taken: bool,
+        target: Option<LinePointer>,
+    ) {
+        let i = self.slot(set, way, inst_offset);
+        self.entries[i].update(kind, taken, target);
+    }
+
+    /// Invalidates every predictor of the frame at `(set, way)`;
+    /// call on every cache-line refill. This is the structural
+    /// weakness of the coupled design: a cache miss destroys
+    /// prediction state.
+    pub fn invalidate_line(&mut self, set: u32, way: u8) {
+        let base = ((set * self.cfg.ways + u32::from(way)) * self.cfg.preds_per_line) as usize;
+        for e in &mut self.entries[base..base + self.cfg.preds_per_line as usize] {
+            *e = NlsEntry::default();
+        }
+    }
+
+    /// Number of valid predictor entries (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.ty != crate::nls::NlsType::Invalid)
+            .count()
+    }
+
+    /// Convenience: the offset of `pc` within its cache line, for a
+    /// `line_bytes`-byte line.
+    pub fn inst_offset(pc: Addr, line_bytes: u64) -> u32 {
+        pc.offset_in_line(line_bytes) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nls::NlsType;
+    use nls_icache::CacheConfig;
+
+    fn cfg2() -> NlsCacheConfig {
+        NlsCacheConfig::for_cache(&CacheConfig::paper(8, 2), 2)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = cfg2();
+        assert_eq!(c.sets, 128);
+        assert_eq!(c.ways, 2);
+        assert_eq!(c.insts_per_pred(), 4);
+        assert_eq!(c.total_predictors(), 128 * 2 * 2);
+    }
+
+    #[test]
+    fn halves_of_line_use_distinct_predictors() {
+        let mut p = NlsCachePredictors::new(cfg2());
+        p.update(0, 0, 0, BreakKind::Return, true, None);
+        p.update(0, 0, 7, BreakKind::Call, true, None);
+        assert_eq!(p.lookup(0, 0, 3).ty, NlsType::Return);
+        assert_eq!(p.lookup(0, 0, 4).ty, NlsType::Other);
+    }
+
+    #[test]
+    fn branches_in_same_half_share() {
+        let mut p = NlsCachePredictors::new(cfg2());
+        p.update(5, 1, 0, BreakKind::Return, true, None);
+        p.update(5, 1, 3, BreakKind::Call, true, None);
+        // The later update overwrote the shared predictor.
+        assert_eq!(p.lookup(5, 1, 0).ty, NlsType::Other);
+    }
+
+    #[test]
+    fn invalidate_line_clears_only_that_frame() {
+        let mut p = NlsCachePredictors::new(cfg2());
+        p.update(5, 0, 0, BreakKind::Call, true, None);
+        p.update(5, 1, 0, BreakKind::Call, true, None);
+        p.invalidate_line(5, 0);
+        assert_eq!(p.lookup(5, 0, 0).ty, NlsType::Invalid);
+        assert_eq!(p.lookup(5, 1, 0).ty, NlsType::Other, "other way untouched");
+    }
+
+    #[test]
+    fn ways_are_independent() {
+        let mut p = NlsCachePredictors::new(cfg2());
+        p.update(9, 0, 2, BreakKind::Return, true, None);
+        assert_eq!(p.lookup(9, 1, 2).ty, NlsType::Invalid);
+    }
+
+    #[test]
+    fn one_pred_per_line_covers_whole_line() {
+        let c = NlsCacheConfig::for_cache(&CacheConfig::paper(8, 1), 1);
+        let mut p = NlsCachePredictors::new(c);
+        p.update(0, 0, 7, BreakKind::Call, true, None);
+        assert_eq!(p.lookup(0, 0, 0).ty, NlsType::Other);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly partition")]
+    fn uneven_partition_panics() {
+        let _ = NlsCacheConfig::for_cache(&CacheConfig::paper(8, 1), 3);
+    }
+}

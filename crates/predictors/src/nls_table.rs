@@ -1,0 +1,142 @@
+//! The NLS-table: a tag-less, direct-mapped table of NLS predictors.
+//!
+//! This is the paper's contribution (§4.1): NLS predictors are
+//! *decoupled* from the instruction cache and stored in a separate
+//! buffer indexed by the low-order bits of the branch address. A
+//! cache line can use as many predictors as it has branches,
+//! prediction state survives cache misses, and the table grows only
+//! logarithmically with cache size. Being tag-less, two branches
+//! that collide in the table silently share an entry — the paper
+//! measured this aliasing effect to be small.
+
+use nls_trace::{Addr, BreakKind};
+
+use crate::nls::{LinePointer, NlsEntry};
+
+/// A tag-less direct-mapped NLS predictor table.
+///
+/// # Examples
+///
+/// ```
+/// use nls_predictors::{NlsTable, NlsType};
+/// use nls_trace::{Addr, BreakKind};
+///
+/// let mut table = NlsTable::new(1024);
+/// let pc = Addr::new(0x400);
+/// assert_eq!(table.lookup(pc).ty, NlsType::Invalid);
+/// table.update(pc, BreakKind::Conditional, true, None);
+/// assert_eq!(table.lookup(pc).ty, NlsType::Conditional);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NlsTable {
+    entries: Vec<NlsEntry>,
+}
+
+impl NlsTable {
+    /// A table with `entries` predictors, all invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "NLS table entries must be a power of two");
+        NlsTable { entries: vec![NlsEntry::default(); entries] }
+    }
+
+    /// Number of predictor entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries (never true: size >= 1).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr) -> usize {
+        (pc.inst_index() % self.entries.len() as u64) as usize
+    }
+
+    /// The predictor for the branch at `pc`. Tag-less: aliased
+    /// branches share the entry.
+    #[inline]
+    pub fn lookup(&self, pc: Addr) -> NlsEntry {
+        self.entries[self.index(pc)]
+    }
+
+    /// Applies the resolution-time update rules for the branch at
+    /// `pc` (see [`NlsEntry::update`]).
+    pub fn update(
+        &mut self,
+        pc: Addr,
+        kind: BreakKind,
+        taken: bool,
+        target: Option<LinePointer>,
+    ) {
+        let i = self.index(pc);
+        self.entries[i].update(kind, taken, target);
+    }
+
+    /// Number of non-invalid entries (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.ty != crate::nls::NlsType::Invalid)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nls::NlsType;
+
+    #[test]
+    fn starts_invalid() {
+        let t = NlsTable::new(512);
+        assert_eq!(t.lookup(Addr::new(0x123 & !3)).ty, NlsType::Invalid);
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn aliasing_shares_entries() {
+        let mut t = NlsTable::new(16);
+        let a = Addr::from_inst_index(5);
+        let b = Addr::from_inst_index(5 + 16); // collides with a
+        t.update(a, BreakKind::Return, true, None);
+        assert_eq!(t.lookup(b).ty, NlsType::Return, "tag-less: b sees a's entry");
+    }
+
+    #[test]
+    fn distinct_indices_do_not_alias() {
+        let mut t = NlsTable::new(16);
+        t.update(Addr::from_inst_index(5), BreakKind::Return, true, None);
+        assert_eq!(t.lookup(Addr::from_inst_index(6)).ty, NlsType::Invalid);
+    }
+
+    #[test]
+    fn pointer_updated_only_when_taken() {
+        let mut t = NlsTable::new(16);
+        let pc = Addr::from_inst_index(3);
+        let ptr = LinePointer { set: 7, way: 1, inst: 2 };
+        t.update(pc, BreakKind::Conditional, true, Some(ptr));
+        assert_eq!(t.lookup(pc).ptr, ptr);
+        t.update(pc, BreakKind::Conditional, false, Some(LinePointer::default()));
+        assert_eq!(t.lookup(pc).ptr, ptr, "not-taken must preserve the pointer");
+    }
+
+    #[test]
+    fn occupancy_counts_valid_entries() {
+        let mut t = NlsTable::new(16);
+        t.update(Addr::from_inst_index(1), BreakKind::Call, true, None);
+        t.update(Addr::from_inst_index(2), BreakKind::Return, true, None);
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let _ = NlsTable::new(1000);
+    }
+}

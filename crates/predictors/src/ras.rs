@@ -1,0 +1,138 @@
+//! Return-address stack.
+
+use nls_trace::Addr;
+
+/// A circular return-address stack (RAS).
+///
+/// Both architectures in the paper use a 32-entry return stack
+/// (after Kaeli & Emma) to predict procedure returns. The stack is
+/// circular: pushing beyond capacity silently overwrites the oldest
+/// entry, so call chains deeper than the stack mispredict the
+/// outermost returns — exactly the overflow behaviour of the
+/// hardware structure.
+///
+/// # Examples
+///
+/// ```
+/// use nls_predictors::ReturnStack;
+/// use nls_trace::Addr;
+///
+/// let mut ras = ReturnStack::new(32);
+/// ras.push(Addr::new(0x104));
+/// ras.push(Addr::new(0x204));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x204)));
+/// assert_eq!(ras.pop(), Some(Addr::new(0x104)));
+/// assert_eq!(ras.pop(), None); // empty: no prediction
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnStack {
+    slots: Vec<Addr>,
+    top: usize,
+    live: usize,
+}
+
+impl ReturnStack {
+    /// A stack with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "return stack capacity must be positive");
+        ReturnStack { slots: vec![Addr::new(0); capacity], top: 0, live: 0 }
+    }
+
+    /// The paper's 32-entry configuration.
+    pub fn paper() -> Self {
+        Self::new(32)
+    }
+
+    /// Pushes a return address (on a call). Overwrites the oldest
+    /// entry when full.
+    pub fn push(&mut self, addr: Addr) {
+        self.top = (self.top + 1) % self.slots.len();
+        self.slots[self.top] = addr;
+        self.live = (self.live + 1).min(self.slots.len());
+    }
+
+    /// Pops the predicted return address (on a return), or `None` if
+    /// the stack has underflowed — in which case the return has no
+    /// prediction and will mispredict.
+    pub fn pop(&mut self) -> Option<Addr> {
+        if self.live == 0 {
+            return None;
+        }
+        let a = self.slots[self.top];
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.live -= 1;
+        Some(a)
+    }
+
+    /// The top entry without popping.
+    pub fn peek(&self) -> Option<Addr> {
+        (self.live > 0).then(|| self.slots[self.top])
+    }
+
+    /// Number of live entries (saturates at capacity).
+    pub fn depth(&self) -> usize {
+        self.live
+    }
+
+    /// The stack capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = ReturnStack::new(8);
+        for i in 1..=5u64 {
+            s.push(Addr::new(i * 4));
+        }
+        for i in (1..=5u64).rev() {
+            assert_eq!(s.pop(), Some(Addr::new(i * 4)));
+        }
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_corrupts_oldest() {
+        let mut s = ReturnStack::new(4);
+        for i in 1..=6u64 {
+            s.push(Addr::new(i * 4));
+        }
+        // The four newest survive.
+        assert_eq!(s.pop(), Some(Addr::new(24)));
+        assert_eq!(s.pop(), Some(Addr::new(20)));
+        assert_eq!(s.pop(), Some(Addr::new(16)));
+        assert_eq!(s.pop(), Some(Addr::new(12)));
+        // Entries 1 and 2 were overwritten; depth saturated at 4.
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn peek_does_not_pop() {
+        let mut s = ReturnStack::new(4);
+        s.push(Addr::new(0x10));
+        assert_eq!(s.peek(), Some(Addr::new(0x10)));
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.pop(), Some(Addr::new(0x10)));
+        assert_eq!(s.peek(), None);
+    }
+
+    #[test]
+    fn paper_stack_is_32_deep() {
+        assert_eq!(ReturnStack::paper().capacity(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = ReturnStack::new(0);
+    }
+}

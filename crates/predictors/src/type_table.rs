@@ -1,0 +1,108 @@
+//! Instruction-type prediction table.
+//!
+//! The NLS architecture assumes each instruction can be identified
+//! as a branch during the fetch stage (§4). When the ISA encoding
+//! has no such predecode bit, the paper points out the information
+//! "can be stored in the instruction cache or an instruction type
+//! prediction table" (after Calder & Grunwald 1994). This is that
+//! table: a tag-less bit-per-entry buffer indexed by the fetch
+//! address, trained at decode.
+
+use nls_trace::Addr;
+
+/// A tag-less direct-mapped is-this-a-branch predictor.
+///
+/// # Examples
+///
+/// ```
+/// use nls_predictors::BranchTypeTable;
+/// use nls_trace::Addr;
+///
+/// let mut t = BranchTypeTable::new(1024);
+/// let pc = Addr::new(0x400);
+/// assert!(!t.predict_branch(pc)); // cold: predict non-branch
+/// t.train(pc, true);
+/// assert!(t.predict_branch(pc));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BranchTypeTable {
+    bits: Vec<bool>,
+}
+
+impl BranchTypeTable {
+    /// A table with `entries` one-bit predictors, all predicting
+    /// "not a branch".
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries` is a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "type table entries must be a power of two");
+        BranchTypeTable { bits: vec![false; entries] }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the table is empty (never true: size >= 1).
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr) -> usize {
+        (pc.inst_index() % self.bits.len() as u64) as usize
+    }
+
+    /// Fetch-stage prediction: is the instruction at `pc` a branch?
+    #[inline]
+    pub fn predict_branch(&self, pc: Addr) -> bool {
+        self.bits[self.index(pc)]
+    }
+
+    /// Decode-stage training with the instruction's true class.
+    #[inline]
+    pub fn train(&mut self, pc: Addr, is_branch: bool) {
+        let i = self.index(pc);
+        self.bits[i] = is_branch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_and_unlearns() {
+        let mut t = BranchTypeTable::new(64);
+        let pc = Addr::from_inst_index(7);
+        t.train(pc, true);
+        assert!(t.predict_branch(pc));
+        t.train(pc, false);
+        assert!(!t.predict_branch(pc));
+    }
+
+    #[test]
+    fn tagless_aliasing() {
+        let mut t = BranchTypeTable::new(64);
+        let a = Addr::from_inst_index(5);
+        let b = Addr::from_inst_index(5 + 64);
+        t.train(a, true);
+        assert!(t.predict_branch(b), "aliased addresses share the bit");
+    }
+
+    #[test]
+    fn distinct_slots_independent() {
+        let mut t = BranchTypeTable::new(64);
+        t.train(Addr::from_inst_index(1), true);
+        assert!(!t.predict_branch(Addr::from_inst_index(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let _ = BranchTypeTable::new(1000);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the prediction structures, each checked
+//! against a trivially-correct reference model.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use nls_predictors::{
+    Btb, BtbConfig, DirectionPredictor, GlobalHistory, LinePointer, NlsEntry, NlsTable,
+    Pht, PhtIndexing, ReturnStack, SaturatingCounter,
+};
+use nls_trace::{Addr, BreakKind};
+
+proptest! {
+    #[test]
+    fn counter_stays_in_range_and_tracks_sum(bits in 1u8..=4, updates in prop::collection::vec(any::<bool>(), 0..200)) {
+        let mut c = SaturatingCounter::new(bits);
+        let max = c.max();
+        // Reference: clamped integer.
+        let mut reference = i32::from(max / 2);
+        for &t in &updates {
+            c.update(t);
+            reference = (reference + if t { 1 } else { -1 }).clamp(0, i32::from(max));
+            prop_assert_eq!(i32::from(c.value()), reference);
+            prop_assert!(c.value() <= max);
+            prop_assert_eq!(c.predict_taken(), c.value() > max / 2);
+        }
+    }
+
+    #[test]
+    fn history_equals_bit_replay(bits in 1u8..=16, outcomes in prop::collection::vec(any::<bool>(), 0..64)) {
+        let mut g = GlobalHistory::new(bits);
+        for &t in &outcomes {
+            g.push(t);
+        }
+        let mut expected = 0u64;
+        for &t in &outcomes {
+            expected = ((expected << 1) | u64::from(t)) & ((1u64 << bits) - 1);
+        }
+        prop_assert_eq!(g.value(), expected);
+    }
+
+    #[test]
+    fn ras_matches_a_bounded_stack(ops in prop::collection::vec(prop_oneof![
+        (1u64..10_000).prop_map(|a| Some(Addr::from_inst_index(a))),
+        Just(None),
+    ], 0..300), cap in 1usize..40) {
+        let mut ras = ReturnStack::new(cap);
+        // Reference: a Vec where pushing past capacity drops the
+        // *oldest* element.
+        let mut reference: Vec<Addr> = Vec::new();
+        for op in ops {
+            match op {
+                Some(addr) => {
+                    ras.push(addr);
+                    if reference.len() == cap {
+                        reference.remove(0);
+                    }
+                    reference.push(addr);
+                }
+                None => {
+                    let got = ras.pop();
+                    let want = reference.pop();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(ras.depth(), reference.len());
+            prop_assert_eq!(ras.peek(), reference.last().copied());
+        }
+    }
+
+    #[test]
+    fn nls_table_matches_a_hashmap(entries_log in 3u32..8, ops in prop::collection::vec(
+        (0u64..500, any::<bool>(), 0u32..64, 0u8..4, 0u8..8), 0..300
+    )) {
+        let entries = 1usize << entries_log;
+        let mut table = NlsTable::new(entries);
+        let mut reference: HashMap<u64, NlsEntry> = HashMap::new();
+        for (pc_idx, taken, set, way, inst) in ops {
+            let pc = Addr::from_inst_index(pc_idx);
+            let slot = pc_idx % entries as u64;
+            let ptr = LinePointer { set, way, inst };
+            table.update(pc, BreakKind::Conditional, taken, Some(ptr));
+            let e = reference.entry(slot).or_default();
+            e.update(BreakKind::Conditional, taken, Some(ptr));
+            prop_assert_eq!(table.lookup(pc), *e);
+        }
+        prop_assert!(table.occupancy() <= entries);
+    }
+
+    #[test]
+    fn btb_never_exceeds_capacity_and_finds_what_it_stored(
+        entries in prop_oneof![Just(16usize), Just(64), Just(128)],
+        assoc in prop_oneof![Just(1u32), Just(2), Just(4)],
+        pcs in prop::collection::vec(0u64..2000, 1..300)
+    ) {
+        let mut btb = Btb::new(BtbConfig::new(entries, assoc));
+        for &i in &pcs {
+            let pc = Addr::from_inst_index(i);
+            btb.insert(pc, pc.offset(4), BreakKind::Call);
+            // An entry just inserted is always found with its target.
+            let e = btb.probe(pc).expect("just inserted");
+            prop_assert_eq!(e.target, pc.offset(4));
+            prop_assert!(btb.occupancy() <= entries);
+        }
+    }
+
+    #[test]
+    fn pht_is_deterministic_and_total(indexing in prop_oneof![
+        Just(PhtIndexing::Gshare), Just(PhtIndexing::GlobalOnly), Just(PhtIndexing::Bimodal)
+    ], ops in prop::collection::vec((0u64..4096, any::<bool>()), 0..400)) {
+        let mut a = Pht::new(1024, 2, indexing);
+        let mut b = Pht::new(1024, 2, indexing);
+        for (pc_idx, taken) in ops {
+            let pc = Addr::from_inst_index(pc_idx);
+            prop_assert_eq!(a.predict(pc), b.predict(pc));
+            a.update(pc, taken);
+            b.update(pc, taken);
+        }
+    }
+
+    #[test]
+    fn line_pointer_locate_is_inverse_of_points_to(
+        addrs in prop::collection::vec(0u64..2048, 1..100)
+    ) {
+        use nls_icache::{CacheConfig, InstructionCache};
+        let mut cache = InstructionCache::new(CacheConfig::paper(8, 2));
+        for &i in &addrs {
+            let addr = Addr::new(i * 4);
+            cache.access(addr);
+            let ptr = LinePointer::locate(addr, &cache).expect("just accessed");
+            prop_assert!(ptr.points_to(addr, &cache));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Instruction addresses.
+//!
+//! The paper simulates a machine with fixed 4-byte instructions and
+//! 32-byte instruction-cache lines. [`Addr`] is a newtype over `u64`
+//! so that instruction addresses cannot be confused with line
+//! indices, set numbers, or plain counters anywhere in the
+//! simulator.
+
+use std::fmt;
+
+/// Size of one instruction in bytes (the paper simulates a RISC ISA
+/// with fixed 4-byte instructions).
+pub const INST_BYTES: u64 = 4;
+
+/// An instruction address (byte address, 4-byte aligned).
+///
+/// # Examples
+///
+/// ```
+/// use nls_trace::Addr;
+///
+/// let pc = Addr::from_inst_index(3);
+/// assert_eq!(pc.as_u64(), 12);
+/// assert_eq!(pc.next(), Addr::from_inst_index(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_addr` is not aligned to [`INST_BYTES`].
+    #[inline]
+    pub fn new(byte_addr: u64) -> Self {
+        assert!(
+            byte_addr % INST_BYTES == 0,
+            "instruction address {byte_addr:#x} is not 4-byte aligned"
+        );
+        Addr(byte_addr)
+    }
+
+    /// Creates an address from an instruction index (`index * 4`).
+    #[inline]
+    pub fn from_inst_index(index: u64) -> Self {
+        Addr(index * INST_BYTES)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The instruction index (`byte_addr / 4`).
+    #[inline]
+    pub fn inst_index(self) -> u64 {
+        self.0 / INST_BYTES
+    }
+
+    /// The address of the sequentially following instruction.
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Self {
+        Addr(self.0 + INST_BYTES)
+    }
+
+    /// The address `n` instructions after `self`.
+    #[inline]
+    #[must_use]
+    pub fn offset(self, n: u64) -> Self {
+        Addr(self.0 + n * INST_BYTES)
+    }
+
+    /// The cache-line index of this address for `line_bytes`-byte lines
+    /// and a cache holding `num_lines` line frames per way.
+    ///
+    /// This is the low-order "line" portion of the address that an NLS
+    /// predictor stores.
+    #[inline]
+    pub fn line_index(self, line_bytes: u64, num_lines: u64) -> u64 {
+        (self.0 / line_bytes) % num_lines
+    }
+
+    /// The tag of this address for the given cache geometry: the
+    /// high-order bits above the set-index and line-offset bits.
+    #[inline]
+    pub fn tag(self, line_bytes: u64, num_lines: u64) -> u64 {
+        (self.0 / line_bytes) / num_lines
+    }
+
+    /// The offset of this instruction within its cache line, in
+    /// instructions (0..line_bytes/4).
+    #[inline]
+    pub fn offset_in_line(self, line_bytes: u64) -> u64 {
+        (self.0 % line_bytes) / INST_BYTES
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(a: Addr) -> u64 {
+        a.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let a = Addr::new(0x1000);
+        assert_eq!(a.as_u64(), 0x1000);
+        assert_eq!(a.inst_index(), 0x400);
+        assert_eq!(Addr::from_inst_index(0x400), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "not 4-byte aligned")]
+    fn misaligned_panics() {
+        let _ = Addr::new(0x1001);
+    }
+
+    #[test]
+    fn next_and_offset() {
+        let a = Addr::new(16);
+        assert_eq!(a.next(), Addr::new(20));
+        assert_eq!(a.offset(4), Addr::new(32));
+        assert_eq!(a.offset(0), a);
+    }
+
+    #[test]
+    fn line_geometry() {
+        // 32-byte lines, 256 line frames (an 8 KB direct-mapped cache).
+        let a = Addr::new(0x2004);
+        assert_eq!(a.offset_in_line(32), 1);
+        assert_eq!(a.line_index(32, 256), (0x2004 / 32) % 256);
+        assert_eq!(a.tag(32, 256), (0x2004 / 32) / 256);
+    }
+
+    #[test]
+    fn line_index_wraps_at_cache_size() {
+        let lines = 256u64;
+        let a = Addr::new(32 * lines * 3 + 64); // three cache-sizes up
+        let b = Addr::new(64);
+        assert_eq!(a.line_index(32, lines), b.line_index(32, lines));
+        assert_ne!(a.tag(32, lines), b.tag(32, lines));
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Addr::new(0x1000).to_string(), "0x00001000");
+        assert_eq!(format!("{:x}", Addr::new(0x1000)), "1000");
+    }
+}

@@ -1,0 +1,234 @@
+//! Binary trace file I/O.
+//!
+//! The paper used ATOM to instrument programs on the fly rather than
+//! storing traces. For users who *do* have address traces (from
+//! their own instrumentation), this module defines a compact binary
+//! format so recorded traces can be replayed through the simulator:
+//!
+//! ```text
+//! magic "NLST" | u32 version | u64 record count | records...
+//! record: u8 kind-tag | u8 taken | u64 pc | u64 target   (little endian)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use crate::addr::Addr;
+use crate::record::{BreakKind, InstClass, TraceRecord};
+
+const MAGIC: &[u8; 4] = b"NLST";
+const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 18;
+
+/// Errors produced when decoding a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not start with the `NLST` magic.
+    BadMagic([u8; 4]),
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A record had an invalid kind tag or inconsistent fields.
+    BadRecord(String),
+}
+
+impl std::fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceFileError::BadMagic(m) => write!(f, "bad magic {m:?}, expected \"NLST\""),
+            TraceFileError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceFileError::BadRecord(why) => write!(f, "malformed record: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceFileError {
+    fn from(e: io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+fn kind_tag(class: InstClass) -> u8 {
+    match class {
+        InstClass::Sequential => 0,
+        InstClass::Break(BreakKind::Conditional) => 1,
+        InstClass::Break(BreakKind::Unconditional) => 2,
+        InstClass::Break(BreakKind::IndirectJump) => 3,
+        InstClass::Break(BreakKind::Call) => 4,
+        InstClass::Break(BreakKind::Return) => 5,
+    }
+}
+
+fn tag_kind(tag: u8) -> Result<InstClass, TraceFileError> {
+    Ok(match tag {
+        0 => InstClass::Sequential,
+        1 => InstClass::Break(BreakKind::Conditional),
+        2 => InstClass::Break(BreakKind::Unconditional),
+        3 => InstClass::Break(BreakKind::IndirectJump),
+        4 => InstClass::Break(BreakKind::Call),
+        5 => InstClass::Break(BreakKind::Return),
+        t => return Err(TraceFileError::BadRecord(format!("kind tag {t}"))),
+    })
+}
+
+/// Writes `records` to `w` in the `NLST` binary format. Pass a
+/// `&mut` reference if you need the writer back.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_trace<W: Write, I>(mut w: W, records: I) -> Result<u64, TraceFileError>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    // Buffer records first so we can write an exact count header.
+    let records: Vec<TraceRecord> = records.into_iter().collect();
+    let mut buf = bytes::BytesMut::with_capacity(16 + RECORD_BYTES * records.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(records.len() as u64);
+    for r in &records {
+        buf.put_u8(kind_tag(r.class));
+        buf.put_u8(u8::from(r.taken));
+        buf.put_u64_le(r.pc.as_u64());
+        buf.put_u64_le(r.target.as_u64());
+    }
+    w.write_all(&buf)?;
+    Ok(records.len() as u64)
+}
+
+/// Reads a complete `NLST` trace from `r`. Pass a `&mut` reference
+/// if you need the reader back.
+///
+/// # Errors
+///
+/// Returns [`TraceFileError`] on I/O failure, bad magic/version, or
+/// malformed records (unknown kind tag, misaligned address, or a
+/// not-taken non-conditional break).
+pub fn read_trace<R: Read>(mut r: R) -> Result<Vec<TraceRecord>, TraceFileError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = &raw[..];
+    if buf.remaining() < 16 {
+        return Err(TraceFileError::BadRecord("truncated header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(TraceFileError::BadMagic(magic));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(TraceFileError::BadVersion(version));
+    }
+    let count = buf.get_u64_le() as usize;
+    if buf.remaining() < count * RECORD_BYTES {
+        return Err(TraceFileError::BadRecord(format!(
+            "expected {count} records, body too short"
+        )));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let class = tag_kind(buf.get_u8())?;
+        let taken = buf.get_u8() != 0;
+        let pc = buf.get_u64_le();
+        let target = buf.get_u64_le();
+        if pc % 4 != 0 || target % 4 != 0 {
+            return Err(TraceFileError::BadRecord(format!("misaligned pc {pc:#x}")));
+        }
+        let record = match class {
+            InstClass::Sequential => TraceRecord::sequential(Addr::new(pc)),
+            InstClass::Break(kind) => {
+                if !taken && kind != BreakKind::Conditional {
+                    return Err(TraceFileError::BadRecord(
+                        "not-taken non-conditional break".into(),
+                    ));
+                }
+                TraceRecord::branch(Addr::new(pc), kind, taken, Addr::new(target))
+            }
+        };
+        out.push(record);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::sequential(Addr::new(0x100)),
+            TraceRecord::branch(Addr::new(0x104), BreakKind::Conditional, false, Addr::new(0x200)),
+            TraceRecord::branch(Addr::new(0x108), BreakKind::Call, true, Addr::new(0x400)),
+            TraceRecord::branch(Addr::new(0x400), BreakKind::Return, true, Addr::new(0x10c)),
+            TraceRecord::branch(Addr::new(0x10c), BreakKind::IndirectJump, true, Addr::new(0x300)),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        let n = write_trace(&mut buf, sample()).unwrap();
+        assert_eq!(n, 5);
+        let back = read_trace(&buf[..]).unwrap();
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, sample()).unwrap();
+        buf[0] = b'X';
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadMagic(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, sample()).unwrap();
+        buf[4] = 99;
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadVersion(99))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, sample()).unwrap();
+        buf.truncate(buf.len() - 1);
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadRecord(_))));
+    }
+
+    #[test]
+    fn rejects_bad_kind_tag() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, sample()).unwrap();
+        buf[16] = 42; // first record's kind tag
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadRecord(_))));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, Vec::new()).unwrap();
+        assert!(read_trace(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = TraceFileError::BadVersion(7);
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,183 @@
+//! Trace measurement: recomputing Table 1 from a trace.
+//!
+//! [`TraceStats`] accumulates, over any stream of records, exactly
+//! the columns the paper reports for its traced programs: break
+//! density, hot-branch quantiles (Q-50..Q-100), executed/static site
+//! counts, taken rate, and the break-type mix. The `table1` bench
+//! binary uses this to print a measured Table 1 next to the paper's.
+
+use std::collections::HashMap;
+
+use crate::addr::Addr;
+use crate::record::{BreakKind, TraceRecord};
+
+/// Accumulated statistics over a trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    /// Total instructions seen.
+    pub instructions: u64,
+    /// Total breaks (control-transfer instructions).
+    pub breaks: u64,
+    /// Breaks by kind, indexed in [`BreakKind::ALL`] order.
+    pub by_kind: [u64; 5],
+    /// Taken conditional branches.
+    pub cond_taken: u64,
+    /// Per-site execution counts for conditional branches.
+    cond_sites: HashMap<Addr, u64>,
+}
+
+impl TraceStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Measures an entire trace in one call.
+    pub fn from_trace<I: IntoIterator<Item = TraceRecord>>(trace: I) -> Self {
+        let mut s = Self::new();
+        for r in trace {
+            s.observe(&r);
+        }
+        s
+    }
+
+    /// Feeds one record into the accumulator.
+    pub fn observe(&mut self, r: &TraceRecord) {
+        self.instructions += 1;
+        let Some(kind) = r.class.break_kind() else {
+            return;
+        };
+        self.breaks += 1;
+        let ki = BreakKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
+        self.by_kind[ki] += 1;
+        if kind == BreakKind::Conditional {
+            if r.taken {
+                self.cond_taken += 1;
+            }
+            *self.cond_sites.entry(r.pc).or_insert(0) += 1;
+        }
+    }
+
+    /// Percentage of instructions that are breaks (Table 1 "%Breaks").
+    pub fn pct_breaks(&self) -> f64 {
+        percent(self.breaks, self.instructions)
+    }
+
+    /// Percentage of executed conditional branches that were taken.
+    pub fn pct_taken(&self) -> f64 {
+        percent(self.cond_taken, self.executed_conds())
+    }
+
+    /// Total executed conditional branches.
+    pub fn executed_conds(&self) -> u64 {
+        self.by_kind[0]
+    }
+
+    /// Number of distinct conditional branch sites executed
+    /// (Table 1 "Q-100").
+    pub fn q100(&self) -> usize {
+        self.cond_sites.len()
+    }
+
+    /// The smallest number of hottest conditional sites covering
+    /// `mass` (0..=1) of executed conditional branches; `quantile(0.5)`
+    /// is Table 1's Q-50 column.
+    pub fn quantile(&self, mass: f64) -> usize {
+        let mut counts: Vec<u64> = self.cond_sites.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let need = (mass * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, c) in counts.iter().enumerate() {
+            acc += c;
+            if acc >= need {
+                return i + 1;
+            }
+        }
+        counts.len()
+    }
+
+    /// Break-type mix as percentages of all breaks, in
+    /// [`BreakKind::ALL`] order (CBr, IJ, Br, Call, Ret).
+    pub fn mix_percent(&self) -> [f64; 5] {
+        let mut out = [0.0; 5];
+        for (o, &n) in out.iter_mut().zip(&self.by_kind) {
+            *o = percent(n, self.breaks);
+        }
+        out
+    }
+}
+
+fn percent(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    fn cond(pc: u64, taken: bool) -> TraceRecord {
+        TraceRecord::branch(Addr::new(pc), BreakKind::Conditional, taken, Addr::new(0x4000))
+    }
+
+    #[test]
+    fn counts_breaks_and_kinds() {
+        let trace = vec![
+            TraceRecord::sequential(Addr::new(0)),
+            TraceRecord::sequential(Addr::new(4)),
+            cond(8, true),
+            TraceRecord::branch(Addr::new(0x4000), BreakKind::Call, true, Addr::new(0x8000)),
+            TraceRecord::branch(Addr::new(0x8000), BreakKind::Return, true, Addr::new(0x4004)),
+        ];
+        let s = TraceStats::from_trace(trace);
+        assert_eq!(s.instructions, 5);
+        assert_eq!(s.breaks, 3);
+        assert!((s.pct_breaks() - 60.0).abs() < 1e-9);
+        assert_eq!(s.by_kind, [1, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn taken_rate() {
+        let s = TraceStats::from_trace(vec![cond(0, true), cond(0, true), cond(4, false)]);
+        assert!((s.pct_taken() - 2.0 / 3.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_over_sites() {
+        // Site A: 8 execs, site B: 1, site C: 1.
+        let mut trace = vec![cond(0, true); 8];
+        trace.push(cond(4, true));
+        trace.push(cond(8, true));
+        let s = TraceStats::from_trace(trace);
+        assert_eq!(s.q100(), 3);
+        assert_eq!(s.quantile(0.5), 1); // A alone covers 80 %
+        assert_eq!(s.quantile(0.85), 2);
+        assert_eq!(s.quantile(1.0), 3);
+    }
+
+    #[test]
+    fn mix_sums_to_100() {
+        let s = TraceStats::from_trace(vec![
+            cond(0, true),
+            TraceRecord::branch(Addr::new(4), BreakKind::Unconditional, true, Addr::new(64)),
+        ]);
+        let total: f64 = s.mix_percent().iter().sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let s = TraceStats::new();
+        assert_eq!(s.pct_breaks(), 0.0);
+        assert_eq!(s.pct_taken(), 0.0);
+        assert_eq!(s.quantile(0.5), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Benchmark profiles.
+//!
+//! The paper traces six programs (four from SPEC92 plus two C++
+//! programs) with ATOM on a DEC Alpha and reports their branching
+//! behaviour in Table 1. Those traces are not available, so this
+//! crate regenerates *statistically equivalent* workloads: a
+//! [`BenchProfile`] carries every column of Table 1 and the synthetic
+//! program builder ([`crate::program`]) realises a program whose
+//! dynamic behaviour matches it.
+//!
+//! The properties that drive the paper's NLS-vs-BTB results are all
+//! captured here: break density (`pct_breaks`), the branch-type mix,
+//! the number and skew of static conditional branch sites
+//! (`static_cond_sites` and the Q-quantiles), and the taken rate.
+
+/// Frequency mix of the five break kinds, as percentages of all
+/// breaks (Table 1, last five columns). The five fields sum to ~100.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakMix {
+    /// % conditional branches.
+    pub cond: f64,
+    /// % indirect jumps.
+    pub indirect: f64,
+    /// % unconditional branches.
+    pub uncond: f64,
+    /// % procedure calls.
+    pub call: f64,
+    /// % procedure returns.
+    pub ret: f64,
+}
+
+impl BreakMix {
+    /// Sum of the five components (should be close to 100).
+    pub fn total(&self) -> f64 {
+        self.cond + self.indirect + self.uncond + self.call + self.ret
+    }
+}
+
+/// Cumulative hot-branch quantiles (Table 1, columns Q-50..Q-100):
+/// `q50` static conditional branch sites account for 50 % of all
+/// executed conditional branches, and so on. `q100` is the number of
+/// sites executed at least once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotQuantiles {
+    /// Sites covering 50 % of executed conditional branches.
+    pub q50: u32,
+    /// Sites covering 90 %.
+    pub q90: u32,
+    /// Sites covering 99 %.
+    pub q99: u32,
+    /// Sites executed at least once.
+    pub q100: u32,
+}
+
+/// A benchmark profile: one row of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchProfile {
+    /// Short program name (`doduc`, `gcc`, ...).
+    pub name: &'static str,
+    /// Percentage of executed instructions that are breaks in
+    /// control flow (Table 1, "%Breaks").
+    pub pct_breaks: f64,
+    /// Hot-branch quantiles over static conditional sites.
+    pub quantiles: HotQuantiles,
+    /// Number of static conditional branch sites in the program
+    /// (Table 1, "Static"). `static_cond_sites >= quantiles.q100`;
+    /// the difference is never-executed sites.
+    pub static_cond_sites: u32,
+    /// Percentage of executed conditional branches that are taken.
+    pub pct_taken: f64,
+    /// Break-type mix.
+    pub mix: BreakMix,
+}
+
+impl BenchProfile {
+    /// Profile of `doduc` (SPEC92 FORTRAN, Monte Carlo simulation):
+    /// few branches, extremely skewed (3 sites = 50 % of executions).
+    pub fn doduc() -> Self {
+        BenchProfile {
+            name: "doduc",
+            pct_breaks: 8.53,
+            quantiles: HotQuantiles { q50: 3, q90: 175, q99: 296, q100: 1447 },
+            static_cond_sites: 7073,
+            pct_taken: 48.68,
+            mix: BreakMix { cond: 81.31, indirect: 0.01, uncond: 4.97, call: 6.86, ret: 6.86 },
+        }
+    }
+
+    /// Profile of `espresso` (SPEC92 C, logic minimisation): branch
+    /// dense but with a small, highly-taken hot set.
+    pub fn espresso() -> Self {
+        BenchProfile {
+            name: "espresso",
+            pct_breaks: 17.12,
+            quantiles: HotQuantiles { q50: 44, q90: 163, q99: 470, q100: 1737 },
+            static_cond_sites: 4568,
+            pct_taken: 61.90,
+            mix: BreakMix { cond: 93.25, indirect: 0.20, uncond: 1.88, call: 2.29, ret: 2.39 },
+        }
+    }
+
+    /// Profile of `gcc` (SPEC92 C compiler): very many static branch
+    /// sites, high i-cache miss rate, hard-to-predict branches. One
+    /// of the three programs the paper highlights as favouring NLS.
+    pub fn gcc() -> Self {
+        BenchProfile {
+            name: "gcc",
+            pct_breaks: 15.97,
+            quantiles: HotQuantiles { q50: 245, q90: 1612, q99: 3742, q100: 7640 },
+            static_cond_sites: 16294,
+            pct_taken: 59.42,
+            mix: BreakMix { cond: 78.85, indirect: 2.86, uncond: 5.75, call: 6.04, ret: 6.49 },
+        }
+    }
+
+    /// Profile of `li` (SPEC92 Lisp interpreter): call/return heavy
+    /// with a tiny hot branch set.
+    pub fn li() -> Self {
+        BenchProfile {
+            name: "li",
+            pct_breaks: 17.67,
+            quantiles: HotQuantiles { q50: 16, q90: 52, q99: 127, q100: 556 },
+            static_cond_sites: 2428,
+            pct_taken: 47.30,
+            mix: BreakMix { cond: 63.94, indirect: 2.24, uncond: 7.74, call: 12.92, ret: 13.16 },
+        }
+    }
+
+    /// Profile of `cfront` (AT&T C++ front end): large static branch
+    /// population, high i-cache miss rate.
+    pub fn cfront() -> Self {
+        BenchProfile {
+            name: "cfront",
+            pct_breaks: 13.66,
+            quantiles: HotQuantiles { q50: 69, q90: 833, q99: 2894, q100: 5644 },
+            static_cond_sites: 17565,
+            pct_taken: 53.18,
+            mix: BreakMix { cond: 73.45, indirect: 2.17, uncond: 6.40, call: 8.72, ret: 9.26 },
+        }
+    }
+
+    /// Profile of `groff` (C++ ditroff): moderate branch population,
+    /// the highest indirect-jump fraction of the six programs.
+    pub fn groff() -> Self {
+        BenchProfile {
+            name: "groff",
+            pct_breaks: 16.38,
+            quantiles: HotQuantiles { q50: 107, q90: 408, q99: 976, q100: 2889 },
+            static_cond_sites: 7434,
+            pct_taken: 54.17,
+            mix: BreakMix { cond: 66.12, indirect: 4.80, uncond: 7.80, call: 8.77, ret: 12.51 },
+        }
+    }
+
+    /// All six profiles of Table 1, in the paper's row order.
+    pub fn all() -> Vec<BenchProfile> {
+        vec![
+            Self::doduc(),
+            Self::espresso(),
+            Self::gcc(),
+            Self::li(),
+            Self::cfront(),
+            Self::groff(),
+        ]
+    }
+
+    /// Looks up a profile by name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<BenchProfile> {
+        Self::all()
+            .into_iter()
+            .find(|p| p.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Mean number of sequential instructions between consecutive
+    /// breaks implied by `pct_breaks`.
+    pub fn mean_gap(&self) -> f64 {
+        (100.0 - self.pct_breaks) / self.pct_breaks
+    }
+
+    /// The three programs the paper singles out as branch-heavy /
+    /// cache-hostile (`gcc`, `cfront`, `groff`).
+    pub fn branch_heavy() -> Vec<BenchProfile> {
+        vec![Self::gcc(), Self::cfront(), Self::groff()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_profiles_match_table1_row_order() {
+        let names: Vec<_> = BenchProfile::all().iter().map(|p| p.name).collect();
+        assert_eq!(names, ["doduc", "espresso", "gcc", "li", "cfront", "groff"]);
+    }
+
+    #[test]
+    fn mixes_sum_to_about_100() {
+        for p in BenchProfile::all() {
+            let t = p.mix.total();
+            assert!((t - 100.0).abs() < 0.5, "{}: mix sums to {t}", p.name);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_within_static() {
+        for p in BenchProfile::all() {
+            let q = p.quantiles;
+            assert!(q.q50 <= q.q90 && q.q90 <= q.q99 && q.q99 <= q.q100, "{}", p.name);
+            assert!(q.q100 <= p.static_cond_sites, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn calls_balance_returns_approximately() {
+        for p in BenchProfile::all() {
+            assert!(
+                (p.mix.call - p.mix.ret).abs() < 4.0,
+                "{}: calls {} vs returns {}",
+                p.name,
+                p.mix.call,
+                p.mix.ret
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(BenchProfile::by_name("GCC").unwrap().name, "gcc");
+        assert!(BenchProfile::by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn mean_gap_matches_break_density() {
+        let p = BenchProfile::doduc();
+        let g = p.mean_gap();
+        // 8.53 % breaks -> one break every ~11.7 instructions.
+        assert!((g - 10.72).abs() < 0.05, "gap {g}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Compiled synthetic programs.
+//!
+//! A [`Program`] is a set of [`Procedure`]s laid out in a flat
+//! address space, each compiled to a vector of [`Inst`]s. The
+//! [`crate::walker::Walker`] *executes* a program, so every trace it
+//! emits is PC-coherent by construction: the same address always
+//! holds the same instruction, conditional branches always have the
+//! same taken target, and control flow follows real call/return
+//! nesting. That coherence is what lets the instruction cache, BTB
+//! and NLS predictors downstream behave as they would on a real
+//! instrumented binary.
+
+use crate::addr::Addr;
+
+/// The stochastic outcome model of one conditional branch site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondModel {
+    /// Independent per-execution outcomes: taken with probability `p`.
+    Bernoulli(f64),
+    /// Two-state Markov process: after a taken outcome the branch is
+    /// taken again with probability `stay_taken`; after a not-taken
+    /// outcome it stays not-taken with probability `stay_not`.
+    /// Correlated predictors (gshare) exploit this; bimodal counters
+    /// cannot.
+    Markov { stay_taken: f64, stay_not: f64 },
+    /// A fixed repeating outcome pattern (e.g. a loop with a constant
+    /// trip count produces `T T T N` repeating). Perfectly
+    /// predictable with enough history.
+    Pattern(Vec<bool>),
+}
+
+impl CondModel {
+    /// Long-run fraction of taken outcomes under this model.
+    pub fn taken_rate(&self) -> f64 {
+        match self {
+            CondModel::Bernoulli(p) => *p,
+            CondModel::Markov { stay_taken, stay_not } => {
+                // Stationary distribution of the two-state chain.
+                let leave_t = 1.0 - stay_taken;
+                let leave_n = 1.0 - stay_not;
+                if leave_t + leave_n == 0.0 {
+                    0.5
+                } else {
+                    leave_n / (leave_t + leave_n)
+                }
+            }
+            CondModel::Pattern(p) => {
+                if p.is_empty() {
+                    0.0
+                } else {
+                    p.iter().filter(|&&b| b).count() as f64 / p.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// A multi-way indirect-jump dispatch: target instruction indices
+/// (procedure-relative) and their cumulative selection weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndirectDispatch {
+    /// Candidate target indices within the owning procedure.
+    pub targets: Vec<u32>,
+    /// Cumulative probabilities, same length as `targets`, ending at 1.0.
+    pub cumulative: Vec<f64>,
+}
+
+impl IndirectDispatch {
+    /// Builds a dispatch from unnormalised weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets` and `weights` differ in length, are empty,
+    /// or the weights do not sum to a positive value.
+    pub fn new(targets: Vec<u32>, weights: &[f64]) -> Self {
+        assert_eq!(targets.len(), weights.len(), "targets/weights mismatch");
+        assert!(!targets.is_empty(), "dispatch needs at least one target");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "dispatch weights must sum to a positive value");
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect::<Vec<_>>();
+        IndirectDispatch { targets, cumulative }
+    }
+
+    /// Picks a target index for a uniform sample `u` in `[0, 1)`.
+    pub fn pick(&self, u: f64) -> u32 {
+        let i = self
+            .cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.targets.len() - 1);
+        self.targets[i]
+    }
+}
+
+/// One compiled instruction. Branch targets are instruction indices
+/// relative to the owning procedure's entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// An ordinary (non-break) instruction.
+    Seq,
+    /// Conditional branch to `target`; outcome sampled from the
+    /// global conditional site `site`.
+    Cond { target: u32, site: u32 },
+    /// Unconditional branch to `target`.
+    Uncond { target: u32 },
+    /// Direct call to procedure `callee`; execution resumes at the
+    /// next instruction after the callee returns.
+    Call { callee: u32 },
+    /// Procedure return.
+    Ret,
+    /// Indirect jump through dispatch table `dispatch` (an index into
+    /// [`Program::dispatches`]).
+    IndirectJump { dispatch: u32 },
+}
+
+/// A procedure: a contiguous block of compiled code at `entry`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Procedure {
+    /// Address of the first instruction.
+    pub entry: Addr,
+    /// The code, one element per instruction slot.
+    pub code: Vec<Inst>,
+}
+
+impl Procedure {
+    /// The address of instruction slot `idx`.
+    #[inline]
+    pub fn pc(&self, idx: u32) -> Addr {
+        self.entry.offset(u64::from(idx))
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Whether the procedure has no code (never true for built programs).
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+}
+
+/// A complete synthetic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// All procedures; `procs[main]` is the dispatch driver.
+    pub procs: Vec<Procedure>,
+    /// Global table of conditional-branch site models; `Inst::Cond`
+    /// refers into this by index.
+    pub cond_sites: Vec<CondModel>,
+    /// Global table of indirect dispatches.
+    pub dispatches: Vec<IndirectDispatch>,
+    /// Index of the driver procedure execution starts in.
+    pub main: u32,
+}
+
+impl Program {
+    /// Total static instruction count across all procedures.
+    pub fn static_insts(&self) -> u64 {
+        self.procs.iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Number of static conditional branch sites.
+    pub fn static_cond_sites(&self) -> usize {
+        self.cond_sites.len()
+    }
+
+    /// The highest instruction address in the program plus one slot;
+    /// the program's code footprint is `[first entry, end_addr)`.
+    pub fn end_addr(&self) -> Addr {
+        self.procs
+            .iter()
+            .map(|p| p.entry.offset(p.len() as u64))
+            .max()
+            .unwrap_or(Addr::new(0))
+    }
+
+    /// Validates internal consistency: every branch target lands
+    /// inside its procedure, every callee/site/dispatch index exists,
+    /// and procedures do not overlap in the address space. Intended
+    /// for tests and debug assertions; returns a description of the
+    /// first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.main as usize >= self.procs.len() {
+            return Err(format!("main index {} out of range", self.main));
+        }
+        let mut spans: Vec<(u64, u64)> = self
+            .procs
+            .iter()
+            .map(|p| (p.entry.as_u64(), p.entry.as_u64() + 4 * p.len() as u64))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[0].1 > w[1].0 {
+                return Err(format!(
+                    "procedures overlap: [{:#x},{:#x}) and [{:#x},{:#x})",
+                    w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+            }
+        }
+        for (pi, proc) in self.procs.iter().enumerate() {
+            let n = proc.code.len() as u32;
+            for (ii, inst) in proc.code.iter().enumerate() {
+                let ctx = || format!("proc {pi} inst {ii}");
+                match inst {
+                    Inst::Seq | Inst::Ret => {}
+                    Inst::Cond { target, site } => {
+                        if *target >= n {
+                            return Err(format!("{}: cond target {target} out of range", ctx()));
+                        }
+                        if *site as usize >= self.cond_sites.len() {
+                            return Err(format!("{}: site {site} out of range", ctx()));
+                        }
+                    }
+                    Inst::Uncond { target } => {
+                        if *target >= n {
+                            return Err(format!("{}: uncond target {target} out of range", ctx()));
+                        }
+                    }
+                    Inst::Call { callee } => {
+                        if *callee as usize >= self.procs.len() {
+                            return Err(format!("{}: callee {callee} out of range", ctx()));
+                        }
+                        if ii + 1 >= proc.code.len() {
+                            return Err(format!("{}: call has no return slot", ctx()));
+                        }
+                    }
+                    Inst::IndirectJump { dispatch } => {
+                        let Some(d) = self.dispatches.get(*dispatch as usize) else {
+                            return Err(format!("{}: dispatch {dispatch} out of range", ctx()));
+                        };
+                        for t in &d.targets {
+                            if *t >= n {
+                                return Err(format!(
+                                    "{}: dispatch target {t} out of range",
+                                    ctx()
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_model_taken_rates() {
+        assert!((CondModel::Bernoulli(0.3).taken_rate() - 0.3).abs() < 1e-12);
+        let m = CondModel::Markov { stay_taken: 0.9, stay_not: 0.9 };
+        assert!((m.taken_rate() - 0.5).abs() < 1e-12);
+        let m = CondModel::Markov { stay_taken: 0.9, stay_not: 0.6 };
+        // stationary: leave_n/(leave_t+leave_n) = 0.4/0.5
+        assert!((m.taken_rate() - 0.8).abs() < 1e-12);
+        let p = CondModel::Pattern(vec![true, true, false]);
+        assert!((p.taken_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dispatch_pick_respects_weights() {
+        let d = IndirectDispatch::new(vec![10, 20, 30], &[1.0, 1.0, 2.0]);
+        assert_eq!(d.pick(0.0), 10);
+        assert_eq!(d.pick(0.24), 10);
+        assert_eq!(d.pick(0.26), 20);
+        assert_eq!(d.pick(0.49), 20);
+        assert_eq!(d.pick(0.51), 30);
+        assert_eq!(d.pick(0.999), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn empty_dispatch_panics() {
+        let _ = IndirectDispatch::new(vec![], &[]);
+    }
+
+    fn tiny_program() -> Program {
+        // proc 0 (main): cond -> ret | call p1 ; ret
+        // proc 1: seq, ret
+        Program {
+            procs: vec![
+                Procedure {
+                    entry: Addr::new(0x1000),
+                    code: vec![
+                        Inst::Cond { target: 3, site: 0 },
+                        Inst::Call { callee: 1 },
+                        Inst::Seq,
+                        Inst::Ret,
+                    ],
+                },
+                Procedure {
+                    entry: Addr::new(0x2000),
+                    code: vec![Inst::Seq, Inst::Ret],
+                },
+            ],
+            cond_sites: vec![CondModel::Bernoulli(0.5)],
+            dispatches: vec![],
+            main: 0,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert_eq!(tiny_program().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_target() {
+        let mut p = tiny_program();
+        p.procs[0].code[0] = Inst::Cond { target: 99, site: 0 };
+        assert!(p.validate().unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    fn validate_rejects_overlap() {
+        let mut p = tiny_program();
+        p.procs[1].entry = Addr::new(0x1004);
+        assert!(p.validate().unwrap_err().contains("overlap"));
+    }
+
+    #[test]
+    fn static_counts() {
+        let p = tiny_program();
+        assert_eq!(p.static_insts(), 6);
+        assert_eq!(p.static_cond_sites(), 1);
+        assert_eq!(p.end_addr(), Addr::new(0x2008));
+    }
+}

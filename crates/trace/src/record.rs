@@ -1,0 +1,218 @@
+//! Dynamic instruction records.
+//!
+//! A trace is a stream of [`TraceRecord`]s, one per executed
+//! instruction. Records carry everything the fetch-prediction
+//! simulator needs: the instruction's address, its control-flow
+//! class, the resolved outcome for conditional branches, and the
+//! address control actually transferred to.
+
+use crate::addr::Addr;
+
+/// The kind of a control-transfer ("break") instruction.
+///
+/// These are the five break categories of Table 1 in the paper:
+/// conditional branches, indirect jumps, unconditional branches,
+/// procedure calls and procedure returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BreakKind {
+    /// A conditional direct branch (PC-relative target, may fall through).
+    Conditional,
+    /// An unconditional direct branch (PC-relative target).
+    Unconditional,
+    /// An indirect jump through a register (target known only at execute).
+    IndirectJump,
+    /// A direct procedure call (pushes `pc + 4` on the return stack).
+    Call,
+    /// A procedure return (indirect through the link register).
+    Return,
+}
+
+impl BreakKind {
+    /// All break kinds, in Table 1 column order.
+    pub const ALL: [BreakKind; 5] = [
+        BreakKind::Conditional,
+        BreakKind::IndirectJump,
+        BreakKind::Unconditional,
+        BreakKind::Call,
+        BreakKind::Return,
+    ];
+
+    /// Whether the target address can be recomputed from the
+    /// instruction itself during the decode stage (direct branches),
+    /// as opposed to only at execute (indirect jumps and returns).
+    ///
+    /// This distinction decides whether a wrong fetch costs a
+    /// misfetch penalty (decode-time fix) or a mispredict penalty
+    /// (execute-time fix); see the paper's §5.2.
+    #[inline]
+    pub fn target_known_at_decode(self) -> bool {
+        matches!(
+            self,
+            BreakKind::Conditional | BreakKind::Unconditional | BreakKind::Call
+        )
+    }
+}
+
+/// The control-flow class of an executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// An ordinary instruction: execution continues at `pc + 4`.
+    Sequential,
+    /// A break in control flow of the given kind.
+    Break(BreakKind),
+}
+
+impl InstClass {
+    /// Whether this instruction is a break in control flow.
+    #[inline]
+    pub fn is_break(self) -> bool {
+        matches!(self, InstClass::Break(_))
+    }
+
+    /// The break kind, if this is a break.
+    #[inline]
+    pub fn break_kind(self) -> Option<BreakKind> {
+        match self {
+            InstClass::Sequential => None,
+            InstClass::Break(k) => Some(k),
+        }
+    }
+}
+
+/// One executed instruction.
+///
+/// # Examples
+///
+/// ```
+/// use nls_trace::{Addr, BreakKind, TraceRecord};
+///
+/// // A taken conditional branch at 0x100 jumping to 0x200:
+/// let r = TraceRecord::branch(Addr::new(0x100), BreakKind::Conditional, true, Addr::new(0x200));
+/// assert_eq!(r.next_pc(), Addr::new(0x200));
+///
+/// // The same branch, not taken, falls through:
+/// let r = TraceRecord::branch(Addr::new(0x100), BreakKind::Conditional, false, Addr::new(0x200));
+/// assert_eq!(r.next_pc(), Addr::new(0x104));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Address of this instruction.
+    pub pc: Addr,
+    /// Control-flow class.
+    pub class: InstClass,
+    /// For conditional branches: whether the branch was taken.
+    /// Non-conditional breaks are always "taken"; sequential
+    /// instructions are never taken.
+    pub taken: bool,
+    /// The branch target. For conditional branches this is the
+    /// *taken* target even when the branch falls through; for
+    /// sequential instructions it equals `pc + 4`.
+    pub target: Addr,
+}
+
+impl TraceRecord {
+    /// A plain sequential instruction at `pc`.
+    #[inline]
+    pub fn sequential(pc: Addr) -> Self {
+        TraceRecord {
+            pc,
+            class: InstClass::Sequential,
+            taken: false,
+            target: pc.next(),
+        }
+    }
+
+    /// A break of kind `kind` at `pc`. For non-conditional kinds,
+    /// `taken` must be `true`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taken` is `false` for a non-conditional break.
+    #[inline]
+    pub fn branch(pc: Addr, kind: BreakKind, taken: bool, target: Addr) -> Self {
+        assert!(
+            taken || kind == BreakKind::Conditional,
+            "only conditional branches can fall through"
+        );
+        TraceRecord {
+            pc,
+            class: InstClass::Break(kind),
+            taken,
+            target,
+        }
+    }
+
+    /// The address of the next instruction actually executed after
+    /// this one: the target if taken, otherwise the fall-through.
+    #[inline]
+    pub fn next_pc(&self) -> Addr {
+        if self.taken {
+            self.target
+        } else {
+            self.pc.next()
+        }
+    }
+
+    /// Whether this record is a break in control flow.
+    #[inline]
+    pub fn is_break(&self) -> bool {
+        self.class.is_break()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_next_pc() {
+        let r = TraceRecord::sequential(Addr::new(0x40));
+        assert_eq!(r.next_pc(), Addr::new(0x44));
+        assert!(!r.is_break());
+        assert_eq!(r.class.break_kind(), None);
+    }
+
+    #[test]
+    fn taken_branch_goes_to_target() {
+        let r = TraceRecord::branch(
+            Addr::new(0x40),
+            BreakKind::Unconditional,
+            true,
+            Addr::new(0x1000),
+        );
+        assert_eq!(r.next_pc(), Addr::new(0x1000));
+        assert!(r.is_break());
+    }
+
+    #[test]
+    fn not_taken_conditional_falls_through() {
+        let r = TraceRecord::branch(
+            Addr::new(0x40),
+            BreakKind::Conditional,
+            false,
+            Addr::new(0x1000),
+        );
+        assert_eq!(r.next_pc(), Addr::new(0x44));
+        assert_eq!(r.class.break_kind(), Some(BreakKind::Conditional));
+    }
+
+    #[test]
+    #[should_panic(expected = "fall through")]
+    fn not_taken_unconditional_panics() {
+        let _ = TraceRecord::branch(
+            Addr::new(0x40),
+            BreakKind::Unconditional,
+            false,
+            Addr::new(0x1000),
+        );
+    }
+
+    #[test]
+    fn decode_time_targets() {
+        assert!(BreakKind::Conditional.target_known_at_decode());
+        assert!(BreakKind::Unconditional.target_known_at_decode());
+        assert!(BreakKind::Call.target_known_at_decode());
+        assert!(!BreakKind::IndirectJump.target_known_at_decode());
+        assert!(!BreakKind::Return.target_known_at_decode());
+    }
+}

@@ -1,0 +1,846 @@
+//! Synthetic program builder.
+//!
+//! The paper's workloads are ATOM-instrumented Alpha binaries we do
+//! not have. This module rebuilds *statistically equivalent*
+//! programs from the Table 1 profiles: an interpreter-style driver
+//! procedure dispatches (through a binary decision tree of
+//! conditional branches, like a real interpreter's opcode dispatch)
+//! into a population of loop-structured procedures whose conditional
+//! branch sites carry the profile's hot-branch weight curve, branch
+//! type mix, taken rate and break density. Cold procedures that are
+//! never dispatched supply the never-executed static branch sites,
+//! and the hot/cold procedures are interleaved in the address space
+//! the way a real linker would lay them out.
+//!
+//! The derivation of the structural parameters (breaks per dispatch,
+//! call/indirect/unconditional site densities, sequential-run
+//! lengths, taken-bias mixture) is done symbolically in [`Plan`] so
+//! it can be unit-tested against the profile algebra.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::Addr;
+use crate::profile::BenchProfile;
+use crate::program::{CondModel, IndirectDispatch, Inst, Procedure, Program};
+use crate::weights::WeightCurve;
+
+/// Tunable knobs for program synthesis. Use
+/// [`GenConfig::for_profile`] for the calibrated defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenConfig {
+    /// RNG seed; the same seed always produces the identical program.
+    pub seed: u64,
+    /// Mean conditional branch sites per hot procedure body.
+    pub body_cond_sites: usize,
+    /// Mean loop iterations per hot-procedure visit.
+    pub mean_loop_trips: f64,
+    /// Conditional sites per leaf procedure.
+    pub leaf_cond_sites: usize,
+    /// Fraction of conditional sites that are hard to predict
+    /// (close to 50/50).
+    pub hard_frac: f64,
+    /// Fraction of sites driven by a fixed repeating pattern
+    /// (predictable only with branch history).
+    pub pattern_frac: f64,
+    /// Fraction of sites driven by a two-state Markov process.
+    pub markov_frac: f64,
+    /// Fraction of dispatches sent into the deep call chain that
+    /// exercises return-stack overflow.
+    pub deep_chain_weight: f64,
+    /// Length of the deep call chain (procedures / stack depth).
+    pub deep_chain_len: usize,
+    /// Base address of the program text.
+    pub base_addr: u64,
+    /// Code-layout strategy (link order of procedures).
+    pub layout: Layout,
+}
+
+/// How procedures are placed in the address space.
+///
+/// The paper (§7) notes that whole-program restructuring — basic
+/// block reordering and intelligent procedure layout (Pettis &
+/// Hansen) — lowers the instruction-cache miss rate "at no
+/// additional architectural cost", which improves the NLS
+/// architecture but not the BTB. [`Layout::HotClustered`] models
+/// such a profile-guided layout; [`Layout::Shuffled`] models
+/// arbitrary link order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Layout {
+    /// Hot and cold procedures interleaved pseudo-randomly, the way
+    /// an unoptimised link order scatters them (the default, and
+    /// the paper's baseline).
+    #[default]
+    Shuffled,
+    /// Profile-guided: procedures placed hottest-first, so the hot
+    /// working set occupies a compact, conflict-free region.
+    HotClustered,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0x5ca1_ab1e,
+            body_cond_sites: 8,
+            mean_loop_trips: 4.0,
+            leaf_cond_sites: 2,
+            hard_frac: 0.05,
+            pattern_frac: 0.08,
+            markov_frac: 0.05,
+            deep_chain_weight: 0.002,
+            deep_chain_len: 40,
+            base_addr: 0x0010_0000,
+            layout: Layout::Shuffled,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Calibrated configuration for one of the six Table 1 programs.
+    /// Unknown names get the defaults.
+    pub fn for_profile(profile: &BenchProfile) -> Self {
+        let mut cfg = GenConfig::default();
+        match profile.name {
+            // FP loops: predictable branches, long trip counts.
+            "doduc" => {
+                cfg.hard_frac = 0.03;
+                cfg.mean_loop_trips = 6.0;
+            }
+            // Bit-twiddling loops, well-biased branches.
+            "espresso" => {
+                cfg.hard_frac = 0.04;
+                cfg.pattern_frac = 0.10;
+            }
+            // The paper calls gcc/cfront/groff branches hard to predict.
+            "gcc" => {
+                cfg.hard_frac = 0.08;
+                cfg.mean_loop_trips = 3.0;
+            }
+            "cfront" => {
+                cfg.hard_frac = 0.07;
+                cfg.mean_loop_trips = 3.0;
+            }
+            "groff" => {
+                cfg.hard_frac = 0.07;
+                cfg.mean_loop_trips = 3.5;
+            }
+            // Lisp interpreter: recursion deep enough to overflow a
+            // 32-entry return stack now and then.
+            "li" => {
+                cfg.hard_frac = 0.04;
+                cfg.deep_chain_weight = 0.015;
+                cfg.deep_chain_len = 48;
+                cfg.mean_loop_trips = 3.0;
+            }
+            _ => {}
+        }
+        cfg
+    }
+}
+
+/// Structural parameters derived from a profile: the algebra that
+/// maps Table 1 statistics onto program structure. Exposed for
+/// testing; produced by [`Plan::derive`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Number of hot (dispatched) procedures.
+    pub hot_procs: usize,
+    /// Dispatch-tree depth (= ceil(log2(leaves))).
+    pub tree_depth: usize,
+    /// Expected breaks per dispatch (one driver-loop iteration).
+    pub breaks_per_visit: f64,
+    /// Call sites per body iteration (fractional; realised by
+    /// randomised rounding per procedure).
+    pub calls_per_iter: f64,
+    /// Indirect-jump sites per body iteration.
+    pub ijs_per_iter: f64,
+    /// Free unconditional-branch sites per body iteration.
+    pub unconds_per_iter: f64,
+    /// Mean sequential-run length between break sites.
+    pub run_mean: f64,
+    /// Target mean taken-probability of body/leaf conditional sites.
+    pub body_taken_mean: f64,
+    /// Probability that a biased site is biased-taken (vs biased
+    /// not-taken), chosen so the overall taken rate matches.
+    pub biased_taken_frac: f64,
+    /// Number of leaf procedures in the shared callee pool.
+    pub leaf_procs: usize,
+    /// Number of cold (never-executed) procedures.
+    pub cold_procs: usize,
+    /// Conditional sites per cold procedure.
+    pub cold_sites_per_proc: usize,
+}
+
+/// Mean skip distance of an if-style conditional site (instructions
+/// jumped over when taken), for skips drawn uniformly from 1..=4.
+const MEAN_SKIP: f64 = 2.5;
+/// Fixed short run length used inside leaf procedures.
+const LEAF_RUN: usize = 3;
+
+impl Plan {
+    /// Derives the structural plan for `profile` under `config`.
+    pub fn derive(profile: &BenchProfile, config: &GenConfig) -> Plan {
+        let mix = &profile.mix;
+        let c_f = mix.cond / 100.0;
+        let i_f = mix.indirect / 100.0;
+        let b_f = mix.uncond / 100.0;
+        // Calls and returns are perfectly nested in the synthetic
+        // program, so use their average as the call fraction.
+        let ca_f = (mix.call + mix.ret) / 200.0;
+
+        let bc = config.body_cond_sites as f64;
+        let l = config.mean_loop_trips;
+        let gc = config.leaf_cond_sites as f64;
+        let group = config.body_cond_sites + 1; // body sites + back edge
+
+        // Partition the executed-site budget (Q-100) between the
+        // dispatch tree, hot-proc bodies, leaves and the deep chain.
+        let q100 = profile.quantiles.q100 as usize;
+        let leaf_procs = (q100 / (8 * group)).clamp(4, 64);
+        let chain_sites = config.deep_chain_len; // one site per chain proc
+        let leaf_sites = leaf_procs * config.leaf_cond_sites;
+        let budget = q100.saturating_sub(leaf_sites + chain_sites).max(2 * group);
+        // tree has (P - 1) internal sites, bodies have P * group.
+        let hot_procs = ((budget + 1) / (group + 1)).max(2);
+        let tree_leaves = hot_procs + 1; // +1 for the deep-chain head
+        let tree_depth = usize::BITS as usize - (tree_leaves - 1).leading_zeros() as usize;
+        let d = tree_depth as f64;
+
+        // Breaks per visit, from the conditional-fraction equation:
+        //   c_f*V = d + L*(Bc+1) + 2*L*B_ca   with   B_ca = (ca_f*V - 1)/L
+        let denom = (c_f - 2.0 * ca_f * gc / 2.0).max(0.05);
+        let v = ((d + l * (bc + 1.0) - gc) / denom).max(1.0 / ca_f.max(1e-3) + 4.0);
+
+        let calls_per_iter = ((ca_f * v - 1.0) / l).max(0.0);
+        let ijs_per_iter = (i_f * v / l).max(0.0);
+        let unconds_per_iter = (((b_f - i_f) * v - 1.0) / l).max(0.0);
+
+        // Taken-rate equation (taken conditional executions per visit):
+        //   T*c_f*V = d/2 + (L-1) + L*(Bc + B_ca*Gc) * p_mean
+        let t = profile.pct_taken / 100.0;
+        let body_sites_per_visit = l * (bc + calls_per_iter * gc);
+        let body_taken_mean =
+            ((t * c_f * v - 0.5 * d - (l - 1.0)) / body_sites_per_visit).clamp(0.08, 0.92);
+
+        // Mixture solve: hard/pattern/markov sites average ~0.5 taken;
+        // biased sites average 0.0275 + 0.945 * biased_taken_frac
+        // (biased-taken sites run ~0.9725 taken, biased-not ~0.0275).
+        let neutral = config.hard_frac + config.pattern_frac + config.markov_frac;
+        let biased = (1.0 - neutral).max(0.05);
+        let biased_taken_frac =
+            (((body_taken_mean - 0.5 * neutral) / biased - 0.0275) / 0.945).clamp(0.0, 1.0);
+
+        // Sequential-run solve: S(m) = A + B*m must equal V * mean_gap.
+        let leaf_seq = LEAF_RUN as f64 + gc * ((1.0 - body_taken_mean) * MEAN_SKIP + LEAF_RUN as f64);
+        let coeff_a = d + 2.0
+            + l * (bc * (1.0 - body_taken_mean) * MEAN_SKIP + calls_per_iter * leaf_seq);
+        let coeff_b =
+            2.0 + l * (bc + unconds_per_iter + 2.0 * ijs_per_iter + calls_per_iter);
+        let run_mean = ((v * profile.mean_gap() - coeff_a) / coeff_b).max(0.0);
+
+        // Cold procedures hold the never-executed static sites.
+        let executed_sites =
+            (hot_procs - 1) + hot_procs * group + leaf_sites + chain_sites;
+        let cold_sites = (profile.static_cond_sites as usize).saturating_sub(executed_sites);
+        let cold_sites_per_proc = group;
+        let cold_procs = cold_sites.div_ceil(cold_sites_per_proc.max(1));
+
+        Plan {
+            hot_procs,
+            tree_depth,
+            breaks_per_visit: v,
+            calls_per_iter,
+            ijs_per_iter,
+            unconds_per_iter,
+            run_mean,
+            body_taken_mean,
+            biased_taken_frac,
+            leaf_procs,
+            cold_procs,
+            cold_sites_per_proc,
+        }
+    }
+}
+
+/// Builds the synthetic program for `profile` under `config`.
+///
+/// The result is deterministic in (`profile`, `config`): the same
+/// inputs always produce the identical program, and the walker run
+/// over it with the same seed produces the identical trace.
+///
+/// # Examples
+///
+/// ```
+/// use nls_trace::{BenchProfile, GenConfig, synthesize};
+///
+/// let profile = BenchProfile::li();
+/// let program = synthesize(&profile, &GenConfig::for_profile(&profile));
+/// assert!(program.validate().is_ok());
+/// ```
+pub fn synthesize(profile: &BenchProfile, config: &GenConfig) -> Program {
+    Builder::new(profile, config).build()
+}
+
+/// Incremental program builder.
+struct Builder<'a> {
+    config: &'a GenConfig,
+    plan: Plan,
+    curve: WeightCurve,
+    rng: SmallRng,
+    /// Per-category body-site counts for the quota scheduler
+    /// (hard, pattern, markov, biased-taken, biased-not).
+    cat_counts: [u64; 5],
+    cond_sites: Vec<CondModel>,
+    dispatches: Vec<IndirectDispatch>,
+    /// Procedure bodies in index order; addresses assigned at the end.
+    bodies: Vec<Vec<Inst>>,
+}
+
+/// Procedure index layout: `main` is 0, hot procs are `1..=P`, then
+/// the chain, then leaves, then cold procs.
+impl<'a> Builder<'a> {
+    fn new(profile: &'a BenchProfile, config: &'a GenConfig) -> Self {
+        Builder {
+            config,
+            plan: Plan::derive(profile, config),
+            curve: WeightCurve::from_quantiles(&profile.quantiles),
+            rng: SmallRng::seed_from_u64(config.seed),
+            cat_counts: [0; 5],
+            cond_sites: Vec::new(),
+            dispatches: Vec::new(),
+            bodies: Vec::new(),
+        }
+    }
+
+    fn build(mut self) -> Program {
+        let p = self.plan.hot_procs;
+        let chain_len = self.config.deep_chain_len;
+        let main_idx = 0u32;
+        let hot_base = 1u32;
+        let chain_base = hot_base + p as u32;
+        let leaf_base = chain_base + chain_len as u32;
+        let cold_base = leaf_base + self.plan.leaf_procs as u32;
+        let total_procs = cold_base as usize + self.plan.cold_procs;
+
+        // Per-hot-proc loop-trip means, then dispatch weights
+        // proportional to (site chunk mass) / trips so per-site
+        // execution frequencies follow the weight curve.
+        let group = self.config.body_cond_sites + 1;
+        let chunk_masses = self.curve.chunk_masses(group);
+        let mut trips = Vec::with_capacity(p);
+        for _ in 0..p {
+            let l = self.config.mean_loop_trips;
+            trips.push(self.rng.random_range(0.6 * l..=1.6 * l).max(1.2));
+        }
+        let mut weights: Vec<f64> = (0..p)
+            .map(|j| chunk_masses.get(j).copied().unwrap_or(1e-9).max(1e-9) / trips[j])
+            .collect();
+        let wsum: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= wsum;
+        }
+        // Fold the deep chain in as one more dispatch target.
+        let chain_weight = self.config.deep_chain_weight.max(1e-6);
+        for w in &mut weights {
+            *w *= 1.0 - chain_weight;
+        }
+        weights.push(chain_weight);
+
+        self.bodies = vec![Vec::new(); total_procs];
+        self.bodies[main_idx as usize] = {
+            let leaves: Vec<u32> = (hot_base..hot_base + p as u32)
+                .chain(std::iter::once(chain_base))
+                .collect();
+            self.build_main(&leaves, &weights)
+        };
+        for j in 0..p {
+            let callee_pool = (leaf_base..cold_base).collect::<Vec<_>>();
+            self.bodies[(hot_base + j as u32) as usize] =
+                self.build_hot_proc(trips[j], &callee_pool);
+        }
+        for i in 0..chain_len {
+            let next = if i + 1 < chain_len { Some(chain_base + i as u32 + 1) } else { None };
+            self.bodies[(chain_base + i as u32) as usize] = self.build_chain_proc(next);
+        }
+        for i in 0..self.plan.leaf_procs {
+            self.bodies[(leaf_base + i as u32) as usize] = self.build_leaf_proc();
+        }
+        for i in 0..self.plan.cold_procs {
+            self.bodies[(cold_base + i as u32) as usize] = self.build_cold_proc();
+        }
+
+        // Layout: main first (it is the hottest code), then everything
+        // else either shuffled (arbitrary link order scatters hot
+        // procedures across the address space) or clustered
+        // hottest-first (profile-guided layout, Pettis–Hansen style).
+        let mut order: Vec<usize> = (1..total_procs).collect();
+        match self.config.layout {
+            Layout::Shuffled => shuffle(&mut order, &mut self.rng),
+            Layout::HotClustered => {
+                // Hot procedures by descending dispatch weight, then
+                // leaves and the chain, cold procedures last.
+                let weight_of = |idx: usize| -> f64 {
+                    if (hot_base as usize..chain_base as usize).contains(&idx) {
+                        weights[idx - hot_base as usize]
+                    } else if idx < cold_base as usize {
+                        1e-7 // leaves + chain: warm
+                    } else {
+                        0.0 // cold
+                    }
+                };
+                order.sort_by(|&a, &b| {
+                    weight_of(b).partial_cmp(&weight_of(a)).expect("finite weights")
+                });
+            }
+        }
+        let mut cursor = self.config.base_addr;
+        let mut entries = vec![Addr::new(0); total_procs];
+        for idx in std::iter::once(0).chain(order) {
+            entries[idx] = Addr::new(cursor);
+            let len_bytes = 4 * self.bodies[idx].len() as u64;
+            // Align each procedure to a 32-byte line boundary.
+            cursor = (cursor + len_bytes).div_ceil(32) * 32;
+        }
+
+        let procs = entries
+            .into_iter()
+            .zip(std::mem::take(&mut self.bodies))
+            .map(|(entry, code)| Procedure { entry, code })
+            .collect();
+
+        let program = Program {
+            procs,
+            cond_sites: self.cond_sites,
+            dispatches: self.dispatches,
+            main: main_idx,
+        };
+        debug_assert_eq!(program.validate(), Ok(()));
+        program
+    }
+
+    /// A new conditional site with an outcome model drawn from the
+    /// configured mixture around the plan's mean taken rate.
+    ///
+    /// Real branches are far more deterministic than a coin flip —
+    /// that determinism is what history-based predictors exploit —
+    /// so the mixture is dominated by strongly biased sites, exact
+    /// repeating patterns and sticky Markov sites, with only
+    /// `hard_frac` genuinely noisy branches.
+    fn new_body_site(&mut self) -> u32 {
+        let cfg = self.config;
+        let biased = (1.0 - cfg.hard_frac - cfg.pattern_frac - cfg.markov_frac).max(0.0);
+        let targets = [
+            cfg.hard_frac,
+            cfg.pattern_frac,
+            cfg.markov_frac,
+            biased * self.plan.biased_taken_frac,
+            biased * (1.0 - self.plan.biased_taken_frac),
+        ];
+        // Quota scheduling instead of IID sampling: sites are created
+        // hottest-first, and the handful of mega-hot sites would
+        // otherwise all land in whatever category the dice favoured,
+        // skewing the execution-weighted mixture (and with it the
+        // global taken rate) badly on skewed profiles like doduc.
+        let n = self.cat_counts.iter().sum::<u64>() + 1;
+        let cat = (0..5)
+            .max_by(|&a, &b| {
+                let da = targets[a] * n as f64 - self.cat_counts[a] as f64;
+                let db = targets[b] * n as f64 - self.cat_counts[b] as f64;
+                da.partial_cmp(&db).expect("finite quotas")
+            })
+            .expect("five categories");
+        self.cat_counts[cat] += 1;
+        let model = match cat {
+            0 => CondModel::Bernoulli(self.rng.random_range(0.35..0.65)),
+            1 => {
+                let len = self.rng.random_range(2..=4usize);
+                let taken = len / 2 + usize::from(self.rng.random_bool(0.5));
+                let mut pat = vec![false; len];
+                for slot in pat.iter_mut().take(taken.min(len)) {
+                    *slot = true;
+                }
+                shuffle(&mut pat, &mut self.rng);
+                CondModel::Pattern(pat)
+            }
+            2 => CondModel::Markov {
+                stay_taken: self.rng.random_range(0.94..0.995),
+                stay_not: self.rng.random_range(0.94..0.995),
+            },
+            3 => CondModel::Bernoulli(self.rng.random_range(0.98..0.999)),
+            _ => CondModel::Bernoulli(self.rng.random_range(0.001..0.02)),
+        };
+        self.push_site(model)
+    }
+
+    fn push_site(&mut self, model: CondModel) -> u32 {
+        let id = self.cond_sites.len() as u32;
+        self.cond_sites.push(model);
+        id
+    }
+
+    /// Run length with the plan's mean and modest (±50 %) jitter.
+    ///
+    /// Deliberately *not* geometric: run lengths are frozen into the
+    /// program at build time, and on heavily skewed profiles (doduc:
+    /// three branches are half of all executions) a single hot
+    /// procedure's draws dominate the dynamic break density. A tight
+    /// distribution keeps every procedure's realised mean close to
+    /// the solved target.
+    fn run_len(&mut self) -> usize {
+        let m = self.plan.run_mean;
+        if m <= 0.05 {
+            return 0;
+        }
+        (m * self.rng.random_range(0.5..1.5)).round() as usize
+    }
+
+    fn emit_run(&mut self, code: &mut Vec<Inst>, n: usize) {
+        code.extend(std::iter::repeat_n(Inst::Seq, n));
+    }
+
+    /// The driver: `loop_head:` decision tree over `leaves`, each
+    /// leaf calls its procedure then jumps back to the head.
+    fn build_main(&mut self, leaves: &[u32], weights: &[f64]) -> Vec<Inst> {
+        assert_eq!(leaves.len(), weights.len());
+        let mut code = vec![Inst::Seq, Inst::Seq]; // loop head
+        self.build_tree(&mut code, leaves, weights);
+        code
+    }
+
+    /// Recursively emits the dispatch tree; every node is a real
+    /// conditional branch site (taken = right subtree).
+    fn build_tree(&mut self, code: &mut Vec<Inst>, leaves: &[u32], weights: &[f64]) {
+        if leaves.len() == 1 {
+            code.push(Inst::Call { callee: leaves[0] });
+            code.push(Inst::Uncond { target: 0 });
+            return;
+        }
+        // Split at the *weight* midpoint, not the count midpoint:
+        // the tree is entropy-optimal (hot procedures get short
+        // dispatch paths) and every node's outcome is near 50/50,
+        // like a real interpreter's dispatch comparisons.
+        let total: f64 = weights.iter().sum();
+        let mut mid = 1;
+        let mut acc = 0.0;
+        for (i, w) in weights[..weights.len() - 1].iter().enumerate() {
+            acc += w;
+            mid = i + 1;
+            if acc >= total / 2.0 {
+                break;
+            }
+        }
+        let w_left: f64 = weights[..mid].iter().sum();
+        let w_right: f64 = weights[mid..].iter().sum();
+        let p_right = if w_left + w_right > 0.0 { w_right / (w_left + w_right) } else { 0.5 };
+        let p = p_right.clamp(0.001, 0.999);
+        // Sticky dispatch: consecutive dispatches tend to revisit the
+        // same region (program phase behaviour). A Markov node with
+        // leave probabilities scaled by STICKINESS keeps the same
+        // stationary split as an independent Bernoulli(p) while
+        // making the dispatch path bursty and history-predictable.
+        const STICKINESS: f64 = 0.35;
+        let site = self.push_site(CondModel::Markov {
+            stay_taken: 1.0 - (1.0 - p) * STICKINESS,
+            stay_not: 1.0 - p * STICKINESS,
+        });
+        code.push(Inst::Seq); // the "compare" before the branch
+        let cond_at = code.len();
+        code.push(Inst::Cond { target: 0, site }); // patched below
+        self.build_tree(code, &leaves[..mid], &weights[..mid]);
+        let right_start = code.len() as u32;
+        code[cond_at] = Inst::Cond { target: right_start, site };
+        self.build_tree(code, &leaves[mid..], &weights[mid..]);
+    }
+
+    /// One hot procedure: prologue, loop body of interleaved sites,
+    /// back edge, epilogue, return.
+    fn build_hot_proc(&mut self, trips: f64, callee_pool: &[u32]) -> Vec<Inst> {
+        #[derive(Clone, Copy)]
+        enum Elem {
+            Cond,
+            Uncond,
+            Ij,
+            Call,
+        }
+        let plan = self.plan.clone();
+        let n_cond = self.config.body_cond_sites;
+        let n_uncond = self.round_stochastic(plan.unconds_per_iter);
+        let n_ij = self.round_stochastic(plan.ijs_per_iter);
+        let n_call = self.round_stochastic(plan.calls_per_iter);
+
+        let mut elems = Vec::new();
+        elems.extend(std::iter::repeat_n(Elem::Cond, n_cond));
+        elems.extend(std::iter::repeat_n(Elem::Uncond, n_uncond));
+        elems.extend(std::iter::repeat_n(Elem::Ij, n_ij));
+        elems.extend(std::iter::repeat_n(Elem::Call, n_call));
+        shuffle(&mut elems, &mut self.rng);
+
+        let mut code = Vec::new();
+        let run = self.run_len();
+        self.emit_run(&mut code, run); // prologue
+        let loop_head = code.len() as u32;
+        for e in elems {
+            match e {
+                Elem::Cond => {
+                    let site = self.new_body_site();
+                    let skip = self.rng.random_range(1..=4u32);
+                    let cond_at = code.len() as u32;
+                    code.push(Inst::Cond { target: cond_at + 1 + skip, site });
+                    self.emit_run(&mut code, skip as usize);
+                }
+                Elem::Uncond => {
+                    // Jump over one dead slot (an "else" the loop never
+                    // takes): static footprint without dynamic cost.
+                    let at = code.len() as u32;
+                    code.push(Inst::Uncond { target: at + 2 });
+                    code.push(Inst::Seq);
+                }
+                Elem::Ij => self.emit_indirect(&mut code),
+                Elem::Call => {
+                    let callee = callee_pool[zipf_pick(callee_pool.len(), &mut self.rng)];
+                    code.push(Inst::Call { callee });
+                }
+            }
+            let n = self.run_len();
+            self.emit_run(&mut code, n);
+        }
+        // Back edge: a deterministic trip count — the loop iterates
+        // `trips` times, every time (taken trips-1 times, then one
+        // exit). Fixed trip counts are what make real loop branches
+        // history-predictable.
+        let trips_int = (trips.round() as usize).max(2);
+        let mut pat = vec![true; trips_int];
+        pat[trips_int - 1] = false;
+        let site = self.push_site(CondModel::Pattern(pat));
+        code.push(Inst::Cond { target: loop_head, site });
+        let n = self.run_len();
+        self.emit_run(&mut code, n); // epilogue
+        code.push(Inst::Ret);
+        code
+    }
+
+    /// A switch-style indirect jump: `k` case blocks, each a short
+    /// run ending in a jump to the join point.
+    fn emit_indirect(&mut self, code: &mut Vec<Inst>) {
+        let k = self.rng.random_range(3..=8usize);
+        let ij_at = code.len();
+        code.push(Inst::IndirectJump { dispatch: 0 }); // patched below
+        let mut targets = Vec::with_capacity(k);
+        let mut uncond_slots = Vec::with_capacity(k);
+        for _ in 0..k {
+            targets.push(code.len() as u32);
+            let n = self.run_len().min(6);
+            self.emit_run(code, n);
+            uncond_slots.push(code.len());
+            code.push(Inst::Uncond { target: 0 }); // patched below
+        }
+        let join = code.len() as u32;
+        for slot in uncond_slots {
+            code[slot] = Inst::Uncond { target: join };
+        }
+        // Skewed case weights: one dominant case, geometric tail.
+        let mut w = Vec::with_capacity(k);
+        let mut v = 0.60;
+        for _ in 0..k {
+            w.push(v);
+            v *= 0.45;
+        }
+        let dispatch = self.dispatches.len() as u32;
+        self.dispatches.push(IndirectDispatch::new(targets, &w));
+        code[ij_at] = Inst::IndirectJump { dispatch };
+    }
+
+    /// One proc of the deep call chain: a couple of instructions, a
+    /// conditional site, a call to the next link, return.
+    fn build_chain_proc(&mut self, next: Option<u32>) -> Vec<Inst> {
+        let bias = self.rng.random_range(0.3..0.7);
+        let site = self.push_site(CondModel::Bernoulli(bias));
+        let mut code = vec![Inst::Seq, Inst::Seq];
+        let at = code.len() as u32;
+        code.push(Inst::Cond { target: at + 2, site });
+        code.push(Inst::Seq);
+        if let Some(callee) = next {
+            code.push(Inst::Call { callee });
+        }
+        code.push(Inst::Seq);
+        code.push(Inst::Ret);
+        code
+    }
+
+    /// A leaf procedure: short runs around `leaf_cond_sites` sites.
+    fn build_leaf_proc(&mut self) -> Vec<Inst> {
+        let mut code = Vec::new();
+        self.emit_run(&mut code, LEAF_RUN);
+        for _ in 0..self.config.leaf_cond_sites {
+            let site = self.new_body_site();
+            let skip = self.rng.random_range(1..=4u32);
+            let at = code.len() as u32;
+            code.push(Inst::Cond { target: at + 1 + skip, site });
+            self.emit_run(&mut code, skip as usize);
+            self.emit_run(&mut code, LEAF_RUN);
+        }
+        code.push(Inst::Ret);
+        code
+    }
+
+    /// Cold code: same shape as a hot body but never dispatched.
+    fn build_cold_proc(&mut self) -> Vec<Inst> {
+        let mut code = Vec::new();
+        self.emit_run(&mut code, 2);
+        for _ in 0..self.plan.cold_sites_per_proc {
+            let site = self.push_site(CondModel::Bernoulli(0.01));
+            let skip = self.rng.random_range(1..=4u32);
+            let at = code.len() as u32;
+            code.push(Inst::Cond { target: at + 1 + skip, site });
+            self.emit_run(&mut code, skip as usize);
+            self.emit_run(&mut code, 3);
+        }
+        code.push(Inst::Ret);
+        code
+    }
+
+    /// Rounds a fractional per-iteration count to an integer with the
+    /// right expectation.
+    fn round_stochastic(&mut self, x: f64) -> usize {
+        let base = x.floor();
+        let frac = x - base;
+        base as usize + usize::from(self.rng.random_bool(frac.clamp(0.0, 1.0)))
+    }
+}
+
+/// Fisher–Yates shuffle (avoids pulling in rand's `seq` API surface).
+fn shuffle<T>(v: &mut [T], rng: &mut SmallRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+/// Zipf-skewed index pick over `n` items (exponent ~1): item `i`
+/// selected with probability proportional to `1/(i+1)`.
+fn zipf_pick(n: usize, rng: &mut SmallRng) -> usize {
+    debug_assert!(n > 0);
+    let h: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let mut u = rng.random_range(0.0..h);
+    for i in 0..n {
+        u -= 1.0 / (i + 1) as f64;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_feasible_for_all_profiles() {
+        for p in BenchProfile::all() {
+            let cfg = GenConfig::for_profile(&p);
+            let plan = Plan::derive(&p, &cfg);
+            assert!(plan.hot_procs >= 2, "{}: {plan:?}", p.name);
+            assert!(plan.breaks_per_visit > 10.0, "{}: {plan:?}", p.name);
+            assert!(plan.calls_per_iter >= 0.0, "{}", p.name);
+            assert!(plan.run_mean >= 0.0, "{}: {plan:?}", p.name);
+            assert!(
+                (0.05..=0.95).contains(&plan.body_taken_mean),
+                "{}: taken mean {}",
+                p.name,
+                plan.body_taken_mean
+            );
+        }
+    }
+
+    #[test]
+    fn synthesized_programs_validate() {
+        for p in BenchProfile::all() {
+            let cfg = GenConfig::for_profile(&p);
+            let prog = synthesize(&p, &cfg);
+            assert_eq!(prog.validate(), Ok(()), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn static_site_count_close_to_table1() {
+        for p in BenchProfile::all() {
+            let prog = synthesize(&p, &GenConfig::for_profile(&p));
+            let got = prog.static_cond_sites() as f64;
+            let want = p.static_cond_sites as f64;
+            assert!(
+                (got - want).abs() / want < 0.15,
+                "{}: {} static sites vs Table 1 {}",
+                p.name,
+                got,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let p = BenchProfile::li();
+        let cfg = GenConfig::for_profile(&p);
+        assert_eq!(synthesize(&p, &cfg), synthesize(&p, &cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = BenchProfile::li();
+        let a = synthesize(&p, &GenConfig { seed: 1, ..GenConfig::for_profile(&p) });
+        let b = synthesize(&p, &GenConfig { seed: 2, ..GenConfig::for_profile(&p) });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn clustered_layout_packs_hot_procs_low() {
+        let p = BenchProfile::gcc();
+        let mut cfg = GenConfig::for_profile(&p);
+        cfg.layout = Layout::HotClustered;
+        let prog = synthesize(&p, &cfg);
+        assert_eq!(prog.validate(), Ok(()));
+        let plan = Plan::derive(&p, &cfg);
+        // The hottest procedure (index 1) must sit below every cold
+        // procedure (the tail indices).
+        let hot_entry = prog.procs[1].entry;
+        let cold_lo = prog
+            .procs
+            .iter()
+            .rev()
+            .take(plan.cold_procs / 2)
+            .map(|pr| pr.entry)
+            .min()
+            .unwrap();
+        assert!(hot_entry < cold_lo, "hot {hot_entry} vs cold {cold_lo}");
+    }
+
+    #[test]
+    fn layouts_share_structure_but_differ_in_placement() {
+        let p = BenchProfile::li();
+        let base = GenConfig::for_profile(&p);
+        let shuffled = synthesize(&p, &base);
+        let clustered =
+            synthesize(&p, &GenConfig { layout: Layout::HotClustered, ..base });
+        assert_eq!(shuffled.static_cond_sites(), clustered.static_cond_sites());
+        assert_eq!(shuffled.procs.len(), clustered.procs.len());
+        assert_ne!(shuffled, clustered, "placement must differ");
+    }
+
+    #[test]
+    fn zipf_pick_prefers_small_indices() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[zipf_pick(8, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[7] * 3, "{counts:?}");
+    }
+
+    #[test]
+    fn footprint_scales_with_profile() {
+        let small = synthesize(&BenchProfile::li(), &GenConfig::for_profile(&BenchProfile::li()));
+        let big = synthesize(&BenchProfile::gcc(), &GenConfig::for_profile(&BenchProfile::gcc()));
+        assert!(big.static_insts() > 2 * small.static_insts());
+    }
+}

@@ -1,0 +1,312 @@
+//! Program execution: turning a [`Program`] into a trace.
+//!
+//! [`Walker`] is an iterator over [`TraceRecord`]s that *executes*
+//! the synthetic program: it maintains a call stack, samples
+//! conditional outcomes from each site's model, and follows real
+//! control flow. Traces are therefore PC-coherent: a record's
+//! successor always starts at [`TraceRecord::next_pc`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::program::{CondModel, Inst, Program};
+use crate::record::{BreakKind, TraceRecord};
+
+/// Per-site mutable prediction-model state.
+#[derive(Debug, Clone, Copy)]
+enum SiteState {
+    /// No state needed (Bernoulli).
+    None,
+    /// Last outcome (Markov).
+    Last(bool),
+    /// Position in the repeating pattern.
+    Pos(u8),
+}
+
+/// A call-stack frame: where to resume in which procedure.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    proc: u32,
+    resume: u32,
+}
+
+/// Streaming executor of a synthetic [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use nls_trace::{BenchProfile, GenConfig, synthesize, Walker};
+///
+/// let profile = BenchProfile::li();
+/// let program = synthesize(&profile, &GenConfig::for_profile(&profile));
+/// let n = Walker::new(&program, 42).take(10_000).count();
+/// assert_eq!(n, 10_000);
+/// ```
+#[derive(Debug)]
+pub struct Walker<'p> {
+    program: &'p Program,
+    rng: SmallRng,
+    states: Vec<SiteState>,
+    stack: Vec<Frame>,
+    cur_proc: u32,
+    cur_idx: u32,
+}
+
+impl<'p> Walker<'p> {
+    /// Starts execution at the program's driver procedure with the
+    /// given RNG seed. The walker is infinite (the driver loops
+    /// forever); bound it with [`Iterator::take`] or
+    /// [`Walker::take_trace`].
+    pub fn new(program: &'p Program, seed: u64) -> Self {
+        let states = program
+            .cond_sites
+            .iter()
+            .map(|m| match m {
+                CondModel::Bernoulli(_) => SiteState::None,
+                CondModel::Markov { .. } => SiteState::Last(false),
+                CondModel::Pattern(_) => SiteState::Pos(0),
+            })
+            .collect();
+        Walker {
+            program,
+            rng: SmallRng::seed_from_u64(seed),
+            states,
+            stack: Vec::with_capacity(64),
+            cur_proc: program.main,
+            cur_idx: 0,
+        }
+    }
+
+    /// Collects the next `n` records into a vector.
+    pub fn take_trace(&mut self, n: usize) -> Vec<TraceRecord> {
+        self.by_ref().take(n).collect()
+    }
+
+    /// Current call-stack depth (frames below the executing procedure).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    fn sample_cond(&mut self, site: u32) -> bool {
+        let model = &self.program.cond_sites[site as usize];
+        let state = &mut self.states[site as usize];
+        match (model, state) {
+            (CondModel::Bernoulli(p), _) => self.rng.random_bool(*p),
+            (CondModel::Markov { stay_taken, stay_not }, SiteState::Last(last)) => {
+                let out = if *last {
+                    self.rng.random_bool(*stay_taken)
+                } else {
+                    !self.rng.random_bool(*stay_not)
+                };
+                *last = out;
+                out
+            }
+            (CondModel::Pattern(pat), SiteState::Pos(pos)) => {
+                let out = pat[*pos as usize % pat.len()];
+                *pos = ((*pos as usize + 1) % pat.len()) as u8;
+                out
+            }
+            // States are built to match models in `new`.
+            _ => unreachable!("site state does not match its model"),
+        }
+    }
+}
+
+impl Iterator for Walker<'_> {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let proc = &self.program.procs[self.cur_proc as usize];
+        let idx = self.cur_idx;
+        let pc = proc.pc(idx);
+        let record = match proc.code[idx as usize].clone() {
+            Inst::Seq => {
+                self.cur_idx = idx + 1;
+                TraceRecord::sequential(pc)
+            }
+            Inst::Cond { target, site } => {
+                let taken = self.sample_cond(site);
+                self.cur_idx = if taken { target } else { idx + 1 };
+                TraceRecord::branch(pc, BreakKind::Conditional, taken, proc.pc(target))
+            }
+            Inst::Uncond { target } => {
+                self.cur_idx = target;
+                TraceRecord::branch(pc, BreakKind::Unconditional, true, proc.pc(target))
+            }
+            Inst::Call { callee } => {
+                self.stack.push(Frame { proc: self.cur_proc, resume: idx + 1 });
+                let entry = self.program.procs[callee as usize].entry;
+                self.cur_proc = callee;
+                self.cur_idx = 0;
+                TraceRecord::branch(pc, BreakKind::Call, true, entry)
+            }
+            Inst::Ret => {
+                let target = match self.stack.pop() {
+                    Some(frame) => {
+                        self.cur_proc = frame.proc;
+                        self.cur_idx = frame.resume;
+                        self.program.procs[frame.proc as usize].pc(frame.resume)
+                    }
+                    None => {
+                        // Defensive: a return with an empty stack
+                        // restarts the driver (cannot happen for
+                        // synthesised programs, whose driver never
+                        // returns).
+                        self.cur_proc = self.program.main;
+                        self.cur_idx = 0;
+                        self.program.procs[self.program.main as usize].entry
+                    }
+                };
+                TraceRecord::branch(pc, BreakKind::Return, true, target)
+            }
+            Inst::IndirectJump { dispatch } => {
+                let d = &self.program.dispatches[dispatch as usize];
+                let target = d.pick(self.rng.random());
+                self.cur_idx = target;
+                TraceRecord::branch(pc, BreakKind::IndirectJump, true, proc.pc(target))
+            }
+        };
+        Some(record)
+    }
+}
+
+/// Convenience: synthesise a program and return an owning iterator
+/// over its first `len` records.
+///
+/// This is the one-call entry point used by examples and benches:
+///
+/// ```
+/// use nls_trace::{BenchProfile, GenConfig, trace_for};
+///
+/// let records = trace_for(&BenchProfile::espresso(), &GenConfig::default(), 123, 5_000);
+/// assert_eq!(records.len(), 5_000);
+/// ```
+pub fn trace_for(
+    profile: &crate::profile::BenchProfile,
+    config: &crate::synth::GenConfig,
+    seed: u64,
+    len: usize,
+) -> Vec<TraceRecord> {
+    let program = crate::synth::synthesize(profile, config);
+    Walker::new(&program, seed).take_trace(len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+    use crate::profile::BenchProfile;
+    use crate::program::{Inst, Procedure, Program};
+    use crate::synth::{synthesize, GenConfig};
+
+    fn loop_program() -> Program {
+        // main: idx0 Seq, idx1 Cond(site0 -> 0), idx2 Uncond -> 0
+        Program {
+            procs: vec![Procedure {
+                entry: Addr::new(0x1000),
+                code: vec![
+                    Inst::Seq,
+                    Inst::Cond { target: 0, site: 0 },
+                    Inst::Uncond { target: 0 },
+                ],
+            }],
+            cond_sites: vec![CondModel::Bernoulli(0.5)],
+            dispatches: vec![],
+            main: 0,
+        }
+    }
+
+    #[test]
+    fn walker_is_pc_coherent() {
+        let p = BenchProfile::groff();
+        let program = synthesize(&p, &GenConfig::for_profile(&p));
+        let mut w = Walker::new(&program, 9);
+        let mut prev: Option<TraceRecord> = None;
+        for r in w.by_ref().take(200_000) {
+            if let Some(prev) = prev {
+                assert_eq!(prev.next_pc(), r.pc, "discontinuity after {prev:?}");
+            }
+            prev = Some(r);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let p = BenchProfile::doduc();
+        let program = synthesize(&p, &GenConfig::for_profile(&p));
+        let a = Walker::new(&program, 5).take_trace(50_000);
+        let b = Walker::new(&program, 5).take_trace(50_000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let p = BenchProfile::doduc();
+        let program = synthesize(&p, &GenConfig::for_profile(&p));
+        let a = Walker::new(&program, 5).take_trace(50_000);
+        let b = Walker::new(&program, 6).take_trace(50_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn tiny_loop_walks_forever() {
+        let program = loop_program();
+        let w = Walker::new(&program, 1);
+        assert_eq!(w.take(1000).count(), 1000);
+    }
+
+    #[test]
+    fn calls_and_returns_nest() {
+        let p = BenchProfile::li();
+        let program = synthesize(&p, &GenConfig::for_profile(&p));
+        let mut w = Walker::new(&program, 3);
+        let mut shadow: Vec<Addr> = Vec::new();
+        for r in w.by_ref().take(300_000) {
+            match r.class.break_kind() {
+                Some(BreakKind::Call) => shadow.push(r.pc.next()),
+                Some(BreakKind::Return) => {
+                    let expected = shadow.pop().expect("return without call");
+                    assert_eq!(r.target, expected, "return target mismatch");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chain_exceeds_ras_depth() {
+        // li's config sends ~1.5% of dispatches into a 48-deep chain,
+        // so within a few hundred thousand records the stack must
+        // exceed 32 frames at some point.
+        let p = BenchProfile::li();
+        let program = synthesize(&p, &GenConfig::for_profile(&p));
+        let mut w = Walker::new(&program, 11);
+        let mut max_depth = 0;
+        for _ in 0..500_000 {
+            let _ = w.next();
+            max_depth = max_depth.max(w.depth());
+        }
+        assert!(max_depth > 32, "max call depth {max_depth}");
+    }
+
+    #[test]
+    fn pattern_sites_repeat_exactly() {
+        let program = Program {
+            procs: vec![Procedure {
+                entry: Addr::new(0),
+                code: vec![Inst::Cond { target: 0, site: 0 }, Inst::Uncond { target: 0 }],
+            }],
+            cond_sites: vec![CondModel::Pattern(vec![true, true, false])],
+            dispatches: vec![],
+            main: 0,
+        };
+        let outcomes: Vec<bool> = Walker::new(&program, 0)
+            .take(30)
+            .filter(|r| r.class.break_kind() == Some(BreakKind::Conditional))
+            .map(|r| r.taken)
+            .collect();
+        for (i, &t) in outcomes.iter().enumerate() {
+            assert_eq!(t, [true, true, false][i % 3], "at {i}");
+        }
+    }
+}

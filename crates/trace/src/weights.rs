@@ -1,0 +1,218 @@
+//! Hot-branch weight curves.
+//!
+//! Table 1 of the paper characterises each program's branch skew by
+//! the number of static conditional branch sites that account for
+//! 50 %, 90 %, 99 % and 100 % of executed conditional branches
+//! (Q-50..Q-100). [`WeightCurve`] turns those four anchors into a
+//! per-site execution-weight vector: sites are ranked hottest-first
+//! and each quantile segment's probability mass is spread over its
+//! sites with a geometric taper, so the cumulative curve passes
+//! through the paper's anchor points while individual weights still
+//! decay smoothly.
+
+use crate::profile::HotQuantiles;
+
+/// Per-site execution weights realising a [`HotQuantiles`] curve.
+///
+/// `weights[i]` is the fraction of all executed conditional branches
+/// contributed by the `i`-th hottest site; the vector has `q100`
+/// entries and sums to 1.
+///
+/// # Examples
+///
+/// ```
+/// use nls_trace::{HotQuantiles, WeightCurve};
+///
+/// let q = HotQuantiles { q50: 3, q90: 175, q99: 296, q100: 1447 };
+/// let curve = WeightCurve::from_quantiles(&q);
+/// assert_eq!(curve.len(), 1447);
+/// // The three hottest sites cover half of all executions:
+/// let top3: f64 = curve.weights()[..3].iter().sum();
+/// assert!((top3 - 0.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightCurve {
+    weights: Vec<f64>,
+}
+
+impl WeightCurve {
+    /// Builds the weight curve for the given quantile anchors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantiles are not monotone (`q50 <= q90 <= q99
+    /// <= q100`) or if `q100` is zero.
+    pub fn from_quantiles(q: &HotQuantiles) -> Self {
+        assert!(q.q100 > 0, "q100 must be positive");
+        assert!(
+            q.q50 <= q.q90 && q.q90 <= q.q99 && q.q99 <= q.q100,
+            "quantiles must be monotone: {q:?}"
+        );
+        let mut weights = Vec::with_capacity(q.q100 as usize);
+        // Segment boundaries in (site-count, cumulative-mass) space.
+        let anchors = [
+            (0u32, 0.0f64),
+            (q.q50, 0.50),
+            (q.q90, 0.90),
+            (q.q99, 0.99),
+            (q.q100, 1.0),
+        ];
+        for w in anchors.windows(2) {
+            let (start, lo) = w[0];
+            let (end, hi) = w[1];
+            let n = (end - start) as usize;
+            if n == 0 {
+                continue;
+            }
+            fill_geometric(&mut weights, n, hi - lo);
+        }
+        // Renormalise exactly (the per-segment fills are already
+        // exact up to floating-point rounding). The curve is monotone
+        // within each segment; across a segment boundary the head of
+        // the next segment may exceed the tail of the previous one,
+        // but for every realistic quantile profile the segment means
+        // drop steeply enough that the curve is globally decreasing.
+        let total: f64 = weights.iter().sum();
+        for w in &mut weights {
+            *w /= total;
+        }
+        WeightCurve { weights }
+    }
+
+    /// The per-site weights, hottest first. Sums to 1.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of sites with non-zero weight (= `q100`).
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the curve is empty (never true for valid quantiles).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Cumulative weight of the `n` hottest sites.
+    pub fn cumulative(&self, n: usize) -> f64 {
+        self.weights[..n.min(self.weights.len())].iter().sum()
+    }
+
+    /// The smallest number of hottest sites whose cumulative weight
+    /// reaches `mass` (the inverse of [`Self::cumulative`]); used to
+    /// re-measure Q-quantiles from generated traces.
+    pub fn sites_for_mass(&self, mass: f64) -> usize {
+        let mut acc = 0.0;
+        for (i, w) in self.weights.iter().enumerate() {
+            acc += w;
+            if acc >= mass - 1e-12 {
+                return i + 1;
+            }
+        }
+        self.weights.len()
+    }
+
+    /// Partitions the curve into consecutive chunks of `chunk` sites
+    /// (hottest first) and returns each chunk's total weight. The
+    /// last chunk may be short. Used to derive per-procedure dispatch
+    /// weights.
+    pub fn chunk_masses(&self, chunk: usize) -> Vec<f64> {
+        assert!(chunk > 0, "chunk size must be positive");
+        self.weights.chunks(chunk).map(|c| c.iter().sum()).collect()
+    }
+}
+
+/// Appends `n` weights summing to `mass`, tapering geometrically so
+/// the first weight in the segment is about `RATIO_SPAN` times the
+/// last. A pure uniform fill would make all sites in a segment
+/// equally hot, which produces unnaturally flat plateaus; a gentle
+/// geometric taper keeps the within-segment ordering strict while
+/// still hitting the segment's total mass exactly.
+fn fill_geometric(out: &mut Vec<f64>, n: usize, mass: f64) {
+    const RATIO_SPAN: f64 = 8.0;
+    if n == 1 {
+        out.push(mass);
+        return;
+    }
+    // w_k = w0 * r^k with r chosen so w_{n-1} = w0 / RATIO_SPAN.
+    let r = (1.0 / RATIO_SPAN).powf(1.0 / (n as f64 - 1.0));
+    let geo_sum = (1.0 - r.powi(n as i32)) / (1.0 - r);
+    let w0 = mass / geo_sum;
+    let mut w = w0;
+    for _ in 0..n {
+        out.push(w);
+        w *= r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doduc_q() -> HotQuantiles {
+        HotQuantiles { q50: 3, q90: 175, q99: 296, q100: 1447 }
+    }
+
+    #[test]
+    fn curve_sums_to_one() {
+        let c = WeightCurve::from_quantiles(&doduc_q());
+        let s: f64 = c.weights().iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anchors_are_hit() {
+        let q = doduc_q();
+        let c = WeightCurve::from_quantiles(&q);
+        assert!((c.cumulative(q.q50 as usize) - 0.50).abs() < 1e-6);
+        assert!((c.cumulative(q.q90 as usize) - 0.90).abs() < 1e-6);
+        assert!((c.cumulative(q.q99 as usize) - 0.99).abs() < 1e-6);
+        assert!((c.cumulative(q.q100 as usize) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_are_monotone_decreasing_up_to_segment_boundaries() {
+        let c = WeightCurve::from_quantiles(&doduc_q());
+        let inversions = c
+            .weights()
+            .windows(2)
+            .filter(|w| w[0] < w[1] - 1e-15)
+            .count();
+        // At most one inversion per segment boundary (3 boundaries).
+        assert!(inversions <= 3, "{inversions} inversions");
+    }
+
+    #[test]
+    fn sites_for_mass_inverts_cumulative() {
+        let q = doduc_q();
+        let c = WeightCurve::from_quantiles(&q);
+        assert_eq!(c.sites_for_mass(0.50), q.q50 as usize);
+        assert_eq!(c.sites_for_mass(0.90), q.q90 as usize);
+        assert_eq!(c.sites_for_mass(1.0), q.q100 as usize);
+    }
+
+    #[test]
+    fn chunk_masses_partition_total() {
+        let c = WeightCurve::from_quantiles(&doduc_q());
+        let chunks = c.chunk_masses(13);
+        let total: f64 = chunks.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(chunks.len(), 1447usize.div_ceil(13));
+    }
+
+    #[test]
+    fn degenerate_single_site() {
+        let q = HotQuantiles { q50: 1, q90: 1, q99: 1, q100: 1 };
+        let c = WeightCurve::from_quantiles(&q);
+        assert_eq!(c.len(), 1);
+        assert!((c.weights()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_quantiles_panic() {
+        let q = HotQuantiles { q50: 10, q90: 5, q99: 20, q100: 30 };
+        let _ = WeightCurve::from_quantiles(&q);
+    }
+}

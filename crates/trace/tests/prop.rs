@@ -1,0 +1,116 @@
+//! Property tests for the trace layer: file round trips, weight
+//! curves and walker coherence over randomly generated profiles.
+
+use proptest::prelude::*;
+
+use nls_trace::{
+    read_trace, synthesize, write_trace, Addr, BenchProfile, BreakKind, BreakMix, GenConfig,
+    HotQuantiles, TraceRecord, Walker, WeightCurve,
+};
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    let addr = (0u64..1_000_000).prop_map(Addr::from_inst_index);
+    prop_oneof![
+        addr.clone().prop_map(TraceRecord::sequential),
+        (addr.clone(), addr.clone(), any::<bool>()).prop_map(|(pc, t, taken)| {
+            TraceRecord::branch(pc, BreakKind::Conditional, taken, t)
+        }),
+        (addr.clone(), addr.clone()).prop_map(|(pc, t)| {
+            TraceRecord::branch(pc, BreakKind::Call, true, t)
+        }),
+        (addr.clone(), addr.clone()).prop_map(|(pc, t)| {
+            TraceRecord::branch(pc, BreakKind::Return, true, t)
+        }),
+        (addr.clone(), addr).prop_map(|(pc, t)| {
+            TraceRecord::branch(pc, BreakKind::IndirectJump, true, t)
+        }),
+    ]
+}
+
+/// A random but structurally valid profile.
+fn arb_profile() -> impl Strategy<Value = BenchProfile> {
+    (
+        2u32..40,       // q50
+        1u32..80,       // q90 - q50
+        1u32..200,      // q99 - q90
+        1u32..800,      // q100 - q99
+        0u32..3000,     // static - q100
+        5.0f64..20.0,   // pct_breaks
+        35.0f64..70.0,  // pct_taken
+        (1.0f64..20.0, 0.0f64..4.0, 1.0f64..8.0), // call%, ij%, uncond%
+    )
+        .prop_map(|(q50, d90, d99, d100, cold, pct_breaks, pct_taken, (call, ij, uncond))| {
+            let q90 = q50 + d90;
+            let q99 = q90 + d99;
+            let q100 = q99 + d100;
+            let cond = 100.0 - 2.0 * call - ij - uncond;
+            BenchProfile {
+                name: "random",
+                pct_breaks,
+                quantiles: HotQuantiles { q50, q90, q99, q100 },
+                static_cond_sites: q100 + cold,
+                pct_taken,
+                mix: BreakMix { cond, indirect: ij, uncond, call, ret: call },
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trace_file_round_trips(records in prop::collection::vec(arb_record(), 0..200)) {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, records.iter().copied()).expect("write");
+        let back = read_trace(&buf[..]).expect("read");
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn weight_curves_hit_their_anchors(p in arb_profile()) {
+        let q = p.quantiles;
+        let curve = WeightCurve::from_quantiles(&q);
+        prop_assert_eq!(curve.len(), q.q100 as usize);
+        let total: f64 = curve.weights().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!((curve.cumulative(q.q50 as usize) - 0.5).abs() < 1e-6);
+        prop_assert!((curve.cumulative(q.q90 as usize) - 0.9).abs() < 1e-6);
+        prop_assert!(curve.weights().iter().all(|w| *w >= 0.0));
+    }
+
+    #[test]
+    fn synthesized_programs_validate_and_walk_coherently(p in arb_profile(), seed in any::<u64>()) {
+        let cfg = GenConfig { seed, ..GenConfig::default() };
+        let program = synthesize(&p, &cfg);
+        prop_assert_eq!(program.validate(), Ok(()));
+        // Walk a slice and check PC coherence + call/return nesting.
+        let mut prev: Option<TraceRecord> = None;
+        let mut shadow: Vec<Addr> = Vec::new();
+        for r in Walker::new(&program, seed ^ 0xdead).take(20_000) {
+            if let Some(prev) = prev {
+                prop_assert_eq!(prev.next_pc(), r.pc);
+            }
+            match r.class.break_kind() {
+                Some(BreakKind::Call) => shadow.push(r.pc.next()),
+                Some(BreakKind::Return) => {
+                    if let Some(expected) = shadow.pop() {
+                        prop_assert_eq!(r.target, expected);
+                    }
+                }
+                _ => {}
+            }
+            prev = Some(r);
+        }
+    }
+
+    #[test]
+    fn static_site_count_respects_the_profile(p in arb_profile()) {
+        let program = synthesize(&p, &GenConfig::default());
+        let got = program.static_cond_sites() as f64;
+        let want = p.static_cond_sites as f64;
+        // The builder hits the static budget within its structural
+        // granularity (one cold procedure).
+        prop_assert!(got >= 0.8 * want && got <= 1.35 * want + 200.0,
+            "static sites {got} vs profile {want}");
+    }
+}

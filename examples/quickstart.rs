@@ -1,0 +1,58 @@
+//! Quick start: simulate the paper's headline comparison on one
+//! workload.
+//!
+//! Builds a gcc-like synthetic workload, runs it through the
+//! 1024-entry NLS-table and an equal-cost 128-entry direct-mapped
+//! BTB (plus the double-cost 256-entry 4-way BTB), and prints the
+//! paper's metrics: %MfB, %MpB, branch execution penalty and CPI.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nextline::core::{run_one, EngineSpec, PenaltyModel, RunSpec, SweepConfig};
+use nextline::icache::CacheConfig;
+use nextline::trace::BenchProfile;
+
+fn main() {
+    let bench = BenchProfile::gcc();
+    println!(
+        "workload: {} ({} static conditional branch sites, {:.1}% breaks)",
+        bench.name, bench.static_cond_sites, bench.pct_breaks
+    );
+
+    let spec = RunSpec {
+        bench,
+        cache: CacheConfig::paper(16, 1),
+        engines: vec![
+            EngineSpec::btb(128, 1),
+            EngineSpec::btb(256, 4),
+            EngineSpec::nls_table(1024),
+        ],
+    };
+    let cfg = SweepConfig { trace_len: 2_000_000, seed: 42 };
+    println!("simulating {} instructions on a 16K direct-mapped i-cache...\n", cfg.trace_len);
+
+    let m = PenaltyModel::paper();
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "engine", "%MfB", "%MpB", "BEP", "miss%", "CPI"
+    );
+    for r in run_one(&spec, &cfg) {
+        println!(
+            "{:<16} {:>8.2} {:>8.2} {:>8.3} {:>8.2} {:>8.3}",
+            r.engine,
+            r.pct_misfetched(),
+            r.pct_mispredicted(),
+            r.bep(&m),
+            r.miss_pct(),
+            r.cpi(&m),
+        );
+    }
+
+    println!(
+        "\nThe NLS table stores (line, set) cache pointers instead of full target\n\
+         addresses, so at equal silicon cost it holds 8x the entries of the BTB —\n\
+         which is why its misfetch rate is lower on branch-heavy code like gcc."
+    );
+}

@@ -1,0 +1,64 @@
+//! Recording and replaying traces.
+//!
+//! The simulator is trace-driven: any PC-coherent instruction stream
+//! can be fed to the engines, not just the built-in synthetic
+//! workloads. This example records a workload into the compact
+//! binary `NLST` format, reads it back, verifies the round trip, and
+//! replays it through an engine — the workflow for users who have
+//! their own instrumentation traces.
+//!
+//! ```text
+//! cargo run --release --example trace_files
+//! ```
+
+use nextline::core::{drive, EngineSpec, FetchEngine, PenaltyModel};
+use nextline::icache::CacheConfig;
+use nextline::trace::{
+    read_trace, synthesize, write_trace, BenchProfile, GenConfig, TraceStats, Walker,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = BenchProfile::li();
+    let program = synthesize(&profile, &GenConfig::for_profile(&profile));
+    let records = Walker::new(&program, 99).take(300_000).collect::<Vec<_>>();
+
+    // Record to a file.
+    let path = std::env::temp_dir().join("nextline_demo.nlst");
+    let file = std::fs::File::create(&path)?;
+    let written = write_trace(file, records.iter().copied())?;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!(
+        "wrote {written} records ({bytes} bytes, {:.1} B/record) to {}",
+        bytes as f64 / written as f64,
+        path.display()
+    );
+
+    // Read back and verify.
+    let replayed = read_trace(std::fs::File::open(&path)?)?;
+    assert_eq!(replayed, records, "round trip must be lossless");
+
+    // Measure it like Table 1 does.
+    let stats = TraceStats::from_trace(replayed.iter().copied());
+    println!(
+        "replayed trace: {:.2}% breaks, {:.2}% of conditionals taken, {} hot sites",
+        stats.pct_breaks(),
+        stats.pct_taken(),
+        stats.q100()
+    );
+
+    // Replay through a fetch engine.
+    let mut engines: Vec<Box<dyn FetchEngine + Send>> =
+        vec![EngineSpec::nls_table(1024).build(CacheConfig::paper(8, 1))];
+    drive(&replayed, &mut engines);
+    let r = engines[0].result(profile.name);
+    let m = PenaltyModel::paper();
+    println!(
+        "replay through {}: BEP {:.3}, CPI {:.3}",
+        r.engine,
+        r.bep(&m),
+        r.cpi(&m)
+    );
+
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

@@ -1,0 +1,165 @@
+//! End-to-end integration: full synthetic workloads through every
+//! architecture, checking cross-engine invariants the paper's
+//! methodology depends on.
+
+use nextline::core::{
+    cross, run_one, run_sweep, EngineSpec, PenaltyModel, RunSpec, SweepConfig,
+};
+use nextline::icache::CacheConfig;
+use nextline::trace::BenchProfile;
+
+fn cfg() -> SweepConfig {
+    SweepConfig { trace_len: 300_000, seed: 0xabcd }
+}
+
+#[test]
+fn every_benchmark_runs_through_every_engine() {
+    let engines = vec![
+        EngineSpec::btb(128, 1),
+        EngineSpec::btb(256, 4),
+        EngineSpec::nls_table(1024),
+        EngineSpec::nls_cache(2),
+        EngineSpec::Johnson { preds_per_line: 2 },
+    ];
+    let m = PenaltyModel::paper();
+    for bench in BenchProfile::all() {
+        let spec = RunSpec {
+            bench: bench.clone(),
+            cache: CacheConfig::paper(16, 1),
+            engines: engines.clone(),
+        };
+        for r in run_one(&spec, &cfg()) {
+            assert_eq!(r.instructions, 300_000, "{} {}", bench.name, r.engine);
+            assert!(r.breaks > 0);
+            assert!(r.misfetches + r.mispredicts <= r.breaks);
+            assert!(r.bep(&m) >= 0.0 && r.bep(&m) < 4.0, "{}: BEP {}", r.engine, r.bep(&m));
+            assert!(r.cpi(&m) >= 1.0);
+            assert_eq!(r.icache.accesses, r.instructions);
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let spec = RunSpec {
+        bench: BenchProfile::groff(),
+        cache: CacheConfig::paper(8, 4),
+        engines: vec![EngineSpec::nls_table(1024), EngineSpec::btb(128, 1)],
+    };
+    assert_eq!(run_one(&spec, &cfg()), run_one(&spec, &cfg()));
+}
+
+#[test]
+fn pht_mispredicts_are_engine_invariant() {
+    // The paper isolates fetch effects by giving both architectures
+    // the identical PHT: "The accuracy of the pattern history table
+    // is the same for both the BTB and NLS architectures." In this
+    // simulator the conditional direction stream is engine
+    // independent, so conditional-mispredict counts must be close
+    // (small differences come only from non-conditional breaks:
+    // indirect jumps and returns).
+    for bench in [BenchProfile::espresso(), BenchProfile::doduc()] {
+        // doduc/espresso have almost no indirect jumps, so total
+        // mispredicts are nearly pure PHT for them.
+        let spec = RunSpec {
+            bench: bench.clone(),
+            cache: CacheConfig::paper(16, 1),
+            engines: vec![EngineSpec::btb(256, 4), EngineSpec::nls_table(2048)],
+        };
+        let results = run_one(&spec, &cfg());
+        let a = results[0].mispredicts as f64;
+        let b = results[1].mispredicts as f64;
+        let rel = (a - b).abs() / a.max(b);
+        assert!(rel < 0.08, "{}: mispredicts {a} vs {b}", bench.name);
+    }
+}
+
+#[test]
+fn btb_bep_does_not_depend_on_the_cache() {
+    let m = PenaltyModel::paper();
+    let caches = [CacheConfig::paper(8, 1), CacheConfig::paper(32, 4)];
+    let runs = cross(&[BenchProfile::gcc()], &caches, &[EngineSpec::btb(128, 1)]);
+    let results = run_sweep(&runs, &cfg());
+    let a = results[0].bep(&m);
+    let b = results[1].bep(&m);
+    assert!((a - b).abs() < 1e-9, "BTB BEP must be cache-invariant: {a} vs {b}");
+}
+
+#[test]
+fn nls_bep_improves_with_the_cache() {
+    let m = PenaltyModel::paper();
+    let caches = [CacheConfig::paper(8, 1), CacheConfig::paper(32, 4)];
+    let runs = cross(&[BenchProfile::gcc()], &caches, &[EngineSpec::nls_table(1024)]);
+    let results = run_sweep(&runs, &cfg());
+    assert!(
+        results[1].bep(&m) < results[0].bep(&m),
+        "32K 4-way ({}) should beat 8K direct ({})",
+        results[1].bep(&m),
+        results[0].bep(&m)
+    );
+}
+
+#[test]
+fn nls_table_beats_equal_cost_btb_on_branch_heavy_code() {
+    let m = PenaltyModel::paper();
+    for bench in BenchProfile::branch_heavy() {
+        let spec = RunSpec {
+            bench: bench.clone(),
+            cache: CacheConfig::paper(32, 1),
+            engines: vec![EngineSpec::btb(128, 1), EngineSpec::nls_table(1024)],
+        };
+        let results = run_one(&spec, &cfg());
+        assert!(
+            results[1].bep(&m) < results[0].bep(&m),
+            "{}: NLS {} vs BTB {}",
+            bench.name,
+            results[1].bep(&m),
+            results[0].bep(&m)
+        );
+    }
+}
+
+#[test]
+fn nls_table_beats_nls_cache_on_average() {
+    let m = PenaltyModel::paper();
+    let mut table_total = 0.0;
+    let mut cache_total = 0.0;
+    for bench in BenchProfile::all() {
+        let spec = RunSpec {
+            bench: bench.clone(),
+            cache: CacheConfig::paper(16, 1),
+            engines: vec![EngineSpec::nls_table(1024), EngineSpec::nls_cache(2)],
+        };
+        let results = run_one(&spec, &cfg());
+        table_total += results[0].bep(&m);
+        cache_total += results[1].bep(&m);
+    }
+    assert!(
+        table_total < cache_total,
+        "decoupled table ({table_total}) must beat coupled cache ({cache_total})"
+    );
+}
+
+#[test]
+fn johnson_design_trails_the_nls_table() {
+    let m = PenaltyModel::paper();
+    let mut johnson_total = 0.0;
+    let mut table_total = 0.0;
+    for bench in BenchProfile::all() {
+        let spec = RunSpec {
+            bench: bench.clone(),
+            cache: CacheConfig::paper(16, 1),
+            engines: vec![
+                EngineSpec::Johnson { preds_per_line: 2 },
+                EngineSpec::nls_table(1024),
+            ],
+        };
+        let results = run_one(&spec, &cfg());
+        johnson_total += results[0].bep(&m);
+        table_total += results[1].bep(&m);
+    }
+    assert!(
+        table_total < johnson_total,
+        "NLS-table ({table_total}) must beat Johnson's design ({johnson_total})"
+    );
+}

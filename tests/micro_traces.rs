@@ -1,0 +1,148 @@
+//! Cross-crate integration: hand-crafted micro-traces with exactly
+//! known misfetch/mispredict outcomes, driven through the public
+//! facade. These pin the end-to-end semantics of the paper's
+//! penalty accounting.
+
+use nextline::core::{drive, EngineSpec, FetchEngine, PenaltyModel};
+use nextline::icache::CacheConfig;
+use nextline::trace::{Addr, BreakKind, TraceRecord};
+
+fn seq(pc: u64) -> TraceRecord {
+    TraceRecord::sequential(Addr::new(pc))
+}
+
+fn br(pc: u64, kind: BreakKind, taken: bool, target: u64) -> TraceRecord {
+    TraceRecord::branch(Addr::new(pc), kind, taken, Addr::new(target))
+}
+
+/// A tight loop: branch at 0x108 back to 0x100, three iterations,
+/// then fall through.
+fn loop_trace() -> Vec<TraceRecord> {
+    let mut t = Vec::new();
+    for i in 0..3 {
+        t.push(seq(0x100));
+        t.push(seq(0x104));
+        t.push(br(0x108, BreakKind::Conditional, i < 2, 0x100));
+    }
+    t.push(seq(0x10c));
+    t
+}
+
+#[test]
+fn all_engines_agree_on_instruction_and_break_counts() {
+    let trace = loop_trace();
+    let mut engines: Vec<Box<dyn FetchEngine + Send>> = vec![
+        EngineSpec::btb(128, 1).build(CacheConfig::paper(8, 1)),
+        EngineSpec::nls_table(1024).build(CacheConfig::paper(8, 1)),
+        EngineSpec::nls_cache(2).build(CacheConfig::paper(8, 1)),
+        EngineSpec::Johnson { preds_per_line: 2 }.build(CacheConfig::paper(8, 1)),
+    ];
+    drive(&trace, &mut engines);
+    for e in &engines {
+        let r = e.result("micro");
+        assert_eq!(r.instructions, trace.len() as u64, "{}", r.engine);
+        assert_eq!(r.breaks, 3, "{}", r.engine);
+        assert!(r.misfetches + r.mispredicts <= r.breaks, "{}", r.engine);
+    }
+}
+
+#[test]
+fn perfect_call_return_nesting_never_mispredicts_the_stack() {
+    // call -> leaf -> return, repeated; after warmup every return is
+    // predicted by the RAS.
+    let mut trace = Vec::new();
+    for _ in 0..50 {
+        trace.push(br(0x100, BreakKind::Call, true, 0x2000));
+        trace.push(seq(0x2000));
+        trace.push(br(0x2004, BreakKind::Return, true, 0x104));
+        trace.push(br(0x104, BreakKind::Unconditional, true, 0x100));
+    }
+    for spec in [EngineSpec::btb(128, 1), EngineSpec::nls_table(1024)] {
+        let mut engines = vec![spec.build(CacheConfig::paper(8, 1))];
+        drive(&trace, &mut engines);
+        let r = engines[0].result("micro");
+        // Only cold-start misfetches; steady state is fully correct.
+        assert!(r.mispredicts == 0, "{}: {} mispredicts", r.engine, r.mispredicts);
+        assert!(r.misfetches <= 4, "{}: {} misfetches", r.engine, r.misfetches);
+    }
+}
+
+#[test]
+fn ras_overflow_costs_mispredicts() {
+    // A call chain deeper than the 32-entry return stack: the
+    // innermost 32 returns predict correctly, the outer ones pop
+    // stale entries.
+    let depth = 40u64;
+    let mut trace = Vec::new();
+    for i in 0..depth {
+        // call site for level i lives at 0x100 + i*0x40
+        trace.push(br(0x100 + i * 0x40, BreakKind::Call, true, 0x100 + (i + 1) * 0x40));
+    }
+    for i in (0..depth).rev() {
+        let ret_pc = 0x100 + (i + 1) * 0x40;
+        trace.push(br(ret_pc, BreakKind::Return, true, 0x100 + i * 0x40 + 4));
+    }
+    let mut engines = vec![EngineSpec::nls_table(4096).build(CacheConfig::paper(32, 1))];
+    drive(&trace, &mut engines);
+    let r = engines[0].result("micro");
+    // 8 returns lost their stack entries (depth 40 vs capacity 32).
+    assert!(
+        r.mispredicts >= 8,
+        "expected >= 8 overflow mispredicts, got {}",
+        r.mispredicts
+    );
+}
+
+#[test]
+fn alternating_branch_is_learned_by_the_two_level_pht() {
+    // T N T N ... : bimodal-style predictors ping-pong on this, the
+    // paper's gshare learns it once the history warms up.
+    let mut trace = Vec::new();
+    for i in 0..600 {
+        trace.push(br(0x100, BreakKind::Conditional, i % 2 == 0, 0x300));
+        trace.push(seq(if i % 2 == 0 { 0x300 } else { 0x104 }));
+        trace.push(br(if i % 2 == 0 { 0x304 } else { 0x108 }, BreakKind::Unconditional, true, 0xfc));
+        trace.push(seq(0xfc));
+    }
+    let mut engines = vec![EngineSpec::nls_table(1024).build(CacheConfig::paper(8, 1))];
+    drive(&trace, &mut engines);
+    let r = engines[0].result("micro");
+    let cond_mispredicts = r.mispredicts;
+    assert!(
+        cond_mispredicts < 60,
+        "gshare should learn the alternating pattern: {cond_mispredicts} mispredicts of 600"
+    );
+}
+
+#[test]
+fn displacing_a_target_line_hurts_nls_but_not_btb() {
+    let cache = CacheConfig::paper(8, 1);
+    let target = 0x800u64;
+    let conflicting = target + cache.size_bytes; // same cache set
+    let branch = br(0x100, BreakKind::Unconditional, true, target);
+
+    let run = |spec: EngineSpec| {
+        let mut engines = vec![spec.build(cache)];
+        let mut trace = Vec::new();
+        // Warm up the predictor and the cache.
+        trace.push(branch);
+        trace.push(seq(target));
+        trace.push(branch);
+        trace.push(seq(target));
+        // Displace the target line, then run the branch again.
+        trace.push(seq(conflicting));
+        trace.push(branch);
+        trace.push(seq(target));
+        drive(&trace, &mut engines);
+        engines[0].result("micro")
+    };
+
+    let nls = run(EngineSpec::nls_table(1024));
+    let btb = run(EngineSpec::btb(128, 1));
+    // Both misfetch once cold; the NLS also misfetches on the
+    // displaced line (its pointer went stale), the BTB does not (it
+    // re-fetches by full address and simply takes a cache miss).
+    assert_eq!(btb.misfetches, 1, "BTB: only the cold misfetch");
+    assert_eq!(nls.misfetches, 2, "NLS: cold + stale-pointer misfetch");
+    assert_eq!(nls.mispredicts, 0);
+}

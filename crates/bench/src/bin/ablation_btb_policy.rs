@@ -27,9 +27,7 @@ fn main() {
         let trace: Vec<_> = Walker::new(&program, cfg.seed).take(cfg.trace_len).collect();
         let mut engines: Vec<Box<dyn FetchEngine + Send>> = vec![
             Box::new(BtbEngine::new(BtbConfig::new(128, 1), cache)),
-            Box::new(
-                BtbEngine::new(BtbConfig::new(128, 1), cache).with_evict_on_not_taken(),
-            ),
+            Box::new(BtbEngine::new(BtbConfig::new(128, 1), cache).with_evict_on_not_taken()),
         ];
         drive(&trace, &mut engines);
         for (i, (e, policy)) in engines.iter().zip(["keep (paper)", "evict"]).enumerate() {

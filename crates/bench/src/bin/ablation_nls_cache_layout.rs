@@ -38,12 +38,7 @@ fn main() {
             }
             _ => nls_cost::rbe::nls_table_rbe(1024, CacheGeometry::paper(16, 1)),
         };
-        t.row(vec![
-            label,
-            fmt(avg.bep(&m), 3),
-            fmt(avg.pct_misfetched(), 2),
-            fmt(rbe, 0),
-        ]);
+        t.row(vec![label, fmt(avg.bep(&m), 3), fmt(avg.pct_misfetched(), 2), fmt(rbe, 0)]);
     }
     t.print();
     println!("\nexpected: 1/line loses accuracy (branch crowding); 4/line doubles the");

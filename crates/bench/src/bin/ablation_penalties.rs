@@ -25,7 +25,11 @@ fn main() {
         ("paper (1/4/5)", PenaltyModel::paper()),
         (
             "shallow (1/2/3)",
-            PenaltyModel { misfetch_cycles: 1.0, mispredict_cycles: 2.0, icache_miss_cycles: 3.0 },
+            PenaltyModel {
+                misfetch_cycles: 1.0,
+                mispredict_cycles: 2.0,
+                icache_miss_cycles: 3.0,
+            },
         ),
         (
             "deep (2/10/20)",
@@ -37,7 +41,11 @@ fn main() {
         ),
         (
             "misfetch-free (0/4/5)",
-            PenaltyModel { misfetch_cycles: 0.0, mispredict_cycles: 4.0, icache_miss_cycles: 5.0 },
+            PenaltyModel {
+                misfetch_cycles: 0.0,
+                mispredict_cycles: 4.0,
+                icache_miss_cycles: 5.0,
+            },
         ),
     ];
 
@@ -48,15 +56,9 @@ fn main() {
     for (name, m) in &models {
         for spec in &engines {
             let label = spec.build(cache).label();
-            let per: Vec<_> =
-                results.iter().filter(|r| r.engine == label).cloned().collect();
+            let per: Vec<_> = results.iter().filter(|r| r.engine == label).cloned().collect();
             let avg = average(&per);
-            t.row(vec![
-                (*name).into(),
-                label,
-                fmt(avg.bep(m), 3),
-                fmt(avg.cpi(m), 4),
-            ]);
+            t.row(vec![(*name).into(), label, fmt(avg.bep(m), 3), fmt(avg.cpi(m), 4)]);
         }
     }
     t.print();

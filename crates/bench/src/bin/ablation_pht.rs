@@ -36,11 +36,8 @@ fn main() {
     );
     for p in BenchProfile::all() {
         for (i, _) in engines.iter().enumerate() {
-            let r = results
-                .iter()
-                .filter(|r| r.bench == p.name)
-                .nth(i)
-                .expect("result present");
+            let r =
+                results.iter().filter(|r| r.bench == p.name).nth(i).expect("result present");
             t.row(vec![
                 p.name.into(),
                 names[i].into(),
@@ -50,10 +47,7 @@ fn main() {
         }
     }
     for (i, name) in names.iter().enumerate() {
-        let per: Vec<_> = results
-            .chunks(engines.len())
-            .map(|c| c[i].clone())
-            .collect();
+        let per: Vec<_> = results.chunks(engines.len()).map(|c| c[i].clone()).collect();
         let avg = average(&per);
         t.row(vec![
             "average".into(),

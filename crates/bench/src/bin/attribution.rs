@@ -16,16 +16,15 @@ use nls_trace::{BenchProfile, BreakKind};
 
 fn main() {
     let cfg = sweep_config();
-    let engines = [EngineSpec::btb(128, 1), EngineSpec::btb(256, 4), EngineSpec::nls_table(1024)];
+    let engines =
+        [EngineSpec::btb(128, 1), EngineSpec::btb(256, 4), EngineSpec::nls_table(1024)];
     let cache = CacheConfig::paper(16, 1);
     let runs = cross(&BenchProfile::all(), &[cache], &engines);
     let results = run_sweep(&runs, &cfg);
 
     let mut t = Table::new(
         "Attribution: penalty events per break kind (per 1000 breaks, 16K direct)",
-        &[
-            "program", "engine", "mf:cond", "mf:other", "mp:cond", "mp:indirect", "mp:ret",
-        ],
+        &["program", "engine", "mf:cond", "mf:other", "mp:cond", "mp:indirect", "mp:ret"],
     );
     for p in BenchProfile::all() {
         for r in results.iter().filter(|r| r.bench == p.name) {
@@ -54,10 +53,8 @@ fn main() {
     for p in BenchProfile::all() {
         let per: Vec<_> = results.iter().filter(|r| r.bench == p.name).collect();
         let rate = |f: &dyn Fn(&&&nls_core::SimResult) -> u64| -> (f64, f64) {
-            let v: Vec<f64> = per
-                .iter()
-                .map(|r| f(&r) as f64 / r.breaks as f64 * 100.0)
-                .collect();
+            let v: Vec<f64> =
+                per.iter().map(|r| f(&r) as f64 / r.breaks as f64 * 100.0).collect();
             (
                 v.iter().cloned().fold(f64::INFINITY, f64::min),
                 v.iter().cloned().fold(0.0, f64::max),

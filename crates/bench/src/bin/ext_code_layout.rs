@@ -26,8 +26,7 @@ fn main() {
         for layout in [Layout::Shuffled, Layout::HotClustered] {
             let gen_cfg = GenConfig { layout, ..GenConfig::for_profile(&p) };
             let program = synthesize(&p, &gen_cfg);
-            let trace: Vec<_> =
-                Walker::new(&program, cfg.seed).take(cfg.trace_len).collect();
+            let trace: Vec<_> = Walker::new(&program, cfg.seed).take(cfg.trace_len).collect();
             let mut engines: Vec<Box<dyn FetchEngine + Send>> = vec![
                 EngineSpec::btb(128, 1).build(cache),
                 EngineSpec::nls_table(1024).build(cache),

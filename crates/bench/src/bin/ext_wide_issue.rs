@@ -16,11 +16,8 @@ use nls_trace::BenchProfile;
 fn main() {
     let cfg = sweep_config();
     let m = PenaltyModel::paper();
-    let engines = [
-        EngineSpec::btb(128, 1),
-        EngineSpec::btb(256, 4),
-        EngineSpec::nls_table(1024),
-    ];
+    let engines =
+        [EngineSpec::btb(128, 1), EngineSpec::btb(256, 4), EngineSpec::nls_table(1024)];
     let cache = CacheConfig::paper(32, 4);
     let runs = cross(&BenchProfile::all(), &[cache], &engines);
     let results = run_sweep(&runs, &cfg);

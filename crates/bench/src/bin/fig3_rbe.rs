@@ -47,15 +47,24 @@ fn main() {
     let pair = |a: f64, b: f64| a / b;
     println!(
         "  NLS-cache(8K)  / 512-table(8K)   = {:.2}",
-        pair(nls_cache_rbe(2, CacheGeometry::paper(8, 1)), nls_table_rbe(512, CacheGeometry::paper(8, 1)))
+        pair(
+            nls_cache_rbe(2, CacheGeometry::paper(8, 1)),
+            nls_table_rbe(512, CacheGeometry::paper(8, 1))
+        )
     );
     println!(
         "  NLS-cache(16K) / 1024-table(16K) = {:.2}",
-        pair(nls_cache_rbe(2, CacheGeometry::paper(16, 1)), nls_table_rbe(1024, CacheGeometry::paper(16, 1)))
+        pair(
+            nls_cache_rbe(2, CacheGeometry::paper(16, 1)),
+            nls_table_rbe(1024, CacheGeometry::paper(16, 1))
+        )
     );
     println!(
         "  NLS-cache(32K) / 2048-table(32K) = {:.2}",
-        pair(nls_cache_rbe(2, CacheGeometry::paper(32, 1)), nls_table_rbe(2048, CacheGeometry::paper(32, 1)))
+        pair(
+            nls_cache_rbe(2, CacheGeometry::paper(32, 1)),
+            nls_table_rbe(2048, CacheGeometry::paper(32, 1))
+        )
     );
     println!(
         "  128-BTB / 1024-table(16K)        = {:.2}",

@@ -31,13 +31,7 @@ fn main() {
             assert_eq!(per_bench.len(), BenchProfile::all().len());
             let avg = average(&per_bench);
             let (mf, mp) = avg.bep_split(&m);
-            t.row(vec![
-                cache.label(),
-                label,
-                fmt(avg.bep(&m), 3),
-                fmt(mf, 3),
-                fmt(mp, 3),
-            ]);
+            t.row(vec![cache.label(), label, fmt(avg.bep(&m), 3), fmt(mf, 3), fmt(mp, 3)]);
         }
     }
     t.print();

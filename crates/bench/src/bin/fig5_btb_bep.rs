@@ -41,11 +41,8 @@ fn main() {
     let nls_runs = cross(&BenchProfile::all(), &paper_caches(), &nls);
     let nls_results = run_sweep(&nls_runs, &cfg);
     for cache in paper_caches() {
-        let per: Vec<_> = nls_results
-            .iter()
-            .filter(|r| r.cache == cache.label())
-            .cloned()
-            .collect();
+        let per: Vec<_> =
+            nls_results.iter().filter(|r| r.cache == cache.label()).cloned().collect();
         let avg = average(&per);
         let (mf, mp) = avg.bep_split(&m);
         t.row(vec![

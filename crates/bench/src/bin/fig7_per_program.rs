@@ -27,8 +27,7 @@ fn main() {
     let btb_runs = cross(&BenchProfile::all(), &[CacheConfig::paper(8, 1)], &btb_specs);
     let btb_results = run_sweep(&btb_runs, &cfg);
 
-    let nls_runs =
-        cross(&BenchProfile::all(), &paper_caches(), &[EngineSpec::nls_table(1024)]);
+    let nls_runs = cross(&BenchProfile::all(), &paper_caches(), &[EngineSpec::nls_table(1024)]);
     let nls_results = run_sweep(&nls_runs, &cfg);
 
     for p in BenchProfile::all() {

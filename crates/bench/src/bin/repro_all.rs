@@ -4,27 +4,64 @@
 //!
 //! ```text
 //! cargo run --release -p nls-bench --bin repro_all
+//! cargo run --release -p nls-bench --bin repro_all -- --resume
 //! NLS_TRACE_LEN=2_000_000 cargo run --release -p nls-bench --bin repro_all  # faster
 //! ```
+//!
+//! The pipeline is fault tolerant: a failing figure binary is logged
+//! to stderr and the remaining stages still run, with a pass/fail
+//! summary table at the end (exit code 4 if anything failed). The
+//! verdict sweep checkpoints each completed (benchmark × cache ×
+//! engine) cell into `results/repro_checkpoint.json`; pass
+//! `--resume` to skip cells already checkpointed by an interrupted
+//! run instead of recomputing them.
 
 use std::process::Command;
 
-use nls_bench::{fmt, sweep_config, Table};
-use nls_core::{average, cross, paper_caches, run_sweep, EngineSpec, PenaltyModel};
+use nls_bench::{checkpoint_path, fmt, sweep_config, Table};
+use nls_core::{
+    average, cross, paper_caches, run_sweep_resumable, EngineSpec, PenaltyModel, RunSpec,
+    SimResult, SweepOptions,
+};
 use nls_icache::CacheConfig;
 use nls_trace::BenchProfile;
 
-/// Runs a sibling experiment binary and panics on failure.
-fn run_binary(name: &str) {
+/// Runs a sibling experiment binary, reporting failure instead of
+/// panicking so one broken figure cannot kill the whole pipeline.
+fn run_binary(name: &str) -> Result<(), String> {
     println!("\n################ {name} ################\n");
     let status = Command::new(env!("CARGO"))
         .args(["run", "--release", "-q", "-p", "nls-bench", "--bin", name])
         .status()
-        .expect("spawn experiment binary");
-    assert!(status.success(), "{name} failed");
+        .map_err(|e| format!("failed to spawn: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("exited with {status}"))
+    }
+}
+
+/// `Some((a, b))` only when both averages are available.
+fn both(a: Option<f64>, b: Option<f64>) -> Option<(f64, f64)> {
+    Some((a?, b?))
 }
 
 fn main() {
+    let mut resume = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            other => {
+                eprintln!(
+                    "error[usage]: unknown argument {other:?} (only --resume is supported)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut summary = Table::new("Reproduction pipeline", &["stage", "status"]);
+    let mut failures: Vec<String> = Vec::new();
     for bin in [
         "table1",
         "fig3_rbe",
@@ -45,10 +82,19 @@ fn main() {
         "ext_type_predictor",
         "ext_set_prediction",
     ] {
-        run_binary(bin);
+        match run_binary(bin) {
+            Ok(()) => summary.row(vec![bin.into(), "ok".into()]),
+            Err(e) => {
+                eprintln!("error[run]: {bin}: {e}; continuing with the remaining figures");
+                summary.row(vec![bin.into(), format!("FAILED ({e})")]);
+                failures.push(format!("{bin}: {e}"));
+            }
+        }
     }
 
-    // Claim-by-claim verdicts on the headline comparison.
+    // Claim-by-claim verdicts on the headline comparison. Each
+    // (benchmark × cache × engine) cell is its own run so the
+    // checkpoint can resume at single-cell granularity.
     println!("\n################ verdicts ################\n");
     let cfg = sweep_config();
     let m = PenaltyModel::paper();
@@ -58,61 +104,140 @@ fn main() {
         EngineSpec::nls_table(1024),
         EngineSpec::nls_cache(2),
     ];
-    let runs = cross(&BenchProfile::all(), &paper_caches(), &engines);
-    let results = run_sweep(&runs, &cfg);
-    let avg_bep = |engine: &str, cache: CacheConfig| {
+    let mut runs: Vec<RunSpec> = Vec::new();
+    for e in &engines {
+        runs.extend(cross(&BenchProfile::all(), &paper_caches(), std::slice::from_ref(e)));
+    }
+
+    let ckpt = checkpoint_path();
+    if !resume {
+        let _ = std::fs::remove_file(&ckpt);
+    }
+    let outcomes = match run_sweep_resumable(&runs, &cfg, &SweepOptions::default(), &ckpt) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!("error[{}]: {e}", e.class());
+            std::process::exit(i32::from(e.exit_code()));
+        }
+    };
+    let mut results: Vec<SimResult> = Vec::new();
+    let mut sweep_failures = 0usize;
+    for (run, outcome) in runs.iter().zip(outcomes) {
+        match outcome {
+            Ok(cell) => results.extend(cell),
+            Err(e) => {
+                eprintln!("error[run]: {e}; verdicts will exclude {}", run.key());
+                failures.push(format!("verdict sweep: {}", run.key()));
+                sweep_failures += 1;
+            }
+        }
+    }
+    summary.row(vec![
+        "verdict sweep".into(),
+        if sweep_failures == 0 {
+            "ok".into()
+        } else {
+            format!("FAILED ({sweep_failures} of {} runs)", runs.len())
+        },
+    ]);
+
+    let avg_bep = |engine: &str, cache: CacheConfig| -> Option<f64> {
         let per: Vec<_> = results
             .iter()
             .filter(|r| r.engine == engine && r.cache == cache.label())
             .cloned()
             .collect();
-        average(&per).bep(&m)
+        if per.is_empty() {
+            None
+        } else {
+            Some(average(&per).bep(&m))
+        }
     };
 
-    let mut verdicts = Table::new("Paper claims vs this reproduction", &["claim", "verdict", "evidence"]);
+    let mut verdicts =
+        Table::new("Paper claims vs this reproduction", &["claim", "verdict", "evidence"]);
+    let mut claim = |title: &str, outcome: Option<(String, String)>| {
+        let (verdict, evidence) = outcome
+            .unwrap_or_else(|| ("NO DATA".into(), "failed runs excluded (see stderr)".into()));
+        verdicts.row(vec![title.into(), verdict, evidence]);
+    };
     let c16 = CacheConfig::paper(16, 1);
     let c8 = CacheConfig::paper(8, 1);
     let c32 = CacheConfig::paper(32, 4);
 
     let nls16 = avg_bep("1024 NLS table", c16);
     let btb128 = avg_bep("128 direct BTB", c16);
-    verdicts.row(vec![
-        "1024 NLS-table beats equal-cost 128 direct BTB".into(),
-        if nls16 < btb128 { "HOLDS" } else { "FAILS" }.into(),
-        format!("BEP {} vs {}", fmt(nls16, 3), fmt(btb128, 3)),
-    ]);
+    claim(
+        "1024 NLS-table beats equal-cost 128 direct BTB",
+        both(nls16, btb128).map(|(n, b)| {
+            (
+                if n < b { "HOLDS" } else { "FAILS" }.into(),
+                format!("BEP {} vs {}", fmt(n, 3), fmt(b, 3)),
+            )
+        }),
+    );
 
     let btb256 = avg_bep("256 4-way BTB", c16);
-    verdicts.row(vec![
-        "1024 NLS-table ~ 256 4-way BTB at half the cost".into(),
-        if (nls16 - btb256).abs() / btb256 < 0.12 { "HOLDS" } else { "CHECK" }.into(),
-        format!("BEP {} vs {}", fmt(nls16, 3), fmt(btb256, 3)),
-    ]);
+    claim(
+        "1024 NLS-table ~ 256 4-way BTB at half the cost",
+        both(nls16, btb256).map(|(n, b)| {
+            (
+                if (n - b).abs() / b < 0.12 { "HOLDS" } else { "CHECK" }.into(),
+                format!("BEP {} vs {}", fmt(n, 3), fmt(b, 3)),
+            )
+        }),
+    );
 
     let cache16 = avg_bep("NLS cache (2/line)", c16);
-    verdicts.row(vec![
-        "NLS-table beats equal-cost NLS-cache".into(),
-        if nls16 < cache16 { "HOLDS" } else { "FAILS" }.into(),
-        format!("BEP {} vs {}", fmt(nls16, 3), fmt(cache16, 3)),
-    ]);
+    claim(
+        "NLS-table beats equal-cost NLS-cache",
+        both(nls16, cache16).map(|(n, c)| {
+            (
+                if n < c { "HOLDS" } else { "FAILS" }.into(),
+                format!("BEP {} vs {}", fmt(n, 3), fmt(c, 3)),
+            )
+        }),
+    );
 
     let nls8 = avg_bep("1024 NLS table", c8);
     let nls32 = avg_bep("1024 NLS table", c32);
-    verdicts.row(vec![
-        "NLS BEP falls with cache size/associativity".into(),
-        if nls32 < nls8 { "HOLDS" } else { "FAILS" }.into(),
-        format!("BEP 8K-direct {} -> 32K-4way {}", fmt(nls8, 3), fmt(nls32, 3)),
-    ]);
+    claim(
+        "NLS BEP falls with cache size/associativity",
+        both(nls8, nls32).map(|(n8, n32)| {
+            (
+                if n32 < n8 { "HOLDS" } else { "FAILS" }.into(),
+                format!("BEP 8K-direct {} -> 32K-4way {}", fmt(n8, 3), fmt(n32, 3)),
+            )
+        }),
+    );
 
     let btb128_8 = avg_bep("128 direct BTB", c8);
     let btb128_32 = avg_bep("128 direct BTB", c32);
-    verdicts.row(vec![
-        "BTB BEP is insensitive to the cache".into(),
-        if (btb128_8 - btb128_32).abs() < 0.02 { "HOLDS" } else { "FAILS" }.into(),
-        format!("BEP {} vs {}", fmt(btb128_8, 3), fmt(btb128_32, 3)),
-    ]);
+    claim(
+        "BTB BEP is insensitive to the cache",
+        both(btb128_8, btb128_32).map(|(b8, b32)| {
+            (
+                if (b8 - b32).abs() < 0.02 { "HOLDS" } else { "FAILS" }.into(),
+                format!("BEP {} vs {}", fmt(b8, 3), fmt(b32, 3)),
+            )
+        }),
+    );
 
     verdicts.print();
     verdicts.save("verdicts");
-    println!("\nall results written under results/");
+
+    println!();
+    summary.print();
+    if failures.is_empty() {
+        // A clean run leaves no checkpoint behind.
+        let _ = std::fs::remove_file(&ckpt);
+        println!("\nall results written under results/");
+    } else {
+        eprintln!("\n{} stage(s) failed:", failures.len());
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        eprintln!("rerun with --resume to skip completed sweep cells");
+        std::process::exit(4);
+    }
 }

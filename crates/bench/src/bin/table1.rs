@@ -13,15 +13,15 @@ fn main() {
     let mut measured = Table::new(
         "Table 1 (measured): attributes of the synthetic traces",
         &[
-            "program", "insns", "%breaks", "Q-50", "Q-90", "Q-99", "Q-100", "static",
-            "%taken", "%CBr", "%IJ", "%Br", "%Call", "%Ret",
+            "program", "insns", "%breaks", "Q-50", "Q-90", "Q-99", "Q-100", "static", "%taken",
+            "%CBr", "%IJ", "%Br", "%Call", "%Ret",
         ],
     );
     let mut paper = Table::new(
         "Table 1 (paper): attributes of the traced programs",
         &[
-            "program", "%breaks", "Q-50", "Q-90", "Q-99", "Q-100", "static", "%taken",
-            "%CBr", "%IJ", "%Br", "%Call", "%Ret",
+            "program", "%breaks", "Q-50", "Q-90", "Q-99", "Q-100", "static", "%taken", "%CBr",
+            "%IJ", "%Br", "%Call", "%Ret",
         ],
     );
 

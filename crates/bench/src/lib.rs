@@ -31,6 +31,13 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
+/// Where `repro_all` checkpoints its verdict sweep so an interrupted
+/// reproduction can restart with `--resume` instead of recomputing
+/// every completed (benchmark × cache × engine) cell.
+pub fn checkpoint_path() -> PathBuf {
+    results_dir().join("repro_checkpoint.json")
+}
+
 /// A printable, CSV-writable results table.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -88,7 +95,8 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ =
+            writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -111,9 +119,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
         }
         out
     }

@@ -11,9 +11,9 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use nls_core::EngineSpec;
+use nls_core::{EngineSpec, NlsError};
 use nls_icache::CacheConfig;
-use nls_trace::BenchProfile;
+use nls_trace::{BenchProfile, RecoveryPolicy};
 
 /// A CLI parsing/validation error, with the message shown to the
 /// user.
@@ -27,6 +27,12 @@ impl fmt::Display for CliError {
 }
 
 impl std::error::Error for CliError {}
+
+impl From<CliError> for NlsError {
+    fn from(e: CliError) -> Self {
+        NlsError::Usage(e.0)
+    }
+}
 
 fn err<T>(msg: impl Into<String>) -> Result<T, CliError> {
     Err(CliError(msg.into()))
@@ -67,10 +73,10 @@ impl ParsedArgs {
                 return err(format!("unexpected positional argument {tok:?}"));
             };
             match it.peek() {
-                Some(v) if !v.starts_with("--") => {
-                    let v = it.next().expect("peeked");
-                    out.options.push((key.to_string(), v));
-                }
+                Some(v) if !v.starts_with("--") => match it.next() {
+                    Some(v) => out.options.push((key.to_string(), v)),
+                    None => return err(format!("option --{key} is missing its value")),
+                },
                 _ => out.switches.push(key.to_string()),
             }
         }
@@ -79,20 +85,12 @@ impl ParsedArgs {
 
     /// The last value given for `--key`, if any.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
+        self.options.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
     }
 
     /// All values given for `--key`, in order.
     pub fn get_all(&self, key: &str) -> Vec<&str> {
-        self.options
-            .iter()
-            .filter(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-            .collect()
+        self.options.iter().filter(|(k, _)| k == key).map(|(_, v)| v.as_str()).collect()
     }
 
     /// Whether the bare switch `--key` appeared.
@@ -136,9 +134,8 @@ pub fn parse_cache(spec: &str) -> Result<CacheConfig, CliError> {
     let kb: u64 = size
         .parse()
         .map_err(|_| CliError(format!("bad cache capacity in {spec:?} (want e.g. 16K:4)")))?;
-    let assoc: u32 = assoc
-        .parse()
-        .map_err(|_| CliError(format!("bad cache associativity in {spec:?}")))?;
+    let assoc: u32 =
+        assoc.parse().map_err(|_| CliError(format!("bad cache associativity in {spec:?}")))?;
     if !kb.is_power_of_two() || !(1..=16).contains(&assoc) || !assoc.is_power_of_two() {
         return err(format!("unsupported cache geometry {spec:?}"));
     }
@@ -208,6 +205,35 @@ pub fn parse_benches(name: &str) -> Result<Vec<BenchProfile>, CliError> {
     }
 }
 
+/// Parses a corruption-recovery policy for `--on-corrupt`:
+///
+/// * `fail` — stop at the first corrupt record (the default)
+/// * `skip` — drop corrupt records, no limit
+/// * `skip:N` — drop up to `N` corrupt records, then fail
+/// * `truncate` — keep everything before the first corrupt record
+///
+/// # Errors
+///
+/// Fails on unknown policy names or a malformed skip limit.
+pub fn parse_recovery_policy(spec: &str) -> Result<RecoveryPolicy, CliError> {
+    match spec {
+        "fail" => Ok(RecoveryPolicy::Fail),
+        "skip" => Ok(RecoveryPolicy::SkipRecord { max_skips: u64::MAX }),
+        "truncate" => Ok(RecoveryPolicy::TruncateAtError),
+        other => match other.strip_prefix("skip:") {
+            Some(n) => {
+                let max_skips = n.parse().map_err(|_| {
+                    CliError(format!("bad skip limit in {spec:?} (want e.g. skip:100)"))
+                })?;
+                Ok(RecoveryPolicy::SkipRecord { max_skips })
+            }
+            None => err(format!(
+                "unknown corruption policy {spec:?} (want fail, skip, skip:N or truncate)"
+            )),
+        },
+    }
+}
+
 /// Parses a positive integer with optional `_` separators and `k`/`m`
 /// suffixes (`8_000_000`, `2m`, `500k`).
 ///
@@ -238,7 +264,8 @@ mod tests {
 
     #[test]
     fn tokenises_subcommand_options_and_switches() {
-        let a = ParsedArgs::parse(["simulate", "--bench", "gcc", "--csv", "--len", "2m"]).unwrap();
+        let a =
+            ParsedArgs::parse(["simulate", "--bench", "gcc", "--csv", "--len", "2m"]).unwrap();
         assert_eq!(a.command, "simulate");
         assert_eq!(a.get("bench"), Some("gcc"));
         assert_eq!(a.get("len"), Some("2m"));
@@ -288,6 +315,28 @@ mod tests {
         assert_eq!(parse_benches("gcc").unwrap()[0].name, "gcc");
         assert_eq!(parse_benches("all").unwrap().len(), 6);
         assert!(parse_benches("quake").is_err());
+    }
+
+    #[test]
+    fn recovery_policies() {
+        assert_eq!(parse_recovery_policy("fail").unwrap(), RecoveryPolicy::Fail);
+        assert_eq!(
+            parse_recovery_policy("skip").unwrap(),
+            RecoveryPolicy::SkipRecord { max_skips: u64::MAX }
+        );
+        assert_eq!(
+            parse_recovery_policy("skip:7").unwrap(),
+            RecoveryPolicy::SkipRecord { max_skips: 7 }
+        );
+        assert_eq!(parse_recovery_policy("truncate").unwrap(), RecoveryPolicy::TruncateAtError);
+        assert!(parse_recovery_policy("skip:x").is_err());
+        assert!(parse_recovery_policy("ignore").is_err());
+    }
+
+    #[test]
+    fn usage_errors_convert_to_exit_code_two() {
+        let e: NlsError = CliError("bad flag".into()).into();
+        assert_eq!(e.exit_code(), 2);
     }
 
     #[test]

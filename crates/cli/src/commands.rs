@@ -1,22 +1,38 @@
 //! Subcommand implementations for the `nls` tool.
 //!
 //! Each command returns the text it would print, so the command
-//! layer is unit-testable without capturing stdout.
+//! layer is unit-testable without capturing stdout. Failures are
+//! reported through the workspace [`NlsError`] taxonomy, so the
+//! binary can exit with one code per error class (usage 2, trace 3,
+//! run 4, checkpoint 5, I/O 6).
 
 use std::fmt::Write as _;
 
 use nls_core::{
-    fallthrough_way_prediction, run_one, EngineSpec, PenaltyModel, RunSpec, SweepConfig,
+    fallthrough_way_prediction, run_one, EngineSpec, FetchEngine as _, NlsError, PenaltyModel,
+    RunSpec, SweepConfig,
 };
 use nls_cost::access_time::{btb_access_ns, tagless_access_ns, TimingProcess};
 use nls_cost::rbe::{btb_rbe, nls_cache_rbe, nls_table_rbe, CacheGeometry};
 use nls_trace::{
-    read_trace, synthesize, write_trace, BenchProfile, GenConfig, TraceStats, Walker,
+    synthesize, write_trace_atomic, BenchProfile, GenConfig, TraceFileError, TraceReader,
+    TraceStats, Walker,
 };
 
 use crate::args::{
-    parse_benches, parse_cache, parse_count, parse_engine, CliError, ParsedArgs,
+    parse_benches, parse_cache, parse_count, parse_engine, parse_recovery_policy, CliError,
+    ParsedArgs,
 };
+
+/// Splits trace-layer failures into their true classes: an
+/// [`TraceFileError::Io`] is an environment problem (exit 6), the
+/// rest is file corruption (exit 3).
+fn trace_err(e: TraceFileError) -> NlsError {
+    match e {
+        TraceFileError::Io(io) => NlsError::Io(io),
+        other => NlsError::Trace(other),
+    }
+}
 
 /// The help text (also shown on `nls help`).
 pub const USAGE: &str = "\
@@ -29,11 +45,13 @@ USAGE:
   nls costs     [--cache-kb 8,16,32,64]
   nls gen-trace --bench <NAME> --out <FILE> [--len 2m] [--seed N]
   nls replay    --trace <FILE> [--cache 16K:1] [--engine nls-table:1024]...
+                [--on-corrupt fail|skip|skip:N|truncate]
   nls set-pred  --bench <NAME|all> [--cache 16K:2] [--len 2m]
   nls help
 
 ENGINES: btb:ENTRIES:ASSOC | nls-table:ENTRIES | nls-cache:PREDS | johnson:PREDS
 BENCHES: doduc espresso gcc li cfront groff | all
+EXIT CODES: 0 ok | 2 usage | 3 corrupt trace | 4 failed run | 5 checkpoint | 6 i/o
 ";
 
 fn default_engines() -> Vec<EngineSpec> {
@@ -109,7 +127,7 @@ fn result_block(results: &[nls_core::SimResult], csv: bool) -> String {
 /// # Errors
 ///
 /// Fails on malformed options.
-pub fn simulate(a: &ParsedArgs) -> Result<String, CliError> {
+pub fn simulate(a: &ParsedArgs) -> Result<String, NlsError> {
     a.expect_only(&["bench", "cache", "engine", "len", "seed", "csv"])?;
     let benches = parse_benches(a.get("bench").unwrap_or("all"))?;
     let cache = parse_cache(a.get("cache").unwrap_or("16K:1"))?;
@@ -128,15 +146,26 @@ pub fn simulate(a: &ParsedArgs) -> Result<String, CliError> {
 /// # Errors
 ///
 /// Fails on malformed options.
-pub fn table1(a: &ParsedArgs) -> Result<String, CliError> {
+pub fn table1(a: &ParsedArgs) -> Result<String, NlsError> {
     a.expect_only(&["len", "seed"])?;
     let cfg = sweep_config(a)?;
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<9} {:>8} {:>6} {:>6} {:>6} {:>7} {:>8} {:>7} {:>6} {:>5} {:>5} {:>6} {:>5}",
-        "program", "%breaks", "Q-50", "Q-90", "Q-99", "Q-100", "static", "%taken", "%CBr",
-        "%IJ", "%Br", "%Call", "%Ret"
+        "program",
+        "%breaks",
+        "Q-50",
+        "Q-90",
+        "Q-99",
+        "Q-100",
+        "static",
+        "%taken",
+        "%CBr",
+        "%IJ",
+        "%Br",
+        "%Call",
+        "%Ret"
     );
     for p in BenchProfile::all() {
         let program = synthesize(&p, &GenConfig::for_profile(&p));
@@ -169,7 +198,7 @@ pub fn table1(a: &ParsedArgs) -> Result<String, CliError> {
 /// # Errors
 ///
 /// Fails on malformed options.
-pub fn costs(a: &ParsedArgs) -> Result<String, CliError> {
+pub fn costs(a: &ParsedArgs) -> Result<String, NlsError> {
     a.expect_only(&["cache-kb"])?;
     let kbs: Vec<u64> = match a.get("cache-kb") {
         Some(s) => s
@@ -220,42 +249,73 @@ pub fn costs(a: &ParsedArgs) -> Result<String, CliError> {
 
 /// `nls gen-trace`: write a synthetic trace to a `.nlst` file.
 ///
+/// The trace streams record-by-record through a buffered writer into
+/// a temporary sibling, is fsynced, and is renamed into place — the
+/// output path only ever holds a complete trace or the previous one.
+///
 /// # Errors
 ///
 /// Fails on malformed options or I/O errors.
-pub fn gen_trace(a: &ParsedArgs) -> Result<String, CliError> {
+pub fn gen_trace(a: &ParsedArgs) -> Result<String, NlsError> {
     a.expect_only(&["bench", "out", "len", "seed"])?;
-    let bench = parse_benches(a.get("bench").ok_or(CliError("--bench is required".into()))?)?
-        .into_iter()
-        .next()
-        .expect("non-empty");
+    let mut benches =
+        parse_benches(a.get("bench").ok_or(CliError("--bench is required".into()))?)?;
+    if benches.len() != 1 {
+        return Err(CliError("gen-trace writes one benchmark per file; name one".into()).into());
+    }
+    let bench = benches.remove(0);
     let out_path = a.get("out").ok_or(CliError("--out is required".into()))?;
     let cfg = sweep_config(a)?;
     let program = synthesize(&bench, &GenConfig::for_profile(&bench));
     let records = Walker::new(&program, cfg.seed).take(cfg.trace_len);
-    let file = std::fs::File::create(out_path)
-        .map_err(|e| CliError(format!("cannot create {out_path}: {e}")))?;
-    let n = write_trace(file, records).map_err(|e| CliError(e.to_string()))?;
+    let n = write_trace_atomic(out_path, records).map_err(trace_err)?;
     Ok(format!("wrote {n} records to {out_path}\n"))
 }
 
 /// `nls replay`: run a recorded trace through engines.
 ///
+/// The trace streams through the engines one record at a time, so
+/// memory stays bounded no matter how large the file is.
+/// `--on-corrupt` selects how decoding damage is handled: `fail`
+/// (default) stops with a trace error, `skip`/`skip:N` drops corrupt
+/// records, `truncate` keeps the intact prefix; recoveries are
+/// reported under the results.
+///
 /// # Errors
 ///
-/// Fails on malformed options, unreadable traces, or I/O errors.
-pub fn replay(a: &ParsedArgs) -> Result<String, CliError> {
-    a.expect_only(&["trace", "cache", "engine", "csv"])?;
+/// Fails on malformed options, unreadable or corrupt traces
+/// (beyond what the policy absorbs), or I/O errors.
+pub fn replay(a: &ParsedArgs) -> Result<String, NlsError> {
+    a.expect_only(&["trace", "cache", "engine", "csv", "on-corrupt"])?;
     let path = a.get("trace").ok_or(CliError("--trace is required".into()))?;
+    let policy = parse_recovery_policy(a.get("on-corrupt").unwrap_or("fail"))?;
     let cache = parse_cache(a.get("cache").unwrap_or("16K:1"))?;
     let engines = engines_from(a)?;
-    let file =
-        std::fs::File::open(path).map_err(|e| CliError(format!("cannot open {path}: {e}")))?;
-    let records = read_trace(file).map_err(|e| CliError(e.to_string()))?;
+    let file = std::fs::File::open(path).map_err(|e| {
+        NlsError::Io(std::io::Error::new(e.kind(), format!("cannot open {path}: {e}")))
+    })?;
+    let mut reader = TraceReader::with_policy(file, policy).map_err(trace_err)?;
     let mut built: Vec<_> = engines.iter().map(|e| e.build(cache)).collect();
-    nls_core::drive(&records, &mut built);
+    for record in reader.by_ref() {
+        let r = record.map_err(trace_err)?;
+        for e in built.iter_mut() {
+            e.step(&r);
+        }
+    }
     let results: Vec<_> = built.iter().map(|e| e.result(path)).collect();
-    Ok(result_block(&results, a.has_switch("csv")))
+    let mut out = result_block(&results, a.has_switch("csv"));
+    if reader.records_skipped() > 0 {
+        let _ = writeln!(out, "note: skipped {} corrupt record(s)", reader.records_skipped());
+    }
+    if reader.truncated() {
+        let _ = writeln!(
+            out,
+            "note: trace truncated at the first corrupt record ({} of {} declared records read)",
+            results.first().map_or(0, |r| r.instructions),
+            reader.declared_records()
+        );
+    }
+    Ok(out)
 }
 
 /// `nls set-pred`: fall-through way prediction accuracy (§4.2).
@@ -263,13 +323,17 @@ pub fn replay(a: &ParsedArgs) -> Result<String, CliError> {
 /// # Errors
 ///
 /// Fails on malformed options.
-pub fn set_pred(a: &ParsedArgs) -> Result<String, CliError> {
+pub fn set_pred(a: &ParsedArgs) -> Result<String, NlsError> {
     a.expect_only(&["bench", "cache", "len", "seed"])?;
     let benches = parse_benches(a.get("bench").unwrap_or("all"))?;
     let cache = parse_cache(a.get("cache").unwrap_or("16K:2"))?;
     let cfg = sweep_config(a)?;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<9} {:>14} {:>12} {:>10}", "program", "crossings", "mispredicts", "accuracy");
+    let _ = writeln!(
+        out,
+        "{:<9} {:>14} {:>12} {:>10}",
+        "program", "crossings", "mispredicts", "accuracy"
+    );
     for p in benches {
         let program = synthesize(&p, &GenConfig::for_profile(&p));
         let trace = Walker::new(&program, cfg.seed).take(cfg.trace_len);
@@ -292,7 +356,7 @@ pub fn set_pred(a: &ParsedArgs) -> Result<String, CliError> {
 ///
 /// Propagates the subcommand's error, or reports an unknown
 /// subcommand.
-pub fn dispatch(a: &ParsedArgs) -> Result<String, CliError> {
+pub fn dispatch(a: &ParsedArgs) -> Result<String, NlsError> {
     match a.command.as_str() {
         "simulate" => simulate(a),
         "table1" => table1(a),
@@ -329,8 +393,17 @@ mod tests {
     #[test]
     fn simulate_produces_rows_for_each_engine() {
         let out = run(&[
-            "simulate", "--bench", "li", "--cache", "8K:1", "--engine", "btb:128:1",
-            "--engine", "nls-table:512", "--len", "50k",
+            "simulate",
+            "--bench",
+            "li",
+            "--cache",
+            "8K:1",
+            "--engine",
+            "btb:128:1",
+            "--engine",
+            "nls-table:512",
+            "--len",
+            "50k",
         ])
         .unwrap();
         assert!(out.contains("128 direct BTB"));
@@ -339,10 +412,9 @@ mod tests {
 
     #[test]
     fn simulate_csv_mode() {
-        let out = run(&[
-            "simulate", "--bench", "li", "--cache", "8K:1", "--len", "50k", "--csv",
-        ])
-        .unwrap();
+        let out =
+            run(&["simulate", "--bench", "li", "--cache", "8K:1", "--len", "50k", "--csv"])
+                .unwrap();
         assert!(out.starts_with("bench,cache,engine"));
         assert_eq!(out.lines().count(), 1 + 2, "header + two default engines");
     }
@@ -374,7 +446,8 @@ mod tests {
     fn gen_trace_then_replay_round_trips() {
         let path = std::env::temp_dir().join("nls_cli_test.nlst");
         let path_s = path.to_str().unwrap();
-        let out = run(&["gen-trace", "--bench", "li", "--out", path_s, "--len", "30k"]).unwrap();
+        let out =
+            run(&["gen-trace", "--bench", "li", "--out", path_s, "--len", "30k"]).unwrap();
         assert!(out.contains("30000 records"));
         let replayed = run(&["replay", "--trace", path_s, "--cache", "8K:1"]).unwrap();
         assert!(replayed.contains("1024 NLS table"));
@@ -382,8 +455,66 @@ mod tests {
     }
 
     #[test]
+    fn gen_trace_requires_a_single_benchmark() {
+        let path = std::env::temp_dir().join("nls_cli_all.nlst");
+        let err =
+            run(&["gen-trace", "--bench", "all", "--out", path.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "naming `all` is a usage error");
+        assert!(!path.exists(), "nothing may be written on a usage error");
+    }
+
+    #[test]
+    fn replay_error_classes_match_the_taxonomy() {
+        // Missing file: an I/O problem (6), not corruption.
+        let err = run(&["replay", "--trace", "/nonexistent/trace.nlst"]).unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+
+        // Garbage contents: corruption (3).
+        let path = std::env::temp_dir().join("nls_cli_garbage.nlst");
+        std::fs::write(&path, b"definitely not a trace").unwrap();
+        let err = run(&["replay", "--trace", path.to_str().unwrap()]).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+
+        // Unknown policy: usage (2).
+        let err = run(&["replay", "--trace", path.to_str().unwrap(), "--on-corrupt", "ignore"])
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn replay_policies_recover_corrupt_traces() {
+        use nls_trace::{TRACE_HEADER_BYTES, TRACE_RECORD_BYTES};
+        let path = std::env::temp_dir().join("nls_cli_corrupt.nlst");
+        let path_s = path.to_str().unwrap().to_string();
+        run(&["gen-trace", "--bench", "li", "--out", &path_s, "--len", "20k"]).unwrap();
+
+        // Corrupt the kind tag of record 100.
+        let mut data = std::fs::read(&path).unwrap();
+        data[TRACE_HEADER_BYTES + 100 * TRACE_RECORD_BYTES] = 0xee;
+        std::fs::write(&path, &data).unwrap();
+
+        let err = run(&["replay", "--trace", &path_s]).unwrap_err();
+        assert_eq!(err.exit_code(), 3, "default policy fails on corruption");
+
+        let skipped = run(&["replay", "--trace", &path_s, "--on-corrupt", "skip"]).unwrap();
+        assert!(skipped.contains("skipped 1 corrupt record"), "{skipped}");
+
+        let truncated =
+            run(&["replay", "--trace", &path_s, "--on-corrupt", "truncate"]).unwrap();
+        assert!(truncated.contains("truncated at the first corrupt record"), "{truncated}");
+        assert!(truncated.contains("100 of 20000"), "{truncated}");
+
+        // A skip budget below the damage still fails as corrupt.
+        let err = run(&["replay", "--trace", &path_s, "--on-corrupt", "skip:0"]).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
     fn set_pred_reports_accuracy() {
-        let out = run(&["set-pred", "--bench", "li", "--cache", "8K:2", "--len", "100k"]).unwrap();
+        let out =
+            run(&["set-pred", "--bench", "li", "--cache", "8K:2", "--len", "100k"]).unwrap();
         assert!(out.contains('%'));
         assert!(out.contains("li"));
     }

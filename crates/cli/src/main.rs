@@ -1,9 +1,14 @@
 //! The `nls` binary: see [`nls_cli`] for the command reference.
+//!
+//! Errors print to stderr with their class and exit with one code
+//! per [`NlsError`] class: usage 2, corrupt trace 3, failed run 4,
+//! checkpoint 5, other I/O 6.
 
 use std::process::ExitCode;
 
 use nls_cli::args::ParsedArgs;
 use nls_cli::commands::{dispatch, USAGE};
+use nls_core::NlsError;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -11,14 +16,14 @@ fn main() -> ExitCode {
         print!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    match ParsedArgs::parse(args).and_then(|a| dispatch(&a)) {
+    match ParsedArgs::parse(args).map_err(NlsError::from).and_then(|a| dispatch(&a)) {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error[{}]: {e}", e.class());
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -1,0 +1,141 @@
+//! End-to-end tests of the `nls` binary: process exit codes, stderr
+//! classification, and corruption recovery as a user would see them.
+//!
+//! Each error class must map to its documented exit code (usage 2,
+//! corrupt trace 3, failed run 4, checkpoint 5, I/O 6) with the
+//! diagnostic on stderr and nothing on stdout.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn nls(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nls"))
+        .args(args)
+        .output()
+        .expect("the nls binary must spawn")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("nls-e2e-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = nls(&["help"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout(&out).contains("EXIT CODES"));
+    assert!(stderr(&out).is_empty());
+}
+
+#[test]
+fn usage_errors_exit_two_with_stderr_diagnostics() {
+    for args in [
+        &["frobnicate"][..],
+        &["simulate", "--bogus", "1"][..],
+        &["replay"][..],
+        &["gen-trace", "--bench", "all", "--out", "/tmp/x.nlst"][..],
+    ] {
+        let out = nls(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {}", stderr(&out));
+        assert!(stderr(&out).starts_with("error[usage]:"), "args {args:?}: {}", stderr(&out));
+        assert!(stdout(&out).is_empty(), "errors must not print results");
+    }
+}
+
+#[test]
+fn missing_trace_file_exits_six_as_io() {
+    let out = nls(&["replay", "--trace", "/nonexistent/deeply/missing.nlst"]);
+    assert_eq!(out.status.code(), Some(6));
+    assert!(stderr(&out).starts_with("error[io]:"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("missing.nlst"));
+}
+
+#[test]
+fn corrupt_trace_exits_three_and_names_the_damage() {
+    let path = temp_path("bad-magic.nlst");
+    std::fs::write(&path, b"XXXX\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00").unwrap();
+    let out = nls(&["replay", "--trace", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.starts_with("error[trace]:"), "{err}");
+    assert!(err.contains("magic"), "the diagnostic must name the bad field: {err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn gen_trace_then_replay_round_trips_through_the_binary() {
+    let path = temp_path("round-trip.nlst");
+    let path_s = path.to_str().unwrap();
+    let out = nls(&["gen-trace", "--bench", "li", "--out", path_s, "--len", "20k"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote 20000 records"));
+    // The atomic writer must leave no temporary sibling behind.
+    assert!(!path.with_extension("nlst.tmp").exists());
+
+    let out = nls(&["replay", "--trace", path_s, "--cache", "8K:1"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("1024 NLS table"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn on_corrupt_skip_recovers_where_the_default_fails() {
+    let path = temp_path("skip-recovers.nlst");
+    let path_s = path.to_str().unwrap();
+    assert_eq!(
+        nls(&["gen-trace", "--bench", "li", "--out", path_s, "--len", "20k"]).status.code(),
+        Some(0)
+    );
+    // Corrupt one record's kind tag in the middle of the body.
+    let mut data = std::fs::read(&path).unwrap();
+    let offset = 16 + 500 * 18; // header + 500 records
+    data[offset] = 0xee;
+    std::fs::write(&path, &data).unwrap();
+
+    let strict = nls(&["replay", "--trace", path_s]);
+    assert_eq!(strict.status.code(), Some(3), "{}", stderr(&strict));
+
+    let skip = nls(&["replay", "--trace", path_s, "--on-corrupt", "skip"]);
+    assert_eq!(skip.status.code(), Some(0), "{}", stderr(&skip));
+    assert!(stdout(&skip).contains("skipped 1 corrupt record"), "{}", stdout(&skip));
+
+    let truncate = nls(&["replay", "--trace", path_s, "--on-corrupt", "truncate"]);
+    assert_eq!(truncate.status.code(), Some(0), "{}", stderr(&truncate));
+    assert!(stdout(&truncate).contains("500 of 20000"), "{}", stdout(&truncate));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_trace_file_recovers_under_truncate_policy() {
+    let path = temp_path("torn-write.nlst");
+    let path_s = path.to_str().unwrap();
+    assert_eq!(
+        nls(&["gen-trace", "--bench", "espresso", "--out", path_s, "--len", "10k"])
+            .status
+            .code(),
+        Some(0)
+    );
+    // Simulate a torn write: keep the header and 1000.5 records.
+    let data = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &data[..16 + 1000 * 18 + 9]).unwrap();
+
+    let strict = nls(&["replay", "--trace", path_s]);
+    assert_eq!(strict.status.code(), Some(3));
+
+    let out = nls(&["replay", "--trace", path_s, "--on-corrupt", "truncate"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("1000 of 10000"), "{}", stdout(&out));
+    let _ = std::fs::remove_file(&path);
+}

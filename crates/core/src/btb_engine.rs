@@ -91,8 +91,7 @@ impl FetchEngine for BtbEngine {
 
         // Fetch-time action selection.
         let hit = self.btb.lookup(r.pc);
-        let pht_dir =
-            (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
+        let pht_dir = (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
         let action = match hit {
             Some(entry) => match entry.kind {
                 BreakKind::Return => FetchAction::ReturnStack(self.ras.pop()),
@@ -180,15 +179,11 @@ mod tests {
         // cold); once PHT warms and BTB holds the target, Correct.
         let mut last = BreakOutcome::Misfetch;
         for _ in 0..40 {
-            last = e
-                .step(&TraceRecord::branch(pc, BreakKind::Conditional, true, t))
-                .unwrap();
+            last = e.step(&TraceRecord::branch(pc, BreakKind::Conditional, true, t)).unwrap();
         }
         assert_eq!(last, BreakOutcome::Correct);
         // A sudden not-taken execution: PHT still says taken -> mispredict.
-        let out = e
-            .step(&TraceRecord::branch(pc, BreakKind::Conditional, false, t))
-            .unwrap();
+        let out = e.step(&TraceRecord::branch(pc, BreakKind::Conditional, false, t)).unwrap();
         assert_eq!(out, BreakOutcome::Mispredict);
     }
 
@@ -198,7 +193,8 @@ mod tests {
         // call at 0x100 -> 0x800 (trains BTB), return at 0x800 -> 0x104
         e.step(&TraceRecord::branch(Addr::new(0x100), BreakKind::Call, true, Addr::new(0x800)));
         // First return: BTB cold for 0x800, stack is right -> misfetch.
-        let ret = TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x104));
+        let ret =
+            TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x104));
         assert_eq!(e.step(&ret), Some(BreakOutcome::Misfetch));
         // Second round: BTB knows 0x800 is a return, stack is right.
         e.step(&TraceRecord::branch(Addr::new(0x100), BreakKind::Call, true, Addr::new(0x800)));

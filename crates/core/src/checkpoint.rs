@@ -1,0 +1,645 @@
+//! Sweep checkpoints: periodic persistence of completed runs so an
+//! interrupted `repro_all` (or any long sweep) resumes instead of
+//! recomputing.
+//!
+//! A checkpoint is a versioned JSON file mapping a *run key* — the
+//! stable `(bench × cache × engines)` identity from
+//! [`RunSpec::key`](crate::RunSpec::key) — to the [`SimResult`]s that
+//! run produced. The file also records the [`SweepConfig`] it was
+//! measured under; resuming against a different trace length or seed
+//! is refused rather than silently mixing incompatible results.
+//!
+//! The format is deliberately hand-rolled: the schema is nothing but
+//! strings and u64 counts, and owning both writer and parser keeps
+//! the persistence layer dependency-free and lets the corruption
+//! tests pin down every failure mode. Saves go through the same
+//! write-to-temp-then-rename discipline as
+//! [`write_trace_atomic`](nls_trace::write_trace_atomic), so a crash
+//! mid-save leaves the previous checkpoint intact.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use nls_icache::CacheStats;
+
+use crate::engine::KindCounts;
+use crate::error::NlsError;
+use crate::metrics::SimResult;
+use crate::sweep::SweepConfig;
+
+/// Current checkpoint schema version. Bump on breaking changes; old
+/// versions are rejected with a [`NlsError::Checkpoint`].
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Completed sweep results keyed by run identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Dynamic trace length the results were measured under.
+    pub trace_len: u64,
+    /// Walker seed the results were measured under.
+    pub seed: u64,
+    entries: BTreeMap<String, Vec<SimResult>>,
+}
+
+impl Checkpoint {
+    /// An empty checkpoint bound to `cfg`.
+    pub fn for_config(cfg: &SweepConfig) -> Self {
+        Checkpoint { trace_len: cfg.trace_len as u64, seed: cfg.seed, entries: BTreeMap::new() }
+    }
+
+    /// Whether this checkpoint's results are valid for `cfg`.
+    pub fn matches(&self, cfg: &SweepConfig) -> bool {
+        self.trace_len == cfg.trace_len as u64 && self.seed == cfg.seed
+    }
+
+    /// Number of checkpointed runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no runs are checkpointed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The stored results for a run key, if that run completed.
+    pub fn get(&self, key: &str) -> Option<&[SimResult]> {
+        self.entries.get(key).map(Vec::as_slice)
+    }
+
+    /// Whether a run key is already checkpointed.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Records a completed run (replacing any previous entry).
+    pub fn insert(&mut self, key: String, results: Vec<SimResult>) {
+        self.entries.insert(key, results);
+    }
+
+    /// Loads a checkpoint from `path`. A missing file is `Ok(None)`
+    /// (a fresh sweep); an unreadable or malformed file is a
+    /// [`NlsError::Checkpoint`] so damage is never mistaken for
+    /// "nothing done yet".
+    pub fn load(path: &Path) -> Result<Option<Self>, NlsError> {
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(NlsError::Checkpoint(format!(
+                    "cannot read {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        Self::from_json(&text).map(Some)
+    }
+
+    /// Atomically writes the checkpoint to `path`: serialise to a
+    /// temporary sibling, fsync, rename over the target.
+    pub fn save(&self, path: &Path) -> Result<(), NlsError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let write = (|| -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(self.to_json().as_bytes())?;
+            f.sync_all()?;
+            fs::rename(&tmp, path)
+        })();
+        if let Err(e) = write {
+            let _ = fs::remove_file(&tmp);
+            return Err(NlsError::Checkpoint(format!("cannot write {}: {e}", path.display())));
+        }
+        Ok(())
+    }
+
+    /// Serialises to the versioned JSON schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {CHECKPOINT_VERSION},\n"));
+        out.push_str(&format!("  \"trace_len\": {},\n", self.trace_len));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str("  \"entries\": {");
+        for (i, (key, results)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_string(key));
+            out.push_str(": [");
+            for (j, r) in results.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write_result(&mut out, r);
+            }
+            out.push(']');
+        }
+        if !self.entries.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses the versioned JSON schema, rejecting unknown versions
+    /// and shape mismatches with a [`NlsError::Checkpoint`].
+    pub fn from_json(text: &str) -> Result<Self, NlsError> {
+        let root = Json::parse(text).map_err(NlsError::Checkpoint)?.into_object()?;
+        let version = field(&root, "version")?.as_u64()?;
+        if version != CHECKPOINT_VERSION {
+            return Err(NlsError::Checkpoint(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+        let trace_len = field(&root, "trace_len")?.as_u64()?;
+        let seed = field(&root, "seed")?.as_u64()?;
+        let mut entries = BTreeMap::new();
+        for (key, value) in field(&root, "entries")?.clone().into_object()? {
+            let results = value
+                .into_array()?
+                .into_iter()
+                .map(parse_result)
+                .collect::<Result<Vec<_>, _>>()?;
+            entries.insert(key, results);
+        }
+        Ok(Checkpoint { trace_len, seed, entries })
+    }
+}
+
+fn write_result(out: &mut String, r: &SimResult) {
+    out.push_str(&format!(
+        "{{\"engine\": {}, \"bench\": {}, \"cache\": {}, \
+         \"instructions\": {}, \"breaks\": {}, \"misfetches\": {}, \"mispredicts\": {}, \
+         \"icache\": {{\"accesses\": {}, \"misses\": {}}}, \"by_kind\": [",
+        json_string(&r.engine),
+        json_string(&r.bench),
+        json_string(&r.cache),
+        r.instructions,
+        r.breaks,
+        r.misfetches,
+        r.mispredicts,
+        r.icache.accesses,
+        r.icache.misses,
+    ));
+    for (i, k) in r.by_kind.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"breaks\": {}, \"misfetches\": {}, \"mispredicts\": {}}}",
+            k.breaks, k.misfetches, k.mispredicts
+        ));
+    }
+    out.push_str("]}");
+}
+
+fn parse_result(value: Json) -> Result<SimResult, NlsError> {
+    let obj = value.into_object()?;
+    let icache = field(&obj, "icache")?;
+    let icache = match icache {
+        Json::Object(pairs) => CacheStats {
+            accesses: field(pairs, "accesses")?.as_u64()?,
+            misses: field(pairs, "misses")?.as_u64()?,
+        },
+        other => return Err(type_error("object", other.clone())),
+    };
+    let kinds = field(&obj, "by_kind")?.clone().into_array()?;
+    if kinds.len() != 5 {
+        return Err(NlsError::Checkpoint(format!(
+            "by_kind must have 5 elements, found {}",
+            kinds.len()
+        )));
+    }
+    let mut by_kind = [KindCounts::default(); 5];
+    for (slot, kind) in by_kind.iter_mut().zip(kinds) {
+        let pairs = kind.into_object()?;
+        slot.breaks = field(&pairs, "breaks")?.as_u64()?;
+        slot.misfetches = field(&pairs, "misfetches")?.as_u64()?;
+        slot.mispredicts = field(&pairs, "mispredicts")?.as_u64()?;
+    }
+    Ok(SimResult {
+        engine: field(&obj, "engine")?.as_str()?.to_string(),
+        bench: field(&obj, "bench")?.as_str()?.to_string(),
+        cache: field(&obj, "cache")?.as_str()?.to_string(),
+        instructions: field(&obj, "instructions")?.as_u64()?,
+        breaks: field(&obj, "breaks")?.as_u64()?,
+        misfetches: field(&obj, "misfetches")?.as_u64()?,
+        mispredicts: field(&obj, "mispredicts")?.as_u64()?,
+        icache,
+        by_kind,
+    })
+}
+
+fn field<'a>(pairs: &'a [(String, Json)], name: &str) -> Result<&'a Json, NlsError> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| NlsError::Checkpoint(format!("missing field {name:?}")))
+}
+
+fn type_error(wanted: &str, got: Json) -> NlsError {
+    NlsError::Checkpoint(format!("expected {wanted}, found {}", got.kind()))
+}
+
+/// Escapes a string for JSON output.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The minimal JSON value space the checkpoint schema needs:
+/// objects, arrays, strings and unsigned integers.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Object(Vec<(String, Json)>),
+    Array(Vec<Json>),
+    String(String),
+    Number(u64),
+}
+
+impl Json {
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Object(_) => "object",
+            Json::Array(_) => "array",
+            Json::String(_) => "string",
+            Json::Number(_) => "number",
+        }
+    }
+
+    fn into_object(self) -> Result<Vec<(String, Json)>, NlsError> {
+        match self {
+            Json::Object(pairs) => Ok(pairs),
+            other => Err(type_error("object", other)),
+        }
+    }
+
+    fn into_array(self) -> Result<Vec<Json>, NlsError> {
+        match self {
+            Json::Array(items) => Ok(items),
+            other => Err(type_error("array", other)),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, NlsError> {
+        match self {
+            Json::Number(n) => Ok(*n),
+            other => Err(type_error("number", other.clone())),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, NlsError> {
+        match self {
+            Json::String(s) => Ok(s),
+            other => Err(type_error("string", other.clone())),
+        }
+    }
+
+    /// Parses `text` as a single JSON value with nothing but
+    /// whitespace after it. Errors are plain strings with a byte
+    /// offset; the caller wraps them in [`NlsError::Checkpoint`].
+    fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::String(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            other => {
+                Err(format!("unexpected character {:?} at byte {}", other as char, self.pos))
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let end = self.pos + 4;
+                            let hex = self
+                                .bytes
+                                .get(self.pos..end)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            // The writer only emits \u for control
+                            // characters; reject surrogates rather
+                            // than pair them.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| format!("invalid codepoint \\u{hex}"))?;
+                            out.push(c);
+                            self.pos = end;
+                        }
+                        other => {
+                            return Err(format!("unknown escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                _ => {
+                    // Re-assemble multi-byte UTF-8 sequences: the
+                    // input is a &str, so continuation bytes are
+                    // guaranteed well-formed.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        let digits = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        digits
+            .parse::<u64>()
+            .map(Json::Number)
+            .map_err(|_| format!("number out of range at byte {start}: {digits:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(bench: &str) -> SimResult {
+        SimResult {
+            engine: "1024 NLS table".into(),
+            bench: bench.into(),
+            cache: "8K direct".into(),
+            instructions: 60_000,
+            breaks: 9_000,
+            misfetches: 400,
+            mispredicts: 700,
+            icache: CacheStats { accesses: 60_000, misses: 1_200 },
+            by_kind: [
+                KindCounts { breaks: 6_000, misfetches: 100, mispredicts: 700 },
+                KindCounts { breaks: 500, misfetches: 80, mispredicts: 0 },
+                KindCounts { breaks: 1_000, misfetches: 90, mispredicts: 0 },
+                KindCounts { breaks: 800, misfetches: 70, mispredicts: 0 },
+                KindCounts { breaks: 700, misfetches: 60, mispredicts: 0 },
+            ],
+        }
+    }
+
+    fn sample() -> Checkpoint {
+        let mut cp = Checkpoint::for_config(&SweepConfig { trace_len: 60_000, seed: 7 });
+        cp.insert("li | 8K direct | nls-table1024/gshare".into(), vec![sample_result("li")]);
+        cp.insert(
+            "gcc | 16K 4-way | btb128x1/gshare".into(),
+            vec![sample_result("gcc"), sample_result("gcc")],
+        );
+        cp
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let cp = sample();
+        let parsed = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(parsed, cp);
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let cp = Checkpoint::for_config(&SweepConfig::default());
+        let parsed = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(parsed, cp);
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let mut cp = Checkpoint::for_config(&SweepConfig { trace_len: 1, seed: 1 });
+        let mut r = sample_result("we\"ird\\bench\nname\t\u{1}");
+        r.engine = "ünïcode § engine".into();
+        cp.insert("k\"e\\y".into(), vec![r]);
+        let parsed = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(parsed, cp);
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let text = sample().to_json().replacen("\"version\": 1", "\"version\": 99", 1);
+        let err = Checkpoint::from_json(&text).unwrap_err();
+        assert_eq!(err.exit_code(), 5);
+        assert!(err.to_string().contains("version 99"));
+    }
+
+    #[test]
+    fn malformed_json_is_a_checkpoint_error() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            "{\"version\": 1",
+            "{\"version\": 1} trailing",
+            "{\"version\": true}",
+            "{\"version\": 1, \"trace_len\": 1, \"seed\": 1, \"entries\": [1]}",
+            "{\"version\": 1, \"trace_len\": 99999999999999999999999999, \
+             \"seed\": 1, \"entries\": {}}",
+        ] {
+            let err = Checkpoint::from_json(bad).unwrap_err();
+            assert_eq!(err.exit_code(), 5, "input {bad:?} must be a checkpoint error");
+        }
+    }
+
+    #[test]
+    fn missing_fields_are_named() {
+        let text = "{\"version\": 1, \"seed\": 1, \"entries\": {}}";
+        let err = Checkpoint::from_json(text).unwrap_err();
+        assert!(err.to_string().contains("trace_len"));
+    }
+
+    #[test]
+    fn truncation_at_every_byte_never_panics_and_always_errors() {
+        // Cut inside the trimmed document: a prefix missing the
+        // closing brace can never be a complete value. (Cuts that
+        // only drop trailing whitespace still parse, legitimately.)
+        let text = sample().to_json();
+        let text = text.trim_end();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                Checkpoint::from_json(&text[..cut]).is_err(),
+                "a proper prefix (cut {cut}) must not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn config_matching() {
+        let cp = sample();
+        assert!(cp.matches(&SweepConfig { trace_len: 60_000, seed: 7 }));
+        assert!(!cp.matches(&SweepConfig { trace_len: 60_000, seed: 8 }));
+        assert!(!cp.matches(&SweepConfig { trace_len: 60_001, seed: 7 }));
+    }
+
+    #[test]
+    fn save_load_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir().join("nls-checkpoint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let _ = fs::remove_file(&path);
+
+        assert!(Checkpoint::load(&path).unwrap().is_none());
+        let cp = sample();
+        cp.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap().unwrap();
+        assert_eq!(loaded, cp);
+        assert!(!path.with_extension("json.tmp").exists());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error_not_a_fresh_start() {
+        let dir = std::env::temp_dir().join("nls-checkpoint-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.json");
+        fs::write(&path, b"{\"version\": 1,").unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert_eq!(err.exit_code(), 5);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -88,10 +88,8 @@ impl Counters {
     /// Records one classified break of the given kind.
     pub fn record(&mut self, outcome: BreakOutcome, kind: BreakKind) {
         self.breaks += 1;
-        let ki = BreakKind::ALL
-            .iter()
-            .position(|&k| k == kind)
-            .expect("kind is in BreakKind::ALL");
+        let ki =
+            BreakKind::ALL.iter().position(|&k| k == kind).expect("kind is in BreakKind::ALL");
         let kc = &mut self.by_kind[ki];
         kc.breaks += 1;
         match outcome {
@@ -278,7 +276,12 @@ mod tests {
     #[test]
     fn not_taken_fall_through_is_correct() {
         let cache = InstructionCache::new(CacheConfig::paper(8, 1));
-        let r = TraceRecord::branch(Addr::new(0x100), BreakKind::Conditional, false, Addr::new(0x2000));
+        let r = TraceRecord::branch(
+            Addr::new(0x100),
+            BreakKind::Conditional,
+            false,
+            Addr::new(0x2000),
+        );
         let out = classify(
             &r,
             BreakKind::Conditional,
@@ -293,7 +296,12 @@ mod tests {
     #[test]
     fn unconditional_wrong_fetch_is_misfetch() {
         let cache = InstructionCache::new(CacheConfig::paper(8, 1));
-        let r = TraceRecord::branch(Addr::new(0x100), BreakKind::Unconditional, true, Addr::new(0x2000));
+        let r = TraceRecord::branch(
+            Addr::new(0x100),
+            BreakKind::Unconditional,
+            true,
+            Addr::new(0x2000),
+        );
         let out = classify(
             &r,
             BreakKind::Unconditional,
@@ -308,7 +316,12 @@ mod tests {
     #[test]
     fn indirect_wrong_fetch_is_mispredict() {
         let cache = InstructionCache::new(CacheConfig::paper(8, 1));
-        let r = TraceRecord::branch(Addr::new(0x100), BreakKind::IndirectJump, true, Addr::new(0x2000));
+        let r = TraceRecord::branch(
+            Addr::new(0x100),
+            BreakKind::IndirectJump,
+            true,
+            Addr::new(0x2000),
+        );
         let out = classify(
             &r,
             BreakKind::IndirectJump,
@@ -323,7 +336,8 @@ mod tests {
     #[test]
     fn return_through_correct_stack_is_correct() {
         let cache = InstructionCache::new(CacheConfig::paper(8, 1));
-        let r = TraceRecord::branch(Addr::new(0x100), BreakKind::Return, true, Addr::new(0x2004));
+        let r =
+            TraceRecord::branch(Addr::new(0x100), BreakKind::Return, true, Addr::new(0x2004));
         let out = classify(
             &r,
             BreakKind::Return,
@@ -338,10 +352,12 @@ mod tests {
     #[test]
     fn return_missed_by_predictor_with_good_stack_is_misfetch() {
         let cache = InstructionCache::new(CacheConfig::paper(8, 1));
-        let r = TraceRecord::branch(Addr::new(0x100), BreakKind::Return, true, Addr::new(0x2004));
+        let r =
+            TraceRecord::branch(Addr::new(0x100), BreakKind::Return, true, Addr::new(0x2004));
         let mut ras = ReturnStack::paper();
         ras.push(Addr::new(0x2004));
-        let out = classify(&r, BreakKind::Return, FetchAction::FallThrough, None, &mut ras, &cache);
+        let out =
+            classify(&r, BreakKind::Return, FetchAction::FallThrough, None, &mut ras, &cache);
         assert_eq!(out, BreakOutcome::Misfetch);
         assert_eq!(ras.depth(), 0, "decode redirect popped the stack");
     }
@@ -349,7 +365,8 @@ mod tests {
     #[test]
     fn return_with_empty_stack_is_mispredict() {
         let cache = InstructionCache::new(CacheConfig::paper(8, 1));
-        let r = TraceRecord::branch(Addr::new(0x100), BreakKind::Return, true, Addr::new(0x2004));
+        let r =
+            TraceRecord::branch(Addr::new(0x100), BreakKind::Return, true, Addr::new(0x2004));
         let out = classify(
             &r,
             BreakKind::Return,

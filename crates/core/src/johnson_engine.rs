@@ -71,10 +71,7 @@ impl JohnsonEngine {
 
 impl FetchEngine for JohnsonEngine {
     fn label(&self) -> String {
-        format!(
-            "Johnson successor index ({}/line)",
-            self.preds.config().preds_per_line
-        )
+        format!("Johnson successor index ({}/line)", self.preds.config().preds_per_line)
     }
 
     fn step(&mut self, r: &TraceRecord) -> Option<BreakOutcome> {
@@ -201,8 +198,10 @@ mod tests {
     #[test]
     fn returns_have_no_stack_and_mispredict_on_new_callsites() {
         let mut e = engine();
-        let ret1 = TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x104));
-        let ret2 = TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x204));
+        let ret1 =
+            TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x104));
+        let ret2 =
+            TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x204));
         assert_eq!(step_branch(&mut e, &ret1), BreakOutcome::Mispredict);
         assert_eq!(step_branch(&mut e, &ret1), BreakOutcome::Correct); // same site again
         assert_eq!(step_branch(&mut e, &ret2), BreakOutcome::Mispredict); // new caller

@@ -16,7 +16,13 @@
 //! * [`SimResult`] / [`PenaltyModel`] — %MfB, %MpB, branch execution
 //!   penalty and CPI exactly as defined in §5.2.
 //! * [`run_sweep`] — parallel (benchmark × cache × architecture)
-//!   sweeps with deterministic results.
+//!   sweeps with deterministic results; [`run_sweep_fallible`] /
+//!   [`run_sweep_resumable`] add panic isolation, bounded retry and
+//!   checkpoint/resume ([`Checkpoint`]).
+//! * [`NlsError`] — the workspace error taxonomy (one process exit
+//!   code per class).
+//! * [`oracle`] — accounting-invariant and cross-engine agreement
+//!   checks for fault-injection harnesses.
 //!
 //! # Quick start
 //!
@@ -40,18 +46,23 @@
 //! ```
 
 mod btb_engine;
+mod checkpoint;
 mod engine;
+mod error;
 mod johnson_engine;
 mod metrics;
 mod nls_cache_engine;
 mod nls_table_engine;
+pub mod oracle;
 mod penalty;
 mod set_prediction;
 mod spec;
 mod sweep;
 
 pub use btb_engine::BtbEngine;
+pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use engine::{BreakOutcome, Counters, FetchAction, FetchEngine, KindCounts};
+pub use error::{NlsError, RunError};
 pub use johnson_engine::JohnsonEngine;
 pub use metrics::{average, SimResult};
 pub use nls_cache_engine::NlsCacheEngine;
@@ -60,5 +71,6 @@ pub use penalty::PenaltyModel;
 pub use set_prediction::{fallthrough_way_prediction, FallThroughWayStats};
 pub use spec::{EngineSpec, PhtSpec};
 pub use sweep::{
-    cross, drive, paper_caches, run_one, run_sweep, RunSpec, SweepConfig, DEFAULT_TRACE_LEN,
+    cross, drive, paper_caches, run_one, run_sweep, run_sweep_fallible, run_sweep_resumable,
+    run_sweep_with, RunSpec, SweepConfig, SweepOptions, DEFAULT_TRACE_LEN,
 };

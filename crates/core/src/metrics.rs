@@ -69,8 +69,8 @@ impl SimResult {
             return 1.0;
         }
         let n = self.instructions as f64;
-        let penalty_cycles = self.bep(m) * self.breaks as f64
-            + self.icache.misses as f64 * m.icache_miss_cycles;
+        let penalty_cycles =
+            self.bep(m) * self.breaks as f64 + self.icache.misses as f64 * m.icache_miss_cycles;
         (n + penalty_cycles) / n
     }
 
@@ -82,10 +82,8 @@ impl SimResult {
     /// The event counts for one break kind (§7 attribution: e.g. how
     /// much of the mispredict penalty comes from indirect jumps).
     pub fn kind_counts(&self, kind: BreakKind) -> KindCounts {
-        let ki = BreakKind::ALL
-            .iter()
-            .position(|&k| k == kind)
-            .expect("kind is in BreakKind::ALL");
+        let ki =
+            BreakKind::ALL.iter().position(|&k| k == kind).expect("kind is in BreakKind::ALL");
         self.by_kind[ki]
     }
 
@@ -114,8 +112,8 @@ impl SimResult {
         // Fetch cycles: full blocks plus the half-block wasted at
         // each break.
         let fetch_cycles = (n + self.breaks as f64 * (w - 1.0) / 2.0) / w;
-        let penalty_cycles = self.bep(m) * self.breaks as f64
-            + self.icache.misses as f64 * m.icache_miss_cycles;
+        let penalty_cycles =
+            self.bep(m) * self.breaks as f64 + self.icache.misses as f64 * m.icache_miss_cycles;
         n / (fetch_cycles + penalty_cycles)
     }
 }

@@ -100,10 +100,7 @@ impl FetchEngine for NlsCacheEngine {
 
         // Commit the previous break's predictor update.
         if let Some(p) = self.pending.take() {
-            let target = p
-                .taken
-                .then(|| LinePointer::locate(r.pc, &self.cache))
-                .flatten();
+            let target = p.taken.then(|| LinePointer::locate(r.pc, &self.cache)).flatten();
             self.preds.update(p.set, p.way, p.inst, p.kind, p.taken, target);
         }
 
@@ -111,8 +108,7 @@ impl FetchEngine for NlsCacheEngine {
 
         let inst = NlsCachePredictors::inst_offset(r.pc, line_bytes);
         let entry = self.preds.lookup(set, acc.way, inst);
-        let pht_dir =
-            (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
+        let pht_dir = (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
         let action = match entry.ty {
             NlsType::Invalid => FetchAction::FallThrough,
             NlsType::Return => FetchAction::ReturnStack(self.ras.pop()),

@@ -112,10 +112,7 @@ impl FetchEngine for NlsTableEngine {
         // Commit the previous break's predictor update now that its
         // successor (this very instruction) is resident.
         if let Some(p) = self.pending.take() {
-            let target = p
-                .taken
-                .then(|| LinePointer::locate(r.pc, &self.cache))
-                .flatten();
+            let target = p.taken.then(|| LinePointer::locate(r.pc, &self.cache)).flatten();
             self.table.update(p.pc, p.kind, p.taken, target);
         }
 
@@ -151,8 +148,7 @@ impl FetchEngine for NlsTableEngine {
         if !predicted_branch {
             // A break mistaken for a sequential instruction falls
             // through; classify with the fall-through action.
-            let pht_dir =
-                (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
+            let pht_dir = (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
             let outcome = classify(
                 r,
                 kind,
@@ -173,8 +169,7 @@ impl FetchEngine for NlsTableEngine {
 
         // Fetch-time action selection from the tag-less entry.
         let entry = self.table.lookup(r.pc);
-        let pht_dir =
-            (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
+        let pht_dir = (kind == BreakKind::Conditional).then(|| self.pht.predict(r.pc));
         let action = match entry.ty {
             NlsType::Invalid => FetchAction::FallThrough,
             NlsType::Return => FetchAction::ReturnStack(self.ras.pop()),
@@ -315,8 +310,10 @@ mod tests {
     #[test]
     fn returns_use_the_stack_once_typed() {
         let mut e = engine();
-        let call = TraceRecord::branch(Addr::new(0x100), BreakKind::Call, true, Addr::new(0x800));
-        let ret = TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x104));
+        let call =
+            TraceRecord::branch(Addr::new(0x100), BreakKind::Call, true, Addr::new(0x800));
+        let ret =
+            TraceRecord::branch(Addr::new(0x800), BreakKind::Return, true, Addr::new(0x104));
         // Round 1: both cold -> misfetches (stack itself is right).
         assert_eq!(step_branch(&mut e, &call), BreakOutcome::Misfetch);
         assert_eq!(step_branch(&mut e, &ret), BreakOutcome::Misfetch);
@@ -327,8 +324,8 @@ mod tests {
 
     #[test]
     fn type_predictor_learns_branch_locations() {
-        let mut e = NlsTableEngine::new(1024, CacheConfig::paper(8, 1))
-            .with_type_predictor(1024);
+        let mut e =
+            NlsTableEngine::new(1024, CacheConfig::paper(8, 1)).with_type_predictor(1024);
         let r = uncond(0x100, 0x800);
         // First pass: predicted non-branch (cold type table) -> the
         // break falls through -> misfetch; second pass: branch-ness
@@ -340,8 +337,8 @@ mod tests {
     #[test]
     fn type_predictor_charges_false_positives() {
         let entries = 16;
-        let mut e = NlsTableEngine::new(entries, CacheConfig::paper(8, 1))
-            .with_type_predictor(entries);
+        let mut e =
+            NlsTableEngine::new(entries, CacheConfig::paper(8, 1)).with_type_predictor(entries);
         // Train a branch, then run a *sequential* instruction that
         // aliases both the type bit and the NLS entry: fetch wrongly
         // redirects -> one extra misfetch with no extra break.

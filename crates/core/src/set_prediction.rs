@@ -157,7 +157,7 @@ mod tests {
         // the other way by thrashing its set, then cross again.
         let mut trace = straight(0x1000, 16); // A then B: trains A's field
         trace.extend(straight(0x1000, 16)); // correct prediction
-        // Two conflicting lines in B's set evict B (2-way LRU).
+                                            // Two conflicting lines in B's set evict B (2-way LRU).
         let b_set_stride = cfg.size_bytes / u64::from(cfg.assoc);
         trace.push(TraceRecord::sequential(Addr::new(0x1020 + b_set_stride)));
         trace.push(TraceRecord::sequential(Addr::new(0x1020 + 2 * b_set_stride)));

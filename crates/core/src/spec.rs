@@ -25,6 +25,21 @@ pub enum PhtSpec {
 }
 
 impl PhtSpec {
+    /// A short, stable identity string for checkpoint keys. Distinct
+    /// specs must map to distinct keys; the format is part of the
+    /// checkpoint schema, so change it only with a version bump.
+    pub fn key(&self) -> String {
+        match *self {
+            PhtSpec::Gshare => "gshare".to_string(),
+            PhtSpec::GlobalOnly => "global".to_string(),
+            PhtSpec::Bimodal => "bimodal".to_string(),
+            PhtSpec::Tournament => "tournament".to_string(),
+            PhtSpec::Custom { entries, counter_bits, indexing } => {
+                format!("custom{entries}x{counter_bits}-{indexing:?}")
+            }
+        }
+    }
+
     fn build(self) -> Pht {
         match self {
             PhtSpec::Gshare => Pht::paper(),
@@ -86,6 +101,24 @@ impl EngineSpec {
     /// Shorthand for a gshare-equipped NLS cache.
     pub fn nls_cache(preds_per_line: u32) -> Self {
         EngineSpec::NlsCache { preds_per_line, pht: PhtSpec::Gshare }
+    }
+
+    /// A short, stable identity string for checkpoint keys (e.g.
+    /// `btb128x1/gshare`, `nls-table1024/gshare`). Distinct specs map
+    /// to distinct keys; the format is part of the checkpoint schema.
+    pub fn key(&self) -> String {
+        match *self {
+            EngineSpec::Btb { entries, assoc, pht } => {
+                format!("btb{entries}x{assoc}/{}", pht.key())
+            }
+            EngineSpec::NlsTable { entries, pht } => {
+                format!("nls-table{entries}/{}", pht.key())
+            }
+            EngineSpec::NlsCache { preds_per_line, pht } => {
+                format!("nls-cache{preds_per_line}/{}", pht.key())
+            }
+            EngineSpec::Johnson { preds_per_line } => format!("johnson{preds_per_line}"),
+        }
     }
 
     /// Instantiates the engine for `cache`.
@@ -153,5 +186,25 @@ mod tests {
     fn paper_sets_have_expected_sizes() {
         assert_eq!(EngineSpec::paper_comparison_set().len(), 5);
         assert_eq!(EngineSpec::paper_nls_set().len(), 4);
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        assert_eq!(EngineSpec::btb(128, 1).key(), "btb128x1/gshare");
+        assert_eq!(EngineSpec::nls_table(1024).key(), "nls-table1024/gshare");
+        assert_eq!(EngineSpec::nls_cache(2).key(), "nls-cache2/gshare");
+        assert_eq!(EngineSpec::Johnson { preds_per_line: 2 }.key(), "johnson2");
+
+        let mut keys: Vec<String> = EngineSpec::paper_comparison_set()
+            .iter()
+            .chain(EngineSpec::paper_nls_set().iter())
+            .map(EngineSpec::key)
+            .collect();
+        keys.push(EngineSpec::NlsTable { entries: 1024, pht: PhtSpec::Bimodal }.key());
+        keys.sort();
+        let total = keys.len();
+        keys.dedup();
+        // paper_comparison_set and paper_nls_set share nls_table(1024).
+        assert_eq!(keys.len(), total - 1, "distinct specs must have distinct keys");
     }
 }

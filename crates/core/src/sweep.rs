@@ -6,12 +6,29 @@
 //! generation is amortised across architectures). A *sweep* executes
 //! many runs — (benchmark × cache configuration) pairs — across
 //! threads with deterministic result ordering.
+//!
+//! # Fault tolerance
+//!
+//! Sweep workers are panic-isolated: a run whose engine panics is
+//! caught with [`std::panic::catch_unwind`], retried up to
+//! [`SweepOptions::max_retries`] times, and reported as a
+//! [`RunError`] in that run's slot — the other runs complete
+//! normally. [`run_sweep_resumable`] additionally checkpoints every
+//! completed run to a versioned JSON file ([`Checkpoint`]) so an
+//! interrupted sweep restarts where it stopped instead of from
+//! scratch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nls_icache::CacheConfig;
 use nls_trace::{synthesize, BenchProfile, GenConfig, TraceRecord, Walker};
 use parking_lot::Mutex;
 
+use crate::checkpoint::Checkpoint;
 use crate::engine::FetchEngine;
+use crate::error::{NlsError, RunError};
 use crate::metrics::SimResult;
 use crate::spec::EngineSpec;
 
@@ -34,6 +51,26 @@ impl Default for SweepConfig {
     }
 }
 
+/// Fault-tolerance knobs for a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepOptions {
+    /// Extra attempts granted to a run whose engine panics (so a run
+    /// is tried `1 + max_retries` times before it is reported as a
+    /// [`RunError::Panicked`]). Retries cost one full re-simulation
+    /// each; they only help against nondeterministic failures.
+    pub max_retries: u32,
+    /// For resumable sweeps: persist the checkpoint after every this
+    /// many newly completed runs (clamped to at least 1). The final
+    /// state is always saved regardless.
+    pub checkpoint_every: usize,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { max_retries: 1, checkpoint_every: 1 }
+    }
+}
+
 /// One (workload, cache, engines) simulation unit.
 #[derive(Debug, Clone)]
 pub struct RunSpec {
@@ -43,6 +80,18 @@ pub struct RunSpec {
     pub cache: CacheConfig,
     /// The fetch architectures to drive over the trace.
     pub engines: Vec<EngineSpec>,
+}
+
+impl RunSpec {
+    /// The run's stable checkpoint identity:
+    /// `bench | cache | engine-key(+engine-key...)`. Two specs
+    /// produce the same key exactly when they simulate the same
+    /// thing, so checkpointed results can be reused across
+    /// processes. The format is part of the checkpoint schema.
+    pub fn key(&self) -> String {
+        let engines: Vec<String> = self.engines.iter().map(EngineSpec::key).collect();
+        format!("{} | {} | {}", self.bench.name, self.cache.label(), engines.join("+"))
+    }
 }
 
 /// Runs a prepared trace through a set of engines. Exposed for
@@ -75,35 +124,204 @@ pub fn run_one(spec: &RunSpec, cfg: &SweepConfig) -> Vec<SimResult> {
     engines.iter().map(|e| e.result(spec.bench.name)).collect()
 }
 
-/// Executes `runs` across threads. Results are returned flattened in
-/// run order (then engine order within each run), independent of
-/// scheduling.
-pub fn run_sweep(runs: &[RunSpec], cfg: &SweepConfig) -> Vec<SimResult> {
+/// Renders a caught panic payload (the `&str` / `String` payloads
+/// `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Executes one run under `catch_unwind` with bounded retry.
+fn attempt_run<F>(
+    run_fn: &F,
+    spec: &RunSpec,
+    cfg: &SweepConfig,
+    max_retries: u32,
+) -> Result<Vec<SimResult>, RunError>
+where
+    F: Fn(&RunSpec, &SweepConfig) -> Vec<SimResult> + Sync,
+{
+    let attempts = max_retries.saturating_add(1);
+    let mut last = String::new();
+    for _ in 0..attempts {
+        // AssertUnwindSafe: on panic the engines and trace state of
+        // this attempt are dropped wholesale, so no torn state is
+        // observable afterwards.
+        match catch_unwind(AssertUnwindSafe(|| run_fn(spec, cfg))) {
+            Ok(results) => return Ok(results),
+            Err(payload) => last = panic_message(payload.as_ref()),
+        }
+    }
+    Err(RunError::Panicked {
+        run: format!("{} @ {}", spec.bench.name, spec.cache.label()),
+        message: last,
+        attempts,
+    })
+}
+
+/// The shared sweep executor behind every public sweep entry point:
+/// work-stealing over the not-yet-done runs, panic isolation per
+/// run, optional checkpoint persistence.
+fn sweep_inner<F>(
+    runs: &[RunSpec],
+    cfg: &SweepConfig,
+    opts: &SweepOptions,
+    run_fn: &F,
+    persist: Option<(&Path, &Mutex<Checkpoint>)>,
+) -> Result<Vec<Result<Vec<SimResult>, RunError>>, NlsError>
+where
+    F: Fn(&RunSpec, &SweepConfig) -> Vec<SimResult> + Sync,
+{
+    let mut slots: Vec<Option<Result<Vec<SimResult>, RunError>>> = vec![None; runs.len()];
+
+    // Runs already in the checkpoint are prefilled, not re-executed.
+    let mut todo: Vec<usize> = Vec::with_capacity(runs.len());
+    if let Some((_, cp)) = persist {
+        let cp = cp.lock();
+        for (i, run) in runs.iter().enumerate() {
+            match cp.get(&run.key()) {
+                Some(results) => slots[i] = Some(Ok(results.to_vec())),
+                None => todo.push(i),
+            }
+        }
+    } else {
+        todo.extend(0..runs.len());
+    }
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
-        .min(runs.len().max(1));
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<Vec<SimResult>>>> = Mutex::new(vec![None; runs.len()]);
+        .min(todo.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots = Mutex::new(slots);
+    let unsaved = AtomicUsize::new(0);
+    let save_error: Mutex<Option<NlsError>> = Mutex::new(None);
 
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= runs.len() {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                if t >= todo.len() {
                     break;
                 }
-                let results = run_one(&runs[i], cfg);
-                slots.lock()[i] = Some(results);
+                let i = todo[t];
+                let outcome = attempt_run(run_fn, &runs[i], cfg, opts.max_retries);
+                if let (Some((path, cp)), Ok(results)) = (persist, &outcome) {
+                    let mut cp = cp.lock();
+                    cp.insert(runs[i].key(), results.clone());
+                    if unsaved.fetch_add(1, Ordering::Relaxed) + 1
+                        >= opts.checkpoint_every.max(1)
+                    {
+                        unsaved.store(0, Ordering::Relaxed);
+                        if let Err(e) = cp.save(path) {
+                            let mut first = save_error.lock();
+                            if first.is_none() {
+                                *first = Some(e);
+                            }
+                        }
+                    }
+                }
+                slots.lock()[i] = Some(outcome);
             });
         }
     })
-    .expect("sweep worker panicked");
+    .expect("sweep workers are panic-isolated");
 
-    slots
+    // Always leave the final state on disk, then surface any save
+    // failure: the caller asked for durability and silently losing
+    // it would defeat resume.
+    if let Some((path, cp)) = persist {
+        cp.lock().save(path)?;
+    }
+    if let Some(e) = save_error.into_inner() {
+        return Err(e);
+    }
+    Ok(slots
         .into_inner()
         .into_iter()
-        .map(|r| r.expect("every run produced results"))
+        .map(|s| s.expect("every run resolved to a result or an error"))
+        .collect())
+}
+
+/// Executes `runs` across threads with a caller-supplied run
+/// function — the injection point for fault-tolerance tests. Returns
+/// one `Result` per run, in run order.
+pub fn run_sweep_with<F>(
+    runs: &[RunSpec],
+    cfg: &SweepConfig,
+    opts: &SweepOptions,
+    run_fn: F,
+) -> Vec<Result<Vec<SimResult>, RunError>>
+where
+    F: Fn(&RunSpec, &SweepConfig) -> Vec<SimResult> + Sync,
+{
+    sweep_inner(runs, cfg, opts, &run_fn, None).expect("no checkpoint i/o without persistence")
+}
+
+/// Executes `runs` across threads with panic isolation: a run whose
+/// engine panics yields an `Err` slot while every other run still
+/// completes. Results are in run order, independent of scheduling.
+pub fn run_sweep_fallible(
+    runs: &[RunSpec],
+    cfg: &SweepConfig,
+    opts: &SweepOptions,
+) -> Vec<Result<Vec<SimResult>, RunError>> {
+    run_sweep_with(runs, cfg, opts, run_one)
+}
+
+/// Like [`run_sweep_fallible`], but persists completed runs to the
+/// checkpoint file at `path` and skips runs already recorded there.
+///
+/// A missing file starts a fresh sweep; a checkpoint written under a
+/// different [`SweepConfig`] (or a damaged one) is refused with
+/// [`NlsError::Checkpoint`] rather than silently mixing
+/// incomparable results — delete the file to start over.
+pub fn run_sweep_resumable(
+    runs: &[RunSpec],
+    cfg: &SweepConfig,
+    opts: &SweepOptions,
+    path: &Path,
+) -> Result<Vec<Result<Vec<SimResult>, RunError>>, NlsError> {
+    let checkpoint = match Checkpoint::load(path)? {
+        Some(cp) if cp.matches(cfg) => cp,
+        Some(cp) => {
+            return Err(NlsError::Checkpoint(format!(
+                "{} was measured with trace_len={} seed={} but this sweep uses \
+                 trace_len={} seed={}; delete it to start over",
+                path.display(),
+                cp.trace_len,
+                cp.seed,
+                cfg.trace_len,
+                cfg.seed
+            )))
+        }
+        None => Checkpoint::for_config(cfg),
+    };
+    let checkpoint = Mutex::new(checkpoint);
+    sweep_inner(runs, cfg, opts, &run_one, Some((path, &checkpoint)))
+}
+
+/// Executes `runs` across threads. Results are returned flattened in
+/// run order (then engine order within each run), independent of
+/// scheduling.
+///
+/// # Panics
+///
+/// Panics if any run still fails after the default retry budget —
+/// the legacy all-or-nothing contract. Use [`run_sweep_fallible`]
+/// to handle per-run failures.
+pub fn run_sweep(runs: &[RunSpec], cfg: &SweepConfig) -> Vec<SimResult> {
+    run_sweep_fallible(runs, cfg, &SweepOptions::default())
+        .into_iter()
+        .map(|r| match r {
+            Ok(results) => results,
+            Err(e) => panic!("{e}"),
+        })
         .collect::<Vec<_>>()
         .concat()
 }
@@ -171,8 +389,7 @@ mod tests {
         );
         let cfg = small_cfg();
         let parallel = run_sweep(&runs, &cfg);
-        let sequential: Vec<SimResult> =
-            runs.iter().flat_map(|r| run_one(r, &cfg)).collect();
+        let sequential: Vec<SimResult> = runs.iter().flat_map(|r| run_one(r, &cfg)).collect();
         assert_eq!(parallel, sequential);
     }
 
@@ -185,12 +402,65 @@ mod tests {
     }
 
     #[test]
+    fn a_panicking_run_is_isolated_and_reported() {
+        let runs = cross(
+            &[BenchProfile::li(), BenchProfile::espresso()],
+            &[CacheConfig::paper(8, 1)],
+            &[EngineSpec::nls_table(512)],
+        );
+        let cfg = small_cfg();
+        let opts = SweepOptions { max_retries: 2, checkpoint_every: 1 };
+        let outcomes = run_sweep_with(&runs, &cfg, &opts, |spec, cfg| {
+            if spec.bench.name == "li" {
+                panic!("injected failure for {}", spec.bench.name);
+            }
+            run_one(spec, cfg)
+        });
+        assert_eq!(outcomes.len(), 2);
+        match &outcomes[0] {
+            Err(RunError::Panicked { run, message, attempts }) => {
+                assert!(run.contains("li"));
+                assert!(message.contains("injected failure"));
+                assert_eq!(*attempts, 3, "1 initial + 2 retries");
+            }
+            other => panic!("expected the li run to fail, got {other:?}"),
+        }
+        let espresso = outcomes[1].as_ref().expect("espresso must survive li's panic");
+        assert_eq!(espresso, &run_one(&runs[1], &cfg));
+    }
+
+    #[test]
+    fn fallible_sweep_agrees_with_the_panicking_wrapper() {
+        let runs = cross(
+            &[BenchProfile::li()],
+            &[CacheConfig::paper(8, 1), CacheConfig::paper(8, 4)],
+            &[EngineSpec::nls_table(512)],
+        );
+        let cfg = small_cfg();
+        let fallible: Vec<SimResult> =
+            run_sweep_fallible(&runs, &cfg, &SweepOptions::default())
+                .into_iter()
+                .map(|r| r.unwrap())
+                .collect::<Vec<_>>()
+                .concat();
+        assert_eq!(fallible, run_sweep(&runs, &cfg));
+    }
+
+    #[test]
+    fn run_keys_identify_the_simulation() {
+        let runs = cross(
+            &[BenchProfile::li()],
+            &[CacheConfig::paper(8, 1)],
+            &[EngineSpec::btb(128, 1), EngineSpec::nls_table(1024)],
+        );
+        assert_eq!(runs[0].key(), "li | 8K direct | btb128x1/gshare+nls-table1024/gshare");
+    }
+
+    #[test]
     fn drive_feeds_every_engine() {
         use nls_trace::{Addr, TraceRecord};
-        let trace = vec![
-            TraceRecord::sequential(Addr::new(0)),
-            TraceRecord::sequential(Addr::new(4)),
-        ];
+        let trace =
+            vec![TraceRecord::sequential(Addr::new(0)), TraceRecord::sequential(Addr::new(4))];
         let mut engines: Vec<Box<dyn FetchEngine + Send>> = vec![
             EngineSpec::nls_table(512).build(CacheConfig::paper(8, 1)),
             EngineSpec::btb(128, 1).build(CacheConfig::paper(8, 1)),

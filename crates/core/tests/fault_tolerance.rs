@@ -1,0 +1,205 @@
+//! Fault-tolerance integration tests: panic-isolated sweeps,
+//! checkpoint/resume, and the invariant oracle against real engines.
+
+use std::fs;
+use std::path::PathBuf;
+
+use nls_core::{
+    cross, oracle, run_one, run_sweep_resumable, run_sweep_with, Checkpoint, EngineSpec,
+    NlsError, RunError, RunSpec, SweepConfig, SweepOptions,
+};
+use nls_icache::CacheConfig;
+use nls_trace::BenchProfile;
+
+fn cfg() -> SweepConfig {
+    SweepConfig { trace_len: 40_000, seed: 11 }
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("nls-fault-tolerance-tests");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn sweep_with_a_panicking_engine_completes_every_other_run() {
+    let runs = cross(
+        &[BenchProfile::li(), BenchProfile::espresso(), BenchProfile::gcc()],
+        &[CacheConfig::paper(8, 1), CacheConfig::paper(8, 4)],
+        &[EngineSpec::nls_table(512)],
+    );
+    let opts = SweepOptions { max_retries: 0, checkpoint_every: 1 };
+    // The injected engine dies on exactly one (bench, cache) pair.
+    let outcomes = run_sweep_with(&runs, &cfg(), &opts, |spec, cfg| {
+        if spec.bench.name == "espresso" && spec.cache.label() == "8K 4-way" {
+            panic!("injected: predictor table index out of bounds");
+        }
+        run_one(spec, cfg)
+    });
+
+    assert_eq!(outcomes.len(), runs.len());
+    let failed: Vec<usize> =
+        outcomes.iter().enumerate().filter(|(_, o)| o.is_err()).map(|(i, _)| i).collect();
+    assert_eq!(failed.len(), 1, "exactly the injected run fails");
+    assert_eq!(runs[failed[0]].key(), "espresso | 8K 4-way | nls-table512/gshare");
+
+    // Every surviving run matches an undisturbed sequential run.
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if let Ok(results) = outcome {
+            assert_eq!(results, &run_one(&runs[i], &cfg()));
+        }
+    }
+}
+
+#[test]
+fn resume_skips_checkpointed_runs_without_recomputing() {
+    let path = temp_path("resume.json");
+    let benches = [BenchProfile::li(), BenchProfile::espresso()];
+    let caches = [CacheConfig::paper(8, 1)];
+    let engines = [EngineSpec::nls_table(512)];
+    let first_half = cross(&benches[..1], &caches, &engines);
+    let all = cross(&benches, &caches, &engines);
+    let opts = SweepOptions::default();
+
+    // Phase 1: simulate an interrupted sweep that finished only li.
+    let partial = run_sweep_resumable(&first_half, &cfg(), &opts, &path).unwrap();
+    assert!(partial.iter().all(Result::is_ok));
+    let saved = Checkpoint::load(&path).unwrap().unwrap();
+    assert_eq!(saved.len(), 1);
+    assert!(saved.contains(&first_half[0].key()));
+
+    // Tamper with the stored li result. If the resumed sweep
+    // re-simulated li it would overwrite this marker; returning it
+    // proves the run was skipped.
+    let mut tampered = saved.clone();
+    let mut marked = saved.get(&first_half[0].key()).unwrap().to_vec();
+    marked[0].instructions = 424_242;
+    tampered.insert(first_half[0].key(), marked);
+    tampered.save(&path).unwrap();
+
+    // Phase 2: resume over the full run set.
+    let resumed = run_sweep_resumable(&all, &cfg(), &opts, &path).unwrap();
+    assert_eq!(resumed.len(), 2);
+    assert_eq!(
+        resumed[0].as_ref().unwrap()[0].instructions,
+        424_242,
+        "the checkpointed run must come from the file, not a re-simulation"
+    );
+    let fresh = resumed[1].as_ref().unwrap();
+    assert_eq!(fresh, &run_one(&all[1], &cfg()), "the new run is computed normally");
+
+    // The completed sweep is fully checkpointed for the next resume.
+    let final_cp = Checkpoint::load(&path).unwrap().unwrap();
+    assert_eq!(final_cp.len(), 2);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn resume_refuses_a_checkpoint_from_a_different_config() {
+    let path = temp_path("mismatch.json");
+    let runs = cross(
+        &[BenchProfile::li()],
+        &[CacheConfig::paper(8, 1)],
+        &[EngineSpec::nls_table(512)],
+    );
+    run_sweep_resumable(&runs, &cfg(), &SweepOptions::default(), &path).unwrap();
+
+    let other = SweepConfig { trace_len: 40_000, seed: 12 };
+    let err = run_sweep_resumable(&runs, &other, &SweepOptions::default(), &path).unwrap_err();
+    assert!(matches!(err, NlsError::Checkpoint(_)), "got {err:?}");
+    assert_eq!(err.exit_code(), 5);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn resume_refuses_a_corrupt_checkpoint() {
+    let path = temp_path("corrupt.json");
+    fs::write(&path, b"{\"version\": 1, \"trace_len\": ").unwrap();
+    let runs = cross(
+        &[BenchProfile::li()],
+        &[CacheConfig::paper(8, 1)],
+        &[EngineSpec::nls_table(512)],
+    );
+    let err = run_sweep_resumable(&runs, &cfg(), &SweepOptions::default(), &path).unwrap_err();
+    assert_eq!(err.exit_code(), 5);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn failed_runs_are_not_checkpointed_and_retry_on_resume() {
+    let path = temp_path("failed-not-stored.json");
+    let runs = cross(
+        &[BenchProfile::li(), BenchProfile::espresso()],
+        &[CacheConfig::paper(8, 1)],
+        &[EngineSpec::nls_table(512)],
+    );
+    // A manual phase 1 via the checkpoint API: record only espresso,
+    // leaving li "failed" (absent).
+    let mut cp = Checkpoint::for_config(&cfg());
+    cp.insert(runs[1].key(), run_one(&runs[1], &cfg()));
+    cp.save(&path).unwrap();
+
+    let resumed = run_sweep_resumable(&runs, &cfg(), &SweepOptions::default(), &path).unwrap();
+    assert!(resumed.iter().all(Result::is_ok), "the absent run is re-attempted");
+    assert_eq!(Checkpoint::load(&path).unwrap().unwrap().len(), 2);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn real_engine_results_satisfy_the_oracle() {
+    let spec = RunSpec {
+        bench: BenchProfile::espresso(),
+        cache: CacheConfig::paper(8, 1),
+        engines: vec![
+            EngineSpec::btb(128, 1),
+            EngineSpec::btb(256, 4),
+            EngineSpec::nls_table(1024),
+            EngineSpec::nls_cache(2),
+            EngineSpec::Johnson { preds_per_line: 2 },
+        ],
+    };
+    let results = run_one(&spec, &cfg());
+    for r in &results {
+        let findings = oracle::invariant_violations(r);
+        assert!(findings.is_empty(), "{}: {findings:?}", r.engine);
+    }
+}
+
+#[test]
+fn btb_and_nls_table_agree_on_pht_outcomes() {
+    // Both engines consult an identically-specified gshare PHT the
+    // same way, so their conditional direction outcomes must match
+    // exactly — across benches and cache shapes.
+    for bench in [BenchProfile::li(), BenchProfile::gcc()] {
+        for cache in [CacheConfig::paper(8, 1), CacheConfig::paper(16, 4)] {
+            let spec = RunSpec {
+                bench: bench.clone(),
+                cache,
+                engines: vec![EngineSpec::btb(128, 1), EngineSpec::nls_table(1024)],
+            };
+            let results = run_one(&spec, &cfg());
+            let findings = oracle::pht_agreement_violations(&results[0], &results[1]);
+            assert!(findings.is_empty(), "{} @ {}: {findings:?}", bench.name, cache.label());
+        }
+    }
+}
+
+#[test]
+fn run_errors_surface_through_the_taxonomy() {
+    let runs = cross(
+        &[BenchProfile::li()],
+        &[CacheConfig::paper(8, 1)],
+        &[EngineSpec::nls_table(512)],
+    );
+    let opts = SweepOptions { max_retries: 1, checkpoint_every: 1 };
+    let outcomes = run_sweep_with(&runs, &cfg(), &opts, |_, _| -> Vec<nls_core::SimResult> {
+        panic!("synthetic engine defect")
+    });
+    let err = outcomes.into_iter().next().unwrap().unwrap_err();
+    assert!(matches!(err, RunError::Panicked { attempts: 2, .. }), "{err:?}");
+    let nls: NlsError = err.into();
+    assert_eq!(nls.exit_code(), 4);
+    assert!(nls.to_string().contains("synthetic engine defect"));
+}

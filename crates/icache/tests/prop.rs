@@ -51,7 +51,8 @@ fn arb_config() -> impl Strategy<Value = CacheConfig> {
 fn arb_addrs() -> impl Strategy<Value = Vec<u64>> {
     // Working set slightly larger than the biggest cache to force
     // conflicts and capacity evictions.
-    prop::collection::vec(0u64..4096, 1..600).prop_map(|v| v.into_iter().map(|x| x * 32).collect())
+    prop::collection::vec(0u64..4096, 1..600)
+        .prop_map(|v| v.into_iter().map(|x| x * 32).collect())
 }
 
 proptest! {

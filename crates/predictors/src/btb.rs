@@ -89,11 +89,7 @@ pub struct Btb {
 impl Btb {
     /// An empty BTB.
     pub fn new(cfg: BtbConfig) -> Self {
-        Btb {
-            cfg,
-            sets: vec![vec![None; cfg.assoc as usize]; cfg.num_sets()],
-            clock: 0,
-        }
+        Btb { cfg, sets: vec![vec![None; cfg.assoc as usize]; cfg.num_sets()], clock: 0 }
     }
 
     /// The geometry.
@@ -117,25 +113,17 @@ impl Btb {
         let set = self.set_of(pc);
         let tag = self.tag_of(pc);
         let clock = self.clock;
-        self.sets[set]
-            .iter_mut()
-            .flatten()
-            .find(|s| s.tag == tag)
-            .map(|s| {
-                s.stamp = clock;
-                s.entry
-            })
+        self.sets[set].iter_mut().flatten().find(|s| s.tag == tag).map(|s| {
+            s.stamp = clock;
+            s.entry
+        })
     }
 
     /// Looks up `pc` without touching LRU state.
     pub fn probe(&self, pc: Addr) -> Option<BtbEntry> {
         let set = self.set_of(pc);
         let tag = self.tag_of(pc);
-        self.sets[set]
-            .iter()
-            .flatten()
-            .find(|s| s.tag == tag)
-            .map(|s| s.entry)
+        self.sets[set].iter().flatten().find(|s| s.tag == tag).map(|s| s.entry)
     }
 
     /// Inserts or updates the entry for a *taken* branch at `pc`.

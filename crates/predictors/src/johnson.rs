@@ -34,7 +34,10 @@ pub struct JohnsonPredictors {
 impl JohnsonPredictors {
     /// An array with all entries untrained.
     pub fn new(cfg: NlsCacheConfig) -> Self {
-        JohnsonPredictors { cfg, entries: vec![SuccessorEntry::default(); cfg.total_predictors()] }
+        JohnsonPredictors {
+            cfg,
+            entries: vec![SuccessorEntry::default(); cfg.total_predictors()],
+        }
     }
 
     /// The geometry.

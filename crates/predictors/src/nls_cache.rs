@@ -103,7 +103,10 @@ impl NlsCachePredictors {
     fn slot(&self, set: u32, way: u8, inst_offset: u32) -> usize {
         debug_assert!(set < self.cfg.sets, "set {set} out of range");
         debug_assert!(u32::from(way) < self.cfg.ways, "way {way} out of range");
-        debug_assert!(inst_offset < self.cfg.insts_per_line, "offset {inst_offset} out of range");
+        debug_assert!(
+            inst_offset < self.cfg.insts_per_line,
+            "offset {inst_offset} out of range"
+        );
         let pred = inst_offset / self.cfg.insts_per_pred();
         ((set * self.cfg.ways + u32::from(way)) * self.cfg.preds_per_line + pred) as usize
     }
@@ -141,10 +144,7 @@ impl NlsCachePredictors {
 
     /// Number of valid predictor entries (diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.ty != crate::nls::NlsType::Invalid)
-            .count()
+        self.entries.iter().filter(|e| e.ty != crate::nls::NlsType::Invalid).count()
     }
 
     /// Convenience: the offset of `pc` within its cache line, for a

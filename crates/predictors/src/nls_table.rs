@@ -80,10 +80,7 @@ impl NlsTable {
 
     /// Number of non-invalid entries (diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.entries
-            .iter()
-            .filter(|e| e.ty != crate::nls::NlsType::Invalid)
-            .count()
+        self.entries.iter().filter(|e| e.ty != crate::nls::NlsType::Invalid).count()
     }
 }
 

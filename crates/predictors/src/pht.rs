@@ -146,9 +146,9 @@ impl DirectionPredictor for Pht {
             let gi = self.gshare_index(pc);
             let bi = self.pc_index(pc);
             let g_correct = self.table[gi].predict_taken() == taken;
-            let b_correct =
-                self.second.as_ref().expect("tournament has a side table")[bi].predict_taken()
-                    == taken;
+            let b_correct = self.second.as_ref().expect("tournament has a side table")[bi]
+                .predict_taken()
+                == taken;
             self.table[gi].update(taken);
             self.second.as_mut().expect("side table")[bi].update(taken);
             // Train the chooser only when the components disagree.

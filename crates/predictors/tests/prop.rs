@@ -6,8 +6,8 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use nls_predictors::{
-    Btb, BtbConfig, DirectionPredictor, GlobalHistory, LinePointer, NlsEntry, NlsTable,
-    Pht, PhtIndexing, ReturnStack, SaturatingCounter,
+    Btb, BtbConfig, DirectionPredictor, GlobalHistory, LinePointer, NlsEntry, NlsTable, Pht,
+    PhtIndexing, ReturnStack, SaturatingCounter,
 };
 use nls_trace::{Addr, BreakKind};
 

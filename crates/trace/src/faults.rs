@@ -1,0 +1,243 @@
+//! Deterministic fault injection for trace files.
+//!
+//! Robustness claims are only as good as the corruption they were
+//! tested against. This module produces *seeded, reproducible*
+//! corruptions of encoded `NLST` byte streams — byte flips,
+//! truncations and record duplications — so the corruption-fuzz
+//! suites can replay the exact same hostile inputs on every run and
+//! a failing seed can be quoted in a bug report.
+//!
+//! The generator is a self-contained splitmix64 so fault plans stay
+//! stable across RNG-crate upgrades: a corruption regression test
+//! must never change behaviour because a dependency re-tuned its
+//! stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use nls_trace::faults::{Fault, FaultInjector};
+//! use nls_trace::{write_trace, Addr, TraceRecord};
+//!
+//! let mut data = Vec::new();
+//! write_trace(&mut data, vec![TraceRecord::sequential(Addr::new(0x100))]).unwrap();
+//! let pristine = data.clone();
+//! let fault = FaultInjector::new(7).any_fault(data.len());
+//! fault.apply(&mut data);
+//! assert_ne!(data, pristine, "every sampled fault changes the bytes");
+//! ```
+
+use crate::file::{TRACE_HEADER_BYTES, TRACE_RECORD_BYTES};
+
+/// One concrete corruption of an encoded trace byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// XOR the byte at `offset` with `mask` (`mask != 0`, so the
+    /// byte always changes).
+    ByteFlip {
+        /// Byte offset into the encoded stream.
+        offset: usize,
+        /// Non-zero XOR mask.
+        mask: u8,
+    },
+    /// Cut the stream down to its first `keep` bytes.
+    Truncate {
+        /// Bytes to keep.
+        keep: usize,
+    },
+    /// Re-insert a copy of record `index` directly after itself,
+    /// shifting the rest of the body. The header count is *not*
+    /// updated — the duplicate displaces the tail, modelling a
+    /// storage layer that repeated a block.
+    DuplicateRecord {
+        /// Zero-based record index to duplicate.
+        index: u64,
+    },
+}
+
+impl Fault {
+    /// Applies the fault to `data` in place. Out-of-range offsets
+    /// and indices clamp to the stream (applying to an empty stream
+    /// is a no-op), so a fault plan sampled for one trace can be
+    /// replayed on a shorter one.
+    pub fn apply(&self, data: &mut Vec<u8>) {
+        match *self {
+            Fault::ByteFlip { offset, mask } => {
+                if data.is_empty() {
+                    return;
+                }
+                let at = offset.min(data.len() - 1);
+                data[at] ^= mask.max(1);
+            }
+            Fault::Truncate { keep } => {
+                data.truncate(keep.min(data.len()));
+            }
+            Fault::DuplicateRecord { index } => {
+                let body = data.len().saturating_sub(TRACE_HEADER_BYTES);
+                let records = body / TRACE_RECORD_BYTES;
+                if records == 0 {
+                    return;
+                }
+                let at = (index as usize).min(records - 1);
+                let start = TRACE_HEADER_BYTES + at * TRACE_RECORD_BYTES;
+                let frame: Vec<u8> = data[start..start + TRACE_RECORD_BYTES].to_vec();
+                let insert_at = start + TRACE_RECORD_BYTES;
+                data.splice(insert_at..insert_at, frame);
+            }
+        }
+    }
+}
+
+/// A seeded fault sampler (splitmix64).
+///
+/// Identical seeds produce identical fault sequences forever; the
+/// stream does not depend on any external RNG crate.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: u64,
+}
+
+impl FaultInjector {
+    /// A sampler seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { state: seed }
+    }
+
+    /// The next raw 64-bit sample (splitmix64 step).
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample in `0..bound` (`bound > 0`).
+    fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// A byte flip somewhere in a stream of `len` bytes.
+    pub fn byte_flip(&mut self, len: usize) -> Fault {
+        let offset = if len == 0 { 0 } else { self.below(len) };
+        let mask = (self.next_u64() as u8).max(1);
+        Fault::ByteFlip { offset, mask }
+    }
+
+    /// A truncation of a stream of `len` bytes to a strictly shorter
+    /// prefix.
+    pub fn truncation(&mut self, len: usize) -> Fault {
+        let keep = if len == 0 { 0 } else { self.below(len) };
+        Fault::Truncate { keep }
+    }
+
+    /// A duplication of one record of a stream of `len` bytes.
+    pub fn duplication(&mut self, len: usize) -> Fault {
+        let records = len.saturating_sub(TRACE_HEADER_BYTES) / TRACE_RECORD_BYTES;
+        let index = if records == 0 { 0 } else { self.below(records) as u64 };
+        Fault::DuplicateRecord { index }
+    }
+
+    /// A fault of any kind, weighted towards byte flips (the common
+    /// real-world corruption).
+    pub fn any_fault(&mut self, len: usize) -> Fault {
+        match self.below(4) {
+            0 => self.truncation(len),
+            1 => self.duplication(len),
+            _ => self.byte_flip(len),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(bytes: usize) -> Vec<u8> {
+        (0..bytes).map(|i| i as u8).collect()
+    }
+
+    #[test]
+    fn same_seed_same_faults() {
+        let mut a = FaultInjector::new(42);
+        let mut b = FaultInjector::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.any_fault(1000), b.any_fault(1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(1);
+        let mut b = FaultInjector::new(2);
+        let same = (0..32).filter(|_| a.any_fault(1000) == b.any_fault(1000)).count();
+        assert!(same < 32, "independent seeds must not produce identical plans");
+    }
+
+    #[test]
+    fn byte_flip_always_changes_one_byte() {
+        let mut inj = FaultInjector::new(7);
+        for _ in 0..100 {
+            let mut data = stream(100);
+            let before = data.clone();
+            inj.byte_flip(data.len()).apply(&mut data);
+            let diffs = before.iter().zip(&data).filter(|(a, b)| a != b).count();
+            assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn truncation_strictly_shrinks() {
+        let mut inj = FaultInjector::new(7);
+        for _ in 0..100 {
+            let mut data = stream(100);
+            inj.truncation(data.len()).apply(&mut data);
+            assert!(data.len() < 100);
+        }
+    }
+
+    #[test]
+    fn duplication_grows_by_one_record() {
+        let mut inj = FaultInjector::new(7);
+        let len = TRACE_HEADER_BYTES + 5 * TRACE_RECORD_BYTES;
+        let mut data = stream(len);
+        inj.duplication(data.len()).apply(&mut data);
+        assert_eq!(data.len(), len + TRACE_RECORD_BYTES);
+    }
+
+    #[test]
+    fn duplication_repeats_the_frame_in_place() {
+        let len = TRACE_HEADER_BYTES + 3 * TRACE_RECORD_BYTES;
+        let mut data = stream(len);
+        Fault::DuplicateRecord { index: 1 }.apply(&mut data);
+        let first = TRACE_HEADER_BYTES + TRACE_RECORD_BYTES;
+        let copy = first + TRACE_RECORD_BYTES;
+        assert_eq!(
+            data[first..first + TRACE_RECORD_BYTES],
+            data[copy..copy + TRACE_RECORD_BYTES]
+        );
+    }
+
+    #[test]
+    fn faults_are_noops_on_empty_streams() {
+        for fault in [
+            Fault::ByteFlip { offset: 10, mask: 0xff },
+            Fault::Truncate { keep: 10 },
+            Fault::DuplicateRecord { index: 3 },
+        ] {
+            let mut data = Vec::new();
+            fault.apply(&mut data);
+            assert!(data.is_empty());
+        }
+    }
+
+    #[test]
+    fn out_of_range_faults_clamp() {
+        let len = TRACE_HEADER_BYTES + 2 * TRACE_RECORD_BYTES;
+        let mut data = stream(len);
+        Fault::ByteFlip { offset: 10_000, mask: 1 }.apply(&mut data);
+        assert_eq!(data.len(), len);
+        Fault::DuplicateRecord { index: 10_000 }.apply(&mut data);
+        assert_eq!(data.len(), len + TRACE_RECORD_BYTES);
+    }
+}

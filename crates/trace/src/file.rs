@@ -9,17 +9,46 @@
 //! magic "NLST" | u32 version | u64 record count | records...
 //! record: u8 kind-tag | u8 taken | u64 pc | u64 target   (little endian)
 //! ```
+//!
+//! # Streaming and fault tolerance
+//!
+//! Production replay runs live or die on long ingestion of huge
+//! address streams, so the primary interface is *streaming*:
+//!
+//! * [`TraceReader`] decodes one fixed-size record frame at a time
+//!   (bounded memory regardless of the header's claimed count) and
+//!   yields `Result<TraceRecord, TraceFileError>`. A configurable
+//!   [`RecoveryPolicy`] decides whether a corrupt frame fails the
+//!   stream, is skipped (up to a bound), or truncates the trace at
+//!   the first error.
+//! * [`TraceWriter`] streams records out through a buffered writer
+//!   and back-patches the header count on [`TraceWriter::finish`],
+//!   so the full record set is never materialised.
+//! * [`write_trace_atomic`] additionally writes through a temporary
+//!   sibling file, fsyncs, and renames into place, so an interrupted
+//!   generation never leaves a truncated-but-valid-looking file.
+//!
+//! [`read_trace`] and [`write_trace`] remain as convenience wrappers
+//! for small traces and tests.
 
-use std::io::{self, Read, Write};
-
-use bytes::{Buf, BufMut};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 use crate::addr::Addr;
 use crate::record::{BreakKind, InstClass, TraceRecord};
 
 const MAGIC: &[u8; 4] = b"NLST";
 const VERSION: u32 = 1;
-const RECORD_BYTES: usize = 18;
+
+/// Size of the fixed file header (magic + version + record count).
+pub const TRACE_HEADER_BYTES: usize = 16;
+/// Size of one encoded record frame.
+pub const TRACE_RECORD_BYTES: usize = 18;
+
+/// Upper bound on the `Vec` preallocation made from the (untrusted)
+/// header count, so a hostile 8-byte header cannot OOM the process.
+const PREALLOC_RECORD_CAP: u64 = 1 << 20;
 
 /// Errors produced when decoding a trace file.
 #[derive(Debug)]
@@ -30,8 +59,19 @@ pub enum TraceFileError {
     BadMagic([u8; 4]),
     /// Unsupported format version.
     BadVersion(u32),
+    /// The header is truncated or claims an implausible record count.
+    BadHeader(String),
     /// A record had an invalid kind tag or inconsistent fields.
     BadRecord(String),
+    /// More corrupt records than [`RecoveryPolicy::SkipRecord`]
+    /// allows.
+    TooCorrupt {
+        /// Corrupt records encountered (including the one over the
+        /// limit).
+        skipped: u64,
+        /// The configured `max_skips` bound.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for TraceFileError {
@@ -40,7 +80,11 @@ impl std::fmt::Display for TraceFileError {
             TraceFileError::Io(e) => write!(f, "i/o error: {e}"),
             TraceFileError::BadMagic(m) => write!(f, "bad magic {m:?}, expected \"NLST\""),
             TraceFileError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceFileError::BadHeader(why) => write!(f, "malformed header: {why}"),
             TraceFileError::BadRecord(why) => write!(f, "malformed record: {why}"),
+            TraceFileError::TooCorrupt { skipped, limit } => {
+                write!(f, "{skipped} corrupt records exceed the skip limit of {limit}")
+            }
         }
     }
 }
@@ -58,6 +102,25 @@ impl From<io::Error> for TraceFileError {
     fn from(e: io::Error) -> Self {
         TraceFileError::Io(e)
     }
+}
+
+/// What a [`TraceReader`] does when it hits a corrupt record frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Yield the error and end the stream (the default).
+    #[default]
+    Fail,
+    /// Drop the corrupt frame and continue with the next one, up to
+    /// `max_skips` frames; one more fails the stream with
+    /// [`TraceFileError::TooCorrupt`]. Frames are fixed-size, so
+    /// alignment is preserved across skips.
+    SkipRecord {
+        /// Maximum corrupt frames to drop before giving up.
+        max_skips: u64,
+    },
+    /// End the stream cleanly at the first corrupt or truncated
+    /// frame, keeping everything decoded so far.
+    TruncateAtError,
 }
 
 fn kind_tag(class: InstClass) -> u8 {
@@ -83,8 +146,293 @@ fn tag_kind(tag: u8) -> Result<InstClass, TraceFileError> {
     })
 }
 
+fn encode_record(r: &TraceRecord) -> [u8; TRACE_RECORD_BYTES] {
+    let mut frame = [0u8; TRACE_RECORD_BYTES];
+    frame[0] = kind_tag(r.class);
+    frame[1] = u8::from(r.taken);
+    frame[2..10].copy_from_slice(&r.pc.as_u64().to_le_bytes());
+    frame[10..18].copy_from_slice(&r.target.as_u64().to_le_bytes());
+    frame
+}
+
+fn decode_record(frame: &[u8; TRACE_RECORD_BYTES]) -> Result<TraceRecord, TraceFileError> {
+    let class = tag_kind(frame[0])?;
+    let taken = frame[1] != 0;
+    let pc = u64::from_le_bytes(frame[2..10].try_into().expect("8-byte slice"));
+    let target = u64::from_le_bytes(frame[10..18].try_into().expect("8-byte slice"));
+    if pc % 4 != 0 || target % 4 != 0 {
+        return Err(TraceFileError::BadRecord(format!("misaligned pc {pc:#x}")));
+    }
+    Ok(match class {
+        InstClass::Sequential => TraceRecord::sequential(Addr::new(pc)),
+        InstClass::Break(kind) => {
+            if !taken && kind != BreakKind::Conditional {
+                return Err(TraceFileError::BadRecord(
+                    "not-taken non-conditional break".into(),
+                ));
+            }
+            TraceRecord::branch(Addr::new(pc), kind, taken, Addr::new(target))
+        }
+    })
+}
+
+/// A streaming `NLST` decoder: an iterator of
+/// `Result<TraceRecord, TraceFileError>` holding one record frame in
+/// memory at a time.
+///
+/// The header is validated on construction; records are decoded
+/// lazily, so a hostile header count can never force a large
+/// allocation. After iteration, [`records_skipped`] and
+/// [`truncated`] report how much recovery the policy performed.
+///
+/// [`records_skipped`]: TraceReader::records_skipped
+/// [`truncated`]: TraceReader::truncated
+///
+/// # Examples
+///
+/// ```
+/// use nls_trace::{write_trace, Addr, RecoveryPolicy, TraceReader, TraceRecord};
+///
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, vec![TraceRecord::sequential(Addr::new(0x100))]).unwrap();
+/// let reader = TraceReader::with_policy(&buf[..], RecoveryPolicy::Fail).unwrap();
+/// let records: Result<Vec<_>, _> = reader.collect();
+/// assert_eq!(records.unwrap().len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    src: R,
+    policy: RecoveryPolicy,
+    declared: u64,
+    consumed: u64,
+    skipped: u64,
+    truncated: bool,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a reader with the [`RecoveryPolicy::Fail`] policy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a truncated header, bad magic, an
+    /// unsupported version, or an implausible record count.
+    pub fn new(src: R) -> Result<Self, TraceFileError> {
+        Self::with_policy(src, RecoveryPolicy::Fail)
+    }
+
+    /// Opens a reader with an explicit recovery policy.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a truncated header, bad magic, an
+    /// unsupported version, or an implausible record count. Header
+    /// errors are never recoverable: without a trusted frame origin
+    /// there is nothing to resynchronise on.
+    pub fn with_policy(mut src: R, policy: RecoveryPolicy) -> Result<Self, TraceFileError> {
+        let mut header = [0u8; TRACE_HEADER_BYTES];
+        src.read_exact(&mut header).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                TraceFileError::BadHeader("truncated header".into())
+            } else {
+                TraceFileError::Io(e)
+            }
+        })?;
+        let magic: [u8; 4] = header[0..4].try_into().expect("4-byte slice");
+        if &magic != MAGIC {
+            return Err(TraceFileError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+        if version != VERSION {
+            return Err(TraceFileError::BadVersion(version));
+        }
+        let declared = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+        // The body length is `declared * TRACE_RECORD_BYTES`; a count
+        // that overflows that product can never describe real data.
+        if declared.checked_mul(TRACE_RECORD_BYTES as u64).is_none() {
+            return Err(TraceFileError::BadHeader(format!(
+                "implausible record count {declared}"
+            )));
+        }
+        Ok(TraceReader {
+            src,
+            policy,
+            declared,
+            consumed: 0,
+            skipped: 0,
+            truncated: false,
+            done: false,
+        })
+    }
+
+    /// The record count claimed by the header (untrusted until the
+    /// stream has been fully consumed).
+    pub fn declared_records(&self) -> u64 {
+        self.declared
+    }
+
+    /// Corrupt frames dropped so far under
+    /// [`RecoveryPolicy::SkipRecord`].
+    pub fn records_skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Whether [`RecoveryPolicy::TruncateAtError`] cut the stream
+    /// short of the declared count.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The active recovery policy.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceRecord, TraceFileError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if self.consumed >= self.declared {
+                self.done = true;
+                return None;
+            }
+            let mut frame = [0u8; TRACE_RECORD_BYTES];
+            if let Err(e) = self.src.read_exact(&mut frame) {
+                self.done = true;
+                if e.kind() != io::ErrorKind::UnexpectedEof {
+                    return Some(Err(TraceFileError::Io(e)));
+                }
+                // The body ended before the declared count. Skipping
+                // cannot help — there are no more bytes.
+                return match self.policy {
+                    RecoveryPolicy::TruncateAtError => {
+                        self.truncated = true;
+                        None
+                    }
+                    _ => Some(Err(TraceFileError::BadRecord(format!(
+                        "body truncated after {} of {} records",
+                        self.consumed, self.declared
+                    )))),
+                };
+            }
+            self.consumed += 1;
+            match decode_record(&frame) {
+                Ok(r) => return Some(Ok(r)),
+                Err(e) => match self.policy {
+                    RecoveryPolicy::Fail => {
+                        self.done = true;
+                        return Some(Err(e));
+                    }
+                    RecoveryPolicy::TruncateAtError => {
+                        self.done = true;
+                        self.truncated = true;
+                        return None;
+                    }
+                    RecoveryPolicy::SkipRecord { max_skips } => {
+                        self.skipped += 1;
+                        if self.skipped > max_skips {
+                            self.done = true;
+                            return Some(Err(TraceFileError::TooCorrupt {
+                                skipped: self.skipped,
+                                limit: max_skips,
+                            }));
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// A streaming `NLST` encoder over any seekable writer.
+///
+/// Records are buffered through a [`BufWriter`] and the header's
+/// record count is back-patched by [`finish`], so arbitrarily long
+/// traces are written in bounded memory.
+///
+/// [`finish`]: TraceWriter::finish
+#[derive(Debug)]
+pub struct TraceWriter<W: Write + Seek> {
+    dst: BufWriter<W>,
+    written: u64,
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Starts a trace stream on `w`, writing a header with a
+    /// placeholder count of zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn new(w: W) -> Result<Self, TraceFileError> {
+        let mut dst = BufWriter::new(w);
+        dst.write_all(MAGIC)?;
+        dst.write_all(&VERSION.to_le_bytes())?;
+        dst.write_all(&0u64.to_le_bytes())?;
+        Ok(TraceWriter { dst, written: 0 })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write(&mut self, r: &TraceRecord) -> Result<(), TraceFileError> {
+        self.dst.write_all(&encode_record(r))?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Appends every record from an iterator; returns how many were
+    /// written by this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_records<I>(&mut self, records: I) -> Result<u64, TraceFileError>
+    where
+        I: IntoIterator<Item = TraceRecord>,
+    {
+        let before = self.written;
+        for r in records {
+            self.write(&r)?;
+        }
+        Ok(self.written - before)
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes, back-patches the header count, and returns the inner
+    /// writer plus the total record count. Until this runs, the file
+    /// reads as an empty trace — a half-written stream is never
+    /// mistaken for a complete one.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn finish(mut self) -> Result<(W, u64), TraceFileError> {
+        self.dst.seek(SeekFrom::Start(8))?;
+        self.dst.write_all(&self.written.to_le_bytes())?;
+        self.dst.flush()?;
+        let w = self.dst.into_inner().map_err(|e| TraceFileError::Io(e.into_error()))?;
+        Ok((w, self.written))
+    }
+}
+
 /// Writes `records` to `w` in the `NLST` binary format. Pass a
 /// `&mut` reference if you need the writer back.
+///
+/// Buffers the encoded body in memory (the writer need not be
+/// seekable); use [`TraceWriter`] or [`write_trace_atomic`] for
+/// bounded-memory streaming.
 ///
 /// # Errors
 ///
@@ -93,73 +441,116 @@ pub fn write_trace<W: Write, I>(mut w: W, records: I) -> Result<u64, TraceFileEr
 where
     I: IntoIterator<Item = TraceRecord>,
 {
-    // Buffer records first so we can write an exact count header.
-    let records: Vec<TraceRecord> = records.into_iter().collect();
-    let mut buf = bytes::BytesMut::with_capacity(16 + RECORD_BYTES * records.len());
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(records.len() as u64);
-    for r in &records {
-        buf.put_u8(kind_tag(r.class));
-        buf.put_u8(u8::from(r.taken));
-        buf.put_u64_le(r.pc.as_u64());
-        buf.put_u64_le(r.target.as_u64());
+    let mut body = Vec::new();
+    let mut n: u64 = 0;
+    for r in records {
+        body.extend_from_slice(&encode_record(&r));
+        n += 1;
     }
-    w.write_all(&buf)?;
-    Ok(records.len() as u64)
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&body)?;
+    Ok(n)
 }
 
-/// Reads a complete `NLST` trace from `r`. Pass a `&mut` reference
-/// if you need the reader back.
+/// Streams `records` into the file at `path` crash-safely: the
+/// trace is written through a [`TraceWriter`] to a temporary sibling
+/// (`<path>.tmp`), fsynced, and atomically renamed into place. An
+/// interrupted generation leaves either the old file or no file —
+/// never a truncated-but-valid-looking trace.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error; the temporary file is removed
+/// on failure.
+pub fn write_trace_atomic<P, I>(path: P, records: I) -> Result<u64, TraceFileError>
+where
+    P: AsRef<Path>,
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let path = path.as_ref();
+    let tmp = tmp_sibling(path);
+    match stream_to_file(&tmp, records) {
+        Ok(n) => {
+            std::fs::rename(&tmp, path)?;
+            sync_parent_dir(path);
+            Ok(n)
+        }
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+fn stream_to_file<I>(tmp: &Path, records: I) -> Result<u64, TraceFileError>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let file = File::create(tmp)?;
+    let mut w = TraceWriter::new(file)?;
+    w.write_records(records)?;
+    let (file, n) = w.finish()?;
+    file.sync_all()?;
+    Ok(n)
+}
+
+/// Fsyncs the directory containing `path` so the rename itself is
+/// durable (best effort; ignored on platforms without directory
+/// handles).
+fn sync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+}
+
+/// Reads a complete `NLST` trace from `r` with the strict
+/// [`RecoveryPolicy::Fail`] policy. Pass a `&mut` reference if you
+/// need the reader back.
 ///
 /// # Errors
 ///
 /// Returns [`TraceFileError`] on I/O failure, bad magic/version, or
 /// malformed records (unknown kind tag, misaligned address, or a
 /// not-taken non-conditional break).
-pub fn read_trace<R: Read>(mut r: R) -> Result<Vec<TraceRecord>, TraceFileError> {
-    let mut raw = Vec::new();
-    r.read_to_end(&mut raw)?;
-    let mut buf = &raw[..];
-    if buf.remaining() < 16 {
-        return Err(TraceFileError::BadRecord("truncated header".into()));
-    }
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(TraceFileError::BadMagic(magic));
-    }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(TraceFileError::BadVersion(version));
-    }
-    let count = buf.get_u64_le() as usize;
-    if buf.remaining() < count * RECORD_BYTES {
-        return Err(TraceFileError::BadRecord(format!(
-            "expected {count} records, body too short"
-        )));
-    }
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        let class = tag_kind(buf.get_u8())?;
-        let taken = buf.get_u8() != 0;
-        let pc = buf.get_u64_le();
-        let target = buf.get_u64_le();
-        if pc % 4 != 0 || target % 4 != 0 {
-            return Err(TraceFileError::BadRecord(format!("misaligned pc {pc:#x}")));
-        }
-        let record = match class {
-            InstClass::Sequential => TraceRecord::sequential(Addr::new(pc)),
-            InstClass::Break(kind) => {
-                if !taken && kind != BreakKind::Conditional {
-                    return Err(TraceFileError::BadRecord(
-                        "not-taken non-conditional break".into(),
-                    ));
-                }
-                TraceRecord::branch(Addr::new(pc), kind, taken, Addr::new(target))
-            }
-        };
-        out.push(record);
+pub fn read_trace<R: Read>(r: R) -> Result<Vec<TraceRecord>, TraceFileError> {
+    read_trace_with(r, RecoveryPolicy::Fail)
+}
+
+/// Reads a complete `NLST` trace from `r` under `policy`, collecting
+/// into a `Vec`. The preallocation is capped independently of the
+/// header's claimed count, so hostile headers cannot OOM the
+/// process.
+///
+/// # Errors
+///
+/// Returns [`TraceFileError`] on I/O failure, header corruption, or
+/// any record error the policy does not absorb.
+pub fn read_trace_with<R: Read>(
+    r: R,
+    policy: RecoveryPolicy,
+) -> Result<Vec<TraceRecord>, TraceFileError> {
+    let reader = TraceReader::with_policy(r, policy)?;
+    let cap = reader.declared_records().min(PREALLOC_RECORD_CAP) as usize;
+    let mut out = Vec::with_capacity(cap);
+    for rec in reader {
+        out.push(rec?);
     }
     Ok(out)
 }
@@ -171,51 +562,70 @@ mod tests {
     fn sample() -> Vec<TraceRecord> {
         vec![
             TraceRecord::sequential(Addr::new(0x100)),
-            TraceRecord::branch(Addr::new(0x104), BreakKind::Conditional, false, Addr::new(0x200)),
+            TraceRecord::branch(
+                Addr::new(0x104),
+                BreakKind::Conditional,
+                false,
+                Addr::new(0x200),
+            ),
             TraceRecord::branch(Addr::new(0x108), BreakKind::Call, true, Addr::new(0x400)),
             TraceRecord::branch(Addr::new(0x400), BreakKind::Return, true, Addr::new(0x10c)),
-            TraceRecord::branch(Addr::new(0x10c), BreakKind::IndirectJump, true, Addr::new(0x300)),
+            TraceRecord::branch(
+                Addr::new(0x10c),
+                BreakKind::IndirectJump,
+                true,
+                Addr::new(0x300),
+            ),
         ]
+    }
+
+    fn encoded_sample() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, sample()).unwrap();
+        buf
     }
 
     #[test]
     fn round_trip() {
-        let mut buf = Vec::new();
-        let n = write_trace(&mut buf, sample()).unwrap();
-        assert_eq!(n, 5);
+        let buf = encoded_sample();
         let back = read_trace(&buf[..]).unwrap();
         assert_eq!(back, sample());
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut buf = Vec::new();
-        write_trace(&mut buf, sample()).unwrap();
+        let mut buf = encoded_sample();
         buf[0] = b'X';
         assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadMagic(_))));
     }
 
     #[test]
     fn rejects_bad_version() {
-        let mut buf = Vec::new();
-        write_trace(&mut buf, sample()).unwrap();
+        let mut buf = encoded_sample();
         buf[4] = 99;
         assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadVersion(99))));
     }
 
     #[test]
     fn rejects_truncation() {
-        let mut buf = Vec::new();
-        write_trace(&mut buf, sample()).unwrap();
+        let mut buf = encoded_sample();
         buf.truncate(buf.len() - 1);
         assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadRecord(_))));
     }
 
     #[test]
+    fn rejects_truncated_header() {
+        let buf = encoded_sample();
+        assert!(matches!(
+            read_trace(&buf[..TRACE_HEADER_BYTES - 1]),
+            Err(TraceFileError::BadHeader(_))
+        ));
+    }
+
+    #[test]
     fn rejects_bad_kind_tag() {
-        let mut buf = Vec::new();
-        write_trace(&mut buf, sample()).unwrap();
-        buf[16] = 42; // first record's kind tag
+        let mut buf = encoded_sample();
+        buf[TRACE_HEADER_BYTES] = 42; // first record's kind tag
         assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadRecord(_))));
     }
 
@@ -227,8 +637,117 @@ mod tests {
     }
 
     #[test]
+    fn hostile_count_does_not_allocate() {
+        // A header claiming u64::MAX records must be rejected before
+        // any allocation is attempted.
+        let mut buf = encoded_sample();
+        buf[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadHeader(_))));
+
+        // A large-but-not-overflowing count streams and then fails on
+        // the missing body instead of preallocating.
+        let mut buf = encoded_sample();
+        buf[8..16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        assert!(matches!(read_trace(&buf[..]), Err(TraceFileError::BadRecord(_))));
+    }
+
+    #[test]
+    fn skip_policy_drops_corrupt_frames() {
+        let mut buf = encoded_sample();
+        buf[TRACE_HEADER_BYTES] = 42; // corrupt the first record only
+        let reader =
+            TraceReader::with_policy(&buf[..], RecoveryPolicy::SkipRecord { max_skips: 3 })
+                .unwrap();
+        let records: Vec<_> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(records, sample()[1..].to_vec());
+    }
+
+    #[test]
+    fn skip_policy_bounds_corruption() {
+        let mut buf = encoded_sample();
+        for i in 0..3 {
+            buf[TRACE_HEADER_BYTES + i * TRACE_RECORD_BYTES] = 42;
+        }
+        let out = read_trace_with(&buf[..], RecoveryPolicy::SkipRecord { max_skips: 2 });
+        assert!(matches!(out, Err(TraceFileError::TooCorrupt { skipped: 3, limit: 2 })));
+    }
+
+    #[test]
+    fn truncate_policy_keeps_good_prefix() {
+        let mut buf = encoded_sample();
+        buf[TRACE_HEADER_BYTES + 2 * TRACE_RECORD_BYTES] = 42; // third record
+        let mut reader =
+            TraceReader::with_policy(&buf[..], RecoveryPolicy::TruncateAtError).unwrap();
+        let records: Vec<_> = reader.by_ref().map(|r| r.unwrap()).collect();
+        assert_eq!(records, sample()[..2].to_vec());
+        assert!(reader.truncated());
+    }
+
+    #[test]
+    fn truncate_policy_absorbs_short_body() {
+        let mut buf = encoded_sample();
+        buf.truncate(buf.len() - 1);
+        let records = read_trace_with(&buf[..], RecoveryPolicy::TruncateAtError).unwrap();
+        assert_eq!(records, sample()[..4].to_vec());
+    }
+
+    #[test]
+    fn reader_reports_declared_and_skipped() {
+        let mut buf = encoded_sample();
+        buf[TRACE_HEADER_BYTES] = 42;
+        let mut reader =
+            TraceReader::with_policy(&buf[..], RecoveryPolicy::SkipRecord { max_skips: 8 })
+                .unwrap();
+        assert_eq!(reader.declared_records(), 5);
+        let n = reader.by_ref().filter(|r| r.is_ok()).count();
+        assert_eq!(n, 4);
+        assert_eq!(reader.records_skipped(), 1);
+        assert!(!reader.truncated());
+    }
+
+    #[test]
+    fn streaming_writer_round_trips() {
+        let mut cursor = io::Cursor::new(Vec::new());
+        let mut w = TraceWriter::new(&mut cursor).unwrap();
+        for r in sample() {
+            w.write(&r).unwrap();
+        }
+        assert_eq!(w.records_written(), 5);
+        let (_, n) = w.finish().unwrap();
+        assert_eq!(n, 5);
+        let buf = cursor.into_inner();
+        assert_eq!(read_trace(&buf[..]).unwrap(), sample());
+    }
+
+    #[test]
+    fn unfinished_stream_reads_as_empty() {
+        // Without finish() the header still says zero records — a
+        // crashed writer never yields a plausible-looking trace.
+        let mut cursor = io::Cursor::new(Vec::new());
+        let mut w = TraceWriter::new(&mut cursor).unwrap();
+        w.write(&TraceRecord::sequential(Addr::new(0x100))).unwrap();
+        w.dst.flush().unwrap();
+        drop(w);
+        let buf = cursor.into_inner();
+        assert!(read_trace(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn atomic_write_round_trips_and_cleans_up() {
+        let path = std::env::temp_dir().join("nls_file_test_atomic.nlst");
+        let n = write_trace_atomic(&path, sample()).unwrap();
+        assert_eq!(n, 5);
+        let back = read_trace(File::open(&path).unwrap()).unwrap();
+        assert_eq!(back, sample());
+        assert!(!tmp_sibling(&path).exists(), "temporary sibling must be renamed away");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn error_display_is_informative() {
         let e = TraceFileError::BadVersion(7);
         assert!(e.to_string().contains('7'));
+        let e = TraceFileError::TooCorrupt { skipped: 9, limit: 8 };
+        assert!(e.to_string().contains('9'));
     }
 }

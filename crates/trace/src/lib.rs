@@ -14,7 +14,12 @@
 //!   synthetic program for a profile and execute it into a
 //!   PC-coherent trace stream.
 //! * [`TraceStats`] — re-measure Table 1 columns from any trace.
-//! * [`write_trace`] / [`read_trace`] — compact binary trace files.
+//! * [`TraceReader`] / [`TraceWriter`] — streaming, bounded-memory
+//!   binary trace files with configurable corruption recovery
+//!   ([`RecoveryPolicy`]); [`write_trace`] / [`read_trace`] are the
+//!   buffered convenience forms.
+//! * [`faults`] — deterministic, seeded corruption of encoded
+//!   traces for fault-injection testing.
 //!
 //! # Quick start
 //!
@@ -30,6 +35,7 @@
 //! ```
 
 mod addr;
+pub mod faults;
 mod file;
 mod measure;
 mod profile;
@@ -40,7 +46,10 @@ mod walker;
 mod weights;
 
 pub use addr::{Addr, INST_BYTES};
-pub use file::{read_trace, write_trace, TraceFileError};
+pub use file::{
+    read_trace, read_trace_with, write_trace, write_trace_atomic, RecoveryPolicy,
+    TraceFileError, TraceReader, TraceWriter, TRACE_HEADER_BYTES, TRACE_RECORD_BYTES,
+};
 pub use measure::TraceStats;
 pub use profile::{BenchProfile, BreakMix, HotQuantiles};
 pub use program::{CondModel, IndirectDispatch, Inst, Procedure, Program};

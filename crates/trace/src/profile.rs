@@ -122,7 +122,13 @@ impl BenchProfile {
             quantiles: HotQuantiles { q50: 16, q90: 52, q99: 127, q100: 556 },
             static_cond_sites: 2428,
             pct_taken: 47.30,
-            mix: BreakMix { cond: 63.94, indirect: 2.24, uncond: 7.74, call: 12.92, ret: 13.16 },
+            mix: BreakMix {
+                cond: 63.94,
+                indirect: 2.24,
+                uncond: 7.74,
+                call: 12.92,
+                ret: 13.16,
+            },
         }
     }
 
@@ -166,9 +172,7 @@ impl BenchProfile {
 
     /// Looks up a profile by name (case-insensitive).
     pub fn by_name(name: &str) -> Option<BenchProfile> {
-        Self::all()
-            .into_iter()
-            .find(|p| p.name.eq_ignore_ascii_case(name))
+        Self::all().into_iter().find(|p| p.name.eq_ignore_ascii_case(name))
     }
 
     /// Mean number of sequential instructions between consecutive

@@ -90,10 +90,7 @@ impl IndirectDispatch {
 
     /// Picks a target index for a uniform sample `u` in `[0, 1)`.
     pub fn pick(&self, u: f64) -> u32 {
-        let i = self
-            .cumulative
-            .partition_point(|&c| c <= u)
-            .min(self.targets.len() - 1);
+        let i = self.cumulative.partition_point(|&c| c <= u).min(self.targets.len() - 1);
         self.targets[i]
     }
 }
@@ -174,11 +171,7 @@ impl Program {
     /// The highest instruction address in the program plus one slot;
     /// the program's code footprint is `[first entry, end_addr)`.
     pub fn end_addr(&self) -> Addr {
-        self.procs
-            .iter()
-            .map(|p| p.entry.offset(p.len() as u64))
-            .max()
-            .unwrap_or(Addr::new(0))
+        self.procs.iter().map(|p| p.entry.offset(p.len() as u64)).max().unwrap_or(Addr::new(0))
     }
 
     /// Validates internal consistency: every branch target lands
@@ -212,7 +205,10 @@ impl Program {
                     Inst::Seq | Inst::Ret => {}
                     Inst::Cond { target, site } => {
                         if *target >= n {
-                            return Err(format!("{}: cond target {target} out of range", ctx()));
+                            return Err(format!(
+                                "{}: cond target {target} out of range",
+                                ctx()
+                            ));
                         }
                         if *site as usize >= self.cond_sites.len() {
                             return Err(format!("{}: site {site} out of range", ctx()));
@@ -220,7 +216,10 @@ impl Program {
                     }
                     Inst::Uncond { target } => {
                         if *target >= n {
-                            return Err(format!("{}: uncond target {target} out of range", ctx()));
+                            return Err(format!(
+                                "{}: uncond target {target} out of range",
+                                ctx()
+                            ));
                         }
                     }
                     Inst::Call { callee } => {
@@ -298,10 +297,7 @@ mod tests {
                         Inst::Ret,
                     ],
                 },
-                Procedure {
-                    entry: Addr::new(0x2000),
-                    code: vec![Inst::Seq, Inst::Ret],
-                },
+                Procedure { entry: Addr::new(0x2000), code: vec![Inst::Seq, Inst::Ret] },
             ],
             cond_sites: vec![CondModel::Bernoulli(0.5)],
             dispatches: vec![],

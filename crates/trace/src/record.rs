@@ -46,10 +46,7 @@ impl BreakKind {
     /// (execute-time fix); see the paper's §5.2.
     #[inline]
     pub fn target_known_at_decode(self) -> bool {
-        matches!(
-            self,
-            BreakKind::Conditional | BreakKind::Unconditional | BreakKind::Call
-        )
+        matches!(self, BreakKind::Conditional | BreakKind::Unconditional | BreakKind::Call)
     }
 }
 
@@ -114,12 +111,7 @@ impl TraceRecord {
     /// A plain sequential instruction at `pc`.
     #[inline]
     pub fn sequential(pc: Addr) -> Self {
-        TraceRecord {
-            pc,
-            class: InstClass::Sequential,
-            taken: false,
-            target: pc.next(),
-        }
+        TraceRecord { pc, class: InstClass::Sequential, taken: false, target: pc.next() }
     }
 
     /// A break of kind `kind` at `pc`. For non-conditional kinds,
@@ -134,12 +126,7 @@ impl TraceRecord {
             taken || kind == BreakKind::Conditional,
             "only conditional branches can fall through"
         );
-        TraceRecord {
-            pc,
-            class: InstClass::Break(kind),
-            taken,
-            target,
-        }
+        TraceRecord { pc, class: InstClass::Break(kind), taken, target }
     }
 
     /// The address of the next instruction actually executed after

@@ -231,16 +231,16 @@ impl Plan {
             (((body_taken_mean - 0.5 * neutral) / biased - 0.0275) / 0.945).clamp(0.0, 1.0);
 
         // Sequential-run solve: S(m) = A + B*m must equal V * mean_gap.
-        let leaf_seq = LEAF_RUN as f64 + gc * ((1.0 - body_taken_mean) * MEAN_SKIP + LEAF_RUN as f64);
-        let coeff_a = d + 2.0
+        let leaf_seq =
+            LEAF_RUN as f64 + gc * ((1.0 - body_taken_mean) * MEAN_SKIP + LEAF_RUN as f64);
+        let coeff_a = d
+            + 2.0
             + l * (bc * (1.0 - body_taken_mean) * MEAN_SKIP + calls_per_iter * leaf_seq);
-        let coeff_b =
-            2.0 + l * (bc + unconds_per_iter + 2.0 * ijs_per_iter + calls_per_iter);
+        let coeff_b = 2.0 + l * (bc + unconds_per_iter + 2.0 * ijs_per_iter + calls_per_iter);
         let run_mean = ((v * profile.mean_gap() - coeff_a) / coeff_b).max(0.0);
 
         // Cold procedures hold the never-executed static sites.
-        let executed_sites =
-            (hot_procs - 1) + hot_procs * group + leaf_sites + chain_sites;
+        let executed_sites = (hot_procs - 1) + hot_procs * group + leaf_sites + chain_sites;
         let cold_sites = (profile.static_cond_sites as usize).saturating_sub(executed_sites);
         let cold_sites_per_proc = group;
         let cold_procs = cold_sites.div_ceil(cold_sites_per_proc.max(1));
@@ -348,9 +348,8 @@ impl<'a> Builder<'a> {
 
         self.bodies = vec![Vec::new(); total_procs];
         self.bodies[main_idx as usize] = {
-            let leaves: Vec<u32> = (hot_base..hot_base + p as u32)
-                .chain(std::iter::once(chain_base))
-                .collect();
+            let leaves: Vec<u32> =
+                (hot_base..hot_base + p as u32).chain(std::iter::once(chain_base)).collect();
             self.build_main(&leaves, &weights)
         };
         for j in 0..p {
@@ -804,14 +803,8 @@ mod tests {
         // The hottest procedure (index 1) must sit below every cold
         // procedure (the tail indices).
         let hot_entry = prog.procs[1].entry;
-        let cold_lo = prog
-            .procs
-            .iter()
-            .rev()
-            .take(plan.cold_procs / 2)
-            .map(|pr| pr.entry)
-            .min()
-            .unwrap();
+        let cold_lo =
+            prog.procs.iter().rev().take(plan.cold_procs / 2).map(|pr| pr.entry).min().unwrap();
         assert!(hot_entry < cold_lo, "hot {hot_entry} vs cold {cold_lo}");
     }
 
@@ -820,8 +813,7 @@ mod tests {
         let p = BenchProfile::li();
         let base = GenConfig::for_profile(&p);
         let shuffled = synthesize(&p, &base);
-        let clustered =
-            synthesize(&p, &GenConfig { layout: Layout::HotClustered, ..base });
+        let clustered = synthesize(&p, &GenConfig { layout: Layout::HotClustered, ..base });
         assert_eq!(shuffled.static_cond_sites(), clustered.static_cond_sites());
         assert_eq!(shuffled.procs.len(), clustered.procs.len());
         assert_ne!(shuffled, clustered, "placement must differ");
@@ -839,8 +831,10 @@ mod tests {
 
     #[test]
     fn footprint_scales_with_profile() {
-        let small = synthesize(&BenchProfile::li(), &GenConfig::for_profile(&BenchProfile::li()));
-        let big = synthesize(&BenchProfile::gcc(), &GenConfig::for_profile(&BenchProfile::gcc()));
+        let small =
+            synthesize(&BenchProfile::li(), &GenConfig::for_profile(&BenchProfile::li()));
+        let big =
+            synthesize(&BenchProfile::gcc(), &GenConfig::for_profile(&BenchProfile::gcc()));
         assert!(big.static_insts() > 2 * small.static_insts());
     }
 }

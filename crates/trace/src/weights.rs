@@ -50,13 +50,8 @@ impl WeightCurve {
         );
         let mut weights = Vec::with_capacity(q.q100 as usize);
         // Segment boundaries in (site-count, cumulative-mass) space.
-        let anchors = [
-            (0u32, 0.0f64),
-            (q.q50, 0.50),
-            (q.q90, 0.90),
-            (q.q99, 0.99),
-            (q.q100, 1.0),
-        ];
+        let anchors =
+            [(0u32, 0.0f64), (q.q50, 0.50), (q.q90, 0.90), (q.q99, 0.99), (q.q100, 1.0)];
         for w in anchors.windows(2) {
             let (start, lo) = w[0];
             let (end, hi) = w[1];
@@ -174,11 +169,7 @@ mod tests {
     #[test]
     fn weights_are_monotone_decreasing_up_to_segment_boundaries() {
         let c = WeightCurve::from_quantiles(&doduc_q());
-        let inversions = c
-            .weights()
-            .windows(2)
-            .filter(|w| w[0] < w[1] - 1e-15)
-            .count();
+        let inversions = c.weights().windows(2).filter(|w| w[0] < w[1] - 1e-15).count();
         // At most one inversion per segment boundary (3 boundaries).
         assert!(inversions <= 3, "{inversions} inversions");
     }

@@ -6,7 +6,7 @@
 //! synthetic workloads actually exhibit the break density, type mix,
 //! taken rate and hot-branch skew of the paper's programs.
 
-use nls_trace::{BenchProfile, GenConfig, synthesize, TraceStats, Walker};
+use nls_trace::{synthesize, BenchProfile, GenConfig, TraceStats, Walker};
 
 const TRACE_LEN: usize = 1_500_000;
 
@@ -105,9 +105,7 @@ fn working_set_ordering_is_preserved() {
 fn code_footprints_are_ordered_like_the_paper() {
     // gcc/cfront have much larger static code than li/espresso; this
     // is what produces their high instruction-cache miss rates.
-    let size = |p: &BenchProfile| {
-        synthesize(p, &GenConfig::for_profile(p)).static_insts()
-    };
+    let size = |p: &BenchProfile| synthesize(p, &GenConfig::for_profile(p)).static_insts();
     assert!(size(&BenchProfile::gcc()) > 2 * size(&BenchProfile::espresso()));
     assert!(size(&BenchProfile::cfront()) > 2 * size(&BenchProfile::li()));
 }
@@ -118,8 +116,19 @@ fn print_measured_table1() {
     // comparison when run with --nocapture.
     println!(
         "{:<9} {:>8} {:>7} {:>7} {:>7} {:>7} {:>8} {:>7} | {:>6} {:>5} {:>5} {:>6} {:>5}",
-        "program", "%breaks", "Q-50", "Q-90", "Q-99", "Q-100", "static", "%taken", "%CBr",
-        "%IJ", "%Br", "%Call", "%Ret"
+        "program",
+        "%breaks",
+        "Q-50",
+        "Q-90",
+        "Q-99",
+        "Q-100",
+        "static",
+        "%taken",
+        "%CBr",
+        "%IJ",
+        "%Br",
+        "%Call",
+        "%Ret"
     );
     for p in BenchProfile::all() {
         let s = measured(&p);

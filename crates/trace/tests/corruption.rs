@@ -1,0 +1,227 @@
+//! Corruption-fuzz suite for the trace file layer.
+//!
+//! Seeded fault injection (byte flips, truncations, record
+//! duplications) over an encoded trace, crossed with every
+//! [`RecoveryPolicy`]. The contract under test: **no input ever
+//! panics** — every corruption either recovers per policy or surfaces
+//! as a typed [`TraceFileError`] — and each policy's exact behaviour
+//! is pinned down at every field boundary.
+
+use nls_trace::faults::{Fault, FaultInjector};
+use nls_trace::{
+    read_trace, read_trace_with, write_trace, Addr, BreakKind, RecoveryPolicy, TraceFileError,
+    TraceReader, TraceRecord, TRACE_HEADER_BYTES, TRACE_RECORD_BYTES,
+};
+
+/// A small trace exercising every record kind and both directions.
+fn base_trace() -> Vec<TraceRecord> {
+    let mut records = Vec::new();
+    for i in 0..8u64 {
+        let pc = Addr::new(0x1000 + 32 * i);
+        records.push(TraceRecord::sequential(pc));
+        records.push(TraceRecord::branch(
+            Addr::new(0x1000 + 32 * i + 4),
+            BreakKind::Conditional,
+            i % 2 == 0,
+            Addr::new(0x2000 + 32 * i),
+        ));
+        records.push(TraceRecord::branch(
+            Addr::new(0x2000 + 32 * i),
+            BreakKind::Call,
+            true,
+            Addr::new(0x3000),
+        ));
+        records.push(TraceRecord::branch(
+            Addr::new(0x3000),
+            BreakKind::Return,
+            true,
+            Addr::new(0x2000 + 32 * i + 4),
+        ));
+        records.push(TraceRecord::branch(
+            Addr::new(0x2000 + 32 * i + 4),
+            BreakKind::IndirectJump,
+            true,
+            Addr::new(0x1000 + 32 * (i + 1)),
+        ));
+        records.push(TraceRecord::branch(
+            Addr::new(0x1000 + 32 * (i + 1)),
+            BreakKind::Unconditional,
+            true,
+            Addr::new(0x1000 + 32 * (i + 1) + 8),
+        ));
+    }
+    records
+}
+
+fn encoded() -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_trace(&mut buf, base_trace()).unwrap();
+    buf
+}
+
+/// Header errors are the only legitimate failures under the
+/// truncate-at-error policy (there is no frame stream to salvage
+/// without a valid header).
+fn is_header_error(e: &TraceFileError) -> bool {
+    matches!(
+        e,
+        TraceFileError::BadMagic(_)
+            | TraceFileError::BadVersion(_)
+            | TraceFileError::BadHeader(_)
+    )
+}
+
+#[test]
+fn one_hundred_fifty_seeded_corruptions_never_panic() {
+    let pristine = encoded();
+    let mut variants = 0u32;
+    for seed in 0..150u64 {
+        let mut data = pristine.clone();
+        let fault = FaultInjector::new(seed).any_fault(data.len());
+        fault.apply(&mut data);
+        variants += 1;
+
+        // Strict policy: decodes fully or returns a typed error.
+        // Reaching the match at all proves no panic occurred.
+        match read_trace(&data[..]) {
+            Ok(records) => assert!(records.len() <= base_trace().len() + 1),
+            Err(e) => {
+                let _ = e.to_string(); // every error must render
+            }
+        }
+
+        // Unbounded skip: only header damage or truncation may fail.
+        match read_trace_with(&data[..], RecoveryPolicy::SkipRecord { max_skips: u64::MAX }) {
+            Ok(_) => {}
+            Err(e) => assert!(
+                is_header_error(&e) || matches!(e, TraceFileError::BadRecord(_)),
+                "seed {seed}: skip policy failed with unexpected {e}"
+            ),
+        }
+
+        // Truncate-at-error: always recovers unless the header is bad.
+        match read_trace_with(&data[..], RecoveryPolicy::TruncateAtError) {
+            Ok(_) => {}
+            Err(e) => assert!(
+                is_header_error(&e),
+                "seed {seed}: truncate policy must absorb body damage, got {e}"
+            ),
+        }
+    }
+    assert!(variants >= 100, "the fuzz matrix must cover at least 100 variants");
+}
+
+#[test]
+fn truncation_at_every_byte_boundary() {
+    let pristine = encoded();
+    for cut in 0..pristine.len() {
+        let data = &pristine[..cut];
+
+        // Strict reads of any proper prefix must fail with a typed
+        // error — header class below the header size, record class
+        // above it.
+        match read_trace(data) {
+            Ok(_) => panic!("cut {cut}: a truncated trace must not read cleanly"),
+            Err(TraceFileError::BadHeader(_)) => assert!(cut < TRACE_HEADER_BYTES),
+            Err(TraceFileError::BadRecord(_)) => assert!(cut >= TRACE_HEADER_BYTES),
+            Err(e) => panic!("cut {cut}: unexpected error class {e}"),
+        }
+
+        // The truncate policy keeps exactly the whole frames.
+        if cut >= TRACE_HEADER_BYTES {
+            let records = read_trace_with(data, RecoveryPolicy::TruncateAtError).unwrap();
+            assert_eq!(records.len(), (cut - TRACE_HEADER_BYTES) / TRACE_RECORD_BYTES);
+            assert_eq!(records[..], base_trace()[..records.len()]);
+        }
+    }
+}
+
+#[test]
+fn every_header_byte_flip_is_rejected_with_the_right_class() {
+    let pristine = encoded();
+    for offset in 0..TRACE_HEADER_BYTES {
+        let mut data = pristine.clone();
+        Fault::ByteFlip { offset, mask: 0x80 }.apply(&mut data);
+        match (offset, read_trace(&data[..])) {
+            (0..=3, Err(TraceFileError::BadMagic(_))) => {}
+            (4..=7, Err(TraceFileError::BadVersion(_))) => {}
+            // A flipped count either overflows (BadHeader) or claims
+            // more records than the body holds (BadRecord).
+            (8..=15, Err(TraceFileError::BadHeader(_) | TraceFileError::BadRecord(_))) => {}
+            (_, r) => panic!("header offset {offset}: unexpected outcome {r:?}"),
+        }
+    }
+}
+
+#[test]
+fn skip_policy_recovers_exactly_the_intact_records() {
+    let pristine = encoded();
+    let n = base_trace().len();
+    // Corrupt the kind tags of records 1 and 3.
+    let mut data = pristine.clone();
+    for index in [1usize, 3] {
+        data[TRACE_HEADER_BYTES + index * TRACE_RECORD_BYTES] = 0xee;
+    }
+
+    let records =
+        read_trace_with(&data[..], RecoveryPolicy::SkipRecord { max_skips: 2 }).unwrap();
+    assert_eq!(records.len(), n - 2);
+    let expected: Vec<_> = base_trace()
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1 && *i != 3)
+        .map(|(_, r)| r)
+        .collect();
+    assert_eq!(records, expected);
+
+    // One skip fewer than needed fails with the typed overflow.
+    let out = read_trace_with(&data[..], RecoveryPolicy::SkipRecord { max_skips: 1 });
+    assert!(matches!(out, Err(TraceFileError::TooCorrupt { skipped: 2, limit: 1 })));
+}
+
+#[test]
+fn duplicated_records_parse_and_displace_the_tail() {
+    let mut data = encoded();
+    Fault::DuplicateRecord { index: 2 }.apply(&mut data);
+    let records = read_trace(&data[..]).unwrap();
+    let original = base_trace();
+    // The count is unchanged, the duplicate appears back-to-back and
+    // the final original record is pushed out past the count.
+    assert_eq!(records.len(), original.len());
+    assert_eq!(records[2], records[3]);
+    assert_eq!(records[..3], original[..3]);
+    assert_eq!(records[3..], original[2..original.len() - 1]);
+}
+
+#[test]
+fn streaming_reader_tracks_recovery_statistics() {
+    let mut data = encoded();
+    for index in [0usize, 5, 9] {
+        data[TRACE_HEADER_BYTES + index * TRACE_RECORD_BYTES] = 0xee;
+    }
+    let mut reader =
+        TraceReader::with_policy(&data[..], RecoveryPolicy::SkipRecord { max_skips: 10 })
+            .unwrap();
+    let good = reader.by_ref().filter(|r| r.is_ok()).count();
+    assert_eq!(good, base_trace().len() - 3);
+    assert_eq!(reader.records_skipped(), 3);
+    assert_eq!(reader.declared_records(), base_trace().len() as u64);
+    assert!(!reader.truncated());
+}
+
+#[test]
+fn random_body_flips_are_absorbed_by_the_truncate_policy() {
+    let pristine = encoded();
+    for seed in 1000..1100u64 {
+        let mut data = pristine.clone();
+        let mut inj = FaultInjector::new(seed);
+        // Pile up three independent flips to stress multi-error input.
+        for _ in 0..3 {
+            inj.byte_flip(data.len()).apply(&mut data);
+        }
+        match read_trace_with(&data[..], RecoveryPolicy::TruncateAtError) {
+            Ok(records) => assert!(records.len() <= base_trace().len()),
+            Err(e) => assert!(is_header_error(&e), "seed {seed}: {e}"),
+        }
+    }
+}

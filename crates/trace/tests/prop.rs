@@ -15,44 +15,43 @@ fn arb_record() -> impl Strategy<Value = TraceRecord> {
         (addr.clone(), addr.clone(), any::<bool>()).prop_map(|(pc, t, taken)| {
             TraceRecord::branch(pc, BreakKind::Conditional, taken, t)
         }),
-        (addr.clone(), addr.clone()).prop_map(|(pc, t)| {
-            TraceRecord::branch(pc, BreakKind::Call, true, t)
-        }),
-        (addr.clone(), addr.clone()).prop_map(|(pc, t)| {
-            TraceRecord::branch(pc, BreakKind::Return, true, t)
-        }),
-        (addr.clone(), addr).prop_map(|(pc, t)| {
-            TraceRecord::branch(pc, BreakKind::IndirectJump, true, t)
-        }),
+        (addr.clone(), addr.clone())
+            .prop_map(|(pc, t)| { TraceRecord::branch(pc, BreakKind::Call, true, t) }),
+        (addr.clone(), addr.clone())
+            .prop_map(|(pc, t)| { TraceRecord::branch(pc, BreakKind::Return, true, t) }),
+        (addr.clone(), addr)
+            .prop_map(|(pc, t)| { TraceRecord::branch(pc, BreakKind::IndirectJump, true, t) }),
     ]
 }
 
 /// A random but structurally valid profile.
 fn arb_profile() -> impl Strategy<Value = BenchProfile> {
     (
-        2u32..40,       // q50
-        1u32..80,       // q90 - q50
-        1u32..200,      // q99 - q90
-        1u32..800,      // q100 - q99
-        0u32..3000,     // static - q100
-        5.0f64..20.0,   // pct_breaks
-        35.0f64..70.0,  // pct_taken
+        2u32..40,                                 // q50
+        1u32..80,                                 // q90 - q50
+        1u32..200,                                // q99 - q90
+        1u32..800,                                // q100 - q99
+        0u32..3000,                               // static - q100
+        5.0f64..20.0,                             // pct_breaks
+        35.0f64..70.0,                            // pct_taken
         (1.0f64..20.0, 0.0f64..4.0, 1.0f64..8.0), // call%, ij%, uncond%
     )
-        .prop_map(|(q50, d90, d99, d100, cold, pct_breaks, pct_taken, (call, ij, uncond))| {
-            let q90 = q50 + d90;
-            let q99 = q90 + d99;
-            let q100 = q99 + d100;
-            let cond = 100.0 - 2.0 * call - ij - uncond;
-            BenchProfile {
-                name: "random",
-                pct_breaks,
-                quantiles: HotQuantiles { q50, q90, q99, q100 },
-                static_cond_sites: q100 + cold,
-                pct_taken,
-                mix: BreakMix { cond, indirect: ij, uncond, call, ret: call },
-            }
-        })
+        .prop_map(
+            |(q50, d90, d99, d100, cold, pct_breaks, pct_taken, (call, ij, uncond))| {
+                let q90 = q50 + d90;
+                let q99 = q90 + d99;
+                let q100 = q99 + d100;
+                let cond = 100.0 - 2.0 * call - ij - uncond;
+                BenchProfile {
+                    name: "random",
+                    pct_breaks,
+                    quantiles: HotQuantiles { q50, q90, q99, q100 },
+                    static_cond_sites: q100 + cold,
+                    pct_taken,
+                    mix: BreakMix { cond, indirect: ij, uncond, call, ret: call },
+                }
+            },
+        )
 }
 
 proptest! {

@@ -29,10 +29,7 @@ fn main() {
     let m = PenaltyModel::paper();
 
     for bench in &benches {
-        println!(
-            "\n{} (Q-90 = {} hot branch sites):",
-            bench.name, bench.quantiles.q90
-        );
+        println!("\n{} (Q-90 = {} hot branch sites):", bench.name, bench.quantiles.q90);
         println!("{:<12} {:>16} {:>16}", "cache", "BTB-128 BEP", "NLS-1024 BEP");
         for cache in &caches {
             let pick = |engine: &str| {

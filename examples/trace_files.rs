@@ -52,12 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     drive(&replayed, &mut engines);
     let r = engines[0].result(profile.name);
     let m = PenaltyModel::paper();
-    println!(
-        "replay through {}: BEP {:.3}, CPI {:.3}",
-        r.engine,
-        r.bep(&m),
-        r.cpi(&m)
-    );
+    println!("replay through {}: BEP {:.3}, CPI {:.3}", r.engine, r.bep(&m), r.cpi(&m));
 
     std::fs::remove_file(&path)?;
     Ok(())

@@ -86,11 +86,7 @@ fn ras_overflow_costs_mispredicts() {
     drive(&trace, &mut engines);
     let r = engines[0].result("micro");
     // 8 returns lost their stack entries (depth 40 vs capacity 32).
-    assert!(
-        r.mispredicts >= 8,
-        "expected >= 8 overflow mispredicts, got {}",
-        r.mispredicts
-    );
+    assert!(r.mispredicts >= 8, "expected >= 8 overflow mispredicts, got {}", r.mispredicts);
 }
 
 #[test]
@@ -101,7 +97,12 @@ fn alternating_branch_is_learned_by_the_two_level_pht() {
     for i in 0..600 {
         trace.push(br(0x100, BreakKind::Conditional, i % 2 == 0, 0x300));
         trace.push(seq(if i % 2 == 0 { 0x300 } else { 0x104 }));
-        trace.push(br(if i % 2 == 0 { 0x304 } else { 0x108 }, BreakKind::Unconditional, true, 0xfc));
+        trace.push(br(
+            if i % 2 == 0 { 0x304 } else { 0x108 },
+            BreakKind::Unconditional,
+            true,
+            0xfc,
+        ));
         trace.push(seq(0xfc));
     }
     let mut engines = vec![EngineSpec::nls_table(1024).build(CacheConfig::paper(8, 1))];

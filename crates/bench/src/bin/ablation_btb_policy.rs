@@ -38,17 +38,20 @@ fn main() {
                 fmt(r.bep(&m), 3),
                 fmt(r.pct_misfetched(), 2),
             ]);
-            avg[i].0 += r.bep(&m);
-            avg[i].1 += r.pct_misfetched();
+            if let Some(slot) = avg.get_mut(i) {
+                slot.0 += r.bep(&m);
+                slot.1 += r.pct_misfetched();
+            }
         }
     }
     let n = benches.len() as f64;
     for (i, policy) in ["keep (paper)", "evict"].iter().enumerate() {
+        let (bep_sum, mfb_sum) = avg.get(i).copied().unwrap_or_default();
         t.row(vec![
             "average".into(),
             (*policy).into(),
-            fmt(avg[i].0 / n, 3),
-            fmt(avg[i].1 / n, 2),
+            fmt(bep_sum / n, 3),
+            fmt(mfb_sum / n, 2),
         ]);
     }
     t.print();

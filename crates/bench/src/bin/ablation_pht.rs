@@ -36,18 +36,23 @@ fn main() {
     );
     for p in BenchProfile::all() {
         for (i, _) in engines.iter().enumerate() {
-            let r =
-                results.iter().filter(|r| r.bench == p.name).nth(i).expect("result present");
+            let Some(r) = results.iter().filter(|r| r.bench == p.name).nth(i) else {
+                continue;
+            };
             t.row(vec![
                 p.name.into(),
-                names[i].into(),
+                names.get(i).copied().unwrap_or("?").into(),
                 fmt(r.bep(&m), 3),
                 fmt(r.pct_mispredicted(), 2),
             ]);
         }
     }
     for (i, name) in names.iter().enumerate() {
-        let per: Vec<_> = results.chunks(engines.len()).map(|c| c[i].clone()).collect();
+        let per: Vec<_> =
+            results.chunks(engines.len()).filter_map(|c| c.get(i).cloned()).collect();
+        if per.is_empty() {
+            continue;
+        }
         let avg = average(&per);
         t.row(vec![
             "average".into(),

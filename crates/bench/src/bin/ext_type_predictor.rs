@@ -53,14 +53,16 @@ fn main() {
                 fmt(r.bep(&m), 3),
                 fmt(r.pct_misfetched(), 2),
             ]);
-            sums[i] += r.bep(&m);
+            if let Some(sum) = sums.get_mut(i) {
+                *sum += r.bep(&m);
+            }
         }
     }
     for (i, (name, _)) in variants.iter().enumerate() {
         t.row(vec![
             "average".into(),
             (*name).into(),
-            fmt(sums[i] / benches.len() as f64, 3),
+            fmt(sums.get(i).copied().unwrap_or_default() / benches.len() as f64, 3),
             "-".into(),
         ]);
     }

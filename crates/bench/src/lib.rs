@@ -27,7 +27,11 @@ pub fn sweep_config() -> SweepConfig {
 /// the current directory); created on demand.
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from("results");
-    std::fs::create_dir_all(&dir).expect("create results directory");
+    // A failure here (e.g. read-only cwd) surfaces again, with a
+    // proper path in the message, when the CSV itself is written.
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {e}", dir.display());
+    }
     dir
 }
 
@@ -131,10 +135,14 @@ impl Table {
         out
     }
 
-    /// Writes the CSV into `results/<name>.csv` and returns the path.
+    /// Writes the CSV into `results/<name>.csv` and returns the
+    /// path. An unwritable destination is reported on stderr; the
+    /// rendered table (the primary output) is unaffected.
     pub fn save(&self, name: &str) -> PathBuf {
         let path = results_dir().join(format!("{name}.csv"));
-        std::fs::write(&path, self.to_csv()).expect("write results CSV");
+        if let Err(e) = std::fs::write(&path, self.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
         path
     }
 }

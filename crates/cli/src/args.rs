@@ -8,7 +8,6 @@
 //! * engine specs: `"btb:128:1"`, `"nls-table:1024"`,
 //!   `"nls-cache:2"`, `"johnson:2"`
 
-use std::collections::HashMap;
 use std::fmt;
 
 use nls_core::{EngineSpec, NlsError};
@@ -104,14 +103,13 @@ impl ParsedArgs {
     ///
     /// Fails naming the first unrecognised option.
     pub fn expect_only(&self, allowed: &[&str]) -> Result<(), CliError> {
-        let known: HashMap<&str, ()> = allowed.iter().map(|&k| (k, ())).collect();
         for (k, _) in &self.options {
-            if !known.contains_key(k.as_str()) {
+            if !allowed.contains(&k.as_str()) {
                 return err(format!("unknown option --{k} for `{}`", self.command));
             }
         }
         for k in &self.switches {
-            if !known.contains_key(k.as_str()) {
+            if !allowed.contains(&k.as_str()) {
                 return err(format!("unknown switch --{k} for `{}`", self.command));
             }
         }

@@ -291,10 +291,7 @@ pub fn replay(a: &ParsedArgs) -> Result<String, NlsError> {
     let policy = parse_recovery_policy(a.get("on-corrupt").unwrap_or("fail"))?;
     let cache = parse_cache(a.get("cache").unwrap_or("16K:1"))?;
     let engines = engines_from(a)?;
-    let file = std::fs::File::open(path).map_err(|e| {
-        NlsError::Io(std::io::Error::new(e.kind(), format!("cannot open {path}: {e}")))
-    })?;
-    let mut reader = TraceReader::with_policy(file, policy).map_err(trace_err)?;
+    let mut reader = TraceReader::open(path, policy).map_err(trace_err)?;
     let mut built: Vec<_> = engines.iter().map(|e| e.build(cache)).collect();
     for record in reader.by_ref() {
         let r = record.map_err(trace_err)?;
@@ -365,7 +362,7 @@ pub fn dispatch(a: &ParsedArgs) -> Result<String, NlsError> {
         "replay" => replay(a),
         "set-pred" => set_pred(a),
         "help" | "--help" => Ok(USAGE.to_string()),
-        other => Err(CliError(format!("unknown subcommand {other:?}; try `nls help`"))),
+        other => Err(CliError(format!("unknown subcommand {other:?}; try `nls help`")).into()),
     }
 }
 
@@ -373,7 +370,7 @@ pub fn dispatch(a: &ParsedArgs) -> Result<String, NlsError> {
 mod tests {
     use super::*;
 
-    fn run(args: &[&str]) -> Result<String, CliError> {
+    fn run(args: &[&str]) -> Result<String, NlsError> {
         dispatch(&ParsedArgs::parse(args.iter().copied()).unwrap())
     }
 

@@ -10,6 +10,22 @@ use nls_cli::args::ParsedArgs;
 use nls_cli::commands::{dispatch, USAGE};
 use nls_core::NlsError;
 
+/// A one-line recovery hint per error class, so the binary
+/// acknowledges every [`NlsError`] variant it can exit with.
+fn hint(e: &NlsError) -> &'static str {
+    match e {
+        NlsError::Usage(_) => "run `nls help` for the command reference",
+        NlsError::Trace(_) => {
+            "regenerate the file with `nls gen-trace`, or replay with --on-corrupt=skip"
+        }
+        NlsError::Run(_) => {
+            "a simulation engine failed; re-run with a smaller --len to reproduce"
+        }
+        NlsError::Checkpoint(_) => "delete the checkpoint file to start the sweep over",
+        NlsError::Io(_) => "check the path, permissions and free space, then retry",
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -23,6 +39,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("error[{}]: {e}", e.class());
+            eprintln!("note: {}", hint(&e));
             ExitCode::from(e.exit_code())
         }
     }

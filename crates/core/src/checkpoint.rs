@@ -84,6 +84,7 @@ impl Checkpoint {
     /// [`NlsError::Checkpoint`] so damage is never mistaken for
     /// "nothing done yet".
     pub fn load(path: &Path) -> Result<Option<Self>, NlsError> {
+        // nls-lint: allow(fs-trace-read): checkpoint JSON, not trace bytes; recovery policy does not apply
         let text = match fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -258,7 +259,7 @@ fn json_string(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if u32::from(c) < 0x20 => out.push_str(&format!("\\u{:04x}", u32::from(c))),
             c => out.push(c),
         }
     }
@@ -335,8 +336,10 @@ struct Parser<'a> {
 
 impl Parser<'_> {
     fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
         {
             self.pos += 1;
         }
@@ -347,7 +350,7 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         let got = self.peek()?;
         if got != b {
             return Err(format!(
@@ -372,7 +375,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         if self.peek()? == b'}' {
             self.pos += 1;
@@ -380,7 +383,7 @@ impl Parser<'_> {
         }
         loop {
             let key = self.string()?;
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             pairs.push((key, self.value()?));
             match self.peek()? {
                 b',' => self.pos += 1,
@@ -399,7 +402,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         if self.peek()? == b']' {
             self.pos += 1;
@@ -424,7 +427,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             let Some(&b) = self.bytes.get(self.pos) else {
@@ -471,13 +474,16 @@ impl Parser<'_> {
                     // Re-assemble multi-byte UTF-8 sequences: the
                     // input is a &str, so continuation bytes are
                     // guaranteed well-formed.
-                    let start = self.pos - 1;
+                    let start = self.pos.saturating_sub(1);
                     let mut end = self.pos;
-                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                    while self.bytes.get(end).is_some_and(|&b| b & 0xc0 == 0x80) {
                         end += 1;
                     }
-                    let s = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|b| std::str::from_utf8(b).ok())
+                        .ok_or_else(|| "invalid utf-8 in string".to_string())?;
                     out.push_str(s);
                     self.pos = end;
                 }
@@ -487,10 +493,16 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Json, String> {
         let start = self.pos;
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
             self.pos += 1;
         }
-        let digits = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Digits are ASCII, so the span is always valid UTF-8; an
+        // empty span simply fails the parse below.
+        let digits = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .unwrap_or("");
         digits
             .parse::<u64>()
             .map(Json::Number)

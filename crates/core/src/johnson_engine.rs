@@ -77,7 +77,7 @@ impl FetchEngine for JohnsonEngine {
     fn step(&mut self, r: &TraceRecord) -> Option<BreakOutcome> {
         self.counters.instructions += 1;
         let line_bytes = self.cache.config().line_bytes;
-        let set = self.cache.config().set_index(r.pc) as u32;
+        let set = u32::try_from(self.cache.config().set_index(r.pc)).unwrap_or(u32::MAX);
 
         let acc = self.cache.access(r.pc);
         if !acc.hit {

@@ -82,9 +82,8 @@ impl SimResult {
     /// The event counts for one break kind (§7 attribution: e.g. how
     /// much of the mispredict penalty comes from indirect jumps).
     pub fn kind_counts(&self, kind: BreakKind) -> KindCounts {
-        let ki =
-            BreakKind::ALL.iter().position(|&k| k == kind).expect("kind is in BreakKind::ALL");
-        self.by_kind[ki]
+        let ki = BreakKind::ALL.iter().position(|&k| k == kind).unwrap_or_default();
+        self.by_kind.get(ki).copied().unwrap_or_default()
     }
 
     /// Wide-issue extension (the paper's §8 outlook): estimated
@@ -153,7 +152,10 @@ pub fn average(results: &[SimResult]) -> SimResult {
     let mut by_kind = [KindCounts::default(); 5];
     for (ki, slot) in by_kind.iter_mut().enumerate() {
         let rate = |f: &dyn Fn(&KindCounts) -> u64| {
-            mean(&|r: &SimResult| f(&r.by_kind[ki]) as f64 / r.breaks.max(1) as f64)
+            mean(&|r: &SimResult| {
+                let kc = r.by_kind.get(ki).copied().unwrap_or_default();
+                f(&kc) as f64 / r.breaks.max(1) as f64
+            })
         };
         slot.breaks = (rate(&|k| k.breaks) * breaks as f64).round() as u64;
         slot.misfetches = (rate(&|k| k.misfetches) * breaks as f64).round() as u64;

@@ -74,7 +74,7 @@ pub fn invariant_violations(r: &SimResult) -> Vec<String> {
     }
 
     for (ki, kind) in BreakKind::ALL.iter().enumerate() {
-        let k = r.by_kind[ki];
+        let k = r.by_kind.get(ki).copied().unwrap_or_default();
         if k.misfetches + k.mispredicts > k.breaks {
             findings.push(format!(
                 "{who}: {kind:?} misfetches + mispredicts ({} + {}) exceed its breaks ({})",

@@ -85,7 +85,9 @@ where
         if !acc.hit {
             // Refilled frame: its set field belonged to the departed
             // line.
-            fields[frame] = None;
+            if let Some(field) = fields.get_mut(frame) {
+                *field = None;
+            }
         }
         if let Some((p, p_frame)) = prev {
             // A fall-through line crossing: the previous instruction
@@ -94,10 +96,12 @@ where
             let crossed = cfg.set_index(p.pc) != set || cfg.tag(p.pc) != cfg.tag(r.pc);
             if sequential && crossed {
                 stats.line_crossings += 1;
-                if fields[p_frame] != Some(acc.way) {
+                if fields.get(p_frame).copied().flatten() != Some(acc.way) {
                     stats.mispredicts += 1;
                 }
-                fields[p_frame] = Some(acc.way);
+                if let Some(field) = fields.get_mut(p_frame) {
+                    *field = Some(acc.way);
+                }
             }
         }
         prev = Some((r, frame));

@@ -184,9 +184,9 @@ where
     if let Some((_, cp)) = persist {
         let cp = cp.lock();
         for (i, run) in runs.iter().enumerate() {
-            match cp.get(&run.key()) {
-                Some(results) => slots[i] = Some(Ok(results.to_vec())),
-                None => todo.push(i),
+            match (cp.get(&run.key()), slots.get_mut(i)) {
+                (Some(results), Some(slot)) => *slot = Some(Ok(results.to_vec())),
+                _ => todo.push(i),
             }
         }
     } else {
@@ -206,14 +206,12 @@ where
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let t = next.fetch_add(1, Ordering::Relaxed);
-                if t >= todo.len() {
-                    break;
-                }
-                let i = todo[t];
-                let outcome = attempt_run(run_fn, &runs[i], cfg, opts.max_retries);
+                let Some(&i) = todo.get(t) else { break };
+                let Some(run) = runs.get(i) else { break };
+                let outcome = attempt_run(run_fn, run, cfg, opts.max_retries);
                 if let (Some((path, cp)), Ok(results)) = (persist, &outcome) {
                     let mut cp = cp.lock();
-                    cp.insert(runs[i].key(), results.clone());
+                    cp.insert(run.key(), results.clone());
                     if unsaved.fetch_add(1, Ordering::Relaxed) + 1
                         >= opts.checkpoint_every.max(1)
                     {
@@ -226,11 +224,22 @@ where
                         }
                     }
                 }
-                slots.lock()[i] = Some(outcome);
+                if let Some(slot) = slots.lock().get_mut(i) {
+                    *slot = Some(outcome);
+                }
             });
         }
     })
-    .expect("sweep workers are panic-isolated");
+    // Workers run everything under catch_unwind, so the scope itself
+    // cannot observe a panic; mapping the impossible case to an error
+    // keeps this total anyway.
+    .map_err(|_| {
+        NlsError::Run(RunError::Panicked {
+            run: "sweep executor".to_string(),
+            message: "a worker thread panicked outside catch_unwind".to_string(),
+            attempts: 1,
+        })
+    })?;
 
     // Always leave the final state on disk, then surface any save
     // failure: the caller asked for durability and silently losing
@@ -241,10 +250,22 @@ where
     if let Some(e) = save_error.into_inner() {
         return Err(e);
     }
+    // Every index was either prefilled from the checkpoint or pushed
+    // onto `todo` and resolved by a worker; an unfilled slot would be
+    // an executor bug, reported as a failed run rather than a panic.
     Ok(slots
         .into_inner()
         .into_iter()
-        .map(|s| s.expect("every run resolved to a result or an error"))
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or_else(|| {
+                Err(RunError::Panicked {
+                    run: runs.get(i).map(RunSpec::key).unwrap_or_else(|| format!("run #{i}")),
+                    message: "run was never scheduled".to_string(),
+                    attempts: 0,
+                })
+            })
+        })
         .collect())
 }
 
@@ -260,7 +281,17 @@ pub fn run_sweep_with<F>(
 where
     F: Fn(&RunSpec, &SweepConfig) -> Vec<SimResult> + Sync,
 {
-    sweep_inner(runs, cfg, opts, &run_fn, None).expect("no checkpoint i/o without persistence")
+    match sweep_inner(runs, cfg, opts, &run_fn, None) {
+        Ok(results) => results,
+        // Without persistence sweep_inner performs no checkpoint I/O
+        // and cannot fail; the impossible case becomes per-run errors.
+        Err(e) => runs
+            .iter()
+            .map(|r| {
+                Err(RunError::Panicked { run: r.key(), message: e.to_string(), attempts: 0 })
+            })
+            .collect(),
+    }
 }
 
 /// Executes `runs` across threads with panic isolation: a run whose
@@ -320,6 +351,7 @@ pub fn run_sweep(runs: &[RunSpec], cfg: &SweepConfig) -> Vec<SimResult> {
         .into_iter()
         .map(|r| match r {
             Ok(results) => results,
+            // nls-lint: allow(no-panic): documented all-or-nothing contract of the legacy entry point
             Err(e) => panic!("{e}"),
         })
         .collect::<Vec<_>>()

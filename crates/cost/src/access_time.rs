@@ -88,8 +88,9 @@ pub fn tagged_access_ns(
 /// Access time (ns) of a BTB in the paper's geometry (30-bit targets
 /// + 2-bit type payload, 32-bit address space).
 pub fn btb_access_ns(entries: u64, assoc: u32, process: &TimingProcess) -> f64 {
-    let index_bits = log2_ceil(entries / u64::from(assoc)) as u32;
-    let tag_bits = 30 - index_bits;
+    let slots = (entries / u64::from(assoc)).max(1);
+    let index_bits = slots.next_power_of_two().trailing_zeros();
+    let tag_bits = 30u32.saturating_sub(index_bits);
     tagged_access_ns(entries, 32, tag_bits, assoc, process)
 }
 

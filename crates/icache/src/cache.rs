@@ -82,10 +82,19 @@ impl InstructionCache {
         self.stats = CacheStats::default();
     }
 
+    /// The frames of one set. Empty for an out-of-range set, so every
+    /// caller is total without per-site bounds checks.
     #[inline]
-    fn set_range(&self, set: u64) -> std::ops::Range<usize> {
+    fn set_slice(&self, set: u64) -> &[Frame] {
         let base = (set * u64::from(self.cfg.assoc)) as usize;
-        base..base + self.cfg.assoc as usize
+        self.frames.get(base..base + self.cfg.assoc as usize).unwrap_or_default()
+    }
+
+    #[inline]
+    fn set_slice_mut(&mut self, set: u64) -> &mut [Frame] {
+        let base = (set * u64::from(self.cfg.assoc)) as usize;
+        let end = base + self.cfg.assoc as usize;
+        self.frames.get_mut(base..end).unwrap_or_default()
     }
 
     /// Demand-fetches the line containing `addr`, filling on a miss.
@@ -95,47 +104,42 @@ impl InstructionCache {
         self.stats.accesses += 1;
         let set = self.cfg.set_index(addr);
         let tag = self.cfg.tag(addr);
-        let range = self.set_range(set);
+        let clock = self.clock;
+        let lru = self.cfg.replacement == Replacement::Lru;
         // Hit?
-        for (w, i) in range.clone().enumerate() {
-            let f = &mut self.frames[i];
+        for (w, f) in self.set_slice_mut(set).iter_mut().enumerate() {
             if f.valid && f.tag == tag {
-                if self.cfg.replacement == Replacement::Lru {
-                    f.stamp = self.clock;
+                if lru {
+                    f.stamp = clock;
                 }
                 return AccessResult { hit: true, way: w as u8, evicted_valid: false };
             }
         }
         // Miss: pick a victim.
         self.stats.misses += 1;
-        let victim = self.pick_victim(range.clone());
-        let idx = range.start + victim as usize;
-        let evicted_valid = self.frames[idx].valid;
-        self.frames[idx] = Frame { tag, valid: true, stamp: self.clock };
+        let victim = self.pick_victim(set);
+        let mut evicted_valid = false;
+        if let Some(f) = self.set_slice_mut(set).get_mut(victim as usize) {
+            evicted_valid = f.valid;
+            *f = Frame { tag, valid: true, stamp: clock };
+        }
         AccessResult { hit: false, way: victim, evicted_valid }
     }
 
-    fn pick_victim(&mut self, range: std::ops::Range<usize>) -> u8 {
+    fn pick_victim(&mut self, set: u64) -> u8 {
+        let frames = self.set_slice(set);
         // Prefer an invalid frame.
-        for (w, i) in range.clone().enumerate() {
-            if !self.frames[i].valid {
-                return w as u8;
-            }
+        if let Some(w) = frames.iter().position(|f| !f.valid) {
+            return w as u8;
         }
         match self.cfg.replacement {
             // LRU and FIFO both evict the minimum stamp; they differ
             // in whether hits refresh the stamp (see `access`).
-            Replacement::Lru | Replacement::Fifo => {
-                let mut best = 0u8;
-                let mut best_stamp = u64::MAX;
-                for (w, i) in range.enumerate() {
-                    if self.frames[i].stamp < best_stamp {
-                        best_stamp = self.frames[i].stamp;
-                        best = w as u8;
-                    }
-                }
-                best
-            }
+            Replacement::Lru | Replacement::Fifo => frames
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, f)| f.stamp)
+                .map_or(0, |(w, _)| w as u8),
             Replacement::Random => {
                 // xorshift64*
                 let mut x = self.rand_state;
@@ -143,7 +147,7 @@ impl InstructionCache {
                 x ^= x << 25;
                 x ^= x >> 27;
                 self.rand_state = x;
-                (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % u64::from(self.cfg.assoc)) as u8
+                (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % u64::from(self.cfg.assoc).max(1)) as u8
             }
         }
     }
@@ -153,21 +157,19 @@ impl InstructionCache {
     pub fn probe(&self, addr: Addr) -> Option<u8> {
         let set = self.cfg.set_index(addr);
         let tag = self.cfg.tag(addr);
-        self.set_range(set)
+        self.set_slice(set)
+            .iter()
             .enumerate()
-            .find(|&(_, i)| self.frames[i].valid && self.frames[i].tag == tag)
+            .find(|&(_, f)| f.valid && f.tag == tag)
             .map(|(w, _)| w as u8)
     }
 
     /// Whether `addr`'s line is resident in exactly way `way` of its
     /// set — the tag check an NLS set prediction must pass.
     pub fn resident_at(&self, addr: Addr, way: u8) -> bool {
-        if u32::from(way) >= self.cfg.assoc {
-            return false;
-        }
         let set = self.cfg.set_index(addr);
-        let idx = self.set_range(set).start + way as usize;
-        self.frames[idx].valid && self.frames[idx].tag == self.cfg.tag(addr)
+        let tag = self.cfg.tag(addr);
+        self.set_slice(set).get(way as usize).is_some_and(|f| f.valid && f.tag == tag)
     }
 
     /// The tag currently resident at `(set, way)`, if any. Used by
@@ -175,8 +177,7 @@ impl InstructionCache {
     pub fn tag_at(&self, set: u64, way: u8) -> Option<u64> {
         assert!(set < self.cfg.num_sets(), "set {set} out of range");
         assert!(u32::from(way) < self.cfg.assoc, "way {way} out of range");
-        let idx = self.set_range(set).start + way as usize;
-        let f = &self.frames[idx];
+        let f = self.set_slice(set).get(way as usize)?;
         f.valid.then_some(f.tag)
     }
 

@@ -1,0 +1,215 @@
+//! The lint driver: workspace walking, suppression filtering, and
+//! result assembly.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use crate::rules::{all_rules, Violation};
+use crate::source::SourceFile;
+
+/// Directories never linted: build output, VCS state, the offline
+/// dependency stubs, and the lint fixtures (which are violations on
+/// purpose).
+const SKIP_DIRS: [&str; 5] = ["target", ".git", ".github", "stubs", "fixtures"];
+
+/// Pseudo-rule id for malformed `nls-lint:` annotations themselves.
+pub const SUPPRESSION_RULE: &str = "suppression";
+/// Exit code for [`SUPPRESSION_RULE`] findings (after all real rules).
+pub const SUPPRESSION_EXIT_CODE: u8 = 17;
+
+/// What one lint run found.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Surviving (unsuppressed) findings, sorted by file then line.
+    pub violations: Vec<Violation>,
+    /// How many files were linted.
+    pub files: usize,
+}
+
+impl LintReport {
+    /// The process exit code: 0 when clean, else the smallest
+    /// (highest-priority) violated rule's code.
+    pub fn exit_code(&self) -> u8 {
+        let rules = all_rules();
+        self.violations
+            .iter()
+            .map(|v| {
+                rules
+                    .iter()
+                    .find(|r| r.id() == v.rule)
+                    .map_or(SUPPRESSION_EXIT_CODE, |r| r.exit_code())
+            })
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// Lints already-parsed sources (the library entry point; the binary
+/// and the fixture tests both end up here).
+pub fn lint_sources(files: &[SourceFile]) -> LintReport {
+    let rules = all_rules();
+    let mut violations = Vec::new();
+    for file in files {
+        for rule in &rules {
+            let mut found = Vec::new();
+            rule.check_file(file, &mut found);
+            violations
+                .extend(found.into_iter().filter(|v| !file.is_suppressed(v.rule, v.line)));
+        }
+        // A suppression with no reason is an error, not a waiver: the
+        // annotation must record *why* the site is safe.
+        for s in &file.suppressions {
+            if s.reason.is_empty() || s.rules.is_empty() {
+                violations.push(Violation {
+                    rule: SUPPRESSION_RULE,
+                    file: file.rel.clone(),
+                    line: s.line,
+                    message: "malformed suppression: use `nls-lint: allow(<rule>): <reason>`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    for rule in &rules {
+        let mut found = Vec::new();
+        rule.check_workspace(files, &mut found);
+        violations.extend(found.into_iter().filter(|v| {
+            files
+                .iter()
+                .find(|f| f.rel == v.file)
+                .is_none_or(|f| !f.is_suppressed(v.rule, v.line))
+        }));
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    LintReport { violations, files: files.len() }
+}
+
+/// Lints every `.rs` file under `root`, or only those named in
+/// `only` (workspace-relative) when given.
+///
+/// # Errors
+///
+/// Fails when `root` cannot be walked or a source file cannot be
+/// read.
+pub fn lint_workspace(root: &Path, only: Option<&[String]>) -> io::Result<LintReport> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for rel in paths {
+        if let Some(filter) = only {
+            // Cross-file rules still need the error taxonomy and CLI
+            // sources in scope even when only other files changed.
+            let load_always =
+                rel == "crates/core/src/error.rs" || rel.starts_with("crates/cli/src/");
+            if !load_always && !filter.iter().any(|f| f == &rel) {
+                continue;
+            }
+        }
+        // nls-lint: allow(fs-trace-read): the linter reads Rust source text, never trace bytes
+        let text = fs::read_to_string(root.join(&rel))?;
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    let mut report = lint_sources(&files);
+    if let Some(filter) = only {
+        // Findings in always-loaded context files outside the change
+        // set are not this run's business.
+        report
+            .violations
+            .retain(|v| filter.iter().any(|f| f == &v.file) || v.rule == "error-exit-map");
+        report.files = filter.len();
+    }
+    Ok(report)
+}
+
+/// The files changed relative to `git_ref` (names only, `.rs` only),
+/// for `--changed-only`.
+///
+/// # Errors
+///
+/// Fails when `git diff` cannot run or exits unsuccessfully.
+pub fn changed_files(root: &Path, git_ref: &str) -> io::Result<Vec<String>> {
+    let out = Command::new("git")
+        .current_dir(root)
+        .args(["diff", "--name-only", "--diff-filter=d", git_ref, "--", "*.rs"])
+        .output()?;
+    if !out.status.success() {
+        return Err(io::Error::other(format!(
+            "git diff {git_ref} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        )));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().to_string())
+        .filter(|l| !l.is_empty())
+        .collect())
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_unix(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_unix(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressed_findings_are_filtered() {
+        let src = "fn f() {\n    // nls-lint: allow(no-panic): demo reason\n    x.unwrap();\n    y.unwrap();\n}\n";
+        let files = vec![SourceFile::parse("crates/x/src/a.rs", src)];
+        let report = lint_sources(&files);
+        let panics: Vec<_> =
+            report.violations.iter().filter(|v| v.rule == "no-panic").collect();
+        assert_eq!(panics.len(), 1, "{panics:?}");
+        assert_eq!(panics[0].line, 4);
+    }
+
+    #[test]
+    fn reasonless_suppression_is_reported_not_honored() {
+        let src = "fn f() {\n    // nls-lint: allow(no-panic)\n    x.unwrap();\n}\n";
+        let files = vec![SourceFile::parse("crates/x/src/a.rs", src)];
+        let report = lint_sources(&files);
+        assert!(report.violations.iter().any(|v| v.message.contains("malformed suppression")));
+        assert!(report.violations.iter().any(|v| v.line == 3), "unwrap still flagged");
+    }
+
+    #[test]
+    fn exit_code_uses_highest_priority_rule() {
+        let src = "fn f(v: &[u8], i: usize) { let _ = v[i]; x.unwrap(); }";
+        let files = vec![SourceFile::parse("crates/x/src/a.rs", src)];
+        let report = lint_sources(&files);
+        assert_eq!(report.exit_code(), 10, "no-panic (10) outranks slice-index (11)");
+    }
+
+    #[test]
+    fn clean_sources_exit_zero() {
+        let src = "fn f(v: &[u8]) -> Option<&u8> { v.first() }";
+        let files = vec![SourceFile::parse("crates/x/src/a.rs", src)];
+        assert_eq!(lint_sources(&files).exit_code(), 0);
+    }
+}

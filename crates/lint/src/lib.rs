@@ -1,0 +1,35 @@
+//! `nls-lint` — repo-native static analysis for the NLS simulator.
+//!
+//! The simulator's published numbers (Tables 1–4, Figures 3–8) are
+//! only as trustworthy as two properties of the code that produced
+//! them:
+//!
+//! 1. **panic-freedom on untrusted input** — a corrupt trace byte
+//!    must surface as an [`NlsError`-class exit], never a panic; and
+//! 2. **bit-exact determinism** — the same seed must produce the
+//!    same tables on every run and host.
+//!
+//! PR 1 added runtime enforcement (recovery policies, the invariant
+//! oracle). This crate adds *compile-time-adjacent* enforcement: a
+//! dependency-free static-analysis pass (the offline build container
+//! cannot fetch `syn` or run clippy) with a small Rust lexer
+//! ([`lexer`]), per-file context ([`source`]), a pluggable rule set
+//! ([`rules`]), and a driver ([`engine`]) with human/JSON output
+//! ([`report`]).
+//!
+//! Run it with `cargo run -p nls-lint`; see DESIGN.md §9 for the
+//! rule catalogue and suppression syntax
+//! (`// nls-lint: allow(<rule>): <reason>`).
+//!
+//! [`NlsError`-class exit]: https://example.invalid/nextline
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod source;
+
+pub use engine::{changed_files, lint_sources, lint_workspace, LintReport};
+pub use report::{render, Format};
+pub use rules::{all_rules, Rule, Violation};
+pub use source::SourceFile;

@@ -1,0 +1,116 @@
+//! The `nls-lint` binary.
+//!
+//! ```text
+//! nls-lint [--root DIR] [--format human|json] [--changed-only REF]
+//!          [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 2 usage, 6 I/O, otherwise the code of the
+//! highest-priority violated rule (`--list-rules` prints the table).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nls_lint::report::rule_table;
+use nls_lint::{changed_files, lint_workspace, render, Format};
+
+const USAGE: &str = "\
+nls-lint — static analysis for the NLS simulator invariants
+
+USAGE:
+  nls-lint [--root DIR] [--format human|json] [--changed-only REF] [--list-rules]
+
+OPTIONS:
+  --root DIR           workspace root to lint (default: .)
+  --format human|json  report format (default: human)
+  --changed-only REF   lint only .rs files changed since the git REF
+  --list-rules         print the rule table (id, exit code, summary)
+
+Suppress a finding with an adjacent comment carrying a reason:
+  // nls-lint: allow(<rule>): <why this site is safe>
+";
+
+struct Options {
+    root: PathBuf,
+    format: Format,
+    changed_only: Option<String>,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        format: Format::Human,
+        changed_only: None,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(
+                    it.next().ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => {
+                        return Err(format!("--format must be human or json, got {other:?}"))
+                    }
+                };
+            }
+            "--changed-only" => {
+                opts.changed_only = Some(
+                    it.next()
+                        .ok_or_else(|| "--changed-only needs a git ref".to_string())?
+                        .clone(),
+                );
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" | "help" => return Err(String::new()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error[usage]: {msg}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        print!("{}", rule_table());
+        return ExitCode::SUCCESS;
+    }
+    let only = match &opts.changed_only {
+        Some(git_ref) => match changed_files(&opts.root, git_ref) {
+            Ok(files) => Some(files),
+            Err(e) => {
+                eprintln!("error[io]: {e}");
+                return ExitCode::from(6);
+            }
+        },
+        None => None,
+    };
+    let report = match lint_workspace(&opts.root, only.as_deref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error[io]: {e}");
+            return ExitCode::from(6);
+        }
+    };
+    print!("{}", render(&report, opts.format));
+    ExitCode::from(report.exit_code())
+}

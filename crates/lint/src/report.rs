@@ -1,0 +1,142 @@
+//! Report formatting: human `file:line: rule: message` lines and a
+//! stable machine-readable JSON document (hand-rolled — this crate is
+//! dependency-free by design).
+
+use std::fmt::Write as _;
+
+use crate::engine::LintReport;
+use crate::rules::all_rules;
+
+/// Output format selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    Human,
+    Json,
+}
+
+/// Renders `report` in `format`. The human form is grep- and
+/// editor-friendly; the JSON form is versioned so CI consumers can
+/// rely on its shape.
+pub fn render(report: &LintReport, format: Format) -> String {
+    match format {
+        Format::Human => human(report),
+        Format::Json => json(report),
+    }
+}
+
+fn human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for v in &report.violations {
+        let _ = writeln!(out, "{}:{}: {}: {}", v.file, v.line, v.rule, v.message);
+    }
+    let _ = writeln!(
+        out,
+        "nls-lint: {} violation(s) in {} file(s)",
+        report.violations.len(),
+        report.files
+    );
+    out
+}
+
+fn json(report: &LintReport) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_str(&v.file),
+            v.line,
+            json_str(v.rule),
+            json_str(&v.message),
+        );
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    let _ = write!(
+        out,
+        "],\n  \"summary\": {{\"files\": {}, \"violations\": {}, \"exit_code\": {}}}\n}}\n",
+        report.files,
+        report.violations.len(),
+        report.exit_code(),
+    );
+    out
+}
+
+/// Minimal JSON string escaping (quote, backslash, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The `--list-rules` table: id, exit code, and summary per rule.
+pub fn rule_table() -> String {
+    let mut out = String::new();
+    for r in all_rules() {
+        let _ = writeln!(out, "{:<20} exit {:>2}  {}", r.id(), r.exit_code(), r.summary());
+    }
+    let _ = writeln!(
+        out,
+        "{:<20} exit {:>2}  {}",
+        crate::engine::SUPPRESSION_RULE,
+        crate::engine::SUPPRESSION_EXIT_CODE,
+        "malformed `nls-lint: allow(...)` annotation (missing rule list or reason)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Violation;
+
+    fn sample() -> LintReport {
+        LintReport {
+            violations: vec![Violation {
+                rule: "no-panic",
+                file: "crates/x/src/a.rs".into(),
+                line: 3,
+                message: "say \"no\"\tto panics".into(),
+            }],
+            files: 2,
+        }
+    }
+
+    #[test]
+    fn human_lines_are_file_line_rule() {
+        let text = human(&sample());
+        assert!(text.starts_with("crates/x/src/a.rs:3: no-panic: "));
+        assert!(text.contains("1 violation(s) in 2 file(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_versions() {
+        let text = json(&sample());
+        assert!(text.contains("\"version\": 1"));
+        assert!(text.contains("\\\"no\\\"\\tto"));
+        assert!(text.contains("\"exit_code\": 10"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let text = json(&LintReport::default());
+        assert!(text.contains("\"violations\": []"));
+        assert!(text.contains("\"exit_code\": 0"));
+    }
+}

@@ -1,0 +1,677 @@
+//! The rule set: each rule enforces one simulator invariant.
+//!
+//! Rules are lexical, not type-aware — they err on the side of
+//! flagging, and provably-safe sites carry a
+//! `// nls-lint: allow(<rule>): <reason>` annotation so the safety
+//! argument is written down next to the code it covers. See
+//! DESIGN.md §9 for each rule's rationale.
+
+use crate::source::SourceFile;
+
+/// One finding at a file/line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+}
+
+/// A pluggable lint rule.
+pub trait Rule {
+    /// Stable kebab-case id, used in reports and suppressions.
+    fn id(&self) -> &'static str;
+    /// Process exit code when this rule (and no higher-priority one)
+    /// has findings.
+    fn exit_code(&self) -> u8;
+    /// One-line description for `--list-rules` and docs.
+    fn summary(&self) -> &'static str;
+    /// Per-file check. The engine filters suppressed findings.
+    fn check_file(&self, _file: &SourceFile, _out: &mut Vec<Violation>) {}
+    /// Whole-workspace check (cross-file invariants).
+    fn check_workspace(&self, _files: &[SourceFile], _out: &mut Vec<Violation>) {}
+}
+
+/// Every rule, in exit-code priority order (lowest code first).
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(NoPanic),
+        Box::new(SliceIndex),
+        Box::new(CastTruncate),
+        Box::new(FsTraceRead),
+        Box::new(HashOrder),
+        Box::new(UncheckedCapacity),
+        Box::new(ErrorExitMap),
+    ]
+}
+
+fn violation(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Violation {
+    Violation { rule, file: file.rel.clone(), line, message }
+}
+
+// ---------------------------------------------------------------- no-panic
+
+/// Rule 1a: non-test code must not contain implicit-panic calls —
+/// `.unwrap()`, `.expect(...)`, `panic!`, `unreachable!`, `todo!`,
+/// `unimplemented!`. Failures must flow through `NlsError` so the
+/// fault-tolerant pipeline (sweep retry, CLI exit classes) sees them.
+pub struct NoPanic;
+
+impl Rule for NoPanic {
+    fn id(&self) -> &'static str {
+        "no-panic"
+    }
+    fn exit_code(&self) -> u8 {
+        10
+    }
+    fn summary(&self) -> &'static str {
+        "no unwrap/expect/panic!-family in non-test code; return NlsError instead"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if file.is_test_file() {
+            return;
+        }
+        let code = &file.code;
+        for (i, t) in code.iter().enumerate() {
+            if file.is_test_code(t.line) {
+                continue;
+            }
+            let next_is = |c: char| code.get(i + 1).is_some_and(|n| n.is_punct(c));
+            let prev_is_dot =
+                i.checked_sub(1).and_then(|j| code.get(j)).is_some_and(|p| p.is_punct('.'));
+            if prev_is_dot && next_is('(') && (t.is_ident("unwrap") || t.is_ident("expect")) {
+                out.push(violation(
+                    self.id(),
+                    file,
+                    t.line,
+                    format!(".{}() panics; map the failure into NlsError", t.text),
+                ));
+            }
+            let panic_macro =
+                ["panic", "unreachable", "todo", "unimplemented"].iter().any(|m| t.is_ident(m));
+            if panic_macro && next_is('!') {
+                out.push(violation(
+                    self.id(),
+                    file,
+                    t.line,
+                    format!("{}! aborts the simulation; return an NlsError class", t.text),
+                ));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- slice-index
+
+/// Rule 1b: non-test code may index slices only when the index is
+/// visibly bounded at the use site: a literal (or literal range), or
+/// an expression containing a masking/modulo operator. Anything else
+/// must use `.get()`/iterators or carry an annotation stating the
+/// bound.
+pub struct SliceIndex;
+
+/// Is the bracketed index expression visibly panic-free?
+fn index_expr_is_safe(expr: &[crate::lexer::Tok]) -> bool {
+    use crate::lexer::TokKind;
+    if expr.is_empty() {
+        return true; // `v[]` is not valid Rust; treat as non-index
+    }
+    // Masked (`&`), wrapped (`%`), or clamped-to-last (`len - 1`)
+    // indexes are bounded by construction.
+    if expr.iter().any(|t| t.is_punct('&') || t.is_punct('%')) {
+        return true;
+    }
+    // Literals and literal ranges (`[0]`, `[2..10]`, `[..4]`, `[..]`)
+    // index fixed-layout frames; a wrong bound is caught by the very
+    // first record in any test or run, not data-dependent.
+    expr.iter().all(|t| t.kind == TokKind::Number || t.is_punct('.') || t.is_punct('='))
+}
+
+impl Rule for SliceIndex {
+    fn id(&self) -> &'static str {
+        "slice-index"
+    }
+    fn exit_code(&self) -> u8 {
+        11
+    }
+    fn summary(&self) -> &'static str {
+        "slice indexes must be literals or visibly masked; otherwise use get() or annotate the bound"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if file.is_test_file() {
+            return;
+        }
+        let code = &file.code;
+        for (i, t) in code.iter().enumerate() {
+            if !t.is_punct('[') || i == 0 {
+                continue;
+            }
+            if file.is_test_code(t.line) {
+                continue;
+            }
+            // Indexing only: `expr[...]` — previous token ends an
+            // expression. `#[attr]`, `vec![]`, `[T; N]` types, and
+            // array literals all have non-expression predecessors.
+            let Some(prev) = i.checked_sub(1).and_then(|j| code.get(j)) else { continue };
+            // Keywords before `[` start an array literal, type, or
+            // destructuring pattern, not an index expression.
+            const NON_EXPR_KEYWORDS: [&str; 9] =
+                ["mut", "return", "break", "in", "as", "else", "move", "ref", "let"];
+            let is_index = (matches!(prev.kind, crate::lexer::TokKind::Ident)
+                && !NON_EXPR_KEYWORDS.iter().any(|k| prev.is_ident(k)))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if !is_index {
+                continue;
+            }
+            let Some(close) = matching_punct(code, i, '[', ']') else { continue };
+            if !index_expr_is_safe(code.get(i + 1..close).unwrap_or(&[])) {
+                out.push(violation(
+                    self.id(),
+                    file,
+                    t.line,
+                    "index not visibly bounded (no mask/literal); use .get() or annotate the bound"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+fn matching_punct(
+    code: &[crate::lexer::Tok],
+    start: usize,
+    open: char,
+    close: char,
+) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in code.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+// ----------------------------------------------------------- cast-truncate
+
+/// Rule 2: in the model crates (`core`, `cost`, `predictors`), `as`
+/// casts to integer types narrower than 64 bits silently wrap — RBE
+/// area, access-time, and penalty math must use `try_from` or the
+/// checked helpers so a widened configuration cannot corrupt results.
+pub struct CastTruncate;
+
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+impl Rule for CastTruncate {
+    fn id(&self) -> &'static str {
+        "cast-truncate"
+    }
+    fn exit_code(&self) -> u8 {
+        12
+    }
+    fn summary(&self) -> &'static str {
+        "no truncating `as` casts to narrow ints in core/cost/predictors; use try_from/checked helpers"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if !(file.in_crate("core") || file.in_crate("cost") || file.in_crate("predictors")) {
+            return;
+        }
+        let code = &file.code;
+        for (i, t) in code.iter().enumerate() {
+            if !t.is_ident("as") || file.is_test_code(t.line) {
+                continue;
+            }
+            let Some(target) = code.get(i + 1) else { continue };
+            if NARROW_INTS.iter().any(|n| target.is_ident(n)) {
+                out.push(violation(
+                    self.id(),
+                    file,
+                    t.line,
+                    format!(
+                        "`as {}` can truncate; use {}::try_from or a checked helper",
+                        target.text, target.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- fs-trace-read
+
+/// Rule 3: only `crates/trace` may read files directly — everything
+/// else goes through `TraceReader`/`RecoveryPolicy`, so corrupt bytes
+/// always hit the recovery layer instead of ad-hoc parsing. Non-trace
+/// readers (e.g. checkpoint JSON) must annotate why their input is
+/// not trace data.
+pub struct FsTraceRead;
+
+impl Rule for FsTraceRead {
+    fn id(&self) -> &'static str {
+        "fs-trace-read"
+    }
+    fn exit_code(&self) -> u8 {
+        13
+    }
+    fn summary(&self) -> &'static str {
+        "file reads outside crates/trace must use the TraceReader layer or annotate why not trace data"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if file.in_crate("trace") || file.is_test_file() {
+            return;
+        }
+        let code = &file.code;
+        for (i, t) in code.iter().enumerate() {
+            if file.is_test_code(t.line) {
+                continue;
+            }
+            // `File::open(..)` or `fs::read*(..)`.
+            let qualified_by = |name: &str| {
+                i >= 3
+                    && code.get(i - 1).is_some_and(|t| t.is_punct(':'))
+                    && code.get(i - 2).is_some_and(|t| t.is_punct(':'))
+                    && code.get(i - 3).is_some_and(|t| t.is_ident(name))
+            };
+            let hit = (t.is_ident("open") && qualified_by("File"))
+                || ((t.is_ident("read")
+                    || t.is_ident("read_to_string")
+                    || t.is_ident("read_to_end"))
+                    && qualified_by("fs"));
+            if hit {
+                out.push(violation(
+                    self.id(),
+                    file,
+                    t.line,
+                    "direct file read outside crates/trace; route trace bytes through TraceReader"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- hash-order
+
+/// Rule 4: `HashMap`/`HashSet` iteration order varies per process, so
+/// any aggregation or serialized output built from it is
+/// nondeterministic — results must be bit-exact across runs for the
+/// paper's tables to be reproducible. Use `BTreeMap`/`BTreeSet`, or
+/// annotate a site whose iteration order provably never escapes.
+pub struct HashOrder;
+
+impl Rule for HashOrder {
+    fn id(&self) -> &'static str {
+        "hash-order"
+    }
+    fn exit_code(&self) -> u8 {
+        14
+    }
+    fn summary(&self) -> &'static str {
+        "no HashMap/HashSet in non-test code (iteration order); use BTreeMap/BTreeSet"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if file.is_test_file() {
+            return;
+        }
+        for t in &file.code {
+            if (t.is_ident("HashMap") || t.is_ident("HashSet")) && !file.is_test_code(t.line) {
+                out.push(violation(
+                    self.id(),
+                    file,
+                    t.line,
+                    format!(
+                        "{} iteration order is nondeterministic; use the BTree equivalent",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------ unchecked-capacity
+
+/// Rule 5: `with_capacity(n)` where `n` comes straight from decoded
+/// input lets a corrupt header request gigabytes before the first
+/// record is validated (the PR 1 bug class). The argument must be a
+/// literal, a `len()` of live data, or visibly capped (`.min(...)` /
+/// a `MAX_*` constant); anything else needs an annotation.
+pub struct UncheckedCapacity;
+
+fn capacity_arg_is_safe(expr: &[crate::lexer::Tok]) -> bool {
+    use crate::lexer::TokKind;
+    if expr.iter().all(|t| t.kind == TokKind::Number) {
+        return true;
+    }
+    expr.iter().enumerate().any(|(k, t)| {
+        t.is_ident("len")
+            || t.is_ident("min")
+            || (t.kind == TokKind::Ident && t.text.starts_with("MAX_"))
+            // `CAP`-style screaming consts are caps by convention.
+            || (t.kind == TokKind::Ident
+                && t.text.len() > 1
+                && t.text.chars().all(|c| c.is_ascii_uppercase() || c == '_')
+                && expr.len() == 1
+                && k == 0)
+    })
+}
+
+impl Rule for UncheckedCapacity {
+    fn id(&self) -> &'static str {
+        "unchecked-capacity"
+    }
+    fn exit_code(&self) -> u8 {
+        15
+    }
+    fn summary(&self) -> &'static str {
+        "with_capacity argument must be a literal, len(), or visibly capped (min/MAX_*)"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if file.is_test_file() {
+            return;
+        }
+        let code = &file.code;
+        for (i, t) in code.iter().enumerate() {
+            if !t.is_ident("with_capacity") || file.is_test_code(t.line) {
+                continue;
+            }
+            if !code.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            let Some(close) = matching_punct(code, i + 1, '(', ')') else { continue };
+            if !capacity_arg_is_safe(code.get(i + 2..close).unwrap_or(&[])) {
+                out.push(violation(
+                    self.id(),
+                    file,
+                    t.line,
+                    "capacity not visibly bounded; cap it (e.g. .min(MAX)) before allocating"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------- error-exit-map
+
+/// Rule 6: every public `NlsError` variant must map to an explicit
+/// exit code (no wildcard arm that would silently absorb a new
+/// class), and the CLI layer must mention each class so `nls help`
+/// and the e2e tests stay in sync with the taxonomy.
+pub struct ErrorExitMap;
+
+impl ErrorExitMap {
+    /// Variant names of `pub enum NlsError` in `error.rs`.
+    fn enum_variants(file: &SourceFile) -> Vec<(String, u32)> {
+        let code = &file.code;
+        let mut out = Vec::new();
+        for (i, t) in code.iter().enumerate() {
+            if !t.is_ident("enum") || !code.get(i + 1).is_some_and(|n| n.is_ident("NlsError")) {
+                continue;
+            }
+            let tail = code.get(i..).unwrap_or(&[]);
+            let Some(open) = tail.iter().position(|t| t.is_punct('{')) else { continue };
+            let Some(close) = matching_punct(code, i + open, '{', '}') else { continue };
+            // Variants are idents at depth 1 following `{` or `,`.
+            let mut depth = 0i64;
+            let mut expect_variant = true;
+            for t in code.get(i + open..=close).unwrap_or(&[]) {
+                if t.is_punct('{') || t.is_punct('(') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') {
+                    depth -= 1;
+                } else if depth == 1 {
+                    if t.is_punct(',') {
+                        expect_variant = true;
+                    } else if expect_variant && t.kind == crate::lexer::TokKind::Ident {
+                        out.push((t.text.clone(), t.line));
+                        expect_variant = false;
+                    }
+                }
+            }
+            break;
+        }
+        out
+    }
+
+    /// Token span of `fn <name>` body in `file`, if present.
+    fn fn_body<'a>(file: &'a SourceFile, name: &str) -> Option<&'a [crate::lexer::Tok]> {
+        let code = &file.code;
+        for (i, t) in code.iter().enumerate() {
+            if t.is_ident("fn") && code.get(i + 1).is_some_and(|n| n.is_ident(name)) {
+                let tail = code.get(i..)?;
+                let open = i + tail.iter().position(|t| t.is_punct('{'))?;
+                let close = matching_punct(code, open, '{', '}')?;
+                return code.get(open..=close);
+            }
+        }
+        None
+    }
+}
+
+impl Rule for ErrorExitMap {
+    fn id(&self) -> &'static str {
+        "error-exit-map"
+    }
+    fn exit_code(&self) -> u8 {
+        16
+    }
+    fn summary(&self) -> &'static str {
+        "every NlsError variant needs an explicit exit_code/class arm and a CLI mention"
+    }
+
+    fn check_workspace(&self, files: &[SourceFile], out: &mut Vec<Violation>) {
+        let Some(error_rs) = files.iter().find(|f| f.rel == "crates/core/src/error.rs") else {
+            return;
+        };
+        let variants = Self::enum_variants(error_rs);
+        if variants.is_empty() {
+            out.push(Violation {
+                rule: self.id(),
+                file: error_rs.rel.clone(),
+                line: 1,
+                message: "could not find `enum NlsError` variants".to_string(),
+            });
+            return;
+        }
+        for fn_name in ["exit_code", "class"] {
+            let Some(body) = Self::fn_body(error_rs, fn_name) else {
+                out.push(Violation {
+                    rule: self.id(),
+                    file: error_rs.rel.clone(),
+                    line: 1,
+                    message: format!("NlsError is missing fn {fn_name}()"),
+                });
+                continue;
+            };
+            for (v, line) in &variants {
+                let mapped = body.windows(4).any(|w| {
+                    w[0].is_ident("NlsError")
+                        && w[1].is_punct(':')
+                        && w[2].is_punct(':')
+                        && w[3].is_ident(v)
+                });
+                if !mapped {
+                    out.push(Violation {
+                        rule: self.id(),
+                        file: error_rs.rel.clone(),
+                        line: *line,
+                        message: format!("variant {v} has no explicit arm in {fn_name}()"),
+                    });
+                }
+            }
+            // A wildcard arm would silently absorb future variants.
+            if body.windows(2).any(|w| w[0].is_ident("_") && w[1].is_punct('=')) {
+                out.push(Violation {
+                    rule: self.id(),
+                    file: error_rs.rel.clone(),
+                    line: body[0].line,
+                    message: format!("{fn_name}() must not use a wildcard `_ =>` arm"),
+                });
+            }
+        }
+        // The CLI surface must acknowledge each class by name.
+        let cli: Vec<&SourceFile> =
+            files.iter().filter(|f| f.rel.starts_with("crates/cli/src/")).collect();
+        for (v, line) in &variants {
+            let mentioned = cli.iter().any(|f| f.code.iter().any(|t| t.text == *v));
+            if !mentioned {
+                out.push(Violation {
+                    rule: self.id(),
+                    file: error_rs.rel.clone(),
+                    line: *line,
+                    message: format!("variant {v} is never handled or mentioned in crates/cli"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_one(rule: &dyn Rule, rel: &str, src: &str) -> Vec<Violation> {
+        let f = SourceFile::parse(rel, src);
+        let mut out = Vec::new();
+        rule.check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn rule_ids_and_exit_codes_are_unique() {
+        let rules = all_rules();
+        let mut ids: Vec<_> = rules.iter().map(|r| r.id()).collect();
+        let mut codes: Vec<_> = rules.iter().map(|r| r.exit_code()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(ids.len(), rules.len());
+        assert_eq!(codes.len(), rules.len());
+        assert!(codes.iter().all(|&c| c >= 10), "rule codes stay clear of 0/1/2/6");
+    }
+
+    #[test]
+    fn no_panic_flags_only_live_code() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn g() { y.unwrap(); } }\n";
+        let v = check_one(&NoPanic, "crates/x/src/a.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn no_panic_ignores_unwrap_or_and_strings() {
+        let src = "fn f() { x.unwrap_or(0); let s = \".unwrap()\"; } // .unwrap()\n";
+        assert!(check_one(&NoPanic, "crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slice_index_distinguishes_masked_from_raw() {
+        let bad = "fn f(v: &[u8], i: usize) -> u8 { v[i] }";
+        let masked = "fn f(v: &[u8], i: usize) -> u8 { v[i & 7] }";
+        let lit = "fn f(v: &[u8]) -> u8 { v[0] + v[1] }";
+        let range = "fn f(v: &[u8]) -> &[u8] { &v[2..10] }";
+        assert_eq!(check_one(&SliceIndex, "crates/x/src/a.rs", bad).len(), 1);
+        assert!(check_one(&SliceIndex, "crates/x/src/a.rs", masked).is_empty());
+        assert!(check_one(&SliceIndex, "crates/x/src/a.rs", lit).is_empty());
+        assert!(check_one(&SliceIndex, "crates/x/src/a.rs", range).is_empty());
+    }
+
+    #[test]
+    fn slice_index_skips_attributes_types_and_macros() {
+        let src = "#[derive(Debug)]\nstruct S { a: [u8; 4] }\nfn f() { let v = vec![1, 2]; }\n";
+        assert!(check_one(&SliceIndex, "crates/x/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_truncate_is_scoped_to_model_crates() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }";
+        assert_eq!(check_one(&CastTruncate, "crates/core/src/a.rs", src).len(), 1);
+        assert_eq!(check_one(&CastTruncate, "crates/cost/src/a.rs", src).len(), 1);
+        assert!(check_one(&CastTruncate, "crates/cli/src/a.rs", src).is_empty());
+        let widen = "fn f(x: u8) -> u64 { x as u64 }";
+        assert!(check_one(&CastTruncate, "crates/core/src/a.rs", widen).is_empty());
+    }
+
+    #[test]
+    fn fs_trace_read_only_outside_trace_crate() {
+        let src = "fn f() { let _ = std::fs::File::open(\"t.nlst\"); }";
+        assert_eq!(check_one(&FsTraceRead, "crates/cli/src/a.rs", src).len(), 1);
+        assert!(check_one(&FsTraceRead, "crates/trace/src/a.rs", src).is_empty());
+        let write = "fn f() { std::fs::write(\"out.csv\", \"x\").ok(); }";
+        assert!(check_one(&FsTraceRead, "crates/cli/src/a.rs", write).is_empty());
+    }
+
+    #[test]
+    fn hash_order_requires_btree() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32>; }\n";
+        assert_eq!(check_one(&HashOrder, "crates/core/src/a.rs", src).len(), 2);
+        let ok = "use std::collections::BTreeMap;\n";
+        assert!(check_one(&HashOrder, "crates/core/src/a.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn unchecked_capacity_needs_a_visible_cap() {
+        let bad = "fn f(n: usize) { let v: Vec<u8> = Vec::with_capacity(n); }";
+        let capped =
+            "fn f(n: usize) { let v: Vec<u8> = Vec::with_capacity(n.min(MAX_RECORDS)); }";
+        let lit = "fn f() { let v: Vec<u8> = Vec::with_capacity(64); }";
+        let len = "fn f(xs: &[u8]) { let v: Vec<u8> = Vec::with_capacity(xs.len()); }";
+        assert_eq!(check_one(&UncheckedCapacity, "crates/x/src/a.rs", bad).len(), 1);
+        assert!(check_one(&UncheckedCapacity, "crates/x/src/a.rs", capped).is_empty());
+        assert!(check_one(&UncheckedCapacity, "crates/x/src/a.rs", lit).is_empty());
+        assert!(check_one(&UncheckedCapacity, "crates/x/src/a.rs", len).is_empty());
+    }
+
+    #[test]
+    fn error_exit_map_catches_missing_arm_and_wildcard() {
+        let error_rs = "pub enum NlsError { Usage(String), Trace(T) }\n\
+            impl NlsError {\n\
+            pub fn exit_code(&self) -> u8 { match self { NlsError::Usage(_) => 2, _ => 1 } }\n\
+            pub fn class(&self) -> &str { match self { NlsError::Usage(_) => \"u\", NlsError::Trace(_) => \"t\" } }\n\
+            }\n";
+        let cli = "fn f(e: &NlsError) { if let NlsError::Usage(u) = e {} match e { NlsError::Trace(_) => (), _ => () } }";
+        let files = vec![
+            SourceFile::parse("crates/core/src/error.rs", error_rs),
+            SourceFile::parse("crates/cli/src/main.rs", cli),
+        ];
+        let mut out = Vec::new();
+        ErrorExitMap.check_workspace(&files, &mut out);
+        let msgs: Vec<_> = out.iter().map(|v| v.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("Trace") && m.contains("exit_code")),
+            "{msgs:?}"
+        );
+        assert!(msgs.iter().any(|m| m.contains("wildcard")), "{msgs:?}");
+    }
+
+    #[test]
+    fn error_exit_map_passes_a_complete_taxonomy() {
+        let error_rs = "pub enum NlsError { Usage(String) }\n\
+            impl NlsError {\n\
+            pub fn exit_code(&self) -> u8 { match self { NlsError::Usage(_) => 2 } }\n\
+            pub fn class(&self) -> &str { match self { NlsError::Usage(_) => \"usage\" } }\n\
+            }\n";
+        let cli = "fn f(e: &NlsError) { if let NlsError::Usage(_) = e {} }";
+        let files = vec![
+            SourceFile::parse("crates/core/src/error.rs", error_rs),
+            SourceFile::parse("crates/cli/src/main.rs", cli),
+        ];
+        let mut out = Vec::new();
+        ErrorExitMap.check_workspace(&files, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

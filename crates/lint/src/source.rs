@@ -1,0 +1,241 @@
+//! Per-file lint context: token stream, test-code regions, and
+//! suppression annotations.
+
+use crate::lexer::{tokenize, Tok, TokKind};
+
+/// One `// nls-lint: allow(rule, ...): reason` annotation.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub line: u32,
+    pub rules: Vec<String>,
+    /// Empty when the mandatory reason is missing (itself an error).
+    pub reason: String,
+}
+
+/// A lexed source file plus everything rules need to know about it.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across OSes
+    /// for report output and path-scoped rules).
+    pub rel: String,
+    /// All tokens except comments, in source order.
+    pub code: Vec<Tok>,
+    /// Comment tokens only (suppression parsing, doc checks).
+    pub comments: Vec<Tok>,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]`
+    /// items.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Parsed suppression annotations.
+    pub suppressions: Vec<Suppression>,
+    /// Total number of source lines (for region clamping).
+    pub lines: u32,
+}
+
+impl SourceFile {
+    /// Lexes `text` as the file at `rel` (use `/` separators).
+    pub fn parse(rel: &str, text: &str) -> SourceFile {
+        let toks = tokenize(text);
+        let (code, comments): (Vec<Tok>, Vec<Tok>) =
+            toks.into_iter().partition(|t| t.kind != TokKind::Comment);
+        let lines = text.lines().count() as u32;
+        let test_regions = find_test_regions(&code);
+        let suppressions = comments.iter().filter_map(parse_suppression).collect();
+        SourceFile { rel: rel.to_string(), code, comments, test_regions, suppressions, lines }
+    }
+
+    /// True when the whole file is test/example/bench scaffolding:
+    /// under a `tests/`, `examples/`, or `benches/` directory.
+    pub fn is_test_file(&self) -> bool {
+        self.rel.split('/').any(|part| matches!(part, "tests" | "examples" | "benches"))
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]`/`#[test]` item
+    /// (or the file as a whole is test scaffolding).
+    pub fn is_test_code(&self, line: u32) -> bool {
+        self.is_test_file()
+            || self.test_regions.iter().any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// True when the file lives under `crates/<name>/`.
+    pub fn in_crate(&self, name: &str) -> bool {
+        self.rel.strip_prefix("crates/").is_some_and(|rest| {
+            rest.strip_prefix(name).is_some_and(|tail| tail.starts_with('/'))
+        })
+    }
+
+    /// True when a well-formed suppression for `rule` covers `line`
+    /// (annotations apply to their own line and the one below).
+    pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
+        self.suppressions.iter().any(|s| {
+            !s.reason.is_empty()
+                && (s.line == line || s.line + 1 == line)
+                && s.rules.iter().any(|r| r == rule || r == "all")
+        })
+    }
+}
+
+/// Parses `nls-lint: allow(rule-a, rule-b): reason` out of a comment
+/// token. Returns `None` for comments without the marker; a marker
+/// with a malformed tail yields a `Suppression` with empty rules or
+/// reason, which the engine reports as an error.
+fn parse_suppression(tok: &Tok) -> Option<Suppression> {
+    let text = tok.text.trim_start_matches(['/', '*', '!']).trim();
+    let rest = text.strip_prefix("nls-lint:")?.trim_start();
+    let mut rules = Vec::new();
+    let mut reason = String::new();
+    if let Some(tail) = rest.strip_prefix("allow") {
+        let tail = tail.trim_start();
+        if let Some(open) = tail.strip_prefix('(') {
+            if let Some((inner, after)) = open.split_once(')') {
+                rules = inner
+                    .split(',')
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                if let Some(r) = after.trim_start().strip_prefix(':') {
+                    reason = r.trim().to_string();
+                }
+            }
+        }
+    }
+    Some(Suppression { line: tok.line, rules, reason })
+}
+
+/// Scans for `#[cfg(test)]` / `#[test]`-attributed items and returns
+/// the line span of each, attribute through closing brace (or `;`).
+fn find_test_regions(code: &[Tok]) -> Vec<(u32, u32)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while let Some(tok) = code.get(i) {
+        if tok.is_punct('#') && code.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let start_line = tok.line;
+            let Some(close) = matching(code, i + 1, '[', ']') else { break };
+            if attr_is_test(code.get(i + 2..close).unwrap_or(&[])) {
+                // Skip any further attributes, then span the item.
+                let mut j = close + 1;
+                while code.get(j).is_some_and(|t| t.is_punct('#'))
+                    && code.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    match matching(code, j + 1, '[', ']') {
+                        Some(c) => j = c + 1,
+                        None => return regions,
+                    }
+                }
+                let end = item_end(code, j);
+                regions.push((start_line, end));
+                i = j;
+                continue;
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Does an attribute body (tokens between `[` and `]`) mark test-only
+/// code? Matches `test`, `cfg(test)`, and `cfg(any(test, ...))`.
+fn attr_is_test(body: &[Tok]) -> bool {
+    match body.first() {
+        Some(t) if t.is_ident("test") && body.len() == 1 => true,
+        Some(t) if t.is_ident("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Index of the punct matching `open` at `start` (which must hold
+/// `open`), honoring nesting.
+fn matching(code: &[Tok], start: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in code.iter().enumerate().skip(start) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Last line of the item starting at token `j`: through the matching
+/// `}` of its first brace, or the first `;` before any brace.
+fn item_end(code: &[Tok], j: usize) -> u32 {
+    for (k, t) in code.iter().enumerate().skip(j) {
+        if t.is_punct(';') {
+            return t.line;
+        }
+        if t.is_punct('{') {
+            return match matching(code, k, '{', '}').and_then(|c| code.get(c)) {
+                Some(close) => close.line,
+                None => code.last().map_or(t.line, |l| l.line),
+            };
+        }
+    }
+    code.last().map_or(0, |l| l.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_a_region() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+        );
+        assert!(!f.is_test_code(1));
+        assert!(f.is_test_code(2));
+        assert!(f.is_test_code(4));
+        assert!(f.is_test_code(5));
+    }
+
+    #[test]
+    fn test_attribute_with_more_attributes() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "#[test]\n#[ignore]\nfn t() {\n    x();\n}\nfn live() {}\n",
+        );
+        assert!(f.is_test_code(4));
+        assert!(!f.is_test_code(6));
+    }
+
+    #[test]
+    fn paths_classify_test_files() {
+        assert!(SourceFile::parse("crates/x/tests/a.rs", "").is_test_file());
+        assert!(SourceFile::parse("examples/q.rs", "").is_test_file());
+        assert!(!SourceFile::parse("crates/x/src/a.rs", "").is_test_file());
+    }
+
+    #[test]
+    fn suppression_parses_rules_and_reason() {
+        let f = SourceFile::parse(
+            "crates/x/src/a.rs",
+            "// nls-lint: allow(no-panic, slice-index): bounded by mask\nlet x = v[i];\n",
+        );
+        assert!(f.is_suppressed("no-panic", 2));
+        assert!(f.is_suppressed("slice-index", 1));
+        assert!(!f.is_suppressed("cast-truncate", 2));
+        assert!(!f.is_suppressed("no-panic", 3));
+    }
+
+    #[test]
+    fn suppression_without_reason_does_not_apply() {
+        let f = SourceFile::parse("crates/x/src/a.rs", "// nls-lint: allow(no-panic)\nx();\n");
+        assert!(!f.is_suppressed("no-panic", 2));
+        assert_eq!(f.suppressions.len(), 1);
+        assert!(f.suppressions[0].reason.is_empty());
+    }
+
+    #[test]
+    fn in_crate_matches_exact_component() {
+        let f = SourceFile::parse("crates/core/src/a.rs", "");
+        assert!(f.in_crate("core"));
+        assert!(!f.in_crate("cor"));
+        assert!(!f.in_crate("cost"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Per-rule fixture tests for `nls-lint`.
+//!
+//! Every rule has a failing and a passing fixture under
+//! `tests/fixtures/` — a directory the workspace walker skips, so the
+//! intentional violations never fail the real lint run. Fixtures are
+//! lexed (not compiled) under the workspace-relative paths the rules
+//! are scoped to, which also pins down the path scoping itself
+//! (e.g. `cast-truncate` fires in `crates/core` but not
+//! `crates/bench`).
+
+use nls_lint::{lint_sources, render, Format, LintReport, SourceFile};
+
+/// Lints a set of (workspace-relative path, source text) pairs.
+fn lint(files: &[(&str, &str)]) -> LintReport {
+    let parsed: Vec<SourceFile> =
+        files.iter().map(|(rel, text)| SourceFile::parse(rel, text)).collect();
+    lint_sources(&parsed)
+}
+
+/// Asserts the failing fixture trips `rule` (and nothing else) with
+/// the rule's exit code, and that the passing fixture is clean.
+fn check_rule(rule: &str, exit: u8, rel: &str, bad: &str, good: &str) {
+    let report = lint(&[(rel, bad)]);
+    assert!(!report.violations.is_empty(), "{rule}: bad fixture produced no findings");
+    for v in &report.violations {
+        assert_eq!(v.rule, rule, "{rule}: unexpected co-finding {v:?}");
+        assert!(v.line > 0, "{rule}: finding carries no line: {v:?}");
+    }
+    assert_eq!(report.exit_code(), exit, "{rule}: wrong exit code");
+    let clean = lint(&[(rel, good)]);
+    assert_eq!(clean.violations, vec![], "{rule}: good fixture is not clean");
+    assert_eq!(clean.exit_code(), 0);
+}
+
+#[test]
+fn no_panic() {
+    check_rule(
+        "no-panic",
+        10,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/no_panic_bad.rs"),
+        include_str!("fixtures/no_panic_good.rs"),
+    );
+    // unwrap(), expect() and panic! are three separate findings.
+    let report =
+        lint(&[("crates/core/src/fixture.rs", include_str!("fixtures/no_panic_bad.rs"))]);
+    assert_eq!(report.violations.len(), 3, "{:?}", report.violations);
+}
+
+#[test]
+fn slice_index() {
+    check_rule(
+        "slice-index",
+        11,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/slice_index_bad.rs"),
+        include_str!("fixtures/slice_index_good.rs"),
+    );
+}
+
+#[test]
+fn cast_truncate() {
+    check_rule(
+        "cast-truncate",
+        12,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/cast_truncate_bad.rs"),
+        include_str!("fixtures/cast_truncate_good.rs"),
+    );
+}
+
+#[test]
+fn cast_truncate_is_scoped_to_model_crates() {
+    let bad = include_str!("fixtures/cast_truncate_bad.rs");
+    for rel in ["crates/cost/src/f.rs", "crates/predictors/src/f.rs"] {
+        assert!(!lint(&[(rel, bad)]).violations.is_empty(), "{rel} must be in scope");
+    }
+    // Presentation crates may narrow freely (their numbers are not
+    // the published tables).
+    assert_eq!(lint(&[("crates/bench/src/f.rs", bad)]).violations, vec![]);
+}
+
+#[test]
+fn fs_trace_read() {
+    check_rule(
+        "fs-trace-read",
+        13,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/fs_trace_read_bad.rs"),
+        include_str!("fixtures/fs_trace_read_good.rs"),
+    );
+}
+
+#[test]
+fn fs_trace_read_allows_the_trace_crate() {
+    let bad = include_str!("fixtures/fs_trace_read_bad.rs");
+    assert_eq!(lint(&[("crates/trace/src/file.rs", bad)]).violations, vec![]);
+}
+
+#[test]
+fn hash_order() {
+    check_rule(
+        "hash-order",
+        14,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/hash_order_bad.rs"),
+        include_str!("fixtures/hash_order_good.rs"),
+    );
+}
+
+#[test]
+fn unchecked_capacity() {
+    check_rule(
+        "unchecked-capacity",
+        15,
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/unchecked_capacity_bad.rs"),
+        include_str!("fixtures/unchecked_capacity_good.rs"),
+    );
+}
+
+#[test]
+fn error_exit_map() {
+    let cli = ("crates/cli/src/main.rs", include_str!("fixtures/error_exit_map_cli.rs"));
+    let bad = lint(&[
+        ("crates/core/src/error.rs", include_str!("fixtures/error_exit_map_bad.rs")),
+        cli,
+    ]);
+    assert!(
+        bad.violations
+            .iter()
+            .any(|v| v.message.contains("Trace") && v.message.contains("exit_code")),
+        "missing-arm finding not reported: {:?}",
+        bad.violations
+    );
+    assert!(
+        bad.violations.iter().any(|v| v.message.contains("wildcard")),
+        "wildcard finding not reported: {:?}",
+        bad.violations
+    );
+    assert!(bad.violations.iter().all(|v| v.rule == "error-exit-map"));
+    assert_eq!(bad.exit_code(), 16);
+
+    let good = lint(&[
+        ("crates/core/src/error.rs", include_str!("fixtures/error_exit_map_good.rs")),
+        cli,
+    ]);
+    assert_eq!(good.violations, vec![], "good taxonomy must lint clean");
+}
+
+#[test]
+fn error_exit_map_requires_cli_mention() {
+    // A complete taxonomy that the CLI never acknowledges still fails.
+    let report = lint(&[
+        ("crates/core/src/error.rs", include_str!("fixtures/error_exit_map_good.rs")),
+        ("crates/cli/src/main.rs", "fn main() {}"),
+    ]);
+    assert!(
+        report.violations.iter().any(|v| v.message.contains("never handled")),
+        "{:?}",
+        report.violations
+    );
+}
+
+#[test]
+fn suppression_with_reason_is_honored() {
+    let report =
+        lint(&[("crates/core/src/fixture.rs", include_str!("fixtures/suppression_ok.rs"))]);
+    assert_eq!(report.violations, vec![], "justified waiver must silence the finding");
+}
+
+#[test]
+fn suppression_without_reason_reports_both() {
+    let report = lint(&[(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/suppression_no_reason.rs"),
+    )]);
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert!(rules.contains(&"suppression"), "{rules:?}");
+    assert!(rules.contains(&"no-panic"), "the unwaived finding must survive: {rules:?}");
+    // no-panic (10) outranks the suppression pseudo-rule (17).
+    assert_eq!(report.exit_code(), 10);
+}
+
+#[test]
+fn malformed_suppression_alone_exits_17() {
+    let report = lint(&[(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/suppression_malformed_only.rs"),
+    )]);
+    assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+    assert_eq!(report.exit_code(), 17);
+}
+
+#[test]
+fn json_schema_is_stable() {
+    let report =
+        lint(&[("crates/core/src/fixture.rs", include_str!("fixtures/slice_index_bad.rs"))]);
+    let json = render(&report, Format::Json);
+    for key in [
+        "\"version\": 1",
+        "\"violations\": [",
+        "\"file\": \"crates/core/src/fixture.rs\"",
+        "\"line\": ",
+        "\"rule\": \"slice-index\"",
+        "\"message\": ",
+        "\"summary\": {",
+        "\"files\": 1",
+        "\"exit_code\": 11",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}:\n{json}");
+    }
+}
+
+#[test]
+fn json_clean_report_shape() {
+    let report =
+        lint(&[("crates/core/src/fixture.rs", include_str!("fixtures/no_panic_good.rs"))]);
+    let json = render(&report, Format::Json);
+    assert!(json.contains("\"violations\": []"), "{json}");
+    assert!(json.contains("\"exit_code\": 0"), "{json}");
+}
+
+#[test]
+fn human_format_is_grep_friendly() {
+    let report =
+        lint(&[("crates/core/src/fixture.rs", include_str!("fixtures/slice_index_bad.rs"))]);
+    let text = render(&report, Format::Human);
+    assert!(
+        text.lines().next().is_some_and(|l| l.starts_with("crates/core/src/fixture.rs:")),
+        "{text}"
+    );
+    assert!(text.contains("violation(s)"), "{text}");
+}

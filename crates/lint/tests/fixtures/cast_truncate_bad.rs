@@ -1,0 +1,5 @@
+//! Failing fixture for `cast-truncate` (only when lexed under a
+//! model crate path): a narrowing `as` cast.
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}

@@ -1,0 +1,8 @@
+//! Passing fixture for `cast-truncate`: saturating try_from and a
+//! widening cast (which never truncates).
+pub fn narrow(x: u64) -> u32 {
+    u32::try_from(x).unwrap_or(u32::MAX)
+}
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}

@@ -1,0 +1,23 @@
+//! Failing fixture for `error-exit-map` (lexed as
+//! `crates/core/src/error.rs`): `Trace` has no explicit `exit_code`
+//! arm and the wildcard would silently absorb future variants.
+pub enum NlsError {
+    Usage(String),
+    Trace(String),
+}
+
+impl NlsError {
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            NlsError::Usage(_) => 2,
+            _ => 1,
+        }
+    }
+
+    pub fn class(&self) -> &'static str {
+        match self {
+            NlsError::Usage(_) => "usage",
+            NlsError::Trace(_) => "trace",
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! CLI-side companion for the `error-exit-map` fixtures (lexed as
+//! `crates/cli/src/main.rs`): mentions every variant by name.
+pub fn describe(e: &NlsError) -> &'static str {
+    match e {
+        NlsError::Usage(_) => "run help",
+        NlsError::Trace(_) => "regenerate the trace",
+    }
+}

@@ -1,0 +1,22 @@
+//! Passing fixture for `error-exit-map`: every variant has explicit
+//! `exit_code` and `class` arms and no wildcard absorbs new ones.
+pub enum NlsError {
+    Usage(String),
+    Trace(String),
+}
+
+impl NlsError {
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            NlsError::Usage(_) => 2,
+            NlsError::Trace(_) => 3,
+        }
+    }
+
+    pub fn class(&self) -> &'static str {
+        match self {
+            NlsError::Usage(_) => "usage",
+            NlsError::Trace(_) => "trace",
+        }
+    }
+}

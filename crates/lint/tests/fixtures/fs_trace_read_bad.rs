@@ -1,0 +1,11 @@
+//! Failing fixture for `fs-trace-read`: direct file reads outside
+//! `crates/trace`, with no annotation saying why.
+use std::fs;
+use std::fs::File;
+
+pub fn slurp(path: &str) -> std::io::Result<String> {
+    fs::read_to_string(path)
+}
+pub fn open(path: &str) -> std::io::Result<File> {
+    File::open(path)
+}

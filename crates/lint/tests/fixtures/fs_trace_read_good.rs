@@ -1,0 +1,8 @@
+//! Passing fixture for `fs-trace-read`: a read that is justified by
+//! an annotation carrying its safety argument.
+use std::fs;
+
+pub fn checkpoint(path: &str) -> std::io::Result<String> {
+    // nls-lint: allow(fs-trace-read): checkpoint JSON, not trace bytes
+    fs::read_to_string(path)
+}

@@ -1,0 +1,10 @@
+//! Failing fixture for `hash-order`: per-process iteration order.
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

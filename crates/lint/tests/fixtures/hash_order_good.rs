@@ -1,0 +1,10 @@
+//! Passing fixture for `hash-order`: the ordered equivalent.
+use std::collections::BTreeMap;
+
+pub fn tally(keys: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}

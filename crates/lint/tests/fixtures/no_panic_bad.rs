@@ -1,0 +1,11 @@
+//! Failing fixture for `no-panic`: implicit-panic calls in non-test
+//! code. Never compiled — lexed by the fixture tests only.
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+pub fn second(v: Option<u32>) -> u32 {
+    v.expect("present")
+}
+pub fn third() {
+    panic!("boom");
+}

@@ -1,0 +1,10 @@
+//! Passing fixture for `no-panic`: total alternatives.
+pub fn first(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+pub fn second(v: Option<u32>) -> u32 {
+    v.unwrap_or_default()
+}
+pub fn third(v: Option<u32>) -> Result<u32, String> {
+    v.ok_or_else(|| "missing".to_string())
+}

@@ -1,0 +1,4 @@
+//! Failing fixture for `slice-index`: an index with no visible bound.
+pub fn pick(v: &[u32], i: usize) -> u32 {
+    v[i]
+}

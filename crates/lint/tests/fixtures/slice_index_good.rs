@@ -1,0 +1,14 @@
+//! Passing fixture for `slice-index`: literal, masked and modular
+//! indexes, plus the `.get()` alternative.
+pub fn literal(v: &[u32]) -> u32 {
+    v[0]
+}
+pub fn masked(v: &[u32; 8], i: usize) -> u32 {
+    v[i & 7]
+}
+pub fn modular(v: &[u32], i: usize) -> u32 {
+    v[i % v.len()]
+}
+pub fn total(v: &[u32], i: usize) -> Option<u32> {
+    v.get(i).copied()
+}

@@ -1,0 +1,4 @@
+//! Fixture: a malformed annotation with nothing to waive — the only
+//! finding is the `suppression` pseudo-rule itself (exit 17).
+// nls-lint: allow()
+pub fn fine() {}

@@ -1,0 +1,6 @@
+//! Fixture: a reasonless suppression is itself an error and does not
+//! waive the finding below it.
+pub fn first(v: Option<u32>) -> u32 {
+    // nls-lint: allow(no-panic)
+    v.unwrap()
+}

@@ -1,0 +1,6 @@
+//! Fixture: a well-formed suppression (rule + mandatory reason)
+//! waives the finding on its own and the following line.
+pub fn first(v: Option<u32>) -> u32 {
+    // nls-lint: allow(no-panic): fixture demonstrating a justified waiver
+    v.unwrap()
+}

@@ -1,0 +1,5 @@
+//! Failing fixture for `unchecked-capacity`: the argument flows in
+//! unbounded (the corrupt-header allocation bug class).
+pub fn alloc(n: usize) -> Vec<u32> {
+    Vec::with_capacity(n)
+}

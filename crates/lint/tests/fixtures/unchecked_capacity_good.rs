@@ -1,0 +1,11 @@
+//! Passing fixture for `unchecked-capacity`: literal, `len()`-sized
+//! and visibly capped allocations.
+pub fn fixed() -> Vec<u32> {
+    Vec::with_capacity(64)
+}
+pub fn sized(v: &[u32]) -> Vec<u32> {
+    Vec::with_capacity(v.len())
+}
+pub fn capped(n: usize) -> Vec<u32> {
+    Vec::with_capacity(n.min(1024))
+}

@@ -113,7 +113,7 @@ impl Btb {
         let set = self.set_of(pc);
         let tag = self.tag_of(pc);
         let clock = self.clock;
-        self.sets[set].iter_mut().flatten().find(|s| s.tag == tag).map(|s| {
+        self.sets.get_mut(set)?.iter_mut().flatten().find(|s| s.tag == tag).map(|s| {
             s.stamp = clock;
             s.entry
         })
@@ -123,7 +123,7 @@ impl Btb {
     pub fn probe(&self, pc: Addr) -> Option<BtbEntry> {
         let set = self.set_of(pc);
         let tag = self.tag_of(pc);
-        self.sets[set].iter().flatten().find(|s| s.tag == tag).map(|s| s.entry)
+        self.sets.get(set)?.iter().flatten().find(|s| s.tag == tag).map(|s| s.entry)
     }
 
     /// Inserts or updates the entry for a *taken* branch at `pc`.
@@ -134,26 +134,26 @@ impl Btb {
         let set = self.set_of(pc);
         let tag = self.tag_of(pc);
         let entry = BtbEntry { target, kind };
-        let ways = &mut self.sets[set];
+        let clock = self.clock;
+        let Some(ways) = self.sets.get_mut(set) else { return };
         // Update in place on a tag match.
         if let Some(slot) = ways.iter_mut().flatten().find(|s| s.tag == tag) {
             slot.entry = entry;
-            slot.stamp = self.clock;
+            slot.stamp = clock;
             return;
         }
-        // Fill an empty way if one exists.
+        // Fill an empty way if one exists, else evict the LRU way.
         let victim = match ways.iter().position(Option::is_none) {
             Some(i) => i,
-            None => {
-                // Evict the LRU way.
-                ways.iter()
-                    .enumerate()
-                    .min_by_key(|(_, s)| s.map(|s| s.stamp).unwrap_or(0))
-                    .map(|(i, _)| i)
-                    .expect("set is non-empty")
-            }
+            None => ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.map(|s| s.stamp).unwrap_or(0))
+                .map_or(0, |(i, _)| i),
         };
-        ways[victim] = Some(Slot { tag, entry, stamp: self.clock });
+        if let Some(slot) = ways.get_mut(victim) {
+            *slot = Some(Slot { tag, entry, stamp: clock });
+        }
     }
 
     /// Removes the entry for `pc`, returning whether one existed.
@@ -162,7 +162,7 @@ impl Btb {
     pub fn remove(&mut self, pc: Addr) -> bool {
         let set = self.set_of(pc);
         let tag = self.tag_of(pc);
-        for slot in &mut self.sets[set] {
+        for slot in self.sets.get_mut(set).into_iter().flatten() {
             if slot.map(|s| s.tag) == Some(tag) {
                 *slot = None;
                 return true;

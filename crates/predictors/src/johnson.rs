@@ -58,7 +58,7 @@ impl JohnsonPredictors {
     /// `(set, way, inst_offset)`.
     #[inline]
     pub fn lookup(&self, set: u32, way: u8, inst_offset: u32) -> SuccessorEntry {
-        self.entries[self.slot(set, way, inst_offset)]
+        self.entries.get(self.slot(set, way, inst_offset)).copied().unwrap_or_default()
     }
 
     /// Johnson's update rule: after *every* branch execution, point
@@ -67,20 +67,23 @@ impl JohnsonPredictors {
     /// it is resident in the cache.
     pub fn update(&mut self, set: u32, way: u8, inst_offset: u32, next: Option<LinePointer>) {
         let i = self.slot(set, way, inst_offset);
-        self.entries[i] = SuccessorEntry { next };
+        if let Some(e) = self.entries.get_mut(i) {
+            *e = SuccessorEntry { next };
+        }
     }
 
     /// Invalidates the predictors of a refilled frame.
     pub fn invalidate_line(&mut self, set: u32, way: u8) {
         let base = ((set * self.cfg.ways + u32::from(way)) * self.cfg.preds_per_line) as usize;
-        for e in &mut self.entries[base..base + self.cfg.preds_per_line as usize] {
+        let n = self.cfg.preds_per_line as usize;
+        for e in self.entries.iter_mut().skip(base).take(n) {
             *e = SuccessorEntry::default();
         }
     }
 
     /// Convenience: offset of `pc` within its line.
     pub fn inst_offset(pc: Addr, line_bytes: u64) -> u32 {
-        pc.offset_in_line(line_bytes) as u32
+        u32::try_from(pc.offset_in_line(line_bytes)).unwrap_or(u32::MAX)
     }
 }
 

@@ -62,9 +62,12 @@ impl LinePointer {
         let way = cache.probe(addr)?;
         let cfg = cache.config();
         Some(LinePointer {
-            set: cfg.set_index(addr) as u32,
+            // Out-of-range values (impossible for sane geometries)
+            // saturate, so the pointer fails `points_to` instead of
+            // aliasing a real location.
+            set: u32::try_from(cfg.set_index(addr)).unwrap_or(u32::MAX),
             way,
-            inst: addr.offset_in_line(cfg.line_bytes) as u8,
+            inst: u8::try_from(addr.offset_in_line(cfg.line_bytes)).unwrap_or(u8::MAX),
         })
     }
 

@@ -34,14 +34,14 @@ impl NlsCacheConfig {
     /// Panics if `preds_per_line` is zero or does not divide the
     /// instructions per line.
     pub fn for_cache(cache: &nls_icache::CacheConfig, preds_per_line: u32) -> Self {
-        let insts_per_line = cache.insts_per_line() as u32;
+        let insts_per_line = u32::try_from(cache.insts_per_line()).unwrap_or(u32::MAX);
         assert!(preds_per_line > 0, "need at least one predictor per line");
         assert!(
             insts_per_line % preds_per_line == 0,
             "predictors must evenly partition the line"
         );
         NlsCacheConfig {
-            sets: cache.num_sets() as u32,
+            sets: u32::try_from(cache.num_sets()).unwrap_or(u32::MAX),
             ways: cache.assoc,
             insts_per_line,
             preds_per_line,
@@ -114,7 +114,7 @@ impl NlsCachePredictors {
     /// The predictor covering the branch at `(set, way, inst_offset)`.
     #[inline]
     pub fn lookup(&self, set: u32, way: u8, inst_offset: u32) -> NlsEntry {
-        self.entries[self.slot(set, way, inst_offset)]
+        self.entries.get(self.slot(set, way, inst_offset)).copied().unwrap_or_default()
     }
 
     /// Resolution-time update (same rules as the NLS-table).
@@ -128,7 +128,9 @@ impl NlsCachePredictors {
         target: Option<LinePointer>,
     ) {
         let i = self.slot(set, way, inst_offset);
-        self.entries[i].update(kind, taken, target);
+        if let Some(e) = self.entries.get_mut(i) {
+            e.update(kind, taken, target);
+        }
     }
 
     /// Invalidates every predictor of the frame at `(set, way)`;
@@ -137,7 +139,8 @@ impl NlsCachePredictors {
     /// prediction state.
     pub fn invalidate_line(&mut self, set: u32, way: u8) {
         let base = ((set * self.cfg.ways + u32::from(way)) * self.cfg.preds_per_line) as usize;
-        for e in &mut self.entries[base..base + self.cfg.preds_per_line as usize] {
+        let n = self.cfg.preds_per_line as usize;
+        for e in self.entries.iter_mut().skip(base).take(n) {
             *e = NlsEntry::default();
         }
     }
@@ -150,7 +153,7 @@ impl NlsCachePredictors {
     /// Convenience: the offset of `pc` within its cache line, for a
     /// `line_bytes`-byte line.
     pub fn inst_offset(pc: Addr, line_bytes: u64) -> u32 {
-        pc.offset_in_line(line_bytes) as u32
+        u32::try_from(pc.offset_in_line(line_bytes)).unwrap_or(u32::MAX)
     }
 }
 

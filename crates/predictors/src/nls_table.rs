@@ -62,7 +62,7 @@ impl NlsTable {
     /// branches share the entry.
     #[inline]
     pub fn lookup(&self, pc: Addr) -> NlsEntry {
-        self.entries[self.index(pc)]
+        self.entries.get(self.index(pc)).copied().unwrap_or_default()
     }
 
     /// Applies the resolution-time update rules for the branch at
@@ -75,7 +75,9 @@ impl NlsTable {
         target: Option<LinePointer>,
     ) {
         let i = self.index(pc);
-        self.entries[i].update(kind, taken, target);
+        if let Some(entry) = self.entries.get_mut(i) {
+            entry.update(kind, taken, target);
+        }
     }
 
     /// Number of non-invalid entries (diagnostics).

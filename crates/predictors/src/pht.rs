@@ -80,7 +80,7 @@ impl Pht {
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize, counter_bits: u8, indexing: PhtIndexing) -> Self {
         assert!(entries.is_power_of_two(), "PHT entries must be a power of two");
-        let hist_bits = entries.trailing_zeros() as u8;
+        let hist_bits = u8::try_from(entries.trailing_zeros()).unwrap_or(u8::MAX);
         let aux = (indexing == PhtIndexing::Tournament)
             .then(|| vec![SaturatingCounter::new(counter_bits); entries]);
         Pht {
@@ -130,14 +130,15 @@ impl DirectionPredictor for Pht {
     fn predict(&self, pc: Addr) -> bool {
         match (self.indexing, &self.second, &self.chooser) {
             (PhtIndexing::Tournament, Some(second), Some(chooser)) => {
-                let use_gshare = chooser[self.pc_index(pc)].predict_taken();
+                let bi = self.pc_index(pc);
+                let use_gshare = chooser.get(bi).is_some_and(|c| c.predict_taken());
                 if use_gshare {
-                    self.table[self.gshare_index(pc)].predict_taken()
+                    self.table.get(self.gshare_index(pc)).is_some_and(|c| c.predict_taken())
                 } else {
-                    second[self.pc_index(pc)].predict_taken()
+                    second.get(bi).is_some_and(|c| c.predict_taken())
                 }
             }
-            _ => self.table[self.index(pc)].predict_taken(),
+            _ => self.table.get(self.index(pc)).is_some_and(|c| c.predict_taken()),
         }
     }
 
@@ -145,19 +146,27 @@ impl DirectionPredictor for Pht {
         if self.indexing == PhtIndexing::Tournament {
             let gi = self.gshare_index(pc);
             let bi = self.pc_index(pc);
-            let g_correct = self.table[gi].predict_taken() == taken;
-            let b_correct = self.second.as_ref().expect("tournament has a side table")[bi]
-                .predict_taken()
-                == taken;
-            self.table[gi].update(taken);
-            self.second.as_mut().expect("side table")[bi].update(taken);
+            let g_correct = self.table.get(gi).is_some_and(|c| c.predict_taken()) == taken;
+            let b_correct =
+                self.second.as_ref().and_then(|t| t.get(bi)).is_some_and(|c| c.predict_taken())
+                    == taken;
+            if let Some(c) = self.table.get_mut(gi) {
+                c.update(taken);
+            }
+            if let Some(c) = self.second.as_mut().and_then(|t| t.get_mut(bi)) {
+                c.update(taken);
+            }
             // Train the chooser only when the components disagree.
             if g_correct != b_correct {
-                self.chooser.as_mut().expect("chooser")[bi].update(g_correct);
+                if let Some(c) = self.chooser.as_mut().and_then(|t| t.get_mut(bi)) {
+                    c.update(g_correct);
+                }
             }
         } else {
             let i = self.index(pc);
-            self.table[i].update(taken);
+            if let Some(c) = self.table.get_mut(i) {
+                c.update(taken);
+            }
         }
         self.history.push(taken);
     }

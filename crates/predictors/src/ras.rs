@@ -50,8 +50,10 @@ impl ReturnStack {
     /// Pushes a return address (on a call). Overwrites the oldest
     /// entry when full.
     pub fn push(&mut self, addr: Addr) {
-        self.top = (self.top + 1) % self.slots.len();
-        self.slots[self.top] = addr;
+        self.top = (self.top + 1) % self.slots.len().max(1);
+        if let Some(slot) = self.slots.get_mut(self.top) {
+            *slot = addr;
+        }
         self.live = (self.live + 1).min(self.slots.len());
     }
 
@@ -62,15 +64,20 @@ impl ReturnStack {
         if self.live == 0 {
             return None;
         }
-        let a = self.slots[self.top];
-        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        let a = self.slots.get(self.top).copied()?;
+        let len = self.slots.len().max(1);
+        self.top = (self.top + len - 1) % len;
         self.live -= 1;
         Some(a)
     }
 
     /// The top entry without popping.
     pub fn peek(&self) -> Option<Addr> {
-        (self.live > 0).then(|| self.slots[self.top])
+        if self.live > 0 {
+            self.slots.get(self.top).copied()
+        } else {
+            None
+        }
     }
 
     /// Number of live entries (saturates at capacity).

@@ -59,14 +59,16 @@ impl BranchTypeTable {
     /// Fetch-stage prediction: is the instruction at `pc` a branch?
     #[inline]
     pub fn predict_branch(&self, pc: Addr) -> bool {
-        self.bits[self.index(pc)]
+        self.bits.get(self.index(pc)).copied().unwrap_or(false)
     }
 
     /// Decode-stage training with the instruction's true class.
     #[inline]
     pub fn train(&mut self, pc: Addr, is_branch: bool) {
         let i = self.index(pc);
-        self.bits[i] = is_branch;
+        if let Some(bit) = self.bits.get_mut(i) {
+            *bit = is_branch;
+        }
     }
 }
 

@@ -62,11 +62,12 @@ impl Fault {
     pub fn apply(&self, data: &mut Vec<u8>) {
         match *self {
             Fault::ByteFlip { offset, mask } => {
-                if data.is_empty() {
+                let Some(at) = data.len().checked_sub(1) else {
                     return;
+                };
+                if let Some(byte) = data.get_mut(offset.min(at)) {
+                    *byte ^= mask.max(1);
                 }
-                let at = offset.min(data.len() - 1);
-                data[at] ^= mask.max(1);
             }
             Fault::Truncate { keep } => {
                 data.truncate(keep.min(data.len()));
@@ -79,7 +80,10 @@ impl Fault {
                 }
                 let at = (index as usize).min(records - 1);
                 let start = TRACE_HEADER_BYTES + at * TRACE_RECORD_BYTES;
-                let frame: Vec<u8> = data[start..start + TRACE_RECORD_BYTES].to_vec();
+                let Some(frame) = data.get(start..start + TRACE_RECORD_BYTES) else {
+                    return;
+                };
+                let frame: Vec<u8> = frame.to_vec();
                 let insert_at = start + TRACE_RECORD_BYTES;
                 data.splice(insert_at..insert_at, frame);
             }

@@ -156,10 +156,13 @@ fn encode_record(r: &TraceRecord) -> [u8; TRACE_RECORD_BYTES] {
 }
 
 fn decode_record(frame: &[u8; TRACE_RECORD_BYTES]) -> Result<TraceRecord, TraceFileError> {
-    let class = tag_kind(frame[0])?;
-    let taken = frame[1] != 0;
-    let pc = u64::from_le_bytes(frame[2..10].try_into().expect("8-byte slice"));
-    let target = u64::from_le_bytes(frame[10..18].try_into().expect("8-byte slice"));
+    // Full array destructuring: the frame layout is checked by the
+    // compiler, so decoding has no panic path at all.
+    let [tag, taken, p0, p1, p2, p3, p4, p5, p6, p7, t0, t1, t2, t3, t4, t5, t6, t7] = *frame;
+    let class = tag_kind(tag)?;
+    let taken = taken != 0;
+    let pc = u64::from_le_bytes([p0, p1, p2, p3, p4, p5, p6, p7]);
+    let target = u64::from_le_bytes([t0, t1, t2, t3, t4, t5, t6, t7]);
     if pc % 4 != 0 || target % 4 != 0 {
         return Err(TraceFileError::BadRecord(format!("misaligned pc {pc:#x}")));
     }
@@ -238,15 +241,18 @@ impl<R: Read> TraceReader<R> {
                 TraceFileError::Io(e)
             }
         })?;
-        let magic: [u8; 4] = header[0..4].try_into().expect("4-byte slice");
+        // Destructure the fixed header layout outright: no slicing,
+        // no conversion that could ever panic.
+        let [m0, m1, m2, m3, v0, v1, v2, v3, c0, c1, c2, c3, c4, c5, c6, c7] = header;
+        let magic = [m0, m1, m2, m3];
         if &magic != MAGIC {
             return Err(TraceFileError::BadMagic(magic));
         }
-        let version = u32::from_le_bytes(header[4..8].try_into().expect("4-byte slice"));
+        let version = u32::from_le_bytes([v0, v1, v2, v3]);
         if version != VERSION {
             return Err(TraceFileError::BadVersion(version));
         }
-        let declared = u64::from_le_bytes(header[8..16].try_into().expect("8-byte slice"));
+        let declared = u64::from_le_bytes([c0, c1, c2, c3, c4, c5, c6, c7]);
         // The body length is `declared * TRACE_RECORD_BYTES`; a count
         // that overflows that product can never describe real data.
         if declared.checked_mul(TRACE_RECORD_BYTES as u64).is_none() {
@@ -286,6 +292,34 @@ impl<R: Read> TraceReader<R> {
     /// The active recovery policy.
     pub fn policy(&self) -> RecoveryPolicy {
         self.policy
+    }
+}
+
+impl TraceReader<io::BufReader<File>> {
+    /// Opens a trace file from disk under `policy`, buffered.
+    ///
+    /// This is the supported way to get trace bytes off a path:
+    /// callers outside `crates/trace` must not open trace files
+    /// themselves (enforced by `nls-lint`'s `fs-trace-read` rule),
+    /// so corruption always flows through the recovery layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TraceFileError::Io`] (naming the path) when the
+    /// file cannot be opened, or any header error from
+    /// [`TraceReader::with_policy`].
+    pub fn open<P: AsRef<Path>>(
+        path: P,
+        policy: RecoveryPolicy,
+    ) -> Result<Self, TraceFileError> {
+        let path = path.as_ref();
+        let file = File::open(path).map_err(|e| {
+            TraceFileError::Io(io::Error::new(
+                e.kind(),
+                format!("cannot open {}: {e}", path.display()),
+            ))
+        })?;
+        Self::with_policy(io::BufReader::new(file), policy)
     }
 }
 
@@ -547,8 +581,8 @@ pub fn read_trace_with<R: Read>(
     policy: RecoveryPolicy,
 ) -> Result<Vec<TraceRecord>, TraceFileError> {
     let reader = TraceReader::with_policy(r, policy)?;
-    let cap = reader.declared_records().min(PREALLOC_RECORD_CAP) as usize;
-    let mut out = Vec::with_capacity(cap);
+    let mut out =
+        Vec::with_capacity(reader.declared_records().min(PREALLOC_RECORD_CAP) as usize);
     for rec in reader {
         out.push(rec?);
     }

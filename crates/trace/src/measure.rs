@@ -6,7 +6,7 @@
 //! counts, taken rate, and the break-type mix. The `table1` bench
 //! binary uses this to print a measured Table 1 next to the paper's.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::Addr;
 use crate::record::{BreakKind, TraceRecord};
@@ -22,8 +22,10 @@ pub struct TraceStats {
     pub by_kind: [u64; 5],
     /// Taken conditional branches.
     pub cond_taken: u64,
-    /// Per-site execution counts for conditional branches.
-    cond_sites: HashMap<Addr, u64>,
+    /// Per-site execution counts for conditional branches. A
+    /// `BTreeMap` so every derived figure iterates in address order —
+    /// Table 1 must be bit-identical run to run.
+    cond_sites: BTreeMap<Addr, u64>,
 }
 
 impl TraceStats {
@@ -48,8 +50,11 @@ impl TraceStats {
             return;
         };
         self.breaks += 1;
-        let ki = BreakKind::ALL.iter().position(|&k| k == kind).expect("kind in ALL");
-        self.by_kind[ki] += 1;
+        for (slot, &k) in self.by_kind.iter_mut().zip(BreakKind::ALL.iter()) {
+            if k == kind {
+                *slot += 1;
+            }
+        }
         if kind == BreakKind::Conditional {
             if r.taken {
                 self.cond_taken += 1;

@@ -90,8 +90,10 @@ impl IndirectDispatch {
 
     /// Picks a target index for a uniform sample `u` in `[0, 1)`.
     pub fn pick(&self, u: f64) -> u32 {
-        let i = self.cumulative.partition_point(|&c| c <= u).min(self.targets.len() - 1);
-        self.targets[i]
+        let i = self.cumulative.partition_point(|&c| c <= u);
+        // Rounding can push the sample past the last bucket; clamp to
+        // the final target (0 for a degenerate empty dispatch).
+        self.targets.get(i).or_else(|| self.targets.last()).copied().unwrap_or(0)
     }
 }
 

@@ -327,13 +327,13 @@ impl<'a> Builder<'a> {
         // execution frequencies follow the weight curve.
         let group = self.config.body_cond_sites + 1;
         let chunk_masses = self.curve.chunk_masses(group);
-        let mut trips = Vec::with_capacity(p);
-        for _ in 0..p {
-            let l = self.config.mean_loop_trips;
-            trips.push(self.rng.random_range(0.6 * l..=1.6 * l).max(1.2));
-        }
-        let mut weights: Vec<f64> = (0..p)
-            .map(|j| chunk_masses.get(j).copied().unwrap_or(1e-9).max(1e-9) / trips[j])
+        let l = self.config.mean_loop_trips;
+        let trips: Vec<f64> =
+            (0..p).map(|_| self.rng.random_range(0.6 * l..=1.6 * l).max(1.2)).collect();
+        let mut weights: Vec<f64> = trips
+            .iter()
+            .enumerate()
+            .map(|(j, t)| chunk_masses.get(j).copied().unwrap_or(1e-9).max(1e-9) / t)
             .collect();
         let wsum: f64 = weights.iter().sum();
         for w in &mut weights {
@@ -346,27 +346,32 @@ impl<'a> Builder<'a> {
         }
         weights.push(chain_weight);
 
-        self.bodies = vec![Vec::new(); total_procs];
-        self.bodies[main_idx as usize] = {
-            let leaves: Vec<u32> =
-                (hot_base..hot_base + p as u32).chain(std::iter::once(chain_base)).collect();
-            self.build_main(&leaves, &weights)
-        };
-        for j in 0..p {
-            let callee_pool = (leaf_base..cold_base).collect::<Vec<_>>();
-            self.bodies[(hot_base + j as u32) as usize] =
-                self.build_hot_proc(trips[j], &callee_pool);
+        // Procedure indices are assigned contiguously (main, hot,
+        // chain, leaves, cold), so the bodies can be pushed in order.
+        self.bodies = Vec::new();
+        let leaves: Vec<u32> =
+            (hot_base..hot_base + p as u32).chain(std::iter::once(chain_base)).collect();
+        let main_body = self.build_main(&leaves, &weights);
+        self.bodies.push(main_body);
+        let callee_pool = (leaf_base..cold_base).collect::<Vec<_>>();
+        for &t in &trips {
+            let body = self.build_hot_proc(t, &callee_pool);
+            self.bodies.push(body);
         }
         for i in 0..chain_len {
             let next = if i + 1 < chain_len { Some(chain_base + i as u32 + 1) } else { None };
-            self.bodies[(chain_base + i as u32) as usize] = self.build_chain_proc(next);
+            let body = self.build_chain_proc(next);
+            self.bodies.push(body);
         }
-        for i in 0..self.plan.leaf_procs {
-            self.bodies[(leaf_base + i as u32) as usize] = self.build_leaf_proc();
+        for _ in 0..self.plan.leaf_procs {
+            let body = self.build_leaf_proc();
+            self.bodies.push(body);
         }
-        for i in 0..self.plan.cold_procs {
-            self.bodies[(cold_base + i as u32) as usize] = self.build_cold_proc();
+        for _ in 0..self.plan.cold_procs {
+            let body = self.build_cold_proc();
+            self.bodies.push(body);
         }
+        debug_assert_eq!(self.bodies.len(), total_procs);
 
         // Layout: main first (it is the hottest code), then everything
         // else either shuffled (arbitrary link order scatters hot
@@ -380,7 +385,7 @@ impl<'a> Builder<'a> {
                 // leaves and the chain, cold procedures last.
                 let weight_of = |idx: usize| -> f64 {
                     if (hot_base as usize..chain_base as usize).contains(&idx) {
-                        weights[idx - hot_base as usize]
+                        weights.get(idx - hot_base as usize).copied().unwrap_or(0.0)
                     } else if idx < cold_base as usize {
                         1e-7 // leaves + chain: warm
                     } else {
@@ -388,15 +393,17 @@ impl<'a> Builder<'a> {
                     }
                 };
                 order.sort_by(|&a, &b| {
-                    weight_of(b).partial_cmp(&weight_of(a)).expect("finite weights")
+                    weight_of(b).partial_cmp(&weight_of(a)).unwrap_or(std::cmp::Ordering::Equal)
                 });
             }
         }
         let mut cursor = self.config.base_addr;
         let mut entries = vec![Addr::new(0); total_procs];
         for idx in std::iter::once(0).chain(order) {
-            entries[idx] = Addr::new(cursor);
-            let len_bytes = 4 * self.bodies[idx].len() as u64;
+            if let Some(entry) = entries.get_mut(idx) {
+                *entry = Addr::new(cursor);
+            }
+            let len_bytes = 4 * self.bodies.get(idx).map_or(0, |b| b.len() as u64);
             // Align each procedure to a 32-byte line boundary.
             cursor = (cursor + len_bytes).div_ceil(32) * 32;
         }
@@ -441,14 +448,18 @@ impl<'a> Builder<'a> {
         // skewing the execution-weighted mixture (and with it the
         // global taken rate) badly on skewed profiles like doduc.
         let n = self.cat_counts.iter().sum::<u64>() + 1;
+        let deficit = |i: usize| -> f64 {
+            targets.get(i).copied().unwrap_or(0.0) * n as f64
+                - self.cat_counts.get(i).copied().unwrap_or(0) as f64
+        };
         let cat = (0..5)
             .max_by(|&a, &b| {
-                let da = targets[a] * n as f64 - self.cat_counts[a] as f64;
-                let db = targets[b] * n as f64 - self.cat_counts[b] as f64;
-                da.partial_cmp(&db).expect("finite quotas")
+                deficit(a).partial_cmp(&deficit(b)).unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("five categories");
-        self.cat_counts[cat] += 1;
+            .unwrap_or(0);
+        if let Some(count) = self.cat_counts.get_mut(cat) {
+            *count += 1;
+        }
         let model = match cat {
             0 => CondModel::Bernoulli(self.rng.random_range(0.35..0.65)),
             1 => {
@@ -509,9 +520,12 @@ impl<'a> Builder<'a> {
     /// Recursively emits the dispatch tree; every node is a real
     /// conditional branch site (taken = right subtree).
     fn build_tree(&mut self, code: &mut Vec<Inst>, leaves: &[u32], weights: &[f64]) {
-        if leaves.len() == 1 {
-            code.push(Inst::Call { callee: leaves[0] });
+        if let [leaf] = leaves {
+            code.push(Inst::Call { callee: *leaf });
             code.push(Inst::Uncond { target: 0 });
+            return;
+        }
+        if leaves.is_empty() {
             return;
         }
         // Split at the *weight* midpoint, not the count midpoint:
@@ -521,15 +535,20 @@ impl<'a> Builder<'a> {
         let total: f64 = weights.iter().sum();
         let mut mid = 1;
         let mut acc = 0.0;
-        for (i, w) in weights[..weights.len() - 1].iter().enumerate() {
+        for (i, w) in weights.iter().take(weights.len().saturating_sub(1)).enumerate() {
             acc += w;
             mid = i + 1;
             if acc >= total / 2.0 {
                 break;
             }
         }
-        let w_left: f64 = weights[..mid].iter().sum();
-        let w_right: f64 = weights[mid..].iter().sum();
+        // `mid` is in 1..len, so both halves are non-empty and the
+        // recursion strictly shrinks.
+        let mid = mid.clamp(1, leaves.len().saturating_sub(1));
+        let (l_leaves, r_leaves) = leaves.split_at(mid.min(leaves.len()));
+        let (l_weights, r_weights) = weights.split_at(mid.min(weights.len()));
+        let w_left: f64 = l_weights.iter().sum();
+        let w_right: f64 = r_weights.iter().sum();
         let p_right = if w_left + w_right > 0.0 { w_right / (w_left + w_right) } else { 0.5 };
         let p = p_right.clamp(0.001, 0.999);
         // Sticky dispatch: consecutive dispatches tend to revisit the
@@ -545,10 +564,12 @@ impl<'a> Builder<'a> {
         code.push(Inst::Seq); // the "compare" before the branch
         let cond_at = code.len();
         code.push(Inst::Cond { target: 0, site }); // patched below
-        self.build_tree(code, &leaves[..mid], &weights[..mid]);
+        self.build_tree(code, l_leaves, l_weights);
         let right_start = code.len() as u32;
-        code[cond_at] = Inst::Cond { target: right_start, site };
-        self.build_tree(code, &leaves[mid..], &weights[mid..]);
+        if let Some(slot) = code.get_mut(cond_at) {
+            *slot = Inst::Cond { target: right_start, site };
+        }
+        self.build_tree(code, r_leaves, r_weights);
     }
 
     /// One hot procedure: prologue, loop body of interleaved sites,
@@ -596,8 +617,10 @@ impl<'a> Builder<'a> {
                 }
                 Elem::Ij => self.emit_indirect(&mut code),
                 Elem::Call => {
-                    let callee = callee_pool[zipf_pick(callee_pool.len(), &mut self.rng)];
-                    code.push(Inst::Call { callee });
+                    let pick = zipf_pick(callee_pool.len(), &mut self.rng);
+                    if let Some(&callee) = callee_pool.get(pick) {
+                        code.push(Inst::Call { callee });
+                    }
                 }
             }
             let n = self.run_len();
@@ -609,7 +632,9 @@ impl<'a> Builder<'a> {
         // history-predictable.
         let trips_int = (trips.round() as usize).max(2);
         let mut pat = vec![true; trips_int];
-        pat[trips_int - 1] = false;
+        if let Some(last) = pat.last_mut() {
+            *last = false;
+        }
         let site = self.push_site(CondModel::Pattern(pat));
         code.push(Inst::Cond { target: loop_head, site });
         let n = self.run_len();
@@ -624,8 +649,8 @@ impl<'a> Builder<'a> {
         let k = self.rng.random_range(3..=8usize);
         let ij_at = code.len();
         code.push(Inst::IndirectJump { dispatch: 0 }); // patched below
-        let mut targets = Vec::with_capacity(k);
-        let mut uncond_slots = Vec::with_capacity(k);
+        let mut targets = Vec::with_capacity(k.min(8));
+        let mut uncond_slots = Vec::with_capacity(k.min(8));
         for _ in 0..k {
             targets.push(code.len() as u32);
             let n = self.run_len().min(6);
@@ -635,10 +660,12 @@ impl<'a> Builder<'a> {
         }
         let join = code.len() as u32;
         for slot in uncond_slots {
-            code[slot] = Inst::Uncond { target: join };
+            if let Some(inst) = code.get_mut(slot) {
+                *inst = Inst::Uncond { target: join };
+            }
         }
         // Skewed case weights: one dominant case, geometric tail.
-        let mut w = Vec::with_capacity(k);
+        let mut w = Vec::with_capacity(k.min(8));
         let mut v = 0.60;
         for _ in 0..k {
             w.push(v);
@@ -646,7 +673,9 @@ impl<'a> Builder<'a> {
         }
         let dispatch = self.dispatches.len() as u32;
         self.dispatches.push(IndirectDispatch::new(targets, &w));
-        code[ij_at] = Inst::IndirectJump { dispatch };
+        if let Some(inst) = code.get_mut(ij_at) {
+            *inst = Inst::IndirectJump { dispatch };
+        }
     }
 
     /// One proc of the deep call chain: a couple of instructions, a
@@ -719,6 +748,9 @@ fn shuffle<T>(v: &mut [T], rng: &mut SmallRng) {
 /// selected with probability proportional to `1/(i+1)`.
 fn zipf_pick(n: usize, rng: &mut SmallRng) -> usize {
     debug_assert!(n > 0);
+    if n == 0 {
+        return 0;
+    }
     let h: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
     let mut u = rng.random_range(0.0..h);
     for i in 0..n {

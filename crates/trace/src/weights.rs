@@ -48,7 +48,9 @@ impl WeightCurve {
             q.q50 <= q.q90 && q.q90 <= q.q99 && q.q99 <= q.q100,
             "quantiles must be monotone: {q:?}"
         );
-        let mut weights = Vec::with_capacity(q.q100 as usize);
+        // Cap the preallocation: q100 is caller-supplied, and the
+        // pushes below grow the vector on demand anyway.
+        let mut weights = Vec::with_capacity((q.q100 as usize).min(1 << 16));
         // Segment boundaries in (site-count, cumulative-mass) space.
         let anchors =
             [(0u32, 0.0f64), (q.q50, 0.50), (q.q90, 0.90), (q.q99, 0.99), (q.q100, 1.0)];
@@ -91,7 +93,7 @@ impl WeightCurve {
 
     /// Cumulative weight of the `n` hottest sites.
     pub fn cumulative(&self, n: usize) -> f64 {
-        self.weights[..n.min(self.weights.len())].iter().sum()
+        self.weights.iter().take(n).sum()
     }
 
     /// The smallest number of hottest sites whose cumulative weight

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Offline verification build: compiles the whole workspace with bare
+# rustc, substituting the std-only stubs in tools/stubs/ for the three
+# external dependencies (rand, parking_lot, crossbeam). For containers
+# where crates.io is unreachable and `cargo build` cannot even resolve
+# the lockfile. CI and normal development should keep using cargo;
+# nothing here is wired into the Cargo workspace.
+#
+# Usage:
+#   tools/offline-build.sh          # build everything
+#   tools/offline-build.sh test     # build everything + run offline-safe tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=target/offline
+mkdir -p "$OUT"
+
+# Compile-time env cargo would normally provide (repro_all re-invokes
+# the build tool through env!("CARGO")).
+export CARGO="${CARGO:-cargo}"
+
+RUSTC_FLAGS=(--edition 2021 -L "dependency=$OUT" -Dwarnings -Aunused-imports)
+
+ext() { # name -> --extern name=$OUT/libname.rlib
+    echo "--extern" "$1=$OUT/lib$1.rlib"
+}
+
+lib() { # crate_name path externs...
+    local name=$1 path=$2
+    shift 2
+    local externs=()
+    for dep in "$@"; do externs+=($(ext "$dep")); done
+    echo "lib  $name"
+    rustc "${RUSTC_FLAGS[@]}" --out-dir "$OUT" --crate-type rlib \
+        --crate-name "$name" "${externs[@]}" "$path"
+}
+
+bin() { # bin_name path externs...
+    local name=$1 path=$2
+    shift 2
+    local externs=()
+    for dep in "$@"; do externs+=($(ext "$dep")); done
+    echo "bin  $name"
+    rustc "${RUSTC_FLAGS[@]}" --crate-name "${name//-/_}" "${externs[@]}" \
+        "$path" -o "$OUT/$name"
+}
+
+test_bin() { # test_name path externs...
+    local name=$1 path=$2
+    shift 2
+    local externs=()
+    for dep in "$@"; do externs+=($(ext "$dep")); done
+    echo "test $name"
+    rustc "${RUSTC_FLAGS[@]}" --test --crate-name "$name" \
+        "${externs[@]}" "$path" -o "$OUT/test_$name"
+}
+
+# --- dependency stubs (never shipped; see tools/stubs/README note) ---
+lib rand tools/stubs/rand/lib.rs
+lib parking_lot tools/stubs/parking_lot/lib.rs
+lib crossbeam tools/stubs/crossbeam/lib.rs
+
+# --- workspace crates, dependency order ---
+lib nls_trace crates/trace/src/lib.rs rand
+lib nls_icache crates/icache/src/lib.rs nls_trace
+lib nls_predictors crates/predictors/src/lib.rs nls_trace nls_icache
+lib nls_core crates/core/src/lib.rs nls_trace nls_icache nls_predictors crossbeam parking_lot
+lib nls_cost crates/cost/src/lib.rs
+lib nls_cli crates/cli/src/lib.rs nls_trace nls_icache nls_predictors nls_core nls_cost
+lib nls_bench crates/bench/src/lib.rs nls_trace nls_icache nls_predictors nls_core nls_cost
+lib nextline src/lib.rs nls_trace nls_icache nls_predictors nls_core nls_cost
+lib nls_lint crates/lint/src/lib.rs
+
+# --- binaries ---
+bin nls crates/cli/src/main.rs nls_cli nls_core
+bin nls-lint crates/lint/src/main.rs nls_lint
+for b in crates/bench/src/bin/*.rs; do
+    bin "$(basename "$b" .rs)" "$b" \
+        nls_bench nls_trace nls_icache nls_predictors nls_core nls_cost
+done
+
+if [[ "${1:-}" != "test" ]]; then
+    echo "offline build OK"
+    exit 0
+fi
+
+# --- unit tests (in-crate #[cfg(test)] modules) ---
+test_bin nls_trace crates/trace/src/lib.rs rand
+test_bin nls_icache crates/icache/src/lib.rs nls_trace
+test_bin nls_predictors crates/predictors/src/lib.rs nls_trace nls_icache
+test_bin nls_core crates/core/src/lib.rs nls_trace nls_icache nls_predictors crossbeam parking_lot
+test_bin nls_cost crates/cost/src/lib.rs
+test_bin nls_cli crates/cli/src/lib.rs nls_trace nls_icache nls_predictors nls_core nls_cost
+test_bin nls_lint crates/lint/src/lib.rs
+
+# --- integration tests that need no registry crates ---
+test_bin corruption crates/trace/tests/corruption.rs nls_trace
+test_bin calibration crates/trace/tests/calibration.rs nls_trace
+test_bin fault_tolerance crates/core/tests/fault_tolerance.rs \
+    nls_core nls_trace nls_icache nls_predictors
+CARGO_BIN_EXE_nls="$PWD/$OUT/nls" test_bin e2e_cli crates/cli/tests/e2e_cli.rs \
+    nls_cli nls_core nls_trace
+test_bin end_to_end tests/end_to_end.rs nextline
+test_bin micro_traces tests/micro_traces.rs nextline
+test_bin lint_fixtures crates/lint/tests/fixtures.rs nls_lint
+
+fail=0
+for t in "$OUT"/test_*; do
+    [[ -x $t ]] || continue
+    echo "run  $(basename "$t")"
+    "$t" --test-threads "$(nproc)" -q || fail=1
+done
+if [[ $fail -ne 0 ]]; then
+    echo "offline tests FAILED"
+    exit 1
+fi
+echo "offline build + tests OK"

@@ -1,0 +1,28 @@
+//! Offline stand-in for `parking_lot`, used only by
+//! `tools/offline-build.sh` (no registry access in the verification
+//! container). Wraps `std::sync::Mutex` and ignores poisoning, matching
+//! `parking_lot::Mutex`'s panic-transparent lock semantics.
+
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

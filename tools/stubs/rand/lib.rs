@@ -1,0 +1,154 @@
+//! Offline stand-in for the `rand` crate, used only by
+//! `tools/offline-build.sh` so the workspace can be type-checked and
+//! unit-tested in containers with no registry access. Real builds (CI,
+//! developer machines) use the genuine `rand` from crates.io; this stub
+//! mirrors just the API surface the workspace touches: `SmallRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{random, random_bool,
+//! random_range}`.
+//!
+//! The generator is xoshiro256++ seeded per the xoshiro authors'
+//! recommendation (SplitMix64 expansion of the `u64` seed) — the same
+//! family the real `SmallRng` uses on 64-bit targets. Exact stream
+//! equality with a given `rand` release is not guaranteed (their
+//! integer range sampling may consume extra draws), so seeded outputs
+//! are close to, but not byte-comparable with, real builds.
+
+use std::ops::{Bound, RangeBounds};
+
+pub mod rngs {
+    /// Small, fast RNG. Stub counterpart of `rand::rngs::SmallRng`
+    /// (xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as the xoshiro reference code and the
+        // real `SmallRng` both do for integer seeds.
+        let mut state = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *word = z ^ (z >> 31);
+        }
+        Self { s }
+    }
+}
+
+/// Types `Rng::random` can produce in this stub.
+pub trait FromRandom {
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl FromRandom for f64 {
+    fn from_u64(bits: u64) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_u64(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl FromRandom for u64 {
+    fn from_u64(bits: u64) -> Self {
+        bits
+    }
+}
+
+/// Types `Rng::random_range` can sample in this stub.
+pub trait SampleUniform: Sized + Copy {
+    fn sample<R: RangeBounds<Self>>(bits: u64, unit: f64, range: R) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample<R: RangeBounds<Self>>(bits: u64, _unit: f64, range: R) -> Self {
+                let lo = match range.start_bound() {
+                    Bound::Included(&v) => v,
+                    Bound::Excluded(&v) => v + 1,
+                    Bound::Unbounded => <$t>::MIN,
+                };
+                let hi = match range.end_bound() {
+                    Bound::Included(&v) => v,
+                    Bound::Excluded(&v) => v - 1,
+                    Bound::Unbounded => <$t>::MAX,
+                };
+                assert!(lo <= hi, "empty sample range");
+                let span = (hi - lo) as u128 + 1;
+                lo + (bits as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+impl SampleUniform for f64 {
+    fn sample<R: RangeBounds<Self>>(_bits: u64, unit: f64, range: R) -> Self {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) | Bound::Excluded(&v) => v,
+            Bound::Unbounded => 0.0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) | Bound::Excluded(&v) => v,
+            Bound::Unbounded => 1.0,
+        };
+        lo + unit * (hi - lo)
+    }
+}
+
+pub trait Rng {
+    fn next_bits(&mut self) -> u64;
+
+    fn random<T: FromRandom>(&mut self) -> T {
+        T::from_u64(self.next_bits())
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+
+    fn random_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let bits = self.next_bits();
+        let unit = f64::from_u64(bits);
+        T::sample(bits, unit, range)
+    }
+}
+
+impl Rng for rngs::SmallRng {
+    fn next_bits(&mut self) -> u64 {
+        self.next_u64()
+    }
+}

@@ -1,0 +1,232 @@
+//! The approximate workspace call graph.
+//!
+//! Nodes are the functions indexed by [`SymbolTable`]; edges are the
+//! resolved [`call_sites`] of every non-test function body. The graph
+//! is an *over-approximation* (receiver-blind method resolution, no
+//! type inference), which is the safe direction for reachability
+//! passes: they may ask for a waiver on an impossible path, but they
+//! cannot silently miss a real one. Resolution misses (calls into
+//! `std` or dependencies) produce no edge — external code is trusted,
+//! workspace code is checked.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::parser::{call_sites, CallSite, FileItems, ItemKind};
+use crate::source::SourceFile;
+use crate::symbols::{lookup, FnId, SymbolTable};
+
+/// One resolved edge: `caller` invokes `callee` at `line`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub caller: FnId,
+    pub callee: FnId,
+    pub line: u32,
+}
+
+/// The workspace call graph plus the unresolved call sites of every
+/// function (passes match nondeterminism/panic markers on those).
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Outgoing edges per caller, deduplicated, in callee order.
+    edges: BTreeMap<FnId, Vec<Edge>>,
+    /// Every call site per function, resolved or not (markers like
+    /// `Instant::now` live outside the workspace and never resolve).
+    calls: BTreeMap<FnId, Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from the parsed items of every file.
+    /// `sources` and `files` are parallel arrays (same indexing).
+    pub fn build(
+        sources: &[SourceFile],
+        files: &[FileItems],
+        symbols: &SymbolTable,
+    ) -> CallGraph {
+        let mut g = CallGraph::default();
+        for (fi, file) in files.iter().enumerate() {
+            let Some(src) = sources.get(fi) else { continue };
+            for (ii, it) in file.items.iter().enumerate() {
+                if it.kind != ItemKind::Fn || it.is_test {
+                    continue;
+                }
+                let caller: FnId = (fi, ii);
+                let sites = call_sites(&src.code, it.body);
+                let mut out: Vec<Edge> = Vec::new();
+                let mut seen: BTreeSet<FnId> = BTreeSet::new();
+                for site in &sites {
+                    for callee in symbols.resolve(site, it.owner.as_deref()) {
+                        if callee != caller && seen.insert(callee) {
+                            out.push(Edge { caller, callee, line: site.line });
+                        }
+                    }
+                }
+                // Edges to test-only definitions are dropped: test
+                // helpers are not part of the production surface.
+                out.retain(|e| lookup(files, e.callee).is_some_and(|(_, i)| !i.is_test));
+                out.sort_by_key(|e| e.callee);
+                g.edges.insert(caller, out);
+                g.calls.insert(caller, sites);
+            }
+        }
+        g
+    }
+
+    /// Outgoing edges of `id`.
+    pub fn edges_from(&self, id: FnId) -> &[Edge] {
+        self.edges.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Every call site (resolved or not) inside `id`'s body.
+    pub fn calls_in(&self, id: FnId) -> &[CallSite] {
+        self.calls.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Breadth-first reachability from `roots`. Returns every reached
+    /// function mapped to its predecessor on a shortest path (roots
+    /// map to themselves), so passes can reconstruct a witness path.
+    pub fn reach(&self, roots: &[FnId]) -> BTreeMap<FnId, FnId> {
+        let mut pred: BTreeMap<FnId, FnId> = BTreeMap::new();
+        let mut queue: VecDeque<FnId> = VecDeque::new();
+        for &r in roots {
+            if !pred.contains_key(&r) {
+                pred.insert(r, r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(id) = queue.pop_front() {
+            for e in self.edges_from(id) {
+                if !pred.contains_key(&e.callee) {
+                    pred.insert(e.callee, id);
+                    queue.push_back(e.callee);
+                }
+            }
+        }
+        pred
+    }
+
+    /// The shortest witness path root → … → `to` out of a `reach`
+    /// result, as qualified names (for report messages).
+    pub fn path_to(
+        &self,
+        pred: &BTreeMap<FnId, FnId>,
+        to: FnId,
+        files: &[FileItems],
+    ) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cur = to;
+        // The predecessor chain is acyclic by construction; the bound
+        // guards against a corrupted map.
+        for _ in 0..pred.len() + 1 {
+            if let Some((_, it)) = lookup(files, cur) {
+                path.push(it.qual());
+            }
+            match pred.get(&cur) {
+                Some(&p) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// Renders the graph for golden-file tests: one `caller -> callee`
+    /// line per edge, in deterministic order.
+    pub fn dump(&self, files: &[FileItems]) -> String {
+        let mut out = String::new();
+        for (caller, edges) in &self.edges {
+            let Some((cf, ci)) = lookup(files, *caller) else { continue };
+            for e in edges {
+                let Some((_, callee)) = lookup(files, e.callee) else { continue };
+                out.push_str(&format!(
+                    "{} ({}:{}) -> {}\n",
+                    ci.qual(),
+                    cf.rel,
+                    e.line,
+                    callee.qual()
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(
+        srcs: &[(&str, &str)],
+    ) -> (Vec<SourceFile>, Vec<FileItems>, SymbolTable, CallGraph) {
+        let sources: Vec<SourceFile> =
+            srcs.iter().map(|(rel, text)| SourceFile::parse(rel, text)).collect();
+        let files: Vec<FileItems> = sources.iter().map(FileItems::parse).collect();
+        let symbols = SymbolTable::build(&files);
+        let graph = CallGraph::build(&sources, &files, &symbols);
+        (sources, files, symbols, graph)
+    }
+
+    fn id_of(files: &[FileItems], qual: &str) -> FnId {
+        for (fi, f) in files.iter().enumerate() {
+            for (ii, it) in f.items.iter().enumerate() {
+                if it.kind == ItemKind::Fn && it.qual() == qual {
+                    return (fi, ii);
+                }
+            }
+        }
+        panic!("no fn {qual}");
+    }
+
+    #[test]
+    fn cross_file_edges_resolve() {
+        let (_, files, _, g) = build(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn entry() { helper(); other::leaf(); }\nfn helper() {}\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn leaf() {}\n"),
+        ]);
+        let entry = id_of(&files, "entry");
+        let callees: Vec<String> = g
+            .edges_from(entry)
+            .iter()
+            .filter_map(|e| lookup(&files, e.callee).map(|(_, i)| i.qual()))
+            .collect();
+        assert_eq!(callees, ["helper", "leaf"]);
+    }
+
+    #[test]
+    fn reachability_is_transitive_with_witness_paths() {
+        let (_, files, _, g) = build(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry() { mid(); }\nfn mid() { deep(); }\nfn deep() {}\nfn island() {}\n",
+        )]);
+        let entry = id_of(&files, "entry");
+        let deep = id_of(&files, "deep");
+        let island = id_of(&files, "island");
+        let pred = g.reach(&[entry]);
+        assert!(pred.contains_key(&deep));
+        assert!(!pred.contains_key(&island));
+        assert_eq!(g.path_to(&pred, deep, &files), ["entry", "mid", "deep"]);
+    }
+
+    #[test]
+    fn test_code_is_outside_the_graph() {
+        let (_, files, _, g) = build(&[(
+            "crates/a/src/lib.rs",
+            "pub fn entry() { helper(); }\nfn helper() {}\n#[cfg(test)]\nmod tests {\n    fn t() { entry(); }\n}\n",
+        )]);
+        let entry = id_of(&files, "entry");
+        let pred = g.reach(&[entry]);
+        // Only entry and helper: the test caller contributes nothing.
+        assert_eq!(pred.len(), 2);
+    }
+
+    #[test]
+    fn recursive_fns_do_not_loop_reachability() {
+        let (_, files, _, g) =
+            build(&[("crates/a/src/lib.rs", "pub fn a() { b(); }\npub fn b() { a(); }\n")]);
+        let a = id_of(&files, "a");
+        let pred = g.reach(&[a]);
+        assert_eq!(pred.len(), 2);
+    }
+}

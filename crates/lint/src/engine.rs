@@ -1,11 +1,12 @@
-//! The lint driver: workspace walking, suppression filtering, and
-//! result assembly.
+//! The lint driver: workspace walking, suppression filtering, pass
+//! execution, and result assembly.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
+use crate::passes::{all_passes, Analysis, Docs};
 use crate::rules::{all_rules, Violation};
 use crate::source::SourceFile;
 
@@ -30,24 +31,28 @@ pub struct LintReport {
 
 impl LintReport {
     /// The process exit code: 0 when clean, else the smallest
-    /// (highest-priority) violated rule's code.
+    /// (highest-priority) violated rule's or pass's code.
     pub fn exit_code(&self) -> u8 {
         let rules = all_rules();
+        let passes = all_passes();
         self.violations
             .iter()
             .map(|v| {
                 rules
                     .iter()
                     .find(|r| r.id() == v.rule)
-                    .map_or(SUPPRESSION_EXIT_CODE, |r| r.exit_code())
+                    .map(|r| r.exit_code())
+                    .or_else(|| passes.iter().find(|p| p.id() == v.rule).map(|p| p.exit_code()))
+                    .unwrap_or(SUPPRESSION_EXIT_CODE)
             })
             .min()
             .unwrap_or(0)
     }
 }
 
-/// Lints already-parsed sources (the library entry point; the binary
-/// and the fixture tests both end up here).
+/// Lints already-parsed sources with the per-file and cross-file
+/// *rules* only (the original lexical layer; fixture tests and the
+/// passes' own fixtures go through here).
 pub fn lint_sources(files: &[SourceFile]) -> LintReport {
     let rules = all_rules();
     let mut violations = Vec::new();
@@ -86,46 +91,93 @@ pub fn lint_sources(files: &[SourceFile]) -> LintReport {
     LintReport { violations, files: files.len() }
 }
 
-/// Lints every `.rs` file under `root`, or only those named in
-/// `only` (workspace-relative) when given.
+/// Lints `files` with the rules, then runs the interprocedural
+/// analysis passes on top. `passes` selects which: `None` runs all,
+/// `Some(ids)` only those listed (`Some(&[])` disables them).
+pub fn analyze_sources(
+    files: &[SourceFile],
+    docs: Docs,
+    passes: Option<&[String]>,
+) -> LintReport {
+    let mut report = lint_sources(files);
+    let analysis = Analysis::build(files, docs);
+    let mut found = Vec::new();
+    for pass in all_passes() {
+        let enabled = passes.is_none_or(|ids| ids.iter().any(|id| id == pass.id()));
+        if enabled {
+            pass.check(&analysis, &mut found);
+        }
+    }
+    report.violations.extend(found.into_iter().filter(|v| {
+        files.iter().find(|f| f.rel == v.file).is_none_or(|f| !f.is_suppressed(v.rule, v.line))
+    }));
+    report.violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Is `rule` one of the interprocedural pass ids?
+fn is_pass_id(rule: &str) -> bool {
+    all_passes().iter().any(|p| p.id() == rule)
+}
+
+/// Lints and analyzes every `.rs` file under `root`.
+///
+/// The whole workspace is always loaded — the interprocedural passes
+/// and cross-file rules need every definition in scope. When `only`
+/// is given (workspace-relative paths from `--changed-only`), the
+/// *per-file* findings are then filtered to the changed set; findings
+/// from cross-file rules and the analysis passes are kept regardless,
+/// because a change in one file can break an invariant that reports
+/// in another.
 ///
 /// # Errors
 ///
 /// Fails when `root` cannot be walked or a source file cannot be
 /// read.
-pub fn lint_workspace(root: &Path, only: Option<&[String]>) -> io::Result<LintReport> {
+pub fn analyze_workspace(
+    root: &Path,
+    only: Option<&[String]>,
+    passes: Option<&[String]>,
+) -> io::Result<LintReport> {
     let mut paths = Vec::new();
     collect_rs_files(root, root, &mut paths)?;
     paths.sort();
     let mut files = Vec::new();
     for rel in paths {
-        if let Some(filter) = only {
-            // Cross-file rules still need the error taxonomy and CLI
-            // sources in scope even when only other files changed.
-            let load_always =
-                rel == "crates/core/src/error.rs" || rel.starts_with("crates/cli/src/");
-            if !load_always && !filter.iter().any(|f| f == &rel) {
-                continue;
-            }
-        }
         // nls-lint: allow(fs-trace-read): the linter reads Rust source text, never trace bytes
         let text = fs::read_to_string(root.join(&rel))?;
         files.push(SourceFile::parse(&rel, &text));
     }
-    let mut report = lint_sources(&files);
+    let mut report = analyze_sources(&files, load_docs(root), passes);
     if let Some(filter) = only {
-        // Findings in always-loaded context files outside the change
-        // set are not this run's business.
-        report
-            .violations
-            .retain(|v| filter.iter().any(|f| f == &v.file) || v.rule == "error-exit-map");
-        report.files = filter.len();
+        report.violations.retain(|v| {
+            filter.iter().any(|f| f == &v.file)
+                || v.rule == "error-exit-map"
+                || is_pass_id(v.rule)
+        });
     }
     Ok(report)
 }
 
-/// The files changed relative to `git_ref` (names only, `.rs` only),
-/// for `--changed-only`.
+/// [`analyze_workspace`] with every pass enabled (the default run).
+///
+/// # Errors
+///
+/// Same as [`analyze_workspace`].
+pub fn lint_workspace(root: &Path, only: Option<&[String]>) -> io::Result<LintReport> {
+    analyze_workspace(root, only, None)
+}
+
+fn load_docs(root: &Path) -> Docs {
+    // nls-lint: allow(fs-trace-read): DESIGN.md is documentation, not trace bytes
+    let design_md = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    Docs { design_md }
+}
+
+/// The `.rs` files changed relative to `git_ref`, for
+/// `--changed-only`. Renames (`-M`) report their *new* path; deleted
+/// files are dropped (there is nothing on disk to lint), as is any
+/// reported path that no longer exists by the time we run.
 ///
 /// # Errors
 ///
@@ -133,7 +185,7 @@ pub fn lint_workspace(root: &Path, only: Option<&[String]>) -> io::Result<LintRe
 pub fn changed_files(root: &Path, git_ref: &str) -> io::Result<Vec<String>> {
     let out = Command::new("git")
         .current_dir(root)
-        .args(["diff", "--name-only", "--diff-filter=d", git_ref, "--", "*.rs"])
+        .args(["diff", "--name-status", "-M", git_ref, "--", "*.rs"])
         .output()?;
     if !out.status.success() {
         return Err(io::Error::other(format!(
@@ -141,11 +193,98 @@ pub fn changed_files(root: &Path, git_ref: &str) -> io::Result<Vec<String>> {
             String::from_utf8_lossy(&out.stderr).trim()
         )));
     }
-    Ok(String::from_utf8_lossy(&out.stdout)
-        .lines()
-        .map(|l| l.trim().to_string())
-        .filter(|l| !l.is_empty())
-        .collect())
+    let mut files = Vec::new();
+    for line in String::from_utf8_lossy(&out.stdout).lines() {
+        // `<status>\t<path>` or, for renames/copies, `R<score>\t<old>\t<new>`.
+        let mut cols = line.split('\t');
+        let Some(status) = cols.next().map(str::trim) else { continue };
+        if status.starts_with('D') {
+            continue;
+        }
+        let Some(path) = cols.next_back().map(str::trim).filter(|p| !p.is_empty()) else {
+            continue;
+        };
+        if root.join(path).exists() {
+            files.push(path.to_string());
+        }
+    }
+    Ok(files)
+}
+
+/// `--fix`: rewrites every reasonless `nls-lint: allow(...)` in the
+/// workspace into the canonical form with a `TODO` reason, so the
+/// annotation starts applying (and the TODO marks the missing safety
+/// argument for review). Returns the patched workspace-relative
+/// paths.
+///
+/// # Errors
+///
+/// Fails when a source file cannot be read or written back.
+pub fn fix_suppressions(root: &Path) -> io::Result<Vec<String>> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut fixed = Vec::new();
+    for rel in paths {
+        let path = root.join(&rel);
+        // nls-lint: allow(fs-trace-read): the fixer reads Rust source text, never trace bytes
+        let text = fs::read_to_string(&path)?;
+        let Some(patched) = fix_suppression_text(&text) else { continue };
+        fs::write(&path, patched)?;
+        fixed.push(rel);
+    }
+    Ok(fixed)
+}
+
+/// The canonical reason template `--fix` inserts.
+const TODO_REASON: &str = "TODO(nls-lint): document why this site is safe";
+
+/// Rewrites reasonless `allow(...)` annotations in `text`; `None`
+/// when nothing needs fixing.
+fn fix_suppression_text(text: &str) -> Option<String> {
+    let mut changed = false;
+    let mut out_lines: Vec<String> = Vec::new();
+    for line in text.lines() {
+        out_lines.push(fix_suppression_line(line).map_or_else(
+            || line.to_string(),
+            |fixed| {
+                changed = true;
+                fixed
+            },
+        ));
+    }
+    if !changed {
+        return None;
+    }
+    let mut out = out_lines.join("\n");
+    if text.ends_with('\n') {
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// Fixes one line, or `None` when it is already well-formed (or has
+/// no annotation). Only `allow(<rules>)` with a non-empty rule list
+/// and a missing/empty reason is fixable — an empty rule list needs a
+/// human to say *what* is being waived.
+fn fix_suppression_line(line: &str) -> Option<String> {
+    let marker = line.find("nls-lint:")?;
+    let tail = line.get(marker..)?;
+    let allow = tail.find("allow")?;
+    let after_allow = tail.get(allow + "allow".len()..)?.trim_start();
+    let inner_and_rest = after_allow.strip_prefix('(')?;
+    let (inner, rest) = inner_and_rest.split_once(')')?;
+    if inner.split(',').all(|r| r.trim().is_empty()) {
+        return None;
+    }
+    let has_reason =
+        rest.trim_start().strip_prefix(':').is_some_and(|reason| !reason.trim().is_empty());
+    if has_reason {
+        return None;
+    }
+    // Keep everything through `)`, replace the (empty) reason tail.
+    let keep = line.len() - rest.len();
+    Some(format!("{}: {TODO_REASON}", line.get(..keep)?))
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
@@ -211,5 +350,81 @@ mod tests {
         let src = "fn f(v: &[u8]) -> Option<&u8> { v.first() }";
         let files = vec![SourceFile::parse("crates/x/src/a.rs", src)];
         assert_eq!(lint_sources(&files).exit_code(), 0);
+    }
+
+    #[test]
+    fn pass_findings_use_pass_exit_codes() {
+        let files = vec![SourceFile::parse(
+            "crates/core/src/engine.rs",
+            "impl E { fn step(&mut self) { helper(); } }\nfn helper(x: u64) { assert!(x > 0); }\n",
+        )];
+        let report = analyze_sources(&files, crate::passes::Docs::default(), None);
+        assert_eq!(report.exit_code(), 18, "{:?}", report.violations);
+    }
+
+    #[test]
+    fn pass_selection_disables_the_rest() {
+        let files = vec![SourceFile::parse(
+            "crates/core/src/engine.rs",
+            "impl E { fn step(&mut self, x: u64) { assert!(x > 0); } }\n",
+        )];
+        let none = analyze_sources(&files, crate::passes::Docs::default(), Some(&[]));
+        assert_eq!(none.exit_code(), 0, "{:?}", none.violations);
+        let only_det = analyze_sources(
+            &files,
+            crate::passes::Docs::default(),
+            Some(&["determinism".to_string()]),
+        );
+        assert_eq!(only_det.exit_code(), 0, "{:?}", only_det.violations);
+        let only_panic = analyze_sources(
+            &files,
+            crate::passes::Docs::default(),
+            Some(&["panic-reach".to_string()]),
+        );
+        assert_eq!(only_panic.exit_code(), 18, "{:?}", only_panic.violations);
+    }
+
+    #[test]
+    fn fix_rewrites_reasonless_allow_only() {
+        let text = "fn f() {\n    // nls-lint: allow(no-panic)\n    x.unwrap();\n\
+                    \x20   // nls-lint: allow(hash-order): documented already\n}\n";
+        let fixed = fix_suppression_text(text).expect("one line needs fixing");
+        assert!(
+            fixed.contains("allow(no-panic): TODO(nls-lint): document why this site is safe"),
+            "{fixed}"
+        );
+        assert!(fixed.contains("documented already"), "{fixed}");
+        assert_eq!(fix_suppression_text(&fixed), None, "fixpoint");
+    }
+
+    #[test]
+    fn fix_leaves_empty_rule_lists_to_humans() {
+        assert_eq!(fix_suppression_text("// nls-lint: allow()\n"), None);
+        assert_eq!(fix_suppression_text("no annotations here\n"), None);
+    }
+
+    #[test]
+    fn changed_only_keeps_pass_findings_for_unchanged_files() {
+        // Interprocedural findings must survive the changed-only
+        // filter even when they report in an unchanged file.
+        let files = vec![
+            SourceFile::parse("crates/core/src/sweep.rs", "pub fn run_one() { helper(); }\n"),
+            SourceFile::parse(
+                "crates/core/src/lib.rs",
+                "pub fn helper(x: u64) { assert!(x > 0); }\n",
+            ),
+        ];
+        let mut report = analyze_sources(&files, crate::passes::Docs::default(), None);
+        let filter = vec!["crates/core/src/sweep.rs".to_string()];
+        report.violations.retain(|v| {
+            filter.iter().any(|f| f == &v.file)
+                || v.rule == "error-exit-map"
+                || is_pass_id(v.rule)
+        });
+        assert!(
+            report.violations.iter().any(|v| v.rule == "panic-reach"),
+            "{:?}",
+            report.violations
+        );
     }
 }

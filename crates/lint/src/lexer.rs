@@ -16,7 +16,11 @@ pub enum TokKind {
     Ident,
     /// Numeric literal, with any suffix (`0xff_u32`, `1.5e3`).
     Number,
-    /// String-ish literal: `"…"`, `b"…"`, `r#"…"#`, `br"…"`.
+    /// String-ish literal: `"…"`, `b"…"`, `r#"…"#`, `br"…"`. The
+    /// token text is the literal's raw content (quotes stripped,
+    /// escapes left as written) so cross-artifact checks can match
+    /// names mentioned in strings; it is never an `Ident`, so no
+    /// code-matching rule can confuse it with code.
     Str,
     /// Character or byte literal: `'x'`, `b'\n'`.
     Char,
@@ -152,14 +156,20 @@ impl Lexer {
 
     fn string(&mut self, line: u32, quote: char) {
         self.bump(); // opening quote
+        let mut text = String::new();
         while let Some(c) = self.bump() {
             if c == '\\' {
-                self.bump();
+                text.push(c);
+                if let Some(esc) = self.bump() {
+                    text.push(esc);
+                }
             } else if c == quote {
                 break;
+            } else {
+                text.push(c);
             }
         }
-        self.push(TokKind::Str, String::new(), line);
+        self.push(TokKind::Str, text, line);
     }
 
     /// At `r`/`b`: is this the start of `r"`, `r#"`, `br"`, `br#"`?
@@ -192,10 +202,16 @@ impl Lexer {
             self.bump();
         }
         self.bump(); // opening quote
+        let mut text = String::new();
         'scan: while let Some(c) = self.bump() {
             if c == '"' {
                 for k in 0..hashes {
                     if self.peek(k) != Some('#') {
+                        text.push('"');
+                        for _ in 0..k {
+                            text.push('#');
+                            self.bump();
+                        }
                         continue 'scan;
                     }
                 }
@@ -204,8 +220,9 @@ impl Lexer {
                 }
                 break;
             }
+            text.push(c);
         }
-        self.push(TokKind::Str, String::new(), line);
+        self.push(TokKind::Str, text, line);
     }
 
     fn char_lit(&mut self, line: u32) {

@@ -23,13 +23,21 @@
 //!
 //! [`NlsError`-class exit]: https://example.invalid/nextline
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 
-pub use engine::{changed_files, lint_sources, lint_workspace, LintReport};
+pub use engine::{
+    analyze_sources, analyze_workspace, changed_files, fix_suppressions, lint_sources,
+    lint_workspace, LintReport,
+};
+pub use passes::{all_passes, Analysis, Docs, Pass};
 pub use report::{render, Format};
 pub use rules::{all_rules, Rule, Violation};
 pub use source::SourceFile;

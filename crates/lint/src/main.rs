@@ -1,39 +1,53 @@
 //! The `nls-lint` binary.
 //!
 //! ```text
-//! nls-lint [--root DIR] [--format human|json] [--changed-only REF]
-//!          [--list-rules]
+//! nls-lint [--root DIR] [--format human|json|sarif]
+//!          [--changed-only REF] [--pass ID]... [--no-passes]
+//!          [--fix] [--list-rules]
 //! ```
 //!
 //! Exit codes: 0 clean, 2 usage, 6 I/O, otherwise the code of the
-//! highest-priority violated rule (`--list-rules` prints the table).
+//! highest-priority violated rule or pass (`--list-rules` prints the
+//! table).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use nls_lint::engine::{analyze_workspace, fix_suppressions};
 use nls_lint::report::rule_table;
-use nls_lint::{changed_files, lint_workspace, render, Format};
+use nls_lint::{changed_files, render, Format};
 
 const USAGE: &str = "\
 nls-lint — static analysis for the NLS simulator invariants
 
 USAGE:
-  nls-lint [--root DIR] [--format human|json] [--changed-only REF] [--list-rules]
+  nls-lint [--root DIR] [--format human|json|sarif] [--changed-only REF]
+           [--pass ID]... [--no-passes] [--fix] [--list-rules]
 
 OPTIONS:
   --root DIR           workspace root to lint (default: .)
-  --format human|json  report format (default: human)
-  --changed-only REF   lint only .rs files changed since the git REF
-  --list-rules         print the rule table (id, exit code, summary)
+  --format FORMAT      human, json, or sarif (default: human)
+  --changed-only REF   report per-file findings only for .rs files
+                       changed since the git REF (the whole workspace
+                       is still analyzed; interprocedural findings are
+                       always reported)
+  --pass ID            run only the named analysis pass (repeatable);
+                       default runs all passes
+  --no-passes          lexical rules only, no interprocedural passes
+  --fix                rewrite reasonless `allow(...)` annotations into
+                       the canonical form with a TODO reason, then lint
+  --list-rules         print the rule/pass table (id, exit code, summary)
 
 Suppress a finding with an adjacent comment carrying a reason:
-  // nls-lint: allow(<rule>): <why this site is safe>
+  // nls-lint: allow(<rule-or-pass>): <why this site is safe>
 ";
 
 struct Options {
     root: PathBuf,
     format: Format,
     changed_only: Option<String>,
+    passes: Option<Vec<String>>,
+    fix: bool,
     list_rules: bool,
 }
 
@@ -42,6 +56,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         root: PathBuf::from("."),
         format: Format::Human,
         changed_only: None,
+        passes: None,
+        fix: false,
         list_rules: false,
     };
     let mut it = args.iter();
@@ -56,8 +72,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.format = match it.next().map(String::as_str) {
                     Some("human") => Format::Human,
                     Some("json") => Format::Json,
+                    Some("sarif") => Format::Sarif,
                     other => {
-                        return Err(format!("--format must be human or json, got {other:?}"))
+                        return Err(format!(
+                            "--format must be human, json, or sarif, got {other:?}"
+                        ))
                     }
                 };
             }
@@ -68,9 +87,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .clone(),
                 );
             }
+            "--pass" => {
+                let id = it.next().ok_or_else(|| "--pass needs a pass id".to_string())?.clone();
+                opts.passes.get_or_insert_with(Vec::new).push(id);
+            }
+            "--no-passes" => opts.passes = Some(Vec::new()),
+            "--fix" => opts.fix = true,
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" | "help" => return Err(String::new()),
             other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if let Some(ids) = &opts.passes {
+        let known: Vec<&str> = nls_lint::passes::all_passes().iter().map(|p| p.id()).collect();
+        for id in ids {
+            if !known.contains(&id.as_str()) {
+                return Err(format!("unknown pass {id:?}; known passes: {known:?}"));
+            }
         }
     }
     Ok(opts)
@@ -94,6 +127,20 @@ fn main() -> ExitCode {
         print!("{}", rule_table());
         return ExitCode::SUCCESS;
     }
+    if opts.fix {
+        match fix_suppressions(&opts.root) {
+            Ok(fixed) => {
+                for rel in &fixed {
+                    eprintln!("nls-lint: fixed reasonless allow() in {rel}");
+                }
+                eprintln!("nls-lint: --fix patched {} file(s)", fixed.len());
+            }
+            Err(e) => {
+                eprintln!("error[io]: {e}");
+                return ExitCode::from(6);
+            }
+        }
+    }
     let only = match &opts.changed_only {
         Some(git_ref) => match changed_files(&opts.root, git_ref) {
             Ok(files) => Some(files),
@@ -104,7 +151,7 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    let report = match lint_workspace(&opts.root, only.as_deref()) {
+    let report = match analyze_workspace(&opts.root, only.as_deref(), opts.passes.as_deref()) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error[io]: {e}");

@@ -1,0 +1,522 @@
+//! A small recursive-descent item parser over the token stream.
+//!
+//! `nls-analyze` (the interprocedural layer of `nls-lint`) needs more
+//! than a flat token stream: it needs to know *which function* a
+//! token belongs to, what that function is called, and what it calls.
+//! This module parses each lexed file into an item tree — functions
+//! (with their impl/trait owner), type definitions and `use` paths —
+//! without pulling in `syn` (the offline build container cannot fetch
+//! dependencies). It is an *approximate* parser: it tracks braces,
+//! attributes, `impl`/`trait` ownership and bodies, and deliberately
+//! ignores everything it does not need (generic bounds, where
+//! clauses, expression structure). The passes that consume it are
+//! written to be robust against that approximation — see DESIGN.md §9
+//! for the soundness caveats.
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+
+/// What kind of item a [`Item`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Struct,
+    Enum,
+    Trait,
+    Impl,
+    Use,
+}
+
+/// One parsed item. Only functions carry a body span; type items
+/// exist so the symbol table can distinguish `Type::method` calls
+/// from free-function calls.
+#[derive(Debug, Clone)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Item name: fn name, type name, or the joined `use` path.
+    pub name: String,
+    /// For functions inside `impl T`/`trait T`: the owning type `T`.
+    pub owner: Option<String>,
+    /// 1-based line of the item's defining token.
+    pub line: u32,
+    /// Token index range `[start, end)` of the item's body in
+    /// `SourceFile::code` (functions only; empty for others).
+    pub body: (usize, usize),
+    /// True when the item lives in test scaffolding (a test file or
+    /// a `#[cfg(test)]`/`#[test]` region).
+    pub is_test: bool,
+}
+
+impl Item {
+    /// The function's qualified display name: `Owner::name` for
+    /// methods, plain `name` for free functions.
+    pub fn qual(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The item tree of one file.
+#[derive(Debug)]
+pub struct FileItems {
+    /// Workspace-relative path, mirroring [`SourceFile::rel`].
+    pub rel: String,
+    pub items: Vec<Item>,
+}
+
+impl FileItems {
+    /// Parses `file`'s token stream into an item tree.
+    pub fn parse(file: &SourceFile) -> FileItems {
+        let mut p = Parser { file, items: Vec::new() };
+        p.items_in(0, file.code.len(), None);
+        FileItems { rel: file.rel.clone(), items: p.items }
+    }
+
+    /// The functions of this file, in source order.
+    pub fn fns(&self) -> impl Iterator<Item = &Item> {
+        self.items.iter().filter(|i| i.kind == ItemKind::Fn)
+    }
+}
+
+struct Parser<'a> {
+    file: &'a SourceFile,
+    items: Vec<Item>,
+}
+
+impl Parser<'_> {
+    /// Scans `[start, end)` for items, attributing functions to
+    /// `owner` (the enclosing `impl`/`trait` type, if any). Recurses
+    /// into `mod`, `impl` and `trait` bodies; function bodies are
+    /// recorded as spans, then also scanned for nested items (closures
+    /// and nested fns still define call sites worth seeing).
+    fn items_in(&mut self, start: usize, end: usize, owner: Option<&str>) {
+        let code = &self.file.code;
+        let mut i = start;
+        while i < end {
+            let Some(t) = code.get(i) else { break };
+            if t.kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            match t.text.as_str() {
+                "fn" => {
+                    let Some(name_tok) = code.get(i + 1) else { break };
+                    if name_tok.kind != TokKind::Ident {
+                        i += 2;
+                        continue;
+                    }
+                    // Body: first `{` after the signature, skipping
+                    // any parenthesized/bracketed groups and where
+                    // clauses. A trait method declaration ends at `;`
+                    // instead and has no body.
+                    let (body, next) = match self.fn_body_span(i + 2, end) {
+                        Some((open, close)) => ((open + 1, close), close + 1),
+                        None => ((i + 2, i + 2), i + 2),
+                    };
+                    self.items.push(Item {
+                        kind: ItemKind::Fn,
+                        name: name_tok.text.clone(),
+                        owner: owner.map(str::to_string),
+                        line: t.line,
+                        body,
+                        is_test: self.file.is_test_code(t.line),
+                    });
+                    // Nested fns/impls inside the body keep the same
+                    // owner attribution (approximate, but a nested
+                    // `fn` is still a reachable definition).
+                    self.items_in(body.0, body.1, owner);
+                    i = next;
+                }
+                "struct" | "enum" | "trait" | "union" => {
+                    let kind = match t.text.as_str() {
+                        "struct" | "union" => ItemKind::Struct,
+                        "enum" => ItemKind::Enum,
+                        _ => ItemKind::Trait,
+                    };
+                    let Some(name_tok) = code.get(i + 1) else { break };
+                    if name_tok.kind != TokKind::Ident {
+                        i += 2;
+                        continue;
+                    }
+                    self.items.push(Item {
+                        kind,
+                        name: name_tok.text.clone(),
+                        owner: None,
+                        line: t.line,
+                        body: (0, 0),
+                        is_test: self.file.is_test_code(t.line),
+                    });
+                    if kind == ItemKind::Trait {
+                        // Default methods in the trait body belong to
+                        // the trait's name.
+                        if let Some((open, close)) = self.brace_group(i + 2, end) {
+                            self.items_in(open + 1, close, Some(&name_tok.text));
+                            i = close + 1;
+                            continue;
+                        }
+                    }
+                    i += 2;
+                }
+                "impl" => {
+                    let Some((open, close)) = self.brace_group(i + 1, end) else {
+                        i += 1;
+                        continue;
+                    };
+                    let ty = impl_self_type(code.get(i + 1..open).unwrap_or(&[]));
+                    self.items.push(Item {
+                        kind: ItemKind::Impl,
+                        name: ty.clone().unwrap_or_default(),
+                        owner: None,
+                        line: t.line,
+                        body: (open + 1, close),
+                        is_test: self.file.is_test_code(t.line),
+                    });
+                    self.items_in(open + 1, close, ty.as_deref());
+                    i = close + 1;
+                }
+                "mod" => {
+                    // `mod name { ... }` — recurse without changing
+                    // ownership; `mod name;` — skip.
+                    match self.brace_group(i + 1, end) {
+                        Some((open, close)) => {
+                            self.items_in(open + 1, close, owner);
+                            i = close + 1;
+                        }
+                        None => i += 2,
+                    }
+                }
+                "use" => {
+                    let mut path = String::new();
+                    let mut j = i + 1;
+                    while let Some(n) = code.get(j) {
+                        if n.is_punct(';') || j >= end {
+                            break;
+                        }
+                        match n.kind {
+                            TokKind::Ident => path.push_str(&n.text),
+                            TokKind::Punct => path.push_str(&n.text),
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    self.items.push(Item {
+                        kind: ItemKind::Use,
+                        name: path,
+                        owner: None,
+                        line: t.line,
+                        body: (0, 0),
+                        is_test: self.file.is_test_code(t.line),
+                    });
+                    i = j + 1;
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    /// The `{ ... }` span of a function whose signature starts at
+    /// `from`: the first *top-level* `{` (skipping groups opened by
+    /// `(`/`[`/`<`-free scanning — parens and brackets are balanced,
+    /// and a `;` before any brace means a bodyless declaration).
+    fn fn_body_span(&self, from: usize, end: usize) -> Option<(usize, usize)> {
+        let code = &self.file.code;
+        let mut depth = 0i64;
+        let mut k = from;
+        while k < end {
+            let t = code.get(k)?;
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 {
+                if t.is_punct(';') {
+                    return None;
+                }
+                if t.is_punct('{') {
+                    let close = matching_brace(code, k, end)?;
+                    return Some((k, close));
+                }
+            }
+            k += 1;
+        }
+        None
+    }
+
+    /// The next top-level `{ ... }` group at or after `from`.
+    fn brace_group(&self, from: usize, end: usize) -> Option<(usize, usize)> {
+        let code = &self.file.code;
+        let mut k = from;
+        while k < end {
+            let t = code.get(k)?;
+            if t.is_punct('{') {
+                let close = matching_brace(code, k, end)?;
+                return Some((k, close));
+            }
+            if t.is_punct(';') {
+                return None;
+            }
+            k += 1;
+        }
+        None
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (which must hold one).
+fn matching_brace(code: &[Tok], open: usize, end: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for k in open..end {
+        let t = code.get(k)?;
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// The self type of an `impl` header (tokens between `impl` and its
+/// `{`): the path after `for` when present (`impl Trait for Type`),
+/// else the first non-generic identifier (`impl Type`, `impl<T>
+/// Type<T>`). Generic parameter lists are skipped by angle-depth.
+fn impl_self_type(header: &[Tok]) -> Option<String> {
+    let after_for = header.iter().position(|t| t.is_ident("for"));
+    let tail = match after_for {
+        Some(p) => header.get(p + 1..).unwrap_or(&[]),
+        None => header,
+    };
+    let mut angle = 0i64;
+    let mut last_ident: Option<&str> = None;
+    for (k, t) in tail.iter().enumerate() {
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 && t.kind == TokKind::Ident && !t.is_ident("dyn") {
+            // Walk `a::b::Type` paths: keep the last segment before
+            // something that is not `::`.
+            last_ident = Some(&t.text);
+            let next_is_sep = tail.get(k + 1).is_some_and(|n| n.is_punct(':'))
+                && tail.get(k + 2).is_some_and(|n| n.is_punct(':'));
+            if !next_is_sep {
+                break;
+            }
+        }
+    }
+    last_ident.map(str::to_string)
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// The callee's final name segment (`step`, `unwrap`, `bep`).
+    pub name: String,
+    /// The path segment before the final one, when the call is
+    /// qualified: `Some("Addr")` for `Addr::new(..)`, `Some("fs")`
+    /// for `std::fs::read(..)`, `None` for `.method(..)` and bare
+    /// `free_fn(..)`.
+    pub qualifier: Option<String>,
+    /// True for `.name(..)` method-call syntax.
+    pub is_method: bool,
+    /// True for `name!(..)` macro invocations.
+    pub is_macro: bool,
+    pub line: u32,
+}
+
+/// Extracts every call site in `code[span]`: bare calls `f(`,
+/// qualified calls `a::b::f(` (turbofish tolerated), method calls
+/// `.f(`, and macro invocations `f!`. Field accesses, definitions and
+/// keywords are excluded.
+pub fn call_sites(code: &[Tok], span: (usize, usize)) -> Vec<CallSite> {
+    const KEYWORDS: [&str; 18] = [
+        "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "mut", "in",
+        "as", "move", "ref", "break", "continue", "where", "impl",
+    ];
+    let mut out = Vec::new();
+    let mut i = span.0;
+    while i < span.1 {
+        let Some(t) = code.get(i) else { break };
+        if t.kind != TokKind::Ident || KEYWORDS.contains(&t.text.as_str()) {
+            i += 1;
+            continue;
+        }
+        // `fn name(` is a definition, not a call; `#[attr(...)]`
+        // heads are attribute syntax, not calls.
+        if i > 0 && code.get(i - 1).is_some_and(|p| p.is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        if i >= 2
+            && code.get(i - 1).is_some_and(|p| p.is_punct('['))
+            && code.get(i - 2).is_some_and(|p| p.is_punct('#'))
+        {
+            i += 1;
+            continue;
+        }
+        let is_method = i > 0 && code.get(i - 1).is_some_and(|p| p.is_punct('.'));
+        let qualifier = if !is_method
+            && i >= 3
+            && code.get(i - 1).is_some_and(|p| p.is_punct(':'))
+            && code.get(i - 2).is_some_and(|p| p.is_punct(':'))
+        {
+            code.get(i - 3).filter(|q| q.kind == TokKind::Ident).map(|q| q.text.clone())
+        } else {
+            None
+        };
+        // What follows the name decides: `(` call, `!` macro,
+        // `::<..>(` turbofish call.
+        let mut j = i + 1;
+        if code.get(j).is_some_and(|n| n.is_punct(':'))
+            && code.get(j + 1).is_some_and(|n| n.is_punct(':'))
+            && code.get(j + 2).is_some_and(|n| n.is_punct('<'))
+        {
+            let mut angle = 0i64;
+            let mut k = j + 2;
+            while let Some(n) = code.get(k) {
+                if n.is_punct('<') {
+                    angle += 1;
+                } else if n.is_punct('>') {
+                    angle -= 1;
+                    if angle == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+                if k > j + 64 {
+                    break; // defensive: unbalanced angles
+                }
+            }
+            j = k + 1;
+        }
+        if code.get(j).is_some_and(|n| n.is_punct('(')) {
+            out.push(CallSite {
+                name: t.text.clone(),
+                qualifier,
+                is_method,
+                is_macro: false,
+                line: t.line,
+            });
+        } else if code.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            // `!=` is not a macro bang.
+            && !code.get(i + 2).is_some_and(|n| n.is_punct('='))
+        {
+            out.push(CallSite {
+                name: t.text.clone(),
+                qualifier,
+                is_method,
+                is_macro: true,
+                line: t.line,
+            });
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> (SourceFile, FileItems) {
+        let f = SourceFile::parse("crates/x/src/a.rs", src);
+        let items = FileItems::parse(&f);
+        (f, items)
+    }
+
+    #[test]
+    fn free_and_method_fns_are_attributed() {
+        let (_, items) = parse(
+            "fn free() {}\n\
+             struct S;\n\
+             impl S {\n    pub fn method(&self) -> u32 { 1 }\n}\n\
+             impl Display for S {\n    fn fmt(&self) {}\n}\n",
+        );
+        let quals: Vec<String> = items.fns().map(Item::qual).collect();
+        assert_eq!(quals, ["free", "S::method", "S::fmt"]);
+    }
+
+    #[test]
+    fn trait_default_methods_belong_to_the_trait() {
+        let (_, items) = parse(
+            "trait Engine {\n    fn label(&self) -> String;\n    fn run(&self) { self.label(); }\n}\n",
+        );
+        let quals: Vec<String> = items.fns().map(Item::qual).collect();
+        assert_eq!(quals, ["Engine::label", "Engine::run"]);
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_the_self_type() {
+        let (_, items) = parse(
+            "impl<'a, T: Clone> Wrapper<T> {\n    fn get(&self) {}\n}\n\
+             impl FetchEngine for Box<dyn FetchEngine + Send> {\n    fn step(&mut self) {}\n}\n",
+        );
+        let quals: Vec<String> = items.fns().map(Item::qual).collect();
+        assert_eq!(quals, ["Wrapper::get", "Box::step"]);
+    }
+
+    #[test]
+    fn fn_bodies_span_the_braces_not_the_signature() {
+        let (f, items) = parse("fn f(v: [u8; 4]) -> u8 {\n    g();\n    v[0]\n}\nfn g() {}\n");
+        let fns: Vec<&Item> = items.fns().collect();
+        assert_eq!(fns.len(), 2);
+        let body = fns[0].body;
+        let texts: Vec<&str> = f.code[body.0..body.1].iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"g"), "{texts:?}");
+        assert!(!texts.contains(&"f"), "{texts:?}");
+    }
+
+    #[test]
+    fn test_regions_mark_items_as_test() {
+        let (_, items) = parse(
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\n",
+        );
+        let by_name = |n: &str| items.fns().find(|i| i.name == n).map(|i| i.is_test);
+        assert_eq!(by_name("live"), Some(false));
+        assert_eq!(by_name("helper"), Some(true));
+        assert_eq!(by_name("t"), Some(true));
+    }
+
+    #[test]
+    fn use_paths_are_collected() {
+        let (_, items) =
+            parse("use std::collections::BTreeMap;\nuse crate::engine::FetchEngine;\n");
+        let uses: Vec<&str> = items
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Use)
+            .map(|i| i.name.as_str())
+            .collect();
+        assert_eq!(uses, ["std::collections::BTreeMap", "crate::engine::FetchEngine"]);
+    }
+
+    #[test]
+    fn call_sites_classify_bare_qualified_method_and_macro() {
+        let (f, items) = parse(
+            "fn f() {\n    helper();\n    Addr::new(4);\n    x.unwrap();\n    panic!(\"boom\");\n    let y = s.field;\n    v.parse::<u64>();\n}\nfn helper() {}\n",
+        );
+        let body = items.fns().next().unwrap().body;
+        let calls = call_sites(&f.code, body);
+        let names: Vec<(&str, Option<&str>, bool, bool)> = calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.qualifier.as_deref(), c.is_method, c.is_macro))
+            .collect();
+        assert!(names.contains(&("helper", None, false, false)), "{names:?}");
+        assert!(names.contains(&("new", Some("Addr"), false, false)), "{names:?}");
+        assert!(names.contains(&("unwrap", None, true, false)), "{names:?}");
+        assert!(names.contains(&("panic", None, false, true)), "{names:?}");
+        assert!(names.contains(&("parse", None, true, false)), "turbofish: {names:?}");
+        assert!(!names.iter().any(|(n, ..)| *n == "field"), "field access: {names:?}");
+    }
+
+    #[test]
+    fn ne_comparison_is_not_a_macro() {
+        let (f, items) = parse("fn f(a: u32, b: u32) -> bool { a != b }\n");
+        let body = items.fns().next().unwrap().body;
+        assert_eq!(call_sites(&f.code, body), vec![]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Pass 4: artifact conformance of the bench binaries.
+//!
+//! Every binary under `crates/bench/src/bin/` *is* a published
+//! artifact: it backs a table or figure of the paper (or an
+//! ablation/extension of one). Three registrations must stay in sync
+//! or `repro_all` silently stops reproducing what DESIGN.md promises:
+//!
+//! 1. the binary is listed (as a string literal) in `repro_all.rs`;
+//! 2. DESIGN.md mentions the binary in its experiment index; and
+//! 3. a binary named `figN_*` / `tableN_*` appears in DESIGN.md on a
+//!    line that actually says `Fig N` / `Table N` — a renumbered
+//!    figure must be renumbered everywhere.
+//!
+//! `repro_all` itself is the registry, not an artifact, and is
+//! exempt.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::TokKind;
+use crate::rules::Violation;
+
+use super::{Analysis, Pass};
+
+pub struct ArtifactConformance;
+
+const BIN_DIR: &str = "crates/bench/src/bin/";
+const REGISTRY: &str = "crates/bench/src/bin/repro_all.rs";
+
+/// `figN_*` / `tableN_*` → the `Fig N` / `Table N` label DESIGN.md
+/// must use on the row mentioning the binary.
+fn expected_label(bin: &str) -> Option<String> {
+    for (prefix, label) in [("fig", "Fig"), ("table", "Table")] {
+        if let Some(tail) = bin.strip_prefix(prefix) {
+            let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+            if !digits.is_empty() {
+                return Some(format!("{label} {digits}"));
+            }
+        }
+    }
+    None
+}
+
+impl Pass for ArtifactConformance {
+    fn id(&self) -> &'static str {
+        "artifact-conformance"
+    }
+    fn exit_code(&self) -> u8 {
+        21
+    }
+    fn summary(&self) -> &'static str {
+        "every bench binary must be registered in repro_all, indexed in DESIGN.md, and numbered consistently"
+    }
+
+    fn check(&self, a: &Analysis, out: &mut Vec<Violation>) {
+        // Names registered in repro_all: its string literals.
+        let registry = a.sources.iter().find(|s| s.rel == REGISTRY);
+        let registered: BTreeSet<&str> = registry
+            .map(|s| {
+                s.code
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Str)
+                    .map(|t| t.text.as_str())
+                    .collect()
+            })
+            .unwrap_or_default();
+        for src in a.sources {
+            let Some(stem) = src
+                .rel
+                .strip_prefix(BIN_DIR)
+                .and_then(|tail| tail.strip_suffix(".rs"))
+                .filter(|stem| !stem.contains('/'))
+            else {
+                continue;
+            };
+            if src.rel == REGISTRY {
+                continue;
+            }
+            let mut problems: Vec<String> = Vec::new();
+            if registry.is_some() && !registered.contains(stem) {
+                problems.push(format!("not registered in repro_all ({REGISTRY})"));
+            }
+            let design_rows: Vec<&str> =
+                a.docs.design_md.lines().filter(|l| l.contains(stem)).collect();
+            if design_rows.is_empty() {
+                problems
+                    .push("no artifact entry in DESIGN.md mentions this binary".to_string());
+            } else if let Some(label) = expected_label(stem) {
+                if !design_rows.iter().any(|l| l.contains(&label)) {
+                    problems.push(format!(
+                        "DESIGN.md rows mentioning it never say \"{label}\" — figure/table ids out of sync"
+                    ));
+                }
+            }
+            for problem in problems {
+                if src.is_suppressed(self.id(), 1) {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: self.id(),
+                    file: src.rel.clone(),
+                    line: 1,
+                    message: format!("bench binary `{stem}`: {problem}"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::Docs;
+    use crate::source::SourceFile;
+
+    fn run(srcs: &[(&str, &str)], design_md: &str) -> Vec<Violation> {
+        let sources: Vec<SourceFile> =
+            srcs.iter().map(|(rel, text)| SourceFile::parse(rel, text)).collect();
+        let a = Analysis::build(&sources, Docs { design_md: design_md.to_string() });
+        let mut out = Vec::new();
+        ArtifactConformance.check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn registered_and_documented_binary_is_clean() {
+        let v = run(
+            &[
+                ("crates/bench/src/bin/fig3_rbe.rs", "fn main() {}\n"),
+                (REGISTRY, "const BINS: [&str; 1] = [\"fig3_rbe\"];\nfn main() {}\n"),
+            ],
+            "| Fig 3 | `cargo run --bin fig3_rbe` | RBE curves |\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unregistered_binary_is_flagged() {
+        let v = run(
+            &[
+                ("crates/bench/src/bin/fig3_rbe.rs", "fn main() {}\n"),
+                (REGISTRY, "const BINS: [&str; 1] = [\"table1\"];\nfn main() {}\n"),
+            ],
+            "| Fig 3 | `cargo run --bin fig3_rbe` |\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("not registered"), "{v:?}");
+    }
+
+    #[test]
+    fn missing_design_entry_is_flagged() {
+        let v = run(
+            &[
+                ("crates/bench/src/bin/attribution.rs", "fn main() {}\n"),
+                (REGISTRY, "const BINS: [&str; 1] = [\"attribution\"];\nfn main() {}\n"),
+            ],
+            "nothing here\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("DESIGN.md"), "{v:?}");
+    }
+
+    #[test]
+    fn renumbered_figure_is_flagged() {
+        let v = run(
+            &[
+                ("crates/bench/src/bin/fig4_nls_bep.rs", "fn main() {}\n"),
+                (REGISTRY, "const BINS: [&str; 1] = [\"fig4_nls_bep\"];\nfn main() {}\n"),
+            ],
+            "| Fig 5 | `cargo run --bin fig4_nls_bep` | renumbered |\n",
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Fig 4"), "{v:?}");
+    }
+
+    #[test]
+    fn repro_all_itself_is_exempt() {
+        let v = run(&[(REGISTRY, "fn main() {}\n")], "");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

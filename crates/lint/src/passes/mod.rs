@@ -1,0 +1,169 @@
+//! `nls-analyze`: interprocedural analysis passes on top of the
+//! lexical rules.
+//!
+//! Where a [`crate::rules::Rule`] sees one file's token stream, a
+//! [`Pass`] sees the whole workspace at once: the per-file item trees
+//! ([`crate::parser`]), the symbol table ([`crate::symbols`]), the
+//! approximate call graph ([`crate::callgraph`]), and the non-Rust
+//! artifacts the repo's conformance contract mentions ([`Docs`]).
+//! Each pass answers one question the lexical layer cannot:
+//!
+//! * [`panic_reach`] — can an engine entry point reach a panic site?
+//! * [`determinism`] — can a simulation/metrics path observe a
+//!   nondeterministic source (time, RNG, env, thread identity)?
+//! * [`unit_safety`] — does cost-model arithmetic ever add RBE to
+//!   nanoseconds (or bytes) without an explicit conversion?
+//! * [`artifact`] — is every bench binary registered, documented, and
+//!   consistently numbered across DESIGN.md and `repro_all`?
+//!
+//! Passes share the rules' exit-code protocol (codes 18–21, after the
+//! lexical rules) and the same suppression syntax; see DESIGN.md §9
+//! for the catalogue and the soundness caveats of the approximation.
+
+pub mod artifact;
+pub mod determinism;
+pub mod panic_reach;
+pub mod unit_safety;
+
+use crate::callgraph::CallGraph;
+use crate::parser::{FileItems, ItemKind};
+use crate::rules::Violation;
+use crate::source::SourceFile;
+use crate::symbols::{FnId, SymbolTable};
+
+/// The engine files whose `step`/`run*`/`drive` functions are the
+/// roots of reachability: everything a simulation executes per record
+/// hangs off these.
+pub const ENTRY_FILES: [&str; 6] = [
+    "crates/core/src/engine.rs",
+    "crates/core/src/btb_engine.rs",
+    "crates/core/src/nls_table_engine.rs",
+    "crates/core/src/nls_cache_engine.rs",
+    "crates/core/src/johnson_engine.rs",
+    "crates/core/src/sweep.rs",
+];
+
+/// Non-Rust inputs the passes consult (the artifact-conformance
+/// contract spans code and documentation).
+#[derive(Debug, Default)]
+pub struct Docs {
+    /// Full text of the workspace `DESIGN.md` (empty when absent).
+    pub design_md: String,
+}
+
+/// Everything a pass can look at: parsed sources plus the derived
+/// interprocedural structures, built once and shared by all passes.
+pub struct Analysis<'a> {
+    pub sources: &'a [SourceFile],
+    pub files: Vec<FileItems>,
+    pub symbols: SymbolTable,
+    pub graph: CallGraph,
+    pub docs: Docs,
+}
+
+impl<'a> Analysis<'a> {
+    /// Parses, indexes, and links `sources` into one analysis input.
+    pub fn build(sources: &'a [SourceFile], docs: Docs) -> Analysis<'a> {
+        let files: Vec<FileItems> = sources.iter().map(FileItems::parse).collect();
+        let symbols = SymbolTable::build(&files);
+        let graph = CallGraph::build(sources, &files, &symbols);
+        Analysis { sources, files, symbols, graph, docs }
+    }
+
+    /// The reachability roots: non-test functions named `step` or
+    /// `drive`, or starting with `run`, defined in [`ENTRY_FILES`].
+    pub fn entry_points(&self) -> Vec<FnId> {
+        let mut out = Vec::new();
+        for (fi, file) in self.files.iter().enumerate() {
+            if !ENTRY_FILES.contains(&file.rel.as_str()) {
+                continue;
+            }
+            for (ii, it) in file.items.iter().enumerate() {
+                if it.kind == ItemKind::Fn && !it.is_test && is_entry_name(&it.name) {
+                    out.push((fi, ii));
+                }
+            }
+        }
+        out
+    }
+
+    /// The source file behind a function id.
+    pub fn source_of(&self, id: FnId) -> Option<&SourceFile> {
+        self.sources.get(id.0)
+    }
+}
+
+fn is_entry_name(name: &str) -> bool {
+    name == "step" || name == "drive" || name.starts_with("run")
+}
+
+/// One interprocedural analysis pass.
+pub trait Pass {
+    /// Stable kebab-case id, used in reports, suppressions, and
+    /// `--pass` selection.
+    fn id(&self) -> &'static str;
+    /// Process exit code when this pass (and nothing higher-priority)
+    /// has findings.
+    fn exit_code(&self) -> u8;
+    /// One-line description for `--list-rules` and docs.
+    fn summary(&self) -> &'static str;
+    /// Runs the pass over the whole analysis.
+    fn check(&self, a: &Analysis, out: &mut Vec<Violation>);
+}
+
+/// Every pass, in exit-code priority order (after the lexical rules).
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(panic_reach::PanicReach),
+        Box::new(determinism::Determinism),
+        Box::new(unit_safety::UnitSafety),
+        Box::new(artifact::ArtifactConformance),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_ids_and_exit_codes_are_unique_and_after_rules() {
+        let passes = all_passes();
+        let rule_codes: Vec<u8> =
+            crate::rules::all_rules().iter().map(|r| r.exit_code()).collect();
+        let mut ids: Vec<_> = passes.iter().map(|p| p.id()).collect();
+        let mut codes: Vec<_> = passes.iter().map(|p| p.exit_code()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(ids.len(), passes.len());
+        assert_eq!(codes.len(), passes.len());
+        let max_rule = rule_codes.iter().max().copied().unwrap_or(0);
+        assert!(
+            codes.iter().all(|&c| c > max_rule.max(crate::engine::SUPPRESSION_EXIT_CODE)),
+            "pass codes come after every rule code and the suppression code"
+        );
+    }
+
+    #[test]
+    fn entry_points_cover_the_engine_surface() {
+        let sources = vec![
+            SourceFile::parse(
+                "crates/core/src/sweep.rs",
+                "pub fn drive() {}\npub fn run_one() {}\nfn helper() {}\n",
+            ),
+            SourceFile::parse(
+                "crates/core/src/engine.rs",
+                "impl E { fn step(&mut self) {} }\n",
+            ),
+            SourceFile::parse("crates/cli/src/main.rs", "fn run_cli() {}\n"),
+        ];
+        let a = Analysis::build(&sources, Docs::default());
+        let names: Vec<String> = a
+            .entry_points()
+            .iter()
+            .filter_map(|&id| crate::symbols::lookup(&a.files, id).map(|(_, i)| i.qual()))
+            .collect();
+        assert_eq!(names, ["drive", "run_one", "E::step"], "cli run_cli is not a root");
+    }
+}

@@ -1,0 +1,371 @@
+//! Pass 3: unit safety of the cost model.
+//!
+//! `crates/cost` computes in three units — register-bit equivalents
+//! (RBE, the paper's area metric), nanoseconds, and bytes. A value's
+//! unit is carried by naming convention (`_rbe`/`_ns`/`_bytes`
+//! suffixes, upper or lower case), and conversions are functions named
+//! `<from>_to_<to>` whose *name suffix* states the output unit. This
+//! pass propagates those tags through `let` bindings and flags any
+//! additive (`+`/`-`) expression whose two sides carry different
+//! units: adding RBE to nanoseconds is always a bug, while
+//! multiplying or dividing legitimately creates derived units and is
+//! out of scope.
+//!
+//! The dataflow is deliberately first-order: an operand's unit is the
+//! nearest tagged identifier on that side of the operator, scanning
+//! through scalar factors (`*`, `/`, numbers) and skipping call/index
+//! argument groups (a call's unit comes from the callee's name, not
+//! its arguments). Untagged operands resolve to "unknown" and are
+//! never flagged — the pass under-approximates rather than guess.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::parser::ItemKind;
+use crate::rules::Violation;
+use crate::source::SourceFile;
+
+use super::{Analysis, Pass};
+
+pub struct UnitSafety;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Unit {
+    Rbe,
+    Ns,
+    Bytes,
+}
+
+impl Unit {
+    fn name(self) -> &'static str {
+        match self {
+            Unit::Rbe => "RBE",
+            Unit::Ns => "ns",
+            Unit::Bytes => "bytes",
+        }
+    }
+}
+
+/// The unit an identifier carries by naming convention. Conversion
+/// functions (`rbe_to_ns`) naturally tag as their *output* unit.
+fn name_unit(name: &str) -> Option<Unit> {
+    let n = name.to_ascii_lowercase();
+    if n == "rbe" || n.ends_with("_rbe") {
+        Some(Unit::Rbe)
+    } else if n == "ns" || n.ends_with("_ns") {
+        Some(Unit::Ns)
+    } else if n == "bytes" || n.ends_with("_bytes") {
+        Some(Unit::Bytes)
+    } else {
+        None
+    }
+}
+
+fn tok_unit(t: &Tok, env: &BTreeMap<String, Unit>) -> Option<Unit> {
+    name_unit(&t.text).or_else(|| env.get(&t.text).copied())
+}
+
+/// Identifiers that end the expression an operand belongs to.
+const STOP_KEYWORDS: [&str; 7] = ["let", "return", "if", "else", "while", "match", "in"];
+
+/// Is `code[op]` a binary `+`/`-` (not an arrow, compound assign, or
+/// unary sign)?
+fn is_binary_additive(code: &[Tok], lo: usize, op: usize) -> bool {
+    let Some(t) = code.get(op) else { return false };
+    if t.is_punct('-') && code.get(op + 1).is_some_and(|n| n.is_punct('>')) {
+        return false; // `->`
+    }
+    if code.get(op + 1).is_some_and(|n| n.is_punct('=')) {
+        return false; // `+=` / `-=` (assignment folds into one side)
+    }
+    if op == 0 || op <= lo {
+        return false;
+    }
+    let Some(prev) = code.get(op - 1) else { return false };
+    match prev.kind {
+        TokKind::Number => true,
+        TokKind::Ident => !STOP_KEYWORDS.contains(&prev.text.as_str()),
+        TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+        _ => false,
+    }
+}
+
+/// The unit of the operand left of `code[op]`: nearest tagged ident
+/// scanning backwards through scalar factors and over balanced
+/// groups; `None` (unknown) at any stopping punct.
+fn operand_unit_left(
+    code: &[Tok],
+    lo: usize,
+    op: usize,
+    env: &BTreeMap<String, Unit>,
+) -> Option<Unit> {
+    let mut k = op;
+    while k > lo {
+        k -= 1;
+        let t = code.get(k)?;
+        if t.is_punct(')') || t.is_punct(']') {
+            // Skip the whole group: a call's unit is in its name, not
+            // its arguments. Paren and bracket depth are combined —
+            // nesting is well-formed in code that compiles.
+            let mut depth = 0i64;
+            loop {
+                let n = code.get(k)?;
+                if n.is_punct(')') || n.is_punct(']') {
+                    depth += 1;
+                } else if n.is_punct('(') || n.is_punct('[') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k = k.checked_sub(1)?;
+                if k < lo {
+                    return None;
+                }
+            }
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                if STOP_KEYWORDS.contains(&t.text.as_str()) {
+                    return None;
+                }
+                if let Some(u) = tok_unit(t, env) {
+                    return Some(u);
+                }
+            }
+            TokKind::Number => {}
+            _ if t.is_punct('.')
+                || t.is_punct(':')
+                || t.is_punct('*')
+                || t.is_punct('/')
+                || t.is_punct('+')
+                || t.is_punct('-') => {}
+            _ => return None,
+        }
+    }
+    None
+}
+
+/// The unit of the operand right of `code[op]`, mirroring
+/// [`operand_unit_left`].
+fn operand_unit_right(
+    code: &[Tok],
+    hi: usize,
+    op: usize,
+    env: &BTreeMap<String, Unit>,
+) -> Option<Unit> {
+    let mut k = op + 1;
+    while k < hi {
+        let t = code.get(k)?;
+        if t.is_punct('(') || t.is_punct('[') {
+            let mut depth = 0i64;
+            while k < hi {
+                let n = code.get(k)?;
+                if n.is_punct('(') || n.is_punct('[') {
+                    depth += 1;
+                } else if n.is_punct(')') || n.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            k += 1;
+            continue;
+        }
+        match t.kind {
+            TokKind::Ident => {
+                if STOP_KEYWORDS.contains(&t.text.as_str()) {
+                    return None;
+                }
+                if let Some(u) = tok_unit(t, env) {
+                    return Some(u);
+                }
+            }
+            TokKind::Number => {}
+            _ if t.is_punct('.')
+                || t.is_punct(':')
+                || t.is_punct('*')
+                || t.is_punct('/')
+                || t.is_punct('+')
+                || t.is_punct('-') => {}
+            _ => return None,
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Propagates a unit onto an untagged `let` binder from the first
+/// tagged identifier of its initializer.
+fn bind_let(code: &[Tok], span_end: usize, i: usize, env: &mut BTreeMap<String, Unit>) {
+    let mut j = i + 1;
+    if code.get(j).is_some_and(|n| n.is_ident("mut")) {
+        j += 1;
+    }
+    let Some(binder) = code.get(j).filter(|n| n.kind == TokKind::Ident) else { return };
+    if name_unit(&binder.text).is_some() {
+        return; // the suffix already says it
+    }
+    let mut depth = 0i64;
+    let mut seen_eq = false;
+    let mut k = j + 1;
+    while k < span_end {
+        let Some(n) = code.get(k) else { return };
+        if n.is_punct('(') || n.is_punct('[') || n.is_punct('{') {
+            depth += 1;
+        } else if n.is_punct(')') || n.is_punct(']') || n.is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                return;
+            }
+        } else if depth == 0 && n.is_punct(';') {
+            return;
+        } else if depth == 0 && n.is_punct('=') && !seen_eq {
+            seen_eq = true;
+        } else if seen_eq && n.kind == TokKind::Ident {
+            if let Some(u) = tok_unit(n, env) {
+                env.insert(binder.text.clone(), u);
+                return;
+            }
+        }
+        k += 1;
+    }
+}
+
+impl Pass for UnitSafety {
+    fn id(&self) -> &'static str {
+        "unit-safety"
+    }
+    fn exit_code(&self) -> u8 {
+        20
+    }
+    fn summary(&self) -> &'static str {
+        "cost-model RBE/ns/bytes values must not mix additively without an explicit *_to_* conversion"
+    }
+
+    fn check(&self, a: &Analysis, out: &mut Vec<Violation>) {
+        for (fi, file) in a.files.iter().enumerate() {
+            let Some(src) = a.sources.get(fi) else { continue };
+            if !src.in_crate("cost") {
+                continue;
+            }
+            for it in file.items.iter() {
+                if it.kind != ItemKind::Fn || it.is_test {
+                    continue;
+                }
+                self.check_body(src, it.body, out);
+            }
+        }
+    }
+}
+
+impl UnitSafety {
+    fn check_body(&self, src: &SourceFile, span: (usize, usize), out: &mut Vec<Violation>) {
+        let code = &src.code;
+        let mut env: BTreeMap<String, Unit> = BTreeMap::new();
+        let mut flagged: BTreeSet<u32> = BTreeSet::new();
+        let mut i = span.0;
+        while i < span.1 {
+            let Some(t) = code.get(i) else { break };
+            if t.is_ident("let") {
+                bind_let(code, span.1, i, &mut env);
+            } else if (t.is_punct('+') || t.is_punct('-'))
+                && is_binary_additive(code, span.0, i)
+            {
+                let l = operand_unit_left(code, span.0, i, &env);
+                let r = operand_unit_right(code, span.1, i, &env);
+                if let (Some(lu), Some(ru)) = (l, r) {
+                    if lu != ru
+                        && !src.is_suppressed(self.id(), t.line)
+                        && flagged.insert(t.line)
+                    {
+                        out.push(Violation {
+                            rule: self.id(),
+                            file: src.rel.clone(),
+                            line: t.line,
+                            message: format!(
+                                "adds {} to {} without an explicit *_to_* conversion",
+                                lu.name(),
+                                ru.name()
+                            ),
+                        });
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::Docs;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let sources = vec![SourceFile::parse("crates/cost/src/rbe.rs", src)];
+        let a = Analysis::build(&sources, Docs::default());
+        let mut out = Vec::new();
+        UnitSafety.check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn mixing_rbe_and_ns_additively_is_flagged() {
+        let v = run("pub fn f(area_rbe: f64, delay_ns: f64) -> f64 { area_rbe + delay_ns }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("RBE") && v[0].message.contains("ns"), "{v:?}");
+    }
+
+    #[test]
+    fn same_unit_sums_and_scalar_factors_are_fine() {
+        let v = run(
+            "pub fn f(a_rbe: f64, b_rbe: f64) -> f64 { a_rbe + 2.0 * b_rbe + OVERHEAD_RBE }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn conversion_fns_change_the_unit() {
+        let v = run("pub fn f(a_ns: f64, b_rbe: f64) -> f64 { a_ns + rbe_to_ns(b_rbe) }\n\
+             pub fn rbe_to_ns(x_rbe: f64) -> f64 { x_rbe * 0.1 }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn let_bindings_propagate_units() {
+        let v = run(
+            "pub fn f(a_rbe: f64, t_ns: f64) -> f64 {\n    let ram = a_rbe * 2.0;\n    ram + t_ns\n}\n",
+        );
+        assert_eq!(v.len(), 1, "ram is RBE via its initializer: {v:?}");
+    }
+
+    #[test]
+    fn multiplication_and_division_are_out_of_scope() {
+        let v = run("pub fn f(b_bytes: f64, t_ns: f64) -> f64 { b_bytes / t_ns }\n");
+        assert!(v.is_empty(), "derived units are legitimate: {v:?}");
+    }
+
+    #[test]
+    fn other_crates_are_not_checked() {
+        let sources = vec![SourceFile::parse(
+            "crates/core/src/a.rs",
+            "fn f(a_rbe: f64, b_ns: f64) -> f64 { a_rbe + b_ns }\n",
+        )];
+        let a = Analysis::build(&sources, Docs::default());
+        let mut out = Vec::new();
+        UnitSafety.check(&a, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn suppression_waives_a_site() {
+        let v = run("pub fn f(a_rbe: f64, b_ns: f64) -> f64 {\n    \
+             // nls-lint: allow(unit-safety): intentionally unitless score\n    \
+             a_rbe + b_ns\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

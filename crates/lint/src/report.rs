@@ -5,6 +5,7 @@
 use std::fmt::Write as _;
 
 use crate::engine::LintReport;
+use crate::passes::all_passes;
 use crate::rules::all_rules;
 
 /// Output format selected by `--format`.
@@ -12,15 +13,18 @@ use crate::rules::all_rules;
 pub enum Format {
     Human,
     Json,
+    /// SARIF 2.1.0, the shape GitHub code scanning ingests.
+    Sarif,
 }
 
 /// Renders `report` in `format`. The human form is grep- and
 /// editor-friendly; the JSON form is versioned so CI consumers can
-/// rely on its shape.
+/// rely on its shape; the SARIF form uploads to code scanning.
 pub fn render(report: &LintReport, format: Format) -> String {
     match format {
         Format::Human => human(report),
         Format::Json => json(report),
+        Format::Sarif => sarif(report),
     }
 }
 
@@ -64,6 +68,54 @@ fn json(report: &LintReport) -> String {
     out
 }
 
+/// Minimal SARIF 2.1.0 document: one run, one rule descriptor per
+/// rule/pass, one `error`-level result per violation. This is the
+/// subset GitHub code scanning needs to annotate PRs.
+fn sarif(report: &LintReport) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n  \"version\": \"2.1.0\",\n  \"runs\": [{\n    \"tool\": {\"driver\": {\"name\": \"nls-lint\", \"informationUri\": \"https://example.invalid/nextline\", \"rules\": [",
+    );
+    let mut ids: Vec<(&'static str, &'static str)> = Vec::new();
+    for r in all_rules() {
+        ids.push((r.id(), r.summary()));
+    }
+    for p in all_passes() {
+        ids.push((p.id(), p.summary()));
+    }
+    ids.push((
+        crate::engine::SUPPRESSION_RULE,
+        "malformed `nls-lint: allow(...)` annotation (missing rule list or reason)",
+    ));
+    for (i, (id, summary)) in ids.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n      {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(id),
+            json_str(summary),
+        );
+    }
+    out.push_str("\n    ]}},\n    \"results\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n      {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
+             \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_str(v.rule),
+            json_str(&v.message),
+            json_str(&v.file),
+            v.line.max(1),
+        );
+    }
+    if !report.violations.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push_str("]\n  }]\n}\n");
+    out
+}
+
 /// Minimal JSON string escaping (quote, backslash, control chars).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -85,7 +137,8 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// The `--list-rules` table: id, exit code, and summary per rule.
+/// The `--list-rules` table: id, exit code, and summary per lexical
+/// rule and analysis pass.
 pub fn rule_table() -> String {
     let mut out = String::new();
     for r in all_rules() {
@@ -98,6 +151,9 @@ pub fn rule_table() -> String {
         crate::engine::SUPPRESSION_EXIT_CODE,
         "malformed `nls-lint: allow(...)` annotation (missing rule list or reason)"
     );
+    for p in all_passes() {
+        let _ = writeln!(out, "{:<20} exit {:>2}  {}", p.id(), p.exit_code(), p.summary());
+    }
     out
 }
 
@@ -138,5 +194,24 @@ mod tests {
         let text = json(&LintReport::default());
         assert!(text.contains("\"violations\": []"));
         assert!(text.contains("\"exit_code\": 0"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let text = sarif(&sample());
+        assert!(text.contains("\"version\": \"2.1.0\""));
+        assert!(text.contains("\"ruleId\": \"no-panic\""));
+        assert!(text.contains("\"startLine\": 3"));
+        assert!(text.contains("\"id\": \"panic-reach\""), "passes are declared as rules");
+        let empty = sarif(&LintReport::default());
+        assert!(empty.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn rule_table_lists_passes_after_rules() {
+        let table = rule_table();
+        assert!(table.contains("panic-reach"));
+        assert!(table.contains("artifact-conformance"));
+        assert!(table.contains("exit 21"));
     }
 }

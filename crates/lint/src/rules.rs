@@ -111,8 +111,10 @@ impl Rule for NoPanic {
 /// bound.
 pub struct SliceIndex;
 
-/// Is the bracketed index expression visibly panic-free?
-fn index_expr_is_safe(expr: &[crate::lexer::Tok]) -> bool {
+/// Is the bracketed index expression visibly panic-free? Shared with
+/// the panic-reachability pass, which classifies indexing sites the
+/// same way this rule does.
+pub(crate) fn index_expr_is_safe(expr: &[crate::lexer::Tok]) -> bool {
     use crate::lexer::TokKind;
     if expr.is_empty() {
         return true; // `v[]` is not valid Rust; treat as non-index
@@ -151,19 +153,7 @@ impl Rule for SliceIndex {
             if file.is_test_code(t.line) {
                 continue;
             }
-            // Indexing only: `expr[...]` — previous token ends an
-            // expression. `#[attr]`, `vec![]`, `[T; N]` types, and
-            // array literals all have non-expression predecessors.
-            let Some(prev) = i.checked_sub(1).and_then(|j| code.get(j)) else { continue };
-            // Keywords before `[` start an array literal, type, or
-            // destructuring pattern, not an index expression.
-            const NON_EXPR_KEYWORDS: [&str; 9] =
-                ["mut", "return", "break", "in", "as", "else", "move", "ref", "let"];
-            let is_index = (matches!(prev.kind, crate::lexer::TokKind::Ident)
-                && !NON_EXPR_KEYWORDS.iter().any(|k| prev.is_ident(k)))
-                || prev.is_punct(')')
-                || prev.is_punct(']');
-            if !is_index {
+            if !bracket_is_index(code, i) {
                 continue;
             }
             let Some(close) = matching_punct(code, i, '[', ']') else { continue };
@@ -180,7 +170,24 @@ impl Rule for SliceIndex {
     }
 }
 
-fn matching_punct(
+/// Does the `[` at `code[i]` open an *index* expression? `#[attr]`,
+/// `vec![]`, `[T; N]` types, array literals, and slice patterns
+/// (`let [a, b] = ..`) all have non-expression predecessors. Shared
+/// with the panic-reachability pass so the two layers classify
+/// indexing sites identically.
+pub(crate) fn bracket_is_index(code: &[crate::lexer::Tok], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).and_then(|j| code.get(j)) else { return false };
+    // Keywords before `[` start an array literal, type, or
+    // destructuring pattern, not an index expression.
+    const NON_EXPR_KEYWORDS: [&str; 9] =
+        ["mut", "return", "break", "in", "as", "else", "move", "ref", "let"];
+    (matches!(prev.kind, crate::lexer::TokKind::Ident)
+        && !NON_EXPR_KEYWORDS.iter().any(|k| prev.is_ident(k)))
+        || prev.is_punct(')')
+        || prev.is_punct(']')
+}
+
+pub(crate) fn matching_punct(
     code: &[crate::lexer::Tok],
     start: usize,
     open: char,

@@ -1,0 +1,204 @@
+//! The workspace symbol table: every function definition across all
+//! crates, indexed for approximate call resolution.
+//!
+//! Functions are identified by a [`FnId`] (file index, item index)
+//! and looked up three ways: by qualified name (`Type::method`), by
+//! method name across all impls (for `.method(..)` receiver-blind
+//! resolution), and by bare name for free functions. Test functions
+//! are indexed but marked, so analysis passes can keep them out of
+//! production reachability.
+
+use std::collections::BTreeMap;
+
+use crate::parser::{FileItems, Item, ItemKind};
+
+/// A function's identity: `(file index, item index)` into the
+/// parallel `files`/`items` arrays held by the analysis.
+pub type FnId = (usize, usize);
+
+/// Workspace-wide function index.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// `Owner::name` → definitions (trait impls can collide; all are
+    /// kept — resolution is deliberately an over-approximation).
+    by_qual: BTreeMap<String, Vec<FnId>>,
+    /// Method name → definitions with *any* owner.
+    methods: BTreeMap<String, Vec<FnId>>,
+    /// Free-function name → definitions without an owner.
+    free: BTreeMap<String, Vec<FnId>>,
+}
+
+impl SymbolTable {
+    /// Indexes every function item of `files`.
+    pub fn build(files: &[FileItems]) -> SymbolTable {
+        let mut t = SymbolTable::default();
+        for (fi, file) in files.iter().enumerate() {
+            for (ii, item) in file.items.iter().enumerate() {
+                if item.kind != ItemKind::Fn {
+                    continue;
+                }
+                let id = (fi, ii);
+                t.by_qual.entry(item.qual()).or_default().push(id);
+                match &item.owner {
+                    Some(_) => t.methods.entry(item.name.clone()).or_default().push(id),
+                    None => t.free.entry(item.name.clone()).or_default().push(id),
+                }
+            }
+        }
+        t
+    }
+
+    /// Definitions of `Owner::name`.
+    pub fn by_qual(&self, qual: &str) -> &[FnId] {
+        self.by_qual.get(qual).map_or(&[], Vec::as_slice)
+    }
+
+    /// Definitions of a method called `name` under any owner.
+    pub fn methods_named(&self, name: &str) -> &[FnId] {
+        self.methods.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// Definitions of a free function called `name`.
+    pub fn free_named(&self, name: &str) -> &[FnId] {
+        self.free.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// All indexed functions, in deterministic (qualified-name) order.
+    pub fn all(&self) -> impl Iterator<Item = (&str, &[FnId])> {
+        self.by_qual.iter().map(|(q, ids)| (q.as_str(), ids.as_slice()))
+    }
+
+    /// Renders the table for golden-file tests: one line per
+    /// qualified name with its definition site.
+    pub fn dump(&self, files: &[FileItems]) -> String {
+        let mut out = String::new();
+        for (qual, ids) in &self.by_qual {
+            for &id in ids {
+                let Some((file, it)) = lookup(files, id) else { continue };
+                let test = if it.is_test { " [test]" } else { "" };
+                out.push_str(&format!("{qual} @ {}:{}{test}\n", file.rel, it.line));
+            }
+        }
+        out
+    }
+
+    /// Resolves one call site to candidate definitions, mirroring the
+    /// approximations documented in DESIGN.md §9:
+    ///
+    /// * `Qualifier::name(..)` → `Qualifier::name` defs; `Self` maps
+    ///   to the calling function's owner; a qualifier that names no
+    ///   type (e.g. a module path tail) falls back to free functions
+    ///   called `name`.
+    /// * `.name(..)` → every method called `name` (receiver-blind).
+    /// * `name(..)` → free functions called `name`.
+    pub fn resolve(
+        &self,
+        call: &crate::parser::CallSite,
+        caller_owner: Option<&str>,
+    ) -> Vec<FnId> {
+        if call.is_macro {
+            return Vec::new();
+        }
+        if call.is_method {
+            return self.methods_named(&call.name).to_vec();
+        }
+        match &call.qualifier {
+            Some(q) => {
+                let owner = if q == "Self" { caller_owner.unwrap_or(q.as_str()) } else { q };
+                let direct = self.by_qual(&format!("{owner}::{}", call.name));
+                if !direct.is_empty() {
+                    return direct.to_vec();
+                }
+                // `module::free_fn(..)` — the qualifier is a path
+                // segment, not a type.
+                self.free_named(&call.name).to_vec()
+            }
+            None => self.free_named(&call.name).to_vec(),
+        }
+    }
+}
+
+/// Total accessor used by passes: the file and item behind a
+/// [`FnId`] (`None` only for an id that never came from `build`).
+pub fn lookup(files: &[FileItems], id: FnId) -> Option<(&FileItems, &Item)> {
+    let file = files.get(id.0)?;
+    let it = file.items.get(id.1)?;
+    Some((file, it))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::CallSite;
+    use crate::source::SourceFile;
+
+    fn build(srcs: &[(&str, &str)]) -> (Vec<FileItems>, SymbolTable) {
+        let files: Vec<FileItems> = srcs
+            .iter()
+            .map(|(rel, text)| FileItems::parse(&SourceFile::parse(rel, text)))
+            .collect();
+        let table = SymbolTable::build(&files);
+        (files, table)
+    }
+
+    fn call(name: &str, qualifier: Option<&str>, is_method: bool) -> CallSite {
+        CallSite {
+            name: name.into(),
+            qualifier: qualifier.map(str::to_string),
+            is_method,
+            is_macro: false,
+            line: 1,
+        }
+    }
+
+    #[test]
+    fn qualified_resolution_prefers_the_owner() {
+        let (files, t) = build(&[(
+            "crates/x/src/a.rs",
+            "struct A; struct B;\nimpl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\nfn go() {}\n",
+        )]);
+        let a = t.resolve(&call("go", Some("A"), false), None);
+        assert_eq!(a.len(), 1);
+        assert_eq!(lookup(&files, a[0]).map(|(_, i)| i.qual()), Some("A::go".into()));
+    }
+
+    #[test]
+    fn method_resolution_is_receiver_blind() {
+        let (_, t) = build(&[(
+            "crates/x/src/a.rs",
+            "impl A { fn go(&self) {} }\nimpl B { fn go(&self) {} }\n",
+        )]);
+        assert_eq!(t.resolve(&call("go", None, true), None).len(), 2);
+    }
+
+    #[test]
+    fn self_qualifier_uses_the_caller_owner() {
+        let (files, t) = build(&[(
+            "crates/x/src/a.rs",
+            "impl A { fn helper() {} }\nimpl B { fn helper() {} }\n",
+        )]);
+        let r = t.resolve(&call("helper", Some("Self"), false), Some("A"));
+        assert_eq!(r.len(), 1);
+        assert_eq!(lookup(&files, r[0]).map(|(_, i)| i.qual()), Some("A::helper".into()));
+    }
+
+    #[test]
+    fn module_qualified_calls_fall_back_to_free_fns() {
+        let (files, t) =
+            build(&[("crates/x/src/a.rs", "fn average() {}\nimpl M { fn other(&self) {} }\n")]);
+        let r = t.resolve(&call("average", Some("metrics"), false), None);
+        assert_eq!(r.len(), 1);
+        assert_eq!(lookup(&files, r[0]).map(|(_, i)| i.qual()), Some("average".into()));
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_marks_tests() {
+        let (files, t) = build(&[(
+            "crates/x/src/a.rs",
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn t() {} }\n",
+        )]);
+        let d = t.dump(&files);
+        assert!(d.contains("live @ crates/x/src/a.rs:1\n"), "{d}");
+        assert!(d.contains("t @ crates/x/src/a.rs:3 [test]\n"), "{d}");
+    }
+}

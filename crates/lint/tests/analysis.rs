@@ -1,0 +1,117 @@
+//! Integration tests for the interprocedural analysis layer:
+//! golden-file tests pinning the symbol table and call graph on a
+//! mini workspace, a passing and failing fixture per pass, and the
+//! perf budget the CI job enforces.
+
+use std::time::{Duration, Instant};
+
+use nls_lint::parser::FileItems;
+use nls_lint::symbols::SymbolTable;
+use nls_lint::{analyze_sources, Analysis, Docs, SourceFile};
+
+/// The mini workspace the golden files describe: two files, one impl
+/// with methods, a `Self::` call, a cross-file free call, and a
+/// test-only caller that must stay out of the graph.
+fn mini_workspace() -> Vec<SourceFile> {
+    vec![
+        SourceFile::parse("crates/mini/src/engine.rs", include_str!("fixtures/mini/engine.rs")),
+        SourceFile::parse("crates/mini/src/util.rs", include_str!("fixtures/mini/util.rs")),
+    ]
+}
+
+#[test]
+fn symbol_table_matches_the_golden_file() {
+    let sources = mini_workspace();
+    let files: Vec<FileItems> = sources.iter().map(FileItems::parse).collect();
+    let actual = SymbolTable::build(&files).dump(&files);
+    let expected = include_str!("golden/symbols.txt");
+    assert_eq!(actual, expected, "\nACTUAL symbol table:\n{actual}");
+}
+
+#[test]
+fn call_graph_matches_the_golden_file() {
+    let sources = mini_workspace();
+    let a = Analysis::build(&sources, Docs::default());
+    let actual = a.graph.dump(&a.files);
+    let expected = include_str!("golden/callgraph.txt");
+    assert_eq!(actual, expected, "\nACTUAL call graph:\n{actual}");
+}
+
+/// Runs the full analysis (rules + passes) over `files`.
+fn analyze(files: &[(&str, &str)], docs: Docs) -> nls_lint::LintReport {
+    let parsed: Vec<SourceFile> =
+        files.iter().map(|(rel, text)| SourceFile::parse(rel, text)).collect();
+    analyze_sources(&parsed, docs, None)
+}
+
+/// Asserts the failing fixture trips only `pass` with its exit code,
+/// and the passing fixture is clean.
+fn check_pass(pass: &str, exit: u8, bad: nls_lint::LintReport, good: nls_lint::LintReport) {
+    assert!(!bad.violations.is_empty(), "{pass}: bad fixture produced no findings");
+    for v in &bad.violations {
+        assert_eq!(v.rule, pass, "{pass}: unexpected co-finding {v:?}");
+    }
+    assert_eq!(bad.exit_code(), exit, "{pass}: wrong exit code");
+    assert_eq!(good.violations, vec![], "{pass}: good fixture is not clean");
+    assert_eq!(good.exit_code(), 0);
+}
+
+#[test]
+fn panic_reach_fixtures() {
+    let rel = "crates/core/src/engine.rs";
+    let bad = analyze(&[(rel, include_str!("fixtures/panic_reach_bad.rs"))], Docs::default());
+    assert!(
+        bad.violations.iter().any(|v| v.message.contains("->")),
+        "finding must carry a witness path: {:?}",
+        bad.violations
+    );
+    let good = analyze(&[(rel, include_str!("fixtures/panic_reach_good.rs"))], Docs::default());
+    check_pass("panic-reach", 18, bad, good);
+}
+
+#[test]
+fn determinism_fixtures() {
+    let rel = "crates/core/src/metrics.rs";
+    let bad = analyze(&[(rel, include_str!("fixtures/determinism_bad.rs"))], Docs::default());
+    let good = analyze(&[(rel, include_str!("fixtures/determinism_good.rs"))], Docs::default());
+    check_pass("determinism", 19, bad, good);
+}
+
+#[test]
+fn unit_safety_fixtures() {
+    let rel = "crates/cost/src/fixture.rs";
+    let bad = analyze(&[(rel, include_str!("fixtures/unit_safety_bad.rs"))], Docs::default());
+    let good = analyze(&[(rel, include_str!("fixtures/unit_safety_good.rs"))], Docs::default());
+    check_pass("unit-safety", 20, bad, good);
+}
+
+#[test]
+fn artifact_fixtures() {
+    let orphan = ("crates/bench/src/bin/fig9_orphan.rs", "fn main() {}\n");
+    let registry = "crates/bench/src/bin/repro_all.rs";
+    let bad = analyze(
+        &[orphan, (registry, include_str!("fixtures/artifact_registry_bad.rs"))],
+        Docs { design_md: String::new() },
+    );
+    let good = analyze(
+        &[orphan, (registry, include_str!("fixtures/artifact_registry_good.rs"))],
+        Docs {
+            design_md: "- `fig9_orphan` — Fig 9, orphan sensitivity sweep.\n".to_string()
+        },
+    );
+    check_pass("artifact-conformance", 21, bad, good);
+}
+
+#[test]
+fn full_workspace_analysis_fits_the_perf_budget() {
+    // CARGO_MANIFEST_DIR is crates/lint; the workspace root is two up.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let start = Instant::now();
+    let report = nls_lint::lint_workspace(&root, None).expect("workspace analysis failed");
+    let elapsed = start.elapsed();
+    assert!(report.files > 0, "workspace walk found no files");
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "full-workspace analysis took {elapsed:?}, budget is 10s"
+    );
+}

@@ -1,0 +1,8 @@
+//! Failing fixture registry: `fig9_orphan` is not in the list.
+
+fn main() {
+    let bins = ["fig3_miss_rates"];
+    for b in bins {
+        println!("{b}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Passing fixture registry: every bench binary is listed.
+
+fn main() {
+    let bins = ["fig3_miss_rates", "fig9_orphan"];
+    for b in bins {
+        println!("{b}");
+    }
+}

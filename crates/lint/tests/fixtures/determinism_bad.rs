@@ -1,0 +1,8 @@
+//! Failing fixture: a metrics function reads the wall clock.
+
+use std::time::Instant;
+
+pub fn sample_latency_ns() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

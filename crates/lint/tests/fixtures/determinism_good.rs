@@ -1,0 +1,6 @@
+//! Passing fixture: metrics accumulate values fed in by the caller;
+//! no clock, RNG, env, or thread identity anywhere.
+
+pub fn sample_latency_ns(acc: u128, delta: u128) -> u128 {
+    acc + delta
+}

@@ -1,0 +1,29 @@
+//! Mini-workspace fixture for the golden-file tests: one impl with
+//! methods, a free function, a cross-file call, and test-only code.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn step(&mut self) {
+        self.advance();
+        tick();
+    }
+
+    fn advance(&mut self) {
+        Self::check();
+    }
+
+    fn check() {}
+}
+
+pub fn tick() {
+    crate::util::bump();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn covers() {
+        super::tick();
+    }
+}

@@ -1,0 +1,7 @@
+//! Leaf module of the mini workspace.
+
+pub fn bump() {
+    leaf();
+}
+
+fn leaf() {}

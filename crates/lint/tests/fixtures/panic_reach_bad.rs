@@ -1,0 +1,18 @@
+//! Failing fixture: the engine entry point reaches an assert two
+//! calls down the chain.
+
+pub fn run_sim(records: u64) {
+    let mut r = 0;
+    while r < records {
+        consume(r);
+        r += 1;
+    }
+}
+
+fn consume(r: u64) {
+    validate(r);
+}
+
+fn validate(r: u64) {
+    assert!(r < 1_000_000, "record id out of range");
+}

@@ -1,0 +1,6 @@
+//! Failing fixture: cost-model arithmetic adds an RBE count to a
+//! nanosecond value with no conversion.
+
+pub fn total(cost_rbe: u64, lat_ns: u64) -> u64 {
+    cost_rbe + lat_ns
+}

@@ -1,0 +1,10 @@
+//! Passing fixture: the RBE operand goes through an explicit
+//! `*_to_*` conversion before it meets the nanosecond value.
+
+pub fn total_ns(cost_rbe: u64, lat_ns: u64) -> u64 {
+    rbe_to_ns(cost_rbe) + lat_ns
+}
+
+fn rbe_to_ns(rbe: u64) -> u64 {
+    rbe * 3
+}

@@ -26,8 +26,11 @@ impl BtbConfig {
     /// Panics unless `entries` and `assoc` are powers of two with
     /// `assoc <= entries`.
     pub fn new(entries: usize, assoc: u32) -> Self {
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!(entries.is_power_of_two(), "BTB entries must be a power of two");
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!(assoc.is_power_of_two(), "BTB associativity must be a power of two");
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!(entries >= assoc as usize, "BTB must have at least one set");
         BtbConfig { entries, assoc }
     }

@@ -34,6 +34,7 @@ impl SaturatingCounter {
     ///
     /// Panics if `bits` is zero or greater than 7.
     pub fn new(bits: u8) -> Self {
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!((1..=7).contains(&bits), "counter width {bits} out of range");
         let max = (1u8 << bits) - 1;
         SaturatingCounter { value: max / 2, max }

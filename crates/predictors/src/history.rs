@@ -28,6 +28,7 @@ impl GlobalHistory {
     ///
     /// Panics if `bits` is zero or greater than 63.
     pub fn new(bits: u8) -> Self {
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!((1..=63).contains(&bits), "history width {bits} out of range");
         GlobalHistory { bits, value: 0 }
     }

@@ -35,7 +35,9 @@ impl NlsCacheConfig {
     /// instructions per line.
     pub fn for_cache(cache: &nls_icache::CacheConfig, preds_per_line: u32) -> Self {
         let insts_per_line = u32::try_from(cache.insts_per_line()).unwrap_or(u32::MAX);
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!(preds_per_line > 0, "need at least one predictor per line");
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!(
             insts_per_line % preds_per_line == 0,
             "predictors must evenly partition the line"

@@ -39,6 +39,7 @@ impl NlsTable {
     ///
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize) -> Self {
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!(entries.is_power_of_two(), "NLS table entries must be a power of two");
         NlsTable { entries: vec![NlsEntry::default(); entries] }
     }

@@ -79,6 +79,7 @@ impl Pht {
     ///
     /// Panics unless `entries` is a power of two.
     pub fn new(entries: usize, counter_bits: u8, indexing: PhtIndexing) -> Self {
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!(entries.is_power_of_two(), "PHT entries must be a power of two");
         let hist_bits = u8::try_from(entries.trailing_zeros()).unwrap_or(u8::MAX);
         let aux = (indexing == PhtIndexing::Tournament)

@@ -38,6 +38,7 @@ impl ReturnStack {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
+        // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!(capacity > 0, "return stack capacity must be positive");
         ReturnStack { slots: vec![Addr::new(0); capacity], top: 0, live: 0 }
     }

@@ -34,6 +34,7 @@ impl Addr {
     /// Panics if `byte_addr` is not aligned to [`INST_BYTES`].
     #[inline]
     pub fn new(byte_addr: u64) -> Self {
+        // nls-lint: allow(panic-reach): fail-fast on malformed addresses; decoders validate alignment first
         assert!(
             byte_addr % INST_BYTES == 0,
             "instruction address {byte_addr:#x} is not 4-byte aligned"

@@ -73,9 +73,12 @@ impl IndirectDispatch {
     /// Panics if `targets` and `weights` differ in length, are empty,
     /// or the weights do not sum to a positive value.
     pub fn new(targets: Vec<u32>, weights: &[f64]) -> Self {
+        // nls-lint: allow(panic-reach): fail-fast on synthetic-program spec constants at construction
         assert_eq!(targets.len(), weights.len(), "targets/weights mismatch");
+        // nls-lint: allow(panic-reach): fail-fast on synthetic-program spec constants at construction
         assert!(!targets.is_empty(), "dispatch needs at least one target");
         let total: f64 = weights.iter().sum();
+        // nls-lint: allow(panic-reach): fail-fast on synthetic-program spec constants at construction
         assert!(total > 0.0, "dispatch weights must sum to a positive value");
         let mut acc = 0.0;
         let cumulative = weights

@@ -115,14 +115,14 @@ impl TraceRecord {
     }
 
     /// A break of kind `kind` at `pc`. For non-conditional kinds,
-    /// `taken` must be `true`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `taken` is `false` for a non-conditional break.
+    /// `taken` must be `true`. The contract is checked in debug
+    /// builds only: this sits on the per-record path, and both
+    /// callers uphold it by construction — the file decoder rejects
+    /// not-taken non-conditional frames before building the record,
+    /// and the synthetic walker only emits well-formed breaks.
     #[inline]
     pub fn branch(pc: Addr, kind: BreakKind, taken: bool, target: Addr) -> Self {
-        assert!(
+        debug_assert!(
             taken || kind == BreakKind::Conditional,
             "only conditional branches can fall through"
         );

@@ -511,7 +511,9 @@ impl<'a> Builder<'a> {
     /// The driver: `loop_head:` decision tree over `leaves`, each
     /// leaf calls its procedure then jumps back to the head.
     fn build_main(&mut self, leaves: &[u32], weights: &[f64]) -> Vec<Inst> {
-        assert_eq!(leaves.len(), weights.len());
+        // Internal invariant: both slices come from the same zip in
+        // `build`, so the lengths cannot diverge in release builds.
+        debug_assert_eq!(leaves.len(), weights.len());
         let mut code = vec![Inst::Seq, Inst::Seq]; // loop head
         self.build_tree(&mut code, leaves, weights);
         code

@@ -43,7 +43,9 @@ impl WeightCurve {
     /// Panics if the quantiles are not monotone (`q50 <= q90 <= q99
     /// <= q100`) or if `q100` is zero.
     pub fn from_quantiles(q: &HotQuantiles) -> Self {
+        // nls-lint: allow(panic-reach): fail-fast on workload quantile constants at construction
         assert!(q.q100 > 0, "q100 must be positive");
+        // nls-lint: allow(panic-reach): fail-fast on workload quantile constants at construction
         assert!(
             q.q50 <= q.q90 && q.q90 <= q.q99 && q.q99 <= q.q100,
             "quantiles must be monotone: {q:?}"
@@ -115,6 +117,7 @@ impl WeightCurve {
     /// last chunk may be short. Used to derive per-procedure dispatch
     /// weights.
     pub fn chunk_masses(&self, chunk: usize) -> Vec<f64> {
+        // nls-lint: allow(panic-reach): fail-fast on generator chunk constants at construction
         assert!(chunk > 0, "chunk size must be positive");
         self.weights.chunks(chunk).map(|c| c.iter().sum()).collect()
     }

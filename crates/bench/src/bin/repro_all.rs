@@ -8,37 +8,146 @@
 //! NLS_TRACE_LEN=2_000_000 cargo run --release -p nls-bench --bin repro_all  # faster
 //! ```
 //!
-//! The pipeline is fault tolerant: a failing figure binary is logged
-//! to stderr and the remaining stages still run, with a pass/fail
-//! summary table at the end (exit code 4 if anything failed). The
+//! The pipeline is fault tolerant and supervised: every figure
+//! binary runs under a watchdog (`NLS_BENCH_TIMEOUT_SECS`, default
+//! 600 s) and is retried with backoff before being skipped, with the
+//! full attempt history in the pass/fail summary table at the end
+//! (exit code 4 if any stage was skipped after its retries). The
 //! verdict sweep checkpoints each completed (benchmark × cache ×
 //! engine) cell into `results/repro_checkpoint.json`; pass
 //! `--resume` to skip cells already checkpointed by an interrupted
-//! run instead of recomputing them.
+//! run instead of recomputing them. SIGINT/SIGTERM stops the
+//! pipeline cooperatively — the in-flight stage is killed, the
+//! verdict checkpoint is flushed — and exits with code 7.
 
 use std::process::Command;
+use std::time::{Duration, Instant};
 
 use nls_bench::{checkpoint_path, fmt, sweep_config, Table};
 use nls_core::{
-    average, cross, paper_caches, run_sweep_resumable, EngineSpec, PenaltyModel, RunSpec,
-    SimResult, SweepOptions,
+    average, cross, install_signal_token, paper_caches, run_sweep_supervised, Budget,
+    CancelToken, EngineSpec, NlsError, PenaltyModel, RunError, RunSpec, SimResult,
+    SweepOptions,
 };
 use nls_icache::CacheConfig;
 use nls_trace::BenchProfile;
 
-/// Runs a sibling experiment binary, reporting failure instead of
-/// panicking so one broken figure cannot kill the whole pipeline.
-fn run_binary(name: &str) -> Result<(), String> {
+/// Retry ceiling per stage binary: one initial try plus two retries.
+const MAX_ATTEMPTS: u64 = 3;
+
+/// The per-stage watchdog limit, from `NLS_BENCH_TIMEOUT_SECS`
+/// (default 600 s — generous for a release-mode figure, short enough
+/// that a hung stage cannot stall the pipeline overnight).
+fn stage_timeout() -> Duration {
+    let secs = std::env::var("NLS_BENCH_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(600);
+    Duration::from_secs(secs)
+}
+
+/// One try at a stage binary, as the watchdog saw it end.
+enum Attempt {
+    Ok,
+    Failed(String),
+    TimedOut(u64),
+    Cancelled,
+}
+
+/// Spawns a sibling experiment binary under the watchdog: polls for
+/// exit, kills the child when the timeout trips or a signal asked
+/// the pipeline to stop.
+fn run_binary_once(name: &str, token: &CancelToken) -> Attempt {
     println!("\n################ {name} ################\n");
-    let status = Command::new(env!("CARGO"))
+    let mut child = match Command::new(env!("CARGO"))
         .args(["run", "--release", "-q", "-p", "nls-bench", "--bin", name])
-        .status()
-        .map_err(|e| format!("failed to spawn: {e}"))?;
-    if status.success() {
-        Ok(())
-    } else {
-        Err(format!("exited with {status}"))
+        .spawn()
+    {
+        Ok(child) => child,
+        Err(e) => return Attempt::Failed(format!("failed to spawn: {e}")),
+    };
+    let timeout = stage_timeout();
+    let started = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => return Attempt::Ok,
+            Ok(Some(status)) => return Attempt::Failed(format!("exited with {status}")),
+            Ok(None) => {}
+            Err(e) => return Attempt::Failed(format!("could not poll: {e}")),
+        }
+        if token.is_cancelled() {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Attempt::Cancelled;
+        }
+        if started.elapsed() >= timeout {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Attempt::TimedOut(timeout.as_secs());
+        }
+        std::thread::sleep(Duration::from_millis(50));
     }
+}
+
+/// A stage after the watchdog and the retry policy had their say.
+struct Stage {
+    ok: bool,
+    cancelled: bool,
+    /// The attempt/backoff history, for the summary table.
+    history: String,
+}
+
+/// Runs one stage with bounded retry and linear backoff, recording
+/// every attempt so the summary can show *how* a stage passed or why
+/// it was skipped.
+fn run_stage(name: &str, token: &CancelToken) -> Stage {
+    let mut history: Vec<String> = Vec::new();
+    for attempt in 1..=MAX_ATTEMPTS {
+        match run_binary_once(name, token) {
+            Attempt::Ok => {
+                history.push(format!("attempt {attempt}: ok"));
+                return Stage { ok: true, cancelled: false, history: history.join("; ") };
+            }
+            Attempt::Cancelled => {
+                history.push(format!("attempt {attempt}: interrupted by signal"));
+                return Stage { ok: false, cancelled: true, history: history.join("; ") };
+            }
+            Attempt::Failed(e) => history.push(format!("attempt {attempt}: {e}")),
+            Attempt::TimedOut(secs) => {
+                history.push(format!("attempt {attempt}: killed by the {secs}s watchdog"));
+            }
+        }
+        if attempt < MAX_ATTEMPTS {
+            let backoff = Duration::from_secs(attempt);
+            eprintln!(
+                "error[run]: {name}: {}; retrying in {}s",
+                history.last().map(String::as_str).unwrap_or("failed"),
+                backoff.as_secs()
+            );
+            std::thread::sleep(backoff);
+            history.push(format!("backed off {}s", backoff.as_secs()));
+            if token.is_cancelled() {
+                history.push("interrupted by signal".into());
+                return Stage { ok: false, cancelled: true, history: history.join("; ") };
+            }
+        }
+    }
+    history.push("skipped".into());
+    Stage { ok: false, cancelled: false, history: history.join("; ") }
+}
+
+/// Prints the interruption diagnostic and exits with code 7, the
+/// same contract as `nls sweep` (completed work is preserved; rerun
+/// with `--resume` to continue).
+fn exit_interrupted(summary: &Table, detail: &str) -> ! {
+    println!();
+    summary.print();
+    let e = NlsError::Interrupted(format!(
+        "reproduction stopped by signal; {detail} — rerun with --resume to continue"
+    ));
+    eprintln!("error[{}]: {e}", e.class());
+    std::process::exit(i32::from(e.exit_code()));
 }
 
 /// `Some((a, b))` only when both averages are available.
@@ -60,7 +169,8 @@ fn main() {
         }
     }
 
-    let mut summary = Table::new("Reproduction pipeline", &["stage", "status"]);
+    let token = install_signal_token();
+    let mut summary = Table::new("Reproduction pipeline", &["stage", "status", "history"]);
     let mut failures: Vec<String> = Vec::new();
     for bin in [
         "table1",
@@ -82,13 +192,19 @@ fn main() {
         "ext_type_predictor",
         "ext_set_prediction",
     ] {
-        match run_binary(bin) {
-            Ok(()) => summary.row(vec![bin.into(), "ok".into()]),
-            Err(e) => {
-                eprintln!("error[run]: {bin}: {e}; continuing with the remaining figures");
-                summary.row(vec![bin.into(), format!("FAILED ({e})")]);
-                failures.push(format!("{bin}: {e}"));
-            }
+        let stage = run_stage(bin, &token);
+        if stage.ok {
+            summary.row(vec![bin.into(), "ok".into(), stage.history]);
+        } else if stage.cancelled {
+            summary.row(vec![bin.into(), "INTERRUPTED".into(), stage.history]);
+            exit_interrupted(&summary, "the figure stages before this one are complete");
+        } else {
+            eprintln!(
+                "error[run]: {bin}: skipped after {MAX_ATTEMPTS} attempts; continuing with \
+                 the remaining figures"
+            );
+            summary.row(vec![bin.into(), "SKIPPED".into(), stage.history.clone()]);
+            failures.push(format!("{bin}: {}", stage.history));
         }
     }
 
@@ -113,24 +229,42 @@ fn main() {
     if !resume {
         let _ = std::fs::remove_file(&ckpt);
     }
-    let outcomes = match run_sweep_resumable(&runs, &cfg, &SweepOptions::default(), &ckpt) {
-        Ok(outcomes) => outcomes,
-        Err(e) => {
-            eprintln!("error[{}]: {e}", e.class());
-            std::process::exit(i32::from(e.exit_code()));
-        }
-    };
+    let budget = Budget::unlimited().with_cancel(token.clone());
+    let outcomes =
+        match run_sweep_supervised(&runs, &cfg, &SweepOptions::default(), &budget, Some(&ckpt))
+        {
+            Ok(outcomes) => outcomes,
+            Err(e) => {
+                eprintln!("error[{}]: {e}", e.class());
+                std::process::exit(i32::from(e.exit_code()));
+            }
+        };
     let mut results: Vec<SimResult> = Vec::new();
     let mut sweep_failures = 0usize;
+    let mut interrupted = 0usize;
     for (run, outcome) in runs.iter().zip(outcomes) {
         match outcome {
-            Ok(cell) => results.extend(cell),
+            // A cancelled run's partial cell is not checkpointed and
+            // must not skew the claim averages either.
+            Ok(cell) if cell.is_complete() => results.extend(cell.into_results()),
+            Ok(_) | Err(RunError::Interrupted { .. }) => interrupted += 1,
             Err(e) => {
                 eprintln!("error[run]: {e}; verdicts will exclude {}", run.key());
                 failures.push(format!("verdict sweep: {}", run.key()));
                 sweep_failures += 1;
             }
         }
+    }
+    if interrupted > 0 || token.is_cancelled() {
+        summary.row(vec![
+            "verdict sweep".into(),
+            "INTERRUPTED".into(),
+            format!("{} of {} runs done", runs.len() - interrupted, runs.len()),
+        ]);
+        exit_interrupted(
+            &summary,
+            &format!("completed sweep cells are checkpointed in {}", ckpt.display()),
+        );
     }
     summary.row(vec![
         "verdict sweep".into(),
@@ -139,6 +273,7 @@ fn main() {
         } else {
             format!("FAILED ({sweep_failures} of {} runs)", runs.len())
         },
+        format!("{} of {} runs", runs.len() - sweep_failures, runs.len()),
     ]);
 
     let avg_bep = |engine: &str, cache: CacheConfig| -> Option<f64> {
@@ -233,7 +368,7 @@ fn main() {
         let _ = std::fs::remove_file(&ckpt);
         println!("\nall results written under results/");
     } else {
-        eprintln!("\n{} stage(s) failed:", failures.len());
+        eprintln!("\n{} stage(s) skipped after retries:", failures.len());
         for f in &failures {
             eprintln!("  - {f}");
         }

@@ -256,6 +256,26 @@ pub fn parse_count(s: &str) -> Result<usize, CliError> {
     Ok(n * mult)
 }
 
+/// Parses a wall-clock duration for `--deadline`: a bare number is
+/// seconds, `ms`/`s` suffixes are explicit (`30`, `30s`, `500ms`).
+///
+/// # Errors
+///
+/// Fails on malformed or zero durations.
+pub fn parse_duration(s: &str) -> Result<std::time::Duration, CliError> {
+    let cleaned = s.trim().to_ascii_lowercase();
+    let bad = || CliError(format!("bad duration {s:?} (want e.g. 30, 30s or 500ms)"));
+    let (digits, per_unit_ms) = match cleaned.strip_suffix("ms") {
+        Some(d) => (d, 1u64),
+        None => (cleaned.trim_end_matches('s'), 1_000u64),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    if n == 0 {
+        return err("duration must be positive");
+    }
+    Ok(std::time::Duration::from_millis(n.saturating_mul(per_unit_ms)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +355,16 @@ mod tests {
     fn usage_errors_convert_to_exit_code_two() {
         let e: NlsError = CliError("bad flag".into()).into();
         assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn durations() {
+        use std::time::Duration;
+        assert_eq!(parse_duration("30").unwrap(), Duration::from_secs(30));
+        assert_eq!(parse_duration("30s").unwrap(), Duration::from_secs(30));
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert!(parse_duration("0").is_err());
+        assert!(parse_duration("fast").is_err());
     }
 
     #[test]

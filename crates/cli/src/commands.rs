@@ -4,13 +4,25 @@
 //! layer is unit-testable without capturing stdout. Failures are
 //! reported through the workspace [`NlsError`] taxonomy, so the
 //! binary can exit with one code per error class (usage 2, trace 3,
-//! run 4, checkpoint 5, I/O 6).
+//! run 4, checkpoint 5, I/O 6, interrupted 7).
+//!
+//! The simulation commands run *supervised*: `--deadline`,
+//! `--max-records` and `--max-heap-mb` build a
+//! [`Budget`], SIGINT/SIGTERM are routed to its cancel token
+//! ([`install_signal_token`]), and a tripped budget degrades the run
+//! cooperatively instead of killing the process mid-write. `nls
+//! sweep` flushes its checkpoint on the way out, so an interrupted
+//! sweep resumes with `--resume` and reproduces an uninterrupted one
+//! bit-for-bit.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
+use nls_core::soak::{run_soak, SoakConfig};
 use nls_core::{
-    fallthrough_way_prediction, run_one, EngineSpec, FetchEngine as _, NlsError, PenaltyModel,
-    RunSpec, SweepConfig,
+    cross, fallthrough_way_prediction, install_signal_token, paper_caches, run_one_supervised,
+    run_sweep_supervised, Budget, CancelToken, EngineSpec, FetchEngine as _, NlsError,
+    PenaltyModel, RunError, RunSpec, SweepConfig, SweepOptions,
 };
 use nls_cost::access_time::{btb_access_ns, tagless_access_ns, TimingProcess};
 use nls_cost::rbe::{btb_rbe, nls_cache_rbe, nls_table_rbe, CacheGeometry};
@@ -20,8 +32,8 @@ use nls_trace::{
 };
 
 use crate::args::{
-    parse_benches, parse_cache, parse_count, parse_engine, parse_recovery_policy, CliError,
-    ParsedArgs,
+    parse_benches, parse_cache, parse_count, parse_duration, parse_engine,
+    parse_recovery_policy, CliError, ParsedArgs,
 };
 
 /// Splits trace-layer failures into their true classes: an
@@ -40,7 +52,13 @@ nls — next cache line and set prediction simulator (Calder & Grunwald, ISCA 19
 
 USAGE:
   nls simulate  --bench <NAME|all> [--cache 16K:1] [--engine btb:128:1]...
-                [--len 2m] [--seed N] [--csv]
+                [--len 2m] [--seed N] [--deadline 30s] [--max-records 1m]
+                [--max-heap-mb N] [--csv]
+  nls sweep     --bench <NAME|all> [--cache 16K:1]... [--engine btb:128:1]...
+                [--len 2m] [--seed N] [--checkpoint <FILE> [--resume]]
+                [--deadline 30s] [--max-records 1m] [--max-heap-mb N] [--csv]
+  nls soak      [--cases 6] [--seed N] [--len 20k] [--faults 4]
+                [--max-stall-ms 2] [--deadline 10s] [--max-records N]
   nls table1    [--len 2m] [--seed N]
   nls costs     [--cache-kb 8,16,32,64]
   nls gen-trace --bench <NAME> --out <FILE> [--len 2m] [--seed N]
@@ -52,6 +70,7 @@ USAGE:
 ENGINES: btb:ENTRIES:ASSOC | nls-table:ENTRIES | nls-cache:PREDS | johnson:PREDS
 BENCHES: doduc espresso gcc li cfront groff | all
 EXIT CODES: 0 ok | 2 usage | 3 corrupt trace | 4 failed run | 5 checkpoint | 6 i/o
+            7 interrupted (signal or budget; sweeps flush their checkpoint first)
 ";
 
 fn default_engines() -> Vec<EngineSpec> {
@@ -76,6 +95,25 @@ fn engines_from(a: &ParsedArgs) -> Result<Vec<EngineSpec>, CliError> {
         return Ok(default_engines());
     }
     specs.iter().map(|s| parse_engine(s)).collect()
+}
+
+/// Builds the command's [`Budget`] from `--deadline`,
+/// `--max-records` and `--max-heap-mb`, with `cancel` (usually the
+/// signal token) wired in.
+fn budget_from(a: &ParsedArgs, cancel: CancelToken) -> Result<Budget, CliError> {
+    let mut budget = Budget::unlimited().with_cancel(cancel);
+    if let Some(s) = a.get("deadline") {
+        budget = budget.with_deadline(parse_duration(s)?);
+    }
+    if let Some(s) = a.get("max-records") {
+        budget = budget.with_max_records(parse_count(s)? as u64);
+    }
+    if let Some(s) = a.get("max-heap-mb") {
+        let mb: u64 =
+            s.parse().map_err(|_| CliError(format!("bad heap budget {s:?} (want MB)")))?;
+        budget = budget.with_max_heap_bytes(mb.saturating_mul(1024 * 1024));
+    }
+    Ok(budget)
 }
 
 fn result_block(results: &[nls_core::SimResult], csv: bool) -> String {
@@ -122,23 +160,222 @@ fn result_block(results: &[nls_core::SimResult], csv: bool) -> String {
     out
 }
 
-/// `nls simulate`: run benchmarks through engines.
+/// `nls simulate`: run benchmarks through engines, supervised.
+///
+/// A tripped `--deadline`/`--max-records`/`--max-heap-mb` budget
+/// prints the partial (oracle-valid) metrics with a note per
+/// truncated benchmark; a SIGINT/SIGTERM exits with code 7.
 ///
 /// # Errors
 ///
-/// Fails on malformed options.
+/// Fails on malformed options, or with [`NlsError::Interrupted`]
+/// when a signal stopped the run.
 pub fn simulate(a: &ParsedArgs) -> Result<String, NlsError> {
-    a.expect_only(&["bench", "cache", "engine", "len", "seed", "csv"])?;
+    a.expect_only(&[
+        "bench",
+        "cache",
+        "engine",
+        "len",
+        "seed",
+        "csv",
+        "deadline",
+        "max-records",
+        "max-heap-mb",
+    ])?;
     let benches = parse_benches(a.get("bench").unwrap_or("all"))?;
     let cache = parse_cache(a.get("cache").unwrap_or("16K:1"))?;
     let engines = engines_from(a)?;
     let cfg = sweep_config(a)?;
+    let token = install_signal_token();
+    let budget = budget_from(a, token.clone())?;
     let mut results = Vec::new();
+    let mut notes = Vec::new();
     for bench in benches {
         let spec = RunSpec { bench, cache, engines: engines.clone() };
-        results.extend(run_one(&spec, &cfg));
+        let outcome = run_one_supervised(&spec, &cfg, &budget);
+        if let Some(reason) = outcome.stop_reason() {
+            notes.push(format!("note: {} stopped early: {reason}", spec.bench.name));
+        }
+        results.extend(outcome.into_results());
     }
-    Ok(result_block(&results, a.has_switch("csv")))
+    if token.is_cancelled() {
+        return Err(NlsError::Interrupted(format!(
+            "signal received; {} of the requested results were measured before stopping",
+            results.len()
+        )));
+    }
+    let mut out = result_block(&results, a.has_switch("csv"));
+    for n in &notes {
+        let _ = writeln!(out, "{n}");
+    }
+    Ok(out)
+}
+
+/// `nls sweep`: the full (benchmark × cache) × engines matrix,
+/// supervised and resumable.
+///
+/// With `--checkpoint FILE` every completed run is persisted;
+/// rerunning with `--resume` skips the recorded runs and reproduces
+/// an uninterrupted sweep bit-for-bit. SIGINT/SIGTERM (or a tripped
+/// budget) stops claiming runs, flushes the checkpoint and exits
+/// with code 7.
+///
+/// # Errors
+///
+/// Fails on malformed options, a mismatched or pre-existing
+/// checkpoint (without `--resume`), checkpoint I/O, a run that
+/// exhausted its retries, or with [`NlsError::Interrupted`] when
+/// stopped by signal or budget.
+pub fn sweep(a: &ParsedArgs) -> Result<String, NlsError> {
+    a.expect_only(&[
+        "bench",
+        "cache",
+        "engine",
+        "len",
+        "seed",
+        "csv",
+        "checkpoint",
+        "resume",
+        "deadline",
+        "max-records",
+        "max-heap-mb",
+    ])?;
+    let benches = parse_benches(a.get("bench").unwrap_or("all"))?;
+    let caches = {
+        let specs = a.get_all("cache");
+        if specs.is_empty() {
+            paper_caches()
+        } else {
+            specs.iter().map(|s| parse_cache(s)).collect::<Result<Vec<_>, _>>()?
+        }
+    };
+    let engines = engines_from(a)?;
+    let cfg = sweep_config(a)?;
+    let runs = cross(&benches, &caches, &engines);
+
+    let checkpoint = a.get("checkpoint").map(PathBuf::from);
+    if a.has_switch("resume") && checkpoint.is_none() {
+        return Err(CliError("--resume needs --checkpoint <FILE>".into()).into());
+    }
+    if let Some(path) = &checkpoint {
+        if path.exists() && !a.has_switch("resume") {
+            return Err(NlsError::Checkpoint(format!(
+                "{} already exists; pass --resume to continue it or delete it to start over",
+                path.display()
+            )));
+        }
+    }
+
+    let token = install_signal_token();
+    let budget = budget_from(a, token.clone())?;
+    let outcomes = run_sweep_supervised(
+        &runs,
+        &cfg,
+        &SweepOptions::default(),
+        &budget,
+        checkpoint.as_deref(),
+    )?;
+
+    let total = outcomes.len();
+    let mut results = Vec::new();
+    let mut notes = Vec::new();
+    let mut interrupted = 0usize;
+    let mut failed: Option<RunError> = None;
+    for (run, outcome) in runs.iter().zip(outcomes) {
+        match outcome {
+            Ok(o) => {
+                if let Some(reason) = o.stop_reason() {
+                    notes.push(format!("note: {} stopped early: {reason}", run.key()));
+                }
+                results.extend(o.into_results());
+            }
+            Err(RunError::Interrupted { .. }) => interrupted += 1,
+            Err(e) => {
+                notes.push(format!("note: {e}"));
+                failed.get_or_insert(e);
+            }
+        }
+    }
+    if interrupted > 0 || token.is_cancelled() {
+        let mut msg = format!("sweep stopped after {}/{total} runs", total - interrupted);
+        match &checkpoint {
+            Some(path) => {
+                let _ = write!(
+                    msg,
+                    "; completed runs are checkpointed in {} — rerun with --resume to finish",
+                    path.display()
+                );
+            }
+            None => msg.push_str("; rerun with --checkpoint to make sweeps resumable"),
+        }
+        return Err(NlsError::Interrupted(msg));
+    }
+    let mut out = result_block(&results, a.has_switch("csv"));
+    for n in &notes {
+        let _ = writeln!(out, "{n}");
+    }
+    match failed {
+        Some(e) => Err(NlsError::Run(e)),
+        None => Ok(out),
+    }
+}
+
+/// `nls soak`: the chaos/soak matrix — seeded runtime faults (read
+/// stalls, mid-stream I/O errors) against supervised runs of all
+/// four engines. Healthy means every case ended complete, degraded
+/// with oracle-valid metrics, or failed cleanly; anything else exits
+/// as a failed run.
+///
+/// # Errors
+///
+/// Fails on malformed options, or with [`NlsError::Run`] when a
+/// case's counters violate the oracle.
+pub fn soak(a: &ParsedArgs) -> Result<String, NlsError> {
+    a.expect_only(&[
+        "cases",
+        "seed",
+        "len",
+        "faults",
+        "max-stall-ms",
+        "deadline",
+        "max-records",
+    ])?;
+    let mut cfg = SoakConfig::quick();
+    let int = |s: &str| -> Result<u64, CliError> {
+        s.parse().map_err(|_| CliError(format!("bad number {s:?}")))
+    };
+    if let Some(s) = a.get("cases") {
+        cfg.cases = int(s)?;
+    }
+    if let Some(s) = a.get("seed") {
+        cfg.base_seed = int(s)?;
+    }
+    if let Some(s) = a.get("len") {
+        cfg.trace_len = parse_count(s)?;
+    }
+    if let Some(s) = a.get("faults") {
+        cfg.faults_per_case = parse_count(s)?;
+    }
+    if let Some(s) = a.get("max-stall-ms") {
+        cfg.max_stall_millis = int(s)?;
+    }
+    if let Some(s) = a.get("deadline") {
+        cfg.deadline = Some(parse_duration(s)?);
+    }
+    if let Some(s) = a.get("max-records") {
+        cfg.max_records = Some(parse_count(s)? as u64);
+    }
+    let report = run_soak(&cfg);
+    let out = report.render();
+    if report.is_healthy() {
+        Ok(out)
+    } else {
+        Err(NlsError::Run(RunError::Panicked {
+            run: "soak".to_string(),
+            message: format!("chaos soak produced oracle violations:\n{out}"),
+            attempts: 1,
+        }))
+    }
 }
 
 /// `nls table1`: the measured Table 1.
@@ -356,6 +593,8 @@ pub fn set_pred(a: &ParsedArgs) -> Result<String, NlsError> {
 pub fn dispatch(a: &ParsedArgs) -> Result<String, NlsError> {
     match a.command.as_str() {
         "simulate" => simulate(a),
+        "sweep" => sweep(a),
+        "soak" => soak(a),
         "table1" => table1(a),
         "costs" => costs(a),
         "gen-trace" => gen_trace(a),
@@ -377,8 +616,104 @@ mod tests {
     #[test]
     fn help_lists_subcommands() {
         let h = run(&["help"]).unwrap();
-        for cmd in ["simulate", "table1", "costs", "gen-trace", "replay", "set-pred"] {
+        for cmd in
+            ["simulate", "sweep", "soak", "table1", "costs", "gen-trace", "replay", "set-pred"]
+        {
             assert!(h.contains(cmd), "usage should mention {cmd}");
+        }
+        assert!(h.contains("7 interrupted"), "usage should document exit code 7");
+    }
+
+    #[test]
+    fn simulate_with_record_budget_reports_the_truncation() {
+        let out = run(&[
+            "simulate",
+            "--bench",
+            "li",
+            "--cache",
+            "8K:1",
+            "--len",
+            "50k",
+            "--max-records",
+            "10k",
+        ])
+        .unwrap();
+        assert!(out.contains("stopped early"), "{out}");
+        assert!(out.contains("record budget"), "{out}");
+    }
+
+    #[test]
+    fn sweep_runs_a_matrix_and_checkpoints() {
+        let dir = std::env::temp_dir().join("nls-cli-sweep-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.json");
+        let _ = std::fs::remove_file(&path);
+        let path_s = path.to_str().unwrap().to_string();
+
+        let args = [
+            "sweep",
+            "--bench",
+            "li",
+            "--cache",
+            "8K:1",
+            "--cache",
+            "8K:4",
+            "--engine",
+            "nls-table:512",
+            "--len",
+            "40k",
+            "--checkpoint",
+            &path_s,
+        ];
+        let out = run(&args).unwrap();
+        assert_eq!(out.matches("512 NLS table").count(), 2, "{out}");
+        assert!(path.exists(), "checkpoint must be flushed");
+
+        // Re-running against the existing checkpoint needs --resume…
+        let err = run(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "pre-existing checkpoint without --resume");
+
+        // …and with it, the sweep replays from the file bit-for-bit.
+        let mut resumed_args = args.to_vec();
+        resumed_args.push("--resume");
+        let resumed = run(&resumed_args).unwrap();
+        assert_eq!(resumed, out);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sweep_resume_without_checkpoint_is_a_usage_error() {
+        let err = run(&["sweep", "--bench", "li", "--len", "10k", "--resume"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn soak_quick_matrix_is_healthy() {
+        let out = run(&[
+            "soak",
+            "--cases",
+            "2",
+            "--len",
+            "10k",
+            "--faults",
+            "3",
+            "--max-stall-ms",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("soak: 2 cases"), "{out}");
+        assert!(out.contains("healthy=yes"), "{out}");
+    }
+
+    #[test]
+    fn budget_flags_reject_garbage() {
+        for args in [
+            ["simulate", "--bench", "li", "--deadline", "soon"],
+            ["simulate", "--bench", "li", "--max-records", "none"],
+            ["simulate", "--bench", "li", "--max-heap-mb", "big"],
+        ] {
+            let err = run(&args).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{args:?}");
         }
     }
 

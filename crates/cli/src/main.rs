@@ -2,7 +2,7 @@
 //!
 //! Errors print to stderr with their class and exit with one code
 //! per [`NlsError`] class: usage 2, corrupt trace 3, failed run 4,
-//! checkpoint 5, other I/O 6.
+//! checkpoint 5, other I/O 6, interrupted (signal/budget) 7.
 
 use std::process::ExitCode;
 
@@ -23,6 +23,9 @@ fn hint(e: &NlsError) -> &'static str {
         }
         NlsError::Checkpoint(_) => "delete the checkpoint file to start the sweep over",
         NlsError::Io(_) => "check the path, permissions and free space, then retry",
+        NlsError::Interrupted(_) => {
+            "completed work is safe; rerun `nls sweep --checkpoint <FILE> --resume` to continue"
+        }
     }
 }
 

@@ -1,9 +1,10 @@
 //! End-to-end tests of the `nls` binary: process exit codes, stderr
-//! classification, and corruption recovery as a user would see them.
+//! classification, corruption recovery and supervised execution
+//! (signals, budgets, checkpoint/resume) as a user would see them.
 //!
 //! Each error class must map to its documented exit code (usage 2,
-//! corrupt trace 3, failed run 4, checkpoint 5, I/O 6) with the
-//! diagnostic on stderr and nothing on stdout.
+//! corrupt trace 3, failed run 4, checkpoint 5, I/O 6, interrupted
+//! 7) with the diagnostic on stderr and nothing on stdout.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -114,6 +115,104 @@ fn on_corrupt_skip_recovers_where_the_default_fails() {
     let truncate = nls(&["replay", "--trace", path_s, "--on-corrupt", "truncate"]);
     assert_eq!(truncate.status.code(), Some(0), "{}", stderr(&truncate));
     assert!(stdout(&truncate).contains("500 of 20000"), "{}", stdout(&truncate));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn deadline_budget_degrades_with_a_note_not_a_crash() {
+    let out = nls(&["simulate", "--bench", "li", "--len", "4m", "--deadline", "1ms"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("stopped early"), "{text}");
+    assert!(text.contains("deadline"), "{text}");
+}
+
+#[test]
+fn soak_command_is_healthy_and_exits_zero() {
+    let out = nls(&["soak", "--cases", "2", "--len", "10k", "--faults", "3"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("healthy=yes"), "{}", stdout(&out));
+}
+
+/// The supervision acceptance path end to end: a sweep is SIGINT'd
+/// mid-flight, exits with code 7 leaving a valid versioned
+/// checkpoint, and `--resume` then reproduces the metrics of an
+/// uninterrupted sweep bit-for-bit.
+#[cfg(unix)]
+#[test]
+fn sigint_mid_sweep_flushes_a_checkpoint_that_resume_completes() {
+    use std::process::Stdio;
+    use std::time::Duration;
+
+    let path = temp_path("sigint-resume.json");
+    let path_s = path.to_str().unwrap().to_string();
+    // One bench over the six paper caches: enough queued work that
+    // the signal always lands mid-sweep in debug builds.
+    let base = vec![
+        "sweep",
+        "--bench",
+        "li",
+        "--engine",
+        "nls-table:512",
+        "--len",
+        "4m",
+        "--seed",
+        "9",
+    ];
+
+    // Seed the checkpoint with one completed run (same config, a
+    // subset of the matrix), so the interrupted sweep below leaves a
+    // provably non-empty checkpoint behind.
+    let mut seed_args = base.clone();
+    seed_args.extend(["--cache", "8K:1", "--checkpoint", &path_s]);
+    let seeded = nls(&seed_args);
+    assert_eq!(seeded.status.code(), Some(0), "{}", stderr(&seeded));
+    assert!(path.exists(), "phase 1 must flush the checkpoint");
+
+    // Interrupt the full sweep mid-flight.
+    let mut full_args = base.clone();
+    full_args.extend(["--checkpoint", &path_s, "--resume"]);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nls"))
+        .args(&full_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("the nls binary must spawn");
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(
+        child.try_wait().expect("try_wait").is_none(),
+        "the sweep finished before the signal; grow --len to keep this test meaningful"
+    );
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGINT: i32 = 2;
+    // SAFETY: plain kill(2) on a child this test owns.
+    let rc = unsafe { kill(child.id() as i32, SIGINT) };
+    assert_eq!(rc, 0, "kill(2) must reach the child");
+    let out = child.wait_with_output().expect("child must exit");
+
+    assert_eq!(out.status.code(), Some(7), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.starts_with("error[interrupted]:"), "{err}");
+    assert!(err.contains("--resume"), "the hint must say how to continue: {err}");
+
+    // The flushed checkpoint is valid, versioned JSON still holding
+    // the completed run — an interrupted sweep never poisons it.
+    let cp = std::fs::read_to_string(&path).expect("checkpoint must exist");
+    assert!(cp.contains("\"version\""), "{cp}");
+    assert!(cp.contains("li | 8K direct"), "{cp}");
+
+    // Resume to completion and compare with an uninterrupted sweep.
+    let resumed = nls(&full_args);
+    assert_eq!(resumed.status.code(), Some(0), "{}", stderr(&resumed));
+    let fresh = nls(&base);
+    assert_eq!(fresh.status.code(), Some(0), "{}", stderr(&fresh));
+    assert_eq!(
+        stdout(&resumed),
+        stdout(&fresh),
+        "resumed metrics must equal an uninterrupted sweep bit-for-bit"
+    );
     let _ = std::fs::remove_file(&path);
 }
 

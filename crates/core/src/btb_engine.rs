@@ -139,6 +139,15 @@ impl FetchEngine for BtbEngine {
             by_kind: self.counters.by_kind,
         }
     }
+
+    fn approx_heap_bytes(&self) -> u64 {
+        // ~24 B per BTB entry (tag + target + kind), one saturating
+        // counter per PHT entry, 8 B per return-stack slot.
+        crate::engine::cache_state_bytes(&self.cache)
+            + self.btb.config().entries as u64 * 24
+            + self.pht.entries() as u64
+            + self.ras.capacity() as u64 * 8
+    }
 }
 
 #[cfg(test)]

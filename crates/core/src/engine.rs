@@ -118,6 +118,15 @@ pub trait FetchEngine {
 
     /// Packages the accumulated counters as a [`SimResult`].
     fn result(&self, bench: &str) -> SimResult;
+
+    /// Approximate bytes of simulation state this engine holds
+    /// (cache arrays, predictor tables). The heap budget in
+    /// [`Budget`](crate::Budget) compares the sum across a run's
+    /// engines against its limit; the estimate is computed from the
+    /// configured geometry, so it is stable for the whole run.
+    fn approx_heap_bytes(&self) -> u64 {
+        0
+    }
 }
 
 impl FetchEngine for Box<dyn FetchEngine + Send> {
@@ -130,6 +139,19 @@ impl FetchEngine for Box<dyn FetchEngine + Send> {
     fn result(&self, bench: &str) -> SimResult {
         (**self).result(bench)
     }
+    fn approx_heap_bytes(&self) -> u64 {
+        (**self).approx_heap_bytes()
+    }
+}
+
+/// Approximate bytes of modeled cache state. The simulator keeps
+/// tag/LRU bookkeeping per line (never the line data), so the
+/// estimate is line count × a small constant — enough for a heap
+/// budget to rank geometries, which is all it is used for.
+pub(crate) fn cache_state_bytes(cache: &InstructionCache) -> u64 {
+    let cfg = cache.config();
+    let lines = cfg.size_bytes / cfg.line_bytes.max(1);
+    lines * 16
 }
 
 /// Whether `action` fetches the instruction control actually

@@ -12,6 +12,7 @@
 //! | failed simulation run | [`NlsError::Run`] | 4 |
 //! | checkpoint damage | [`NlsError::Checkpoint`] | 5 |
 //! | other I/O | [`NlsError::Io`] | 6 |
+//! | interrupted (signal/budget) | [`NlsError::Interrupted`] | 7 |
 //!
 //! Exit codes 0 and 1 keep their conventional meanings (success, and
 //! a generic/unclassified failure) and code 101 remains Rust's
@@ -34,6 +35,15 @@ pub enum RunError {
         /// How many attempts were made (1 + retries).
         attempts: u32,
     },
+    /// The run never started: the sweep's budget or cancel token
+    /// tripped first. Distinct from [`RunError::Panicked`] — nothing
+    /// went wrong with this run, the supervisor withdrew it.
+    Interrupted {
+        /// Which (bench × cache × engines) run was withdrawn.
+        run: String,
+        /// The rendered [`StopReason`](crate::StopReason).
+        reason: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -41,6 +51,9 @@ impl fmt::Display for RunError {
         match self {
             RunError::Panicked { run, message, attempts } => {
                 write!(f, "run {run} panicked after {attempts} attempt(s): {message}")
+            }
+            RunError::Interrupted { run, reason } => {
+                write!(f, "run {run} was not started: {reason}")
             }
         }
     }
@@ -61,6 +74,9 @@ pub enum NlsError {
     Checkpoint(String),
     /// Any other I/O failure.
     Io(io::Error),
+    /// A signal or budget stopped the work before it finished (state
+    /// was flushed; rerun with `--resume` to continue).
+    Interrupted(String),
 }
 
 impl NlsError {
@@ -72,6 +88,7 @@ impl NlsError {
             NlsError::Run(_) => 4,
             NlsError::Checkpoint(_) => 5,
             NlsError::Io(_) => 6,
+            NlsError::Interrupted(_) => 7,
         }
     }
 
@@ -83,6 +100,7 @@ impl NlsError {
             NlsError::Run(_) => "run",
             NlsError::Checkpoint(_) => "checkpoint",
             NlsError::Io(_) => "io",
+            NlsError::Interrupted(_) => "interrupted",
         }
     }
 }
@@ -95,6 +113,7 @@ impl fmt::Display for NlsError {
             NlsError::Run(e) => write!(f, "run error: {e}"),
             NlsError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             NlsError::Io(e) => write!(f, "i/o error: {e}"),
+            NlsError::Interrupted(msg) => write!(f, "interrupted: {msg}"),
         }
     }
 }
@@ -144,6 +163,7 @@ mod tests {
             }),
             NlsError::Checkpoint("version 99".into()),
             NlsError::Io(io::Error::other("disk gone")),
+            NlsError::Interrupted("SIGINT during the verdict sweep".into()),
         ];
         let mut codes: Vec<u8> = errors.iter().map(NlsError::exit_code).collect();
         codes.sort_unstable();
@@ -172,5 +192,20 @@ mod tests {
         assert_eq!(e.exit_code(), 3);
         let e: NlsError = io::Error::other("x").into();
         assert_eq!(e.exit_code(), 6);
+    }
+
+    #[test]
+    fn interrupted_runs_read_as_withdrawn_not_broken() {
+        let e = RunError::Interrupted {
+            run: "li | 8K direct | nls-table1024/gshare".into(),
+            reason: "cancelled by signal or caller".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("not started"));
+        assert!(text.contains("cancelled"));
+        let e = NlsError::Interrupted("deadline hit".into());
+        assert_eq!(e.exit_code(), 7);
+        assert_eq!(e.class(), "interrupted");
+        assert!(e.to_string().contains("deadline hit"));
     }
 }

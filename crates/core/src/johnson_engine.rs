@@ -155,6 +155,16 @@ impl FetchEngine for JohnsonEngine {
             by_kind: self.counters.by_kind,
         }
     }
+
+    fn approx_heap_bytes(&self) -> u64 {
+        // ~8 B per coupled successor pointer; one pointer group per
+        // cache line, `preds_per_line` pointers each. No PHT, no
+        // return stack in Johnson's design.
+        let cfg = self.cache.config();
+        let lines = cfg.size_bytes / cfg.line_bytes.max(1);
+        crate::engine::cache_state_bytes(&self.cache)
+            + lines * u64::from(self.preds.config().preds_per_line) * 8
+    }
 }
 
 #[cfg(test)]

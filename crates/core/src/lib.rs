@@ -46,6 +46,7 @@
 //! ```
 
 mod btb_engine;
+mod budget;
 mod checkpoint;
 mod engine;
 mod error;
@@ -56,10 +57,13 @@ mod nls_table_engine;
 pub mod oracle;
 mod penalty;
 mod set_prediction;
+pub mod soak;
 mod spec;
+mod supervisor;
 mod sweep;
 
 pub use btb_engine::BtbEngine;
+pub use budget::{Budget, CancelToken, StopReason, DEADLINE_POLL_INTERVAL};
 pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use engine::{BreakOutcome, Counters, FetchAction, FetchEngine, KindCounts};
 pub use error::{NlsError, RunError};
@@ -70,7 +74,11 @@ pub use nls_table_engine::NlsTableEngine;
 pub use penalty::PenaltyModel;
 pub use set_prediction::{fallthrough_way_prediction, FallThroughWayStats};
 pub use spec::{EngineSpec, PhtSpec};
+pub use supervisor::{
+    drive_supervised, estimated_heap_bytes, install_signal_token, run_one_supervised, Outcome,
+};
 pub use sweep::{
     cross, drive, paper_caches, run_one, run_sweep, run_sweep_fallible, run_sweep_resumable,
-    run_sweep_with, RunSpec, SweepConfig, SweepOptions, DEFAULT_TRACE_LEN,
+    run_sweep_supervised, run_sweep_with, RunSpec, SweepConfig, SweepOptions,
+    DEFAULT_TRACE_LEN,
 };

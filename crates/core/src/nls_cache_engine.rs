@@ -147,6 +147,18 @@ impl FetchEngine for NlsCacheEngine {
             by_kind: self.counters.by_kind,
         }
     }
+
+    fn approx_heap_bytes(&self) -> u64 {
+        // ~8 B per coupled NLS predictor (`preds_per_line` per cache
+        // line), one counter per PHT entry, 8 B per return-stack
+        // slot.
+        let cfg = self.cache.config();
+        let lines = cfg.size_bytes / cfg.line_bytes.max(1);
+        crate::engine::cache_state_bytes(&self.cache)
+            + lines * u64::from(self.preds.config().preds_per_line) * 8
+            + self.pht.entries() as u64
+            + self.ras.capacity() as u64 * 8
+    }
 }
 
 #[cfg(test)]

@@ -209,6 +209,17 @@ impl FetchEngine for NlsTableEngine {
             by_kind: self.counters.by_kind,
         }
     }
+
+    fn approx_heap_bytes(&self) -> u64 {
+        // ~8 B per tag-less NLS entry (pointer + type), one counter
+        // per PHT entry, 8 B per return-stack slot, one byte per
+        // optional type-table bit slot.
+        crate::engine::cache_state_bytes(&self.cache)
+            + self.table.len() as u64 * 8
+            + self.pht.entries() as u64
+            + self.ras.capacity() as u64 * 8
+            + self.type_table.as_ref().map_or(0, |t| t.len() as u64)
+    }
 }
 
 #[cfg(test)]

@@ -135,14 +135,15 @@ mod tests {
 
     #[test]
     fn taken_branches_do_not_count_as_crossings() {
-        let mut trace = Vec::new();
-        trace.push(TraceRecord::branch(
-            Addr::new(0x1000),
-            BreakKind::Unconditional,
-            true,
-            Addr::new(0x2000),
-        ));
-        trace.push(TraceRecord::sequential(Addr::new(0x2000)));
+        let trace = vec![
+            TraceRecord::branch(
+                Addr::new(0x1000),
+                BreakKind::Unconditional,
+                true,
+                Addr::new(0x2000),
+            ),
+            TraceRecord::sequential(Addr::new(0x2000)),
+        ];
         let s = run(trace, 2);
         assert_eq!(s.line_crossings, 0);
     }

@@ -1,0 +1,330 @@
+//! The chaos/soak harness: supervised runs under injected runtime
+//! faults.
+//!
+//! A soak case synthesises a workload, splices a seeded
+//! [`RuntimeFault`] plan (read stalls, mid-stream I/O failures) into
+//! its read path with [`ChaosStream`], and drives all four fetch
+//! engines under a [`Budget`]. The harness then *classifies* what
+//! happened — and the classification is the robustness contract:
+//!
+//! * [`SoakVerdict::Complete`] — the whole trace was simulated;
+//! * [`SoakVerdict::Degraded`] — a budget limit tripped and the
+//!   partial counters are oracle-valid;
+//! * [`SoakVerdict::FailedCleanly`] — an injected I/O error surfaced
+//!   as an error value, with oracle-valid counters for the prefix.
+//!
+//! Nothing else is acceptable: a hang would blow the case deadline,
+//! a panic would fail the harness itself. Seeds fully determine the
+//! fault plan (see [`ChaosScheduler`]), so any failing case can be
+//! replayed from its seed alone.
+
+use std::time::Duration;
+
+use nls_icache::CacheConfig;
+use nls_trace::faults::{ChaosScheduler, ChaosStream, RuntimeFault};
+use nls_trace::{synthesize, BenchProfile, GenConfig, Walker};
+
+use crate::budget::{Budget, StopReason};
+use crate::engine::FetchEngine;
+use crate::metrics::SimResult;
+use crate::oracle::invariant_violations;
+use crate::spec::EngineSpec;
+use crate::supervisor::estimated_heap_bytes;
+
+/// How hard a soak run leans on the simulator.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Number of seeded cases to run.
+    pub cases: u64,
+    /// Seed of the first case; case `i` uses `base_seed + i`.
+    pub base_seed: u64,
+    /// Records per case before faults.
+    pub trace_len: usize,
+    /// Runtime faults planned per case.
+    pub faults_per_case: usize,
+    /// Upper bound on a single injected stall.
+    pub max_stall_millis: u64,
+    /// Wall-clock deadline per case (deadline pressure).
+    pub deadline: Option<Duration>,
+    /// Record budget per case.
+    pub max_records: Option<u64>,
+}
+
+impl SoakConfig {
+    /// The small blocking matrix CI runs on every PR: a few seconds
+    /// of wall clock, every fault kind exercised.
+    pub fn quick() -> Self {
+        SoakConfig {
+            cases: 6,
+            base_seed: 1,
+            trace_len: 20_000,
+            faults_per_case: 4,
+            max_stall_millis: 2,
+            deadline: Some(Duration::from_secs(10)),
+            max_records: None,
+        }
+    }
+}
+
+/// How one soak case ended. These three variants are the *only*
+/// permitted endings — see the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoakVerdict {
+    /// The full trace was simulated despite the injected faults.
+    Complete,
+    /// A budget limit stopped the case cooperatively.
+    Degraded(StopReason),
+    /// An injected I/O error surfaced as an error value (no panic,
+    /// no hang); the message says what broke.
+    FailedCleanly(String),
+}
+
+/// One executed soak case.
+#[derive(Debug, Clone)]
+pub struct SoakCase {
+    /// The case seed (replays the exact fault plan and workload).
+    pub seed: u64,
+    /// Which synthetic benchmark the case ran.
+    pub bench: String,
+    /// How the case ended.
+    pub verdict: SoakVerdict,
+    /// Records simulated before the ending.
+    pub instructions: u64,
+    /// Oracle findings against the per-engine counters (must be
+    /// empty — degraded and failed cases included).
+    pub oracle_findings: Vec<String>,
+}
+
+/// The aggregated result of a soak run.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Every executed case, in seed order.
+    pub cases: Vec<SoakCase>,
+}
+
+impl SoakReport {
+    /// Cases that simulated their whole trace.
+    pub fn complete_count(&self) -> usize {
+        self.cases.iter().filter(|c| c.verdict == SoakVerdict::Complete).count()
+    }
+
+    /// Cases stopped by a budget limit.
+    pub fn degraded_count(&self) -> usize {
+        self.cases.iter().filter(|c| matches!(c.verdict, SoakVerdict::Degraded(_))).count()
+    }
+
+    /// Cases ended by an injected I/O error.
+    pub fn failed_count(&self) -> usize {
+        self.cases.iter().filter(|c| matches!(c.verdict, SoakVerdict::FailedCleanly(_))).count()
+    }
+
+    /// True when every case ended in one of the three permitted
+    /// verdicts *and* every case's counters are oracle-valid. (The
+    /// verdict half is structural — a panic or hang never builds a
+    /// report — so this reduces to the oracle half.)
+    pub fn is_healthy(&self) -> bool {
+        self.cases.iter().all(|c| c.oracle_findings.is_empty())
+    }
+
+    /// A human-readable summary, one line per case.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "soak: {} cases — {} complete, {} degraded, {} failed-cleanly, healthy={}\n",
+            self.cases.len(),
+            self.complete_count(),
+            self.degraded_count(),
+            self.failed_count(),
+            if self.is_healthy() { "yes" } else { "NO" },
+        );
+        for c in &self.cases {
+            let ending = match &c.verdict {
+                SoakVerdict::Complete => "complete".to_string(),
+                SoakVerdict::Degraded(reason) => format!("degraded: {reason}"),
+                SoakVerdict::FailedCleanly(msg) => format!("failed cleanly: {msg}"),
+            };
+            out.push_str(&format!(
+                "  seed {} [{}] {} ({} records)\n",
+                c.seed, c.bench, ending, c.instructions
+            ));
+            for f in &c.oracle_findings {
+                out.push_str(&format!("    ORACLE: {f}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Runs `cfg.cases` seeded chaos cases and aggregates the verdicts.
+pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
+    let cases = (0..cfg.cases).map(|i| run_case(cfg, cfg.base_seed.wrapping_add(i))).collect();
+    SoakReport { cases }
+}
+
+/// Runs the single case identified by `seed` (the fault plan, the
+/// workload and the walk all derive from it).
+pub fn run_case(cfg: &SoakConfig, seed: u64) -> SoakCase {
+    let plan = ChaosScheduler::new(seed).plan(
+        cfg.trace_len as u64,
+        cfg.faults_per_case,
+        cfg.max_stall_millis,
+    );
+    execute_case(cfg, seed, plan)
+}
+
+/// The soak engine roster: all four fetch architectures, so a chaos
+/// case exercises every step loop in the crate.
+fn soak_engines(cache: CacheConfig) -> Vec<Box<dyn FetchEngine + Send>> {
+    vec![
+        EngineSpec::btb(128, 1).build(cache),
+        EngineSpec::nls_table(1024).build(cache),
+        EngineSpec::nls_cache(2).build(cache),
+        EngineSpec::Johnson { preds_per_line: 2 }.build(cache),
+    ]
+}
+
+fn case_budget(cfg: &SoakConfig) -> Budget {
+    let mut budget = Budget::unlimited();
+    if let Some(deadline) = cfg.deadline {
+        budget = budget.with_deadline(deadline);
+    }
+    if let Some(max) = cfg.max_records {
+        budget = budget.with_max_records(max);
+    }
+    budget
+}
+
+fn execute_case(cfg: &SoakConfig, seed: u64, plan: Vec<RuntimeFault>) -> SoakCase {
+    let benches = BenchProfile::all();
+    let bench = benches[(seed % benches.len() as u64) as usize].clone();
+    let gen_cfg = GenConfig::for_profile(&bench);
+    let program = synthesize(&bench, &gen_cfg);
+    let walker = Walker::new(&program, seed);
+    let mut engines = soak_engines(CacheConfig::paper(8, 1));
+    let budget = case_budget(cfg);
+
+    let heap = estimated_heap_bytes(&engines);
+    let mut done: u64 = 0;
+    let mut verdict = SoakVerdict::Complete;
+    for item in ChaosStream::new(walker.take(cfg.trace_len), plan) {
+        if let Err(reason) = budget.check(done, heap) {
+            verdict = SoakVerdict::Degraded(reason);
+            break;
+        }
+        match item {
+            Ok(r) => {
+                for e in engines.iter_mut() {
+                    e.step(&r);
+                }
+                done += 1;
+            }
+            Err(e) => {
+                verdict = SoakVerdict::FailedCleanly(e.to_string());
+                break;
+            }
+        }
+    }
+
+    let results: Vec<SimResult> = engines.iter().map(|e| e.result(bench.name)).collect();
+    let oracle_findings = results.iter().flat_map(invariant_violations).collect();
+    SoakCase {
+        seed,
+        bench: bench.name.to_string(),
+        verdict,
+        instructions: done,
+        oracle_findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SoakConfig {
+        SoakConfig {
+            cases: 3,
+            base_seed: 10,
+            trace_len: 5_000,
+            faults_per_case: 0,
+            max_stall_millis: 1,
+            deadline: None,
+            max_records: None,
+        }
+    }
+
+    #[test]
+    fn faultless_soak_completes_every_case() {
+        let report = run_soak(&tiny());
+        assert!(report.is_healthy());
+        assert_eq!(report.complete_count(), 3);
+        for c in &report.cases {
+            assert_eq!(c.verdict, SoakVerdict::Complete);
+            assert_eq!(c.instructions, 5_000);
+        }
+    }
+
+    #[test]
+    fn injected_io_error_fails_cleanly_with_valid_prefix_counters() {
+        let plan = vec![RuntimeFault::IoError { after_records: 100 }];
+        let case = execute_case(&tiny(), 10, plan);
+        assert!(matches!(case.verdict, SoakVerdict::FailedCleanly(_)), "{:?}", case.verdict);
+        assert_eq!(case.instructions, 100);
+        assert!(case.oracle_findings.is_empty(), "{:?}", case.oracle_findings);
+    }
+
+    #[test]
+    fn record_budget_degrades_with_valid_partial_counters() {
+        let cfg = SoakConfig { max_records: Some(1_000), ..tiny() };
+        let case = run_case(&cfg, 11);
+        assert_eq!(
+            case.verdict,
+            SoakVerdict::Degraded(StopReason::RecordLimit { limit: 1_000 })
+        );
+        assert_eq!(case.instructions, 1_000);
+        assert!(case.oracle_findings.is_empty(), "{:?}", case.oracle_findings);
+    }
+
+    #[test]
+    fn aggressive_deadline_terminates_within_the_grace_window() {
+        // The acceptance bound: a chaos case under an already-hostile
+        // stall plan must stop within deadline + 1 s.
+        let cfg = SoakConfig {
+            trace_len: 500_000,
+            deadline: Some(Duration::from_millis(30)),
+            ..tiny()
+        };
+        let plan = vec![RuntimeFault::ReadStall { after_records: 10, millis: 100 }];
+        // nls-lint: allow(determinism): this test measures real wall-clock on purpose
+        let started = std::time::Instant::now();
+        let case = execute_case(&cfg, 12, plan);
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(case.verdict, SoakVerdict::Degraded(StopReason::DeadlineExceeded { .. })),
+            "{:?}",
+            case.verdict
+        );
+        assert!(
+            elapsed < Duration::from_millis(30) + Duration::from_secs(1),
+            "took {elapsed:?}, deadline grace is 1 s"
+        );
+        assert!(case.oracle_findings.is_empty(), "{:?}", case.oracle_findings);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_case() {
+        let cfg = SoakConfig { faults_per_case: 3, ..tiny() };
+        let a = run_case(&cfg, 42);
+        let b = run_case(&cfg, 42);
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.bench, b.bench);
+    }
+
+    #[test]
+    fn quick_matrix_is_healthy_and_renders() {
+        let report = run_soak(&SoakConfig { cases: 2, ..SoakConfig::quick() });
+        assert!(report.is_healthy(), "{}", report.render());
+        let text = report.render();
+        assert!(text.contains("soak: 2 cases"));
+        assert!(text.contains("healthy=yes"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Supervised execution: every simulation entry point, made
+//! cancellable, deadline-bounded and resource-accounted.
+//!
+//! The unsupervised drivers in [`sweep`](crate::sweep) run to
+//! completion or panic; this module wraps the same loops in a
+//! [`Budget`] poll so a run that hits a wall-clock deadline, a
+//! record limit, a heap budget or a [`CancelToken`] stops
+//! *cooperatively* and still returns its partial counters as
+//! [`Outcome::Degraded`]. Degraded metrics satisfy the same
+//! accounting identities as complete ones (the counters are simply
+//! those of a shorter trace), so the [`oracle`](crate::oracle)
+//! validates them unchanged.
+//!
+//! [`install_signal_token`] connects SIGINT/SIGTERM to a
+//! [`CancelToken`] with an async-signal-safe handler, which is how
+//! the `nls` CLI and `repro_all` turn an interrupt into a flushed
+//! checkpoint and a dedicated exit code instead of a dead sweep.
+
+use crate::budget::{Budget, CancelToken, StopReason};
+use crate::engine::FetchEngine;
+use crate::metrics::SimResult;
+use crate::sweep::{RunSpec, SweepConfig};
+
+use nls_trace::{synthesize, GenConfig, TraceRecord, Walker};
+
+/// What a supervised run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The full trace was simulated.
+    Complete(Vec<SimResult>),
+    /// The run stopped early; the counters cover the records
+    /// consumed before `reason` tripped and are internally
+    /// consistent (oracle-valid) for that shorter trace.
+    Degraded {
+        /// One partial result per engine, in engine order.
+        metrics_so_far: Vec<SimResult>,
+        /// Which budget limit stopped the run.
+        reason: StopReason,
+    },
+}
+
+impl Outcome {
+    /// The per-engine results, complete or partial.
+    pub fn results(&self) -> &[SimResult] {
+        match self {
+            Outcome::Complete(results) => results,
+            Outcome::Degraded { metrics_so_far, .. } => metrics_so_far,
+        }
+    }
+
+    /// Consumes the outcome into its results, complete or partial.
+    pub fn into_results(self) -> Vec<SimResult> {
+        match self {
+            Outcome::Complete(results) => results,
+            Outcome::Degraded { metrics_so_far, .. } => metrics_so_far,
+        }
+    }
+
+    /// True when the full trace was simulated.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete(_))
+    }
+
+    /// The stop reason of a degraded outcome.
+    pub fn stop_reason(&self) -> Option<&StopReason> {
+        match self {
+            Outcome::Complete(_) => None,
+            Outcome::Degraded { reason, .. } => Some(reason),
+        }
+    }
+}
+
+/// Sums the engines' self-reported state estimates — the number the
+/// heap budget is checked against.
+pub fn estimated_heap_bytes(engines: &[Box<dyn FetchEngine + Send>]) -> u64 {
+    engines.iter().map(|e| e.approx_heap_bytes()).sum()
+}
+
+/// Feeds `trace` to every engine under `budget`, polling before each
+/// record. Returns `None` when the trace was fully consumed, or the
+/// [`StopReason`] that cut it short (engines then hold the counters
+/// of the records consumed so far).
+pub fn drive_supervised<I>(
+    trace: I,
+    engines: &mut [Box<dyn FetchEngine + Send>],
+    budget: &Budget,
+) -> Option<StopReason>
+where
+    I: IntoIterator<Item = TraceRecord>,
+{
+    let heap = estimated_heap_bytes(engines);
+    for (done, r) in trace.into_iter().enumerate() {
+        if let Err(reason) = budget.check(done as u64, heap) {
+            return Some(reason);
+        }
+        for e in engines.iter_mut() {
+            e.step(&r);
+        }
+    }
+    None
+}
+
+/// Executes one run under `budget`: synthesises the workload, walks
+/// up to `trace_len` records through every engine, and returns
+/// [`Outcome::Complete`] — or [`Outcome::Degraded`] with the partial
+/// per-engine counters when a limit trips first.
+pub fn run_one_supervised(spec: &RunSpec, cfg: &SweepConfig, budget: &Budget) -> Outcome {
+    let gen_cfg = GenConfig::for_profile(&spec.bench);
+    let program = synthesize(&spec.bench, &gen_cfg);
+    let mut engines: Vec<Box<dyn FetchEngine + Send>> =
+        spec.engines.iter().map(|e| e.build(spec.cache)).collect();
+    let walker = Walker::new(&program, cfg.seed);
+    let stopped = drive_supervised(walker.take(cfg.trace_len), &mut engines, budget);
+    let results: Vec<SimResult> = engines.iter().map(|e| e.result(spec.bench.name)).collect();
+    match stopped {
+        None => Outcome::Complete(results),
+        Some(reason) => Outcome::Degraded { metrics_so_far: results, reason },
+    }
+}
+
+#[cfg(unix)]
+static SIGNALLED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Routes SIGINT and SIGTERM to a [`CancelToken`]: the first signal
+/// flips the token and the supervised loops wind down cooperatively
+/// (flushing checkpoints on the way out) instead of dying mid-write.
+///
+/// Installing is idempotent — every call returns a handle to the
+/// same process-wide flag. On non-Unix targets this is a plain
+/// token that no signal ever flips.
+#[cfg(unix)]
+pub fn install_signal_token() -> CancelToken {
+    extern "C" fn on_signal(_signum: i32) {
+        // A single atomic store is async-signal-safe; everything
+        // else (checkpoint flush, exit code) happens cooperatively
+        // on the polling threads.
+        SIGNALLED.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    // SAFETY: libc's `signal` registers a handler that performs only
+    // an async-signal-safe atomic store into a `'static` flag.
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+    CancelToken::from_static(&SIGNALLED)
+}
+
+/// See the Unix version; without signals this is an ordinary token.
+#[cfg(not(unix))]
+pub fn install_signal_token() -> CancelToken {
+    CancelToken::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::invariant_violations;
+    use crate::spec::EngineSpec;
+    use crate::sweep::run_one;
+    use nls_icache::CacheConfig;
+    use nls_trace::BenchProfile;
+    use std::time::Duration;
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            bench: BenchProfile::li(),
+            cache: CacheConfig::paper(8, 1),
+            engines: vec![EngineSpec::btb(128, 1), EngineSpec::nls_table(1024)],
+        }
+    }
+
+    fn cfg() -> SweepConfig {
+        SweepConfig { trace_len: 60_000, seed: 7 }
+    }
+
+    #[test]
+    fn unlimited_budget_reproduces_the_unsupervised_run() {
+        let outcome = run_one_supervised(&spec(), &cfg(), &Budget::unlimited());
+        assert!(outcome.is_complete());
+        assert_eq!(outcome.stop_reason(), None);
+        assert_eq!(outcome.results(), run_one(&spec(), &cfg()).as_slice());
+    }
+
+    #[test]
+    fn record_limit_degrades_with_exactly_that_many_records() {
+        let budget = Budget::unlimited().with_max_records(10_000);
+        let outcome = run_one_supervised(&spec(), &cfg(), &budget);
+        assert_eq!(outcome.stop_reason(), Some(&StopReason::RecordLimit { limit: 10_000 }));
+        for r in outcome.results() {
+            assert_eq!(r.instructions, 10_000);
+            assert!(r.breaks > 0, "10k li records contain breaks");
+        }
+    }
+
+    #[test]
+    fn degraded_metrics_are_oracle_valid() {
+        let budget = Budget::unlimited().with_max_records(7_777);
+        let outcome = run_one_supervised(&spec(), &cfg(), &budget);
+        assert!(!outcome.is_complete());
+        for r in outcome.results() {
+            let findings = invariant_violations(r);
+            assert!(findings.is_empty(), "{findings:?}");
+        }
+    }
+
+    #[test]
+    fn degraded_prefix_matches_a_shorter_complete_run() {
+        // Stopping at N records must leave the same counters as a
+        // run whose trace_len was N all along: supervision only
+        // truncates, never perturbs.
+        let budget = Budget::unlimited().with_max_records(12_345);
+        let degraded = run_one_supervised(&spec(), &cfg(), &budget);
+        let short = SweepConfig { trace_len: 12_345, seed: cfg().seed };
+        let complete = run_one_supervised(&spec(), &short, &Budget::unlimited());
+        assert_eq!(degraded.results(), complete.results());
+    }
+
+    #[test]
+    fn cancelled_token_stops_before_the_first_record() {
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let outcome = run_one_supervised(&spec(), &cfg(), &budget);
+        assert_eq!(outcome.stop_reason(), Some(&StopReason::Cancelled));
+        for r in outcome.results() {
+            assert_eq!(r.instructions, 0);
+            assert_eq!(r.breaks, 0);
+        }
+    }
+
+    #[test]
+    fn tiny_heap_budget_refuses_the_configuration_immediately() {
+        let budget = Budget::unlimited().with_max_heap_bytes(16);
+        let outcome = run_one_supervised(&spec(), &cfg(), &budget);
+        match outcome.stop_reason() {
+            Some(StopReason::HeapLimit { limit_bytes: 16, estimated_bytes }) => {
+                assert!(*estimated_bytes > 16, "engines report real table sizes");
+            }
+            other => panic!("expected HeapLimit, got {other:?}"),
+        }
+        assert_eq!(outcome.results()[0].instructions, 0);
+    }
+
+    #[test]
+    fn expired_deadline_degrades_not_panics() {
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        let outcome = run_one_supervised(&spec(), &cfg(), &budget);
+        assert!(matches!(outcome.stop_reason(), Some(StopReason::DeadlineExceeded { .. })));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn signal_token_observes_a_raised_sigint() {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+        let token = install_signal_token();
+        // SAFETY: the handler installed above swallows the signal
+        // with an atomic store, so raising it cannot kill the test
+        // process.
+        unsafe {
+            raise(2);
+        }
+        assert!(token.is_cancelled(), "SIGINT must flip the token");
+    }
+}

@@ -17,20 +17,33 @@
 //! completed run to a versioned JSON file ([`Checkpoint`]) so an
 //! interrupted sweep restarts where it stopped instead of from
 //! scratch.
+//!
+//! # Supervision
+//!
+//! Every run loop here polls a [`Budget`], so sweeps are also
+//! cancellable and deadline-bounded: [`run_sweep_supervised`] takes
+//! an explicit budget, stops claiming new runs once it trips, lets
+//! in-flight runs degrade cooperatively ([`Outcome::Degraded`]), and
+//! reports never-started runs as [`RunError::Interrupted`]. Only
+//! complete outcomes enter the checkpoint, so a resumed sweep is
+//! bit-for-bit identical to an uninterrupted one. The unsupervised
+//! entry points run under [`Budget::unlimited`].
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use nls_icache::CacheConfig;
-use nls_trace::{synthesize, BenchProfile, GenConfig, TraceRecord, Walker};
+use nls_trace::{BenchProfile, TraceRecord};
 use parking_lot::Mutex;
 
+use crate::budget::Budget;
 use crate::checkpoint::Checkpoint;
 use crate::engine::FetchEngine;
 use crate::error::{NlsError, RunError};
 use crate::metrics::SimResult;
 use crate::spec::EngineSpec;
+use crate::supervisor::{drive_supervised, run_one_supervised, Outcome};
 
 /// Default dynamic trace length for paper-scale experiments.
 pub const DEFAULT_TRACE_LEN: usize = 8_000_000;
@@ -41,7 +54,7 @@ pub struct SweepConfig {
     /// Dynamic instructions per run.
     pub trace_len: usize,
     /// Walker RNG seed (program synthesis has its own per-profile
-    /// seed in [`GenConfig`]).
+    /// seed in [`GenConfig`](nls_trace::GenConfig)).
     pub seed: u64,
 }
 
@@ -100,28 +113,16 @@ pub fn drive<'a, I>(trace: I, engines: &mut [Box<dyn FetchEngine + Send>])
 where
     I: IntoIterator<Item = &'a TraceRecord>,
 {
-    for r in trace {
-        for e in engines.iter_mut() {
-            e.step(r);
-        }
-    }
+    // An unlimited budget never trips, so the supervised loop is a
+    // plain drive here.
+    drive_supervised(trace.into_iter().cloned(), engines, &Budget::unlimited());
 }
 
 /// Executes one run: synthesises the workload, walks `trace_len`
 /// records, feeds every engine, and returns one result per engine
 /// (in `engines` order).
 pub fn run_one(spec: &RunSpec, cfg: &SweepConfig) -> Vec<SimResult> {
-    let gen_cfg = GenConfig::for_profile(&spec.bench);
-    let program = synthesize(&spec.bench, &gen_cfg);
-    let mut engines: Vec<Box<dyn FetchEngine + Send>> =
-        spec.engines.iter().map(|e| e.build(spec.cache)).collect();
-    let walker = Walker::new(&program, cfg.seed);
-    for r in walker.take(cfg.trace_len) {
-        for e in engines.iter_mut() {
-            e.step(&r);
-        }
-    }
-    engines.iter().map(|e| e.result(spec.bench.name)).collect()
+    run_one_supervised(spec, cfg, &Budget::unlimited()).into_results()
 }
 
 /// Renders a caught panic payload (the `&str` / `String` payloads
@@ -142,18 +143,19 @@ fn attempt_run<F>(
     spec: &RunSpec,
     cfg: &SweepConfig,
     max_retries: u32,
-) -> Result<Vec<SimResult>, RunError>
+) -> Result<Outcome, RunError>
 where
-    F: Fn(&RunSpec, &SweepConfig) -> Vec<SimResult> + Sync,
+    F: Fn(&RunSpec, &SweepConfig) -> Outcome + Sync,
 {
     let attempts = max_retries.saturating_add(1);
     let mut last = String::new();
+    // nls-lint: allow(cancellation-reach): bounded by the retry budget (1 + max_retries); each attempt's run loop polls the budget itself
     for _ in 0..attempts {
         // AssertUnwindSafe: on panic the engines and trace state of
         // this attempt are dropped wholesale, so no torn state is
         // observable afterwards.
         match catch_unwind(AssertUnwindSafe(|| run_fn(spec, cfg))) {
-            Ok(results) => return Ok(results),
+            Ok(outcome) => return Ok(outcome),
             Err(payload) => last = panic_message(payload.as_ref()),
         }
     }
@@ -166,26 +168,32 @@ where
 
 /// The shared sweep executor behind every public sweep entry point:
 /// work-stealing over the not-yet-done runs, panic isolation per
-/// run, optional checkpoint persistence.
+/// run, budget polling between runs, optional checkpoint
+/// persistence. Only [`Outcome::Complete`] results enter the
+/// checkpoint — persisting a truncated run would poison resume.
 fn sweep_inner<F>(
     runs: &[RunSpec],
     cfg: &SweepConfig,
     opts: &SweepOptions,
+    budget: &Budget,
     run_fn: &F,
     persist: Option<(&Path, &Mutex<Checkpoint>)>,
-) -> Result<Vec<Result<Vec<SimResult>, RunError>>, NlsError>
+) -> Result<Vec<Result<Outcome, RunError>>, NlsError>
 where
-    F: Fn(&RunSpec, &SweepConfig) -> Vec<SimResult> + Sync,
+    F: Fn(&RunSpec, &SweepConfig) -> Outcome + Sync,
 {
-    let mut slots: Vec<Option<Result<Vec<SimResult>, RunError>>> = vec![None; runs.len()];
+    let mut slots: Vec<Option<Result<Outcome, RunError>>> = vec![None; runs.len()];
 
     // Runs already in the checkpoint are prefilled, not re-executed.
     let mut todo: Vec<usize> = Vec::with_capacity(runs.len());
     if let Some((_, cp)) = persist {
         let cp = cp.lock();
+        // nls-lint: allow(cancellation-reach): bounded by the run list; no simulation happens while prefilling
         for (i, run) in runs.iter().enumerate() {
             match (cp.get(&run.key()), slots.get_mut(i)) {
-                (Some(results), Some(slot)) => *slot = Some(Ok(results.to_vec())),
+                (Some(results), Some(slot)) => {
+                    *slot = Some(Ok(Outcome::Complete(results.to_vec())))
+                }
                 _ => todo.push(i),
             }
         }
@@ -205,11 +213,18 @@ where
     crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
+                // Stop claiming work once the sweep budget trips;
+                // runs never started are reported as interrupted
+                // below, after the scope joins.
+                if budget.check_now().is_err() {
+                    break;
+                }
                 let t = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&i) = todo.get(t) else { break };
                 let Some(run) = runs.get(i) else { break };
                 let outcome = attempt_run(run_fn, run, cfg, opts.max_retries);
-                if let (Some((path, cp)), Ok(results)) = (persist, &outcome) {
+                if let (Some((path, cp)), Ok(Outcome::Complete(results))) = (persist, &outcome)
+                {
                     let mut cp = cp.lock();
                     cp.insert(run.key(), results.clone());
                     if unsaved.fetch_add(1, Ordering::Relaxed) + 1
@@ -251,19 +266,27 @@ where
         return Err(e);
     }
     // Every index was either prefilled from the checkpoint or pushed
-    // onto `todo` and resolved by a worker; an unfilled slot would be
-    // an executor bug, reported as a failed run rather than a panic.
+    // onto `todo` and resolved by a worker. An unfilled slot is a run
+    // the tripped budget kept from starting — or, with a healthy
+    // budget, an executor bug reported as a failed run.
+    let stopped = budget.check_now().err();
     Ok(slots
         .into_inner()
         .into_iter()
         .enumerate()
         .map(|(i, s)| {
             s.unwrap_or_else(|| {
-                Err(RunError::Panicked {
-                    run: runs.get(i).map(RunSpec::key).unwrap_or_else(|| format!("run #{i}")),
-                    message: "run was never scheduled".to_string(),
-                    attempts: 0,
-                })
+                let run = runs.get(i).map(RunSpec::key).unwrap_or_else(|| format!("run #{i}"));
+                match &stopped {
+                    Some(reason) => {
+                        Err(RunError::Interrupted { run, reason: reason.to_string() })
+                    }
+                    None => Err(RunError::Panicked {
+                        run,
+                        message: "run was never scheduled".to_string(),
+                        attempts: 0,
+                    }),
+                }
             })
         })
         .collect())
@@ -281,8 +304,9 @@ pub fn run_sweep_with<F>(
 where
     F: Fn(&RunSpec, &SweepConfig) -> Vec<SimResult> + Sync,
 {
-    match sweep_inner(runs, cfg, opts, &run_fn, None) {
-        Ok(results) => results,
+    let supervised = |spec: &RunSpec, cfg: &SweepConfig| Outcome::Complete(run_fn(spec, cfg));
+    match sweep_inner(runs, cfg, opts, &Budget::unlimited(), &supervised, None) {
+        Ok(results) => results.into_iter().map(|r| r.map(Outcome::into_results)).collect(),
         // Without persistence sweep_inner performs no checkpoint I/O
         // and cannot fail; the impossible case becomes per-run errors.
         Err(e) => runs
@@ -305,6 +329,55 @@ pub fn run_sweep_fallible(
     run_sweep_with(runs, cfg, opts, run_one)
 }
 
+/// The fully supervised sweep: panic isolation, bounded retry, a
+/// caller-owned [`Budget`], and (with `checkpoint`) persistence and
+/// resume.
+///
+/// Per slot: `Ok(Outcome::Complete)` for runs that finished,
+/// `Ok(Outcome::Degraded)` for runs a per-run limit truncated
+/// (partial metrics included, *not* checkpointed),
+/// `Err(RunError::Interrupted)` for runs the tripped budget kept
+/// from starting, and `Err(RunError::Panicked)` for runs that
+/// exhausted their retries. The checkpoint file — holding exactly
+/// the complete runs — is flushed before returning, so a cancelled
+/// sweep can be resumed later and will reproduce an uninterrupted
+/// sweep bit-for-bit.
+pub fn run_sweep_supervised(
+    runs: &[RunSpec],
+    cfg: &SweepConfig,
+    opts: &SweepOptions,
+    budget: &Budget,
+    checkpoint: Option<&Path>,
+) -> Result<Vec<Result<Outcome, RunError>>, NlsError> {
+    let run_fn =
+        |spec: &RunSpec, run_cfg: &SweepConfig| run_one_supervised(spec, run_cfg, budget);
+    match checkpoint {
+        None => sweep_inner(runs, cfg, opts, budget, &run_fn, None),
+        Some(path) => {
+            let cp = Mutex::new(load_checkpoint(path, cfg)?);
+            sweep_inner(runs, cfg, opts, budget, &run_fn, Some((path, &cp)))
+        }
+    }
+}
+
+/// Loads the checkpoint at `path` for `cfg`, starting fresh when the
+/// file is missing and refusing a mismatched or damaged one.
+fn load_checkpoint(path: &Path, cfg: &SweepConfig) -> Result<Checkpoint, NlsError> {
+    match Checkpoint::load(path)? {
+        Some(cp) if cp.matches(cfg) => Ok(cp),
+        Some(cp) => Err(NlsError::Checkpoint(format!(
+            "{} was measured with trace_len={} seed={} but this sweep uses \
+             trace_len={} seed={}; delete it to start over",
+            path.display(),
+            cp.trace_len,
+            cp.seed,
+            cfg.trace_len,
+            cfg.seed
+        ))),
+        None => Ok(Checkpoint::for_config(cfg)),
+    }
+}
+
 /// Like [`run_sweep_fallible`], but persists completed runs to the
 /// checkpoint file at `path` and skips runs already recorded there.
 ///
@@ -318,23 +391,8 @@ pub fn run_sweep_resumable(
     opts: &SweepOptions,
     path: &Path,
 ) -> Result<Vec<Result<Vec<SimResult>, RunError>>, NlsError> {
-    let checkpoint = match Checkpoint::load(path)? {
-        Some(cp) if cp.matches(cfg) => cp,
-        Some(cp) => {
-            return Err(NlsError::Checkpoint(format!(
-                "{} was measured with trace_len={} seed={} but this sweep uses \
-                 trace_len={} seed={}; delete it to start over",
-                path.display(),
-                cp.trace_len,
-                cp.seed,
-                cfg.trace_len,
-                cfg.seed
-            )))
-        }
-        None => Checkpoint::for_config(cfg),
-    };
-    let checkpoint = Mutex::new(checkpoint);
-    sweep_inner(runs, cfg, opts, &run_one, Some((path, &checkpoint)))
+    let results = run_sweep_supervised(runs, cfg, opts, &Budget::unlimited(), Some(path))?;
+    Ok(results.into_iter().map(|r| r.map(Outcome::into_results)).collect())
 }
 
 /// Executes `runs` across threads. Results are returned flattened in
@@ -389,6 +447,7 @@ pub fn paper_caches() -> Vec<CacheConfig> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::{CancelToken, StopReason};
 
     fn small_cfg() -> SweepConfig {
         SweepConfig { trace_len: 60_000, seed: 7 }
@@ -501,5 +560,129 @@ mod tests {
         for e in &engines {
             assert_eq!(e.result("t").instructions, 2);
         }
+    }
+
+    #[test]
+    fn cancelled_sweep_interrupts_unstarted_runs() {
+        let runs = cross(
+            &[BenchProfile::li(), BenchProfile::espresso(), BenchProfile::gcc()],
+            &paper_caches(),
+            &[EngineSpec::nls_table(512)],
+        );
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let outcomes =
+            run_sweep_supervised(&runs, &small_cfg(), &SweepOptions::default(), &budget, None)
+                .expect("no checkpoint i/o involved");
+        assert_eq!(outcomes.len(), runs.len());
+        for (i, o) in outcomes.iter().enumerate() {
+            match o {
+                Err(RunError::Interrupted { run, reason }) => {
+                    assert_eq!(run, &runs[i].key());
+                    assert!(reason.contains("cancelled"), "{reason}");
+                }
+                other => panic!("pre-cancelled sweep must not run anything: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn record_limited_sweep_degrades_every_started_run() {
+        let runs = cross(
+            &[BenchProfile::li()],
+            &[CacheConfig::paper(8, 1), CacheConfig::paper(8, 4)],
+            &[EngineSpec::nls_table(512)],
+        );
+        let budget = Budget::unlimited().with_max_records(5_000);
+        let outcomes =
+            run_sweep_supervised(&runs, &small_cfg(), &SweepOptions::default(), &budget, None)
+                .expect("no checkpoint i/o involved");
+        for o in &outcomes {
+            let outcome = o.as_ref().expect("record limits degrade, they do not error");
+            assert_eq!(outcome.stop_reason(), Some(&StopReason::RecordLimit { limit: 5_000 }));
+            for r in outcome.results() {
+                assert_eq!(r.instructions, 5_000);
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_runs_are_not_checkpointed_but_complete_ones_are() {
+        let dir = std::env::temp_dir().join("nls-supervised-sweep-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("degraded.json");
+        let _ = std::fs::remove_file(&path);
+
+        let runs = cross(
+            &[BenchProfile::li()],
+            &[CacheConfig::paper(8, 1)],
+            &[EngineSpec::nls_table(512)],
+        );
+        let cfg = small_cfg();
+        let budget = Budget::unlimited().with_max_records(1_000);
+        let degraded =
+            run_sweep_supervised(&runs, &cfg, &SweepOptions::default(), &budget, Some(&path))
+                .expect("sweep persists");
+        assert!(!degraded[0].as_ref().expect("degraded, not failed").is_complete());
+        let cp = Checkpoint::load(&path).expect("file parses").expect("file exists");
+        assert!(cp.is_empty(), "truncated metrics must never enter the checkpoint");
+
+        let complete = run_sweep_supervised(
+            &runs,
+            &cfg,
+            &SweepOptions::default(),
+            &Budget::unlimited(),
+            Some(&path),
+        )
+        .expect("sweep persists");
+        assert!(complete[0].as_ref().expect("clean run").is_complete());
+        let cp = Checkpoint::load(&path).expect("file parses").expect("file exists");
+        assert!(cp.contains(&runs[0].key()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumed_sweep_reproduces_an_uninterrupted_one() {
+        let dir = std::env::temp_dir().join("nls-supervised-sweep-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("resume.json");
+        let _ = std::fs::remove_file(&path);
+
+        let runs = cross(
+            &[BenchProfile::li(), BenchProfile::espresso()],
+            &[CacheConfig::paper(8, 1), CacheConfig::paper(8, 4)],
+            &[EngineSpec::nls_table(512)],
+        );
+        let cfg = small_cfg();
+        let uninterrupted = run_sweep(&runs, &cfg);
+
+        // First pass: cancel after the budget trips (immediately), so
+        // nothing completes; then a healthy resume must reproduce the
+        // uninterrupted sweep bit-for-bit from whatever was saved.
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::unlimited().with_cancel(token);
+        let first =
+            run_sweep_supervised(&runs, &cfg, &SweepOptions::default(), &budget, Some(&path))
+                .expect("interrupted sweep still flushes its checkpoint");
+        assert!(first.iter().all(Result::is_err));
+        assert!(path.exists(), "the checkpoint is flushed even when empty");
+
+        let resumed = run_sweep_supervised(
+            &runs,
+            &cfg,
+            &SweepOptions::default(),
+            &Budget::unlimited(),
+            Some(&path),
+        )
+        .expect("resume succeeds");
+        let flat: Vec<SimResult> = resumed
+            .into_iter()
+            .map(|r| r.expect("all runs complete on resume").into_results())
+            .collect::<Vec<_>>()
+            .concat();
+        assert_eq!(flat, uninterrupted, "resume must be bit-for-bit identical");
+        let _ = std::fs::remove_file(&path);
     }
 }

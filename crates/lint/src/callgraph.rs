@@ -9,6 +9,7 @@
 //! `std` or dependencies) produce no edge — external code is trusted,
 //! workspace code is checked.
 
+use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::parser::{call_sites, CallSite, FileItems, ItemKind};
@@ -88,15 +89,15 @@ impl CallGraph {
         let mut pred: BTreeMap<FnId, FnId> = BTreeMap::new();
         let mut queue: VecDeque<FnId> = VecDeque::new();
         for &r in roots {
-            if !pred.contains_key(&r) {
-                pred.insert(r, r);
+            if let Entry::Vacant(slot) = pred.entry(r) {
+                slot.insert(r);
                 queue.push_back(r);
             }
         }
         while let Some(id) = queue.pop_front() {
             for e in self.edges_from(id) {
-                if !pred.contains_key(&e.callee) {
-                    pred.insert(e.callee, id);
+                if let Entry::Vacant(slot) = pred.entry(e.callee) {
+                    slot.insert(id);
                     queue.push_back(e.callee);
                 }
             }

@@ -415,7 +415,7 @@ mod tests {
             ),
         ];
         let mut report = analyze_sources(&files, crate::passes::Docs::default(), None);
-        let filter = vec!["crates/core/src/sweep.rs".to_string()];
+        let filter = ["crates/core/src/sweep.rs".to_string()];
         report.violations.retain(|v| {
             filter.iter().any(|f| f == &v.file)
                 || v.rule == "error-exit-map"

@@ -15,12 +15,15 @@
 //!   nanoseconds (or bytes) without an explicit conversion?
 //! * [`artifact`] — is every bench binary registered, documented, and
 //!   consistently numbered across DESIGN.md and `repro_all`?
+//! * [`cancellation_reach`] — does every loop on a supervised
+//!   `run*`/`drive*` path poll the budget or cancel token?
 //!
-//! Passes share the rules' exit-code protocol (codes 18–21, after the
+//! Passes share the rules' exit-code protocol (codes 18–22, after the
 //! lexical rules) and the same suppression syntax; see DESIGN.md §9
 //! for the catalogue and the soundness caveats of the approximation.
 
 pub mod artifact;
+pub mod cancellation_reach;
 pub mod determinism;
 pub mod panic_reach;
 pub mod unit_safety;
@@ -34,13 +37,14 @@ use crate::symbols::{FnId, SymbolTable};
 /// The engine files whose `step`/`run*`/`drive` functions are the
 /// roots of reachability: everything a simulation executes per record
 /// hangs off these.
-pub const ENTRY_FILES: [&str; 6] = [
+pub const ENTRY_FILES: [&str; 7] = [
     "crates/core/src/engine.rs",
     "crates/core/src/btb_engine.rs",
     "crates/core/src/nls_table_engine.rs",
     "crates/core/src/nls_cache_engine.rs",
     "crates/core/src/johnson_engine.rs",
     "crates/core/src/sweep.rs",
+    "crates/core/src/supervisor.rs",
 ];
 
 /// Non-Rust inputs the passes consult (the artifact-conformance
@@ -118,6 +122,7 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(determinism::Determinism),
         Box::new(unit_safety::UnitSafety),
         Box::new(artifact::ArtifactConformance),
+        Box::new(cancellation_reach::CancellationReach),
     ]
 }
 

@@ -146,10 +146,9 @@ pub fn rule_table() -> String {
     }
     let _ = writeln!(
         out,
-        "{:<20} exit {:>2}  {}",
+        "{:<20} exit {:>2}  malformed `nls-lint: allow(...)` annotation (missing rule list or reason)",
         crate::engine::SUPPRESSION_RULE,
         crate::engine::SUPPRESSION_EXIT_CODE,
-        "malformed `nls-lint: allow(...)` annotation (missing rule list or reason)"
     );
     for p in all_passes() {
         let _ = writeln!(out, "{:<20} exit {:>2}  {}", p.id(), p.exit_code(), p.summary());

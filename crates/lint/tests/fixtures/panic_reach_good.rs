@@ -3,6 +3,7 @@
 
 pub fn run_sim(records: u64) {
     let mut r = 0;
+    // nls-lint: allow(cancellation-reach): fixture loop, bounded by its argument
     while r < records {
         consume(r);
         r += 1;

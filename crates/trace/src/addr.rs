@@ -36,7 +36,7 @@ impl Addr {
     pub fn new(byte_addr: u64) -> Self {
         // nls-lint: allow(panic-reach): fail-fast on malformed addresses; decoders validate alignment first
         assert!(
-            byte_addr % INST_BYTES == 0,
+            byte_addr.is_multiple_of(INST_BYTES),
             "instruction address {byte_addr:#x} is not 4-byte aligned"
         );
         Addr(byte_addr)

@@ -26,7 +26,10 @@
 //! assert_ne!(data, pristine, "every sampled fault changes the bytes");
 //! ```
 
+use std::time::Duration;
+
 use crate::file::{TRACE_HEADER_BYTES, TRACE_RECORD_BYTES};
+use crate::TraceRecord;
 
 /// One concrete corruption of an encoded trace byte stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +156,177 @@ impl FaultInjector {
     }
 }
 
+/// One fault injected *while a trace is being consumed*, as opposed
+/// to the at-rest byte corruptions of [`Fault`].
+///
+/// Runtime faults model the hostile half of production I/O: a read
+/// that stalls (slow disk, cold NFS page, throttled volume) and a
+/// read that fails outright mid-stream. Both trigger after a given
+/// number of records have been yielded, so a plan is meaningful
+/// independent of byte-level encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeFault {
+    /// Block the reader for `millis` before yielding record
+    /// `after_records` (zero-based): deadline pressure without
+    /// changing the data.
+    ReadStall {
+        /// Records yielded before the stall hits.
+        after_records: u64,
+        /// Stall length in milliseconds.
+        millis: u64,
+    },
+    /// Fail the read before yielding record `after_records`. The
+    /// stream yields one `Err` and then fuses: a broken transport
+    /// does not resume.
+    IoError {
+        /// Records yielded before the error hits.
+        after_records: u64,
+    },
+}
+
+impl RuntimeFault {
+    /// The record count at which the fault triggers.
+    pub fn trigger_at(&self) -> u64 {
+        match *self {
+            RuntimeFault::ReadStall { after_records, .. }
+            | RuntimeFault::IoError { after_records } => after_records,
+        }
+    }
+}
+
+/// A seeded planner for [`RuntimeFault`]s (same splitmix64 core as
+/// [`FaultInjector`]): identical seeds produce identical chaos plans
+/// forever, so a failing soak seed can be quoted in a bug report and
+/// replayed exactly.
+#[derive(Debug, Clone)]
+pub struct ChaosScheduler {
+    rng: FaultInjector,
+}
+
+impl ChaosScheduler {
+    /// A scheduler seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        ChaosScheduler { rng: FaultInjector::new(seed) }
+    }
+
+    /// A stall of `1..=max_millis` ms somewhere in the first
+    /// `trace_len` records.
+    pub fn read_stall(&mut self, trace_len: u64, max_millis: u64) -> RuntimeFault {
+        RuntimeFault::ReadStall {
+            after_records: self.position(trace_len),
+            millis: 1 + self.rng.next_u64() % max_millis.max(1),
+        }
+    }
+
+    /// An I/O failure somewhere in the first `trace_len` records.
+    pub fn io_error(&mut self, trace_len: u64) -> RuntimeFault {
+        RuntimeFault::IoError { after_records: self.position(trace_len) }
+    }
+
+    /// A plan of `faults` runtime faults, sorted by trigger point,
+    /// weighted towards stalls (the common real-world event). At
+    /// most one `IoError` is planned — the stream fuses after the
+    /// first, so later ones would be dead weight.
+    pub fn plan(
+        &mut self,
+        trace_len: u64,
+        faults: usize,
+        max_millis: u64,
+    ) -> Vec<RuntimeFault> {
+        // nls-lint: allow(unchecked-capacity): `faults` is a caller-chosen plan size, single digits in every harness
+        let mut out = Vec::with_capacity(faults);
+        let mut failed = false;
+        for _ in 0..faults {
+            let fault = if !failed && self.rng.below(4) == 0 {
+                failed = true;
+                self.io_error(trace_len)
+            } else {
+                self.read_stall(trace_len, max_millis)
+            };
+            out.push(fault);
+        }
+        out.sort_by_key(RuntimeFault::trigger_at);
+        out
+    }
+
+    fn position(&mut self, trace_len: u64) -> u64 {
+        if trace_len == 0 {
+            0
+        } else {
+            self.rng.next_u64() % trace_len
+        }
+    }
+}
+
+/// A trace-record iterator with a [`RuntimeFault`] plan spliced into
+/// its read path.
+///
+/// Wraps any `Iterator<Item = TraceRecord>` (a decoded buffer, a
+/// [`crate::Walker`], …) and yields `Result<TraceRecord,
+/// std::io::Error>`: stalls sleep in-line before the affected
+/// record, an `IoError` yields exactly one `Err` and then the
+/// stream fuses to `None`.
+///
+/// # Examples
+///
+/// ```
+/// use nls_trace::faults::{ChaosStream, RuntimeFault};
+/// use nls_trace::{Addr, TraceRecord};
+///
+/// let records = vec![TraceRecord::sequential(Addr::new(0x100)); 4];
+/// let plan = vec![RuntimeFault::IoError { after_records: 2 }];
+/// let got: Vec<_> = ChaosStream::new(records.into_iter(), plan).collect();
+/// assert_eq!(got.len(), 3, "two records, one error, then fused");
+/// assert!(got[2].is_err());
+/// ```
+#[derive(Debug)]
+pub struct ChaosStream<I> {
+    inner: I,
+    plan: Vec<RuntimeFault>,
+    next_fault: usize,
+    yielded: u64,
+    failed: bool,
+}
+
+impl<I> ChaosStream<I> {
+    /// Wraps `inner` with `plan` (sorted internally; order of equal
+    /// trigger points is preserved).
+    pub fn new(inner: I, mut plan: Vec<RuntimeFault>) -> Self {
+        plan.sort_by_key(RuntimeFault::trigger_at);
+        ChaosStream { inner, plan, next_fault: 0, yielded: 0, failed: false }
+    }
+}
+
+impl<I: Iterator<Item = TraceRecord>> Iterator for ChaosStream<I> {
+    type Item = Result<TraceRecord, std::io::Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        while let Some(fault) = self.plan.get(self.next_fault) {
+            if fault.trigger_at() > self.yielded {
+                break;
+            }
+            self.next_fault += 1;
+            match *fault {
+                RuntimeFault::ReadStall { millis, .. } => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                RuntimeFault::IoError { .. } => {
+                    self.failed = true;
+                    return Some(Err(std::io::Error::other(
+                        "injected chaos fault: read failed",
+                    )));
+                }
+            }
+        }
+        let record = self.inner.next()?;
+        self.yielded += 1;
+        Some(Ok(record))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +407,53 @@ mod tests {
             fault.apply(&mut data);
             assert!(data.is_empty());
         }
+    }
+
+    #[test]
+    fn chaos_plans_are_reproducible() {
+        let a = ChaosScheduler::new(99).plan(10_000, 8, 5);
+        let b = ChaosScheduler::new(99).plan(10_000, 8, 5);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].trigger_at() <= w[1].trigger_at()), "plan is sorted");
+        let errors = a.iter().filter(|f| matches!(f, RuntimeFault::IoError { .. })).count();
+        assert!(errors <= 1, "at most one I/O failure per plan");
+    }
+
+    #[test]
+    fn chaos_stream_without_faults_is_transparent() {
+        let records: Vec<_> = (0..5)
+            .map(|i| crate::TraceRecord::sequential(crate::Addr::new(0x100 + i * 4)))
+            .collect();
+        let got: Result<Vec<_>, _> =
+            ChaosStream::new(records.clone().into_iter(), Vec::new()).collect();
+        assert_eq!(got.unwrap(), records);
+    }
+
+    #[test]
+    fn stalls_delay_but_never_change_records() {
+        let records: Vec<_> = (0..5)
+            .map(|i| crate::TraceRecord::sequential(crate::Addr::new(0x100 + i * 4)))
+            .collect();
+        let plan = vec![RuntimeFault::ReadStall { after_records: 2, millis: 1 }];
+        let got: Result<Vec<_>, _> =
+            ChaosStream::new(records.clone().into_iter(), plan).collect();
+        assert_eq!(got.unwrap(), records);
+    }
+
+    #[test]
+    fn io_error_yields_once_then_fuses() {
+        let records: Vec<_> = (0..5)
+            .map(|i| crate::TraceRecord::sequential(crate::Addr::new(0x100 + i * 4)))
+            .collect();
+        let plan = vec![
+            RuntimeFault::IoError { after_records: 3 },
+            RuntimeFault::ReadStall { after_records: 4, millis: 1 },
+        ];
+        let mut stream = ChaosStream::new(records.into_iter(), plan);
+        assert!(stream.by_ref().take(3).all(|r| r.is_ok()));
+        assert!(stream.next().unwrap().is_err());
+        assert!(stream.next().is_none(), "a broken transport does not resume");
+        assert!(stream.next().is_none());
     }
 
     #[test]

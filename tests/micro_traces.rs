@@ -3,7 +3,7 @@
 //! facade. These pin the end-to-end semantics of the paper's
 //! penalty accounting.
 
-use nextline::core::{drive, EngineSpec, FetchEngine, PenaltyModel};
+use nextline::core::{drive, EngineSpec, FetchEngine};
 use nextline::icache::CacheConfig;
 use nextline::trace::{Addr, BreakKind, TraceRecord};
 
@@ -124,16 +124,17 @@ fn displacing_a_target_line_hurts_nls_but_not_btb() {
 
     let run = |spec: EngineSpec| {
         let mut engines = vec![spec.build(cache)];
-        let mut trace = Vec::new();
-        // Warm up the predictor and the cache.
-        trace.push(branch);
-        trace.push(seq(target));
-        trace.push(branch);
-        trace.push(seq(target));
-        // Displace the target line, then run the branch again.
-        trace.push(seq(conflicting));
-        trace.push(branch);
-        trace.push(seq(target));
+        let trace = vec![
+            // Warm up the predictor and the cache.
+            branch,
+            seq(target),
+            branch,
+            seq(target),
+            // Displace the target line, then run the branch again.
+            seq(conflicting),
+            branch,
+            seq(target),
+        ];
         drive(&trace, &mut engines);
         engines[0].result("micro")
     };

@@ -23,7 +23,7 @@
 use std::process::Command;
 use std::time::{Duration, Instant};
 
-use nls_bench::{checkpoint_path, fmt, sweep_config, Table};
+use nls_bench::{checkpoint_path, fmt, parse_timeout_secs, sweep_config, Table};
 use nls_core::{
     average, cross, install_signal_token, paper_caches, run_sweep_supervised, Budget,
     CancelToken, EngineSpec, NlsError, PenaltyModel, RunError, RunSpec, SimResult,
@@ -38,13 +38,12 @@ const MAX_ATTEMPTS: u64 = 3;
 /// The per-stage watchdog limit, from `NLS_BENCH_TIMEOUT_SECS`
 /// (default 600 s — generous for a release-mode figure, short enough
 /// that a hung stage cannot stall the pipeline overnight).
-fn stage_timeout() -> Duration {
-    let secs = std::env::var("NLS_BENCH_TIMEOUT_SECS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .filter(|&s| s > 0)
-        .unwrap_or(600);
-    Duration::from_secs(secs)
+/// Validated strictly, once, before any stage runs: a set-but-broken
+/// value (non-numeric, zero) is a usage error, not a silent fallback
+/// to the default.
+fn stage_timeout() -> Result<Duration, String> {
+    let raw = std::env::var("NLS_BENCH_TIMEOUT_SECS").ok();
+    parse_timeout_secs(raw.as_deref(), 600).map(Duration::from_secs)
 }
 
 /// One try at a stage binary, as the watchdog saw it end.
@@ -58,7 +57,7 @@ enum Attempt {
 /// Spawns a sibling experiment binary under the watchdog: polls for
 /// exit, kills the child when the timeout trips or a signal asked
 /// the pipeline to stop.
-fn run_binary_once(name: &str, token: &CancelToken) -> Attempt {
+fn run_binary_once(name: &str, token: &CancelToken, timeout: Duration) -> Attempt {
     println!("\n################ {name} ################\n");
     let mut child = match Command::new(env!("CARGO"))
         .args(["run", "--release", "-q", "-p", "nls-bench", "--bin", name])
@@ -67,7 +66,6 @@ fn run_binary_once(name: &str, token: &CancelToken) -> Attempt {
         Ok(child) => child,
         Err(e) => return Attempt::Failed(format!("failed to spawn: {e}")),
     };
-    let timeout = stage_timeout();
     let started = Instant::now();
     loop {
         match child.try_wait() {
@@ -101,10 +99,10 @@ struct Stage {
 /// Runs one stage with bounded retry and linear backoff, recording
 /// every attempt so the summary can show *how* a stage passed or why
 /// it was skipped.
-fn run_stage(name: &str, token: &CancelToken) -> Stage {
+fn run_stage(name: &str, token: &CancelToken, timeout: Duration) -> Stage {
     let mut history: Vec<String> = Vec::new();
     for attempt in 1..=MAX_ATTEMPTS {
-        match run_binary_once(name, token) {
+        match run_binary_once(name, token, timeout) {
             Attempt::Ok => {
                 history.push(format!("attempt {attempt}: ok"));
                 return Stage { ok: true, cancelled: false, history: history.join("; ") };
@@ -169,6 +167,14 @@ fn main() {
         }
     }
 
+    let timeout = match stage_timeout() {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("error[usage]: {msg}");
+            std::process::exit(2);
+        }
+    };
+
     let token = install_signal_token();
     let mut summary = Table::new("Reproduction pipeline", &["stage", "status", "history"]);
     let mut failures: Vec<String> = Vec::new();
@@ -192,7 +198,7 @@ fn main() {
         "ext_type_predictor",
         "ext_set_prediction",
     ] {
-        let stage = run_stage(bin, &token);
+        let stage = run_stage(bin, &token, timeout);
         if stage.ok {
             summary.row(vec![bin.into(), "ok".into(), stage.history]);
         } else if stage.cancelled {

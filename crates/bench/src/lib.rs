@@ -23,6 +23,33 @@ pub fn sweep_config() -> SweepConfig {
     SweepConfig { trace_len, seed: 0x0b5e_55ed }
 }
 
+/// Validates a `NLS_BENCH_TIMEOUT_SECS` value: `None` (unset) falls
+/// back to `default_secs`, anything set must parse as a positive
+/// integer number of seconds (underscore separators allowed, like
+/// `NLS_TRACE_LEN`). A set-but-invalid value is an error, not a
+/// silent fallback — a typo like `TIMEOUT=60O` must not quietly run
+/// the pipeline with a 600 s watchdog.
+///
+/// # Errors
+///
+/// Returns a usage-class message when the value is non-numeric or
+/// zero.
+pub fn parse_timeout_secs(value: Option<&str>, default_secs: u64) -> Result<u64, String> {
+    let Some(raw) = value else {
+        return Ok(default_secs);
+    };
+    match raw.replace('_', "").parse::<u64>() {
+        Ok(secs) if secs > 0 => Ok(secs),
+        Ok(_) => Err(format!(
+            "NLS_BENCH_TIMEOUT_SECS={raw:?} disables the watchdog; unset it or pass a \
+             positive number of seconds"
+        )),
+        Err(_) => Err(format!(
+            "NLS_BENCH_TIMEOUT_SECS={raw:?} is not a number of seconds (want e.g. 600)"
+        )),
+    }
+}
+
 /// The directory experiment CSVs are written into (`results/` under
 /// the current directory); created on demand.
 pub fn results_dir() -> PathBuf {
@@ -185,5 +212,18 @@ mod tests {
     #[test]
     fn fmt_rounds() {
         assert_eq!(fmt(1.23456, 3), "1.235");
+    }
+
+    #[test]
+    fn timeout_parses_strictly() {
+        assert_eq!(parse_timeout_secs(None, 600), Ok(600));
+        assert_eq!(parse_timeout_secs(Some("30"), 600), Ok(30));
+        assert_eq!(parse_timeout_secs(Some("1_200"), 600), Ok(1_200));
+        // Set-but-broken values must error, not fall back silently.
+        for bad in ["", "soon", "60O", "-5", "1.5", "0"] {
+            let err = parse_timeout_secs(Some(bad), 600).unwrap_err();
+            assert!(err.contains("NLS_BENCH_TIMEOUT_SECS"), "{bad:?}: {err}");
+        }
+        assert!(parse_timeout_secs(Some("0"), 600).unwrap_err().contains("disables"));
     }
 }

@@ -4,7 +4,7 @@
 //! layer is unit-testable without capturing stdout. Failures are
 //! reported through the workspace [`NlsError`] taxonomy, so the
 //! binary can exit with one code per error class (usage 2, trace 3,
-//! run 4, checkpoint 5, I/O 6, interrupted 7).
+//! run 4, checkpoint 5, I/O 6, interrupted 7, work ledger 8).
 //!
 //! The simulation commands run *supervised*: `--deadline`,
 //! `--max-records` and `--max-heap-mb` build a
@@ -14,18 +14,32 @@
 //! sweep` flushes its checkpoint on the way out, so an interrupted
 //! sweep resumes with `--resume` and reproduces an uninterrupted one
 //! bit-for-bit.
+//!
+//! `nls sweep --workers N --ledger <FILE>` distributes the same
+//! sweep across N `sweep-worker` subprocesses claiming cells from a
+//! crash-safe work ledger; the parent fans SIGTERM out to them on
+//! its own signal and merges the per-cell metrics deterministically,
+//! so the merged output is bit-for-bit identical to `--workers 1`.
+//! `nls soak --kill-workers` is the standing drill for that
+//! machinery: it SIGKILLs a seeded selection of workers mid-sweep
+//! and requires the survivors to reclaim every orphaned lease.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
 
-use nls_core::soak::{run_soak, SoakConfig};
+use nls_core::soak::{run_soak, SoakConfig, WorkerSoakReport};
 use nls_core::{
-    cross, fallthrough_way_prediction, install_signal_token, paper_caches, run_one_supervised,
-    run_sweep_supervised, Budget, CancelToken, EngineSpec, FetchEngine as _, NlsError,
-    PenaltyModel, RunError, RunSpec, SweepConfig, SweepOptions,
+    cross, fallthrough_way_prediction, install_signal_token, merge_ledger_outcomes, oracle,
+    paper_caches, run_ledger_worker, run_one_supervised, run_sweep, run_sweep_supervised,
+    Budget, CancelToken, EngineSpec, FetchEngine as _, Ledger, LedgerFile, NlsError,
+    PenaltyModel, RunError, RunSpec, SweepConfig, SweepOptions, DEFAULT_LEASE_MS,
+    DEFAULT_MAX_ATTEMPTS,
 };
 use nls_cost::access_time::{btb_access_ns, tagless_access_ns, TimingProcess};
 use nls_cost::rbe::{btb_rbe, nls_cache_rbe, nls_table_rbe, CacheGeometry};
+use nls_trace::faults::{ChaosScheduler, RuntimeFault};
 use nls_trace::{
     synthesize, write_trace_atomic, BenchProfile, GenConfig, TraceFileError, TraceReader,
     TraceStats, Walker,
@@ -56,9 +70,13 @@ USAGE:
                 [--max-heap-mb N] [--csv]
   nls sweep     --bench <NAME|all> [--cache 16K:1]... [--engine btb:128:1]...
                 [--len 2m] [--seed N] [--checkpoint <FILE> [--resume]]
+                [--workers N --ledger <FILE> [--resume] [--lease-ms 5000]
+                [--max-attempts 3]]
                 [--deadline 30s] [--max-records 1m] [--max-heap-mb N] [--csv]
   nls soak      [--cases 6] [--seed N] [--len 20k] [--faults 4]
                 [--max-stall-ms 2] [--deadline 10s] [--max-records N]
+                [--kill-workers [--workers 3] [--kills 1] [--lease-ms 300]
+                [--hold-ms 2]]
   nls table1    [--len 2m] [--seed N]
   nls costs     [--cache-kb 8,16,32,64]
   nls gen-trace --bench <NAME> --out <FILE> [--len 2m] [--seed N]
@@ -71,6 +89,7 @@ ENGINES: btb:ENTRIES:ASSOC | nls-table:ENTRIES | nls-cache:PREDS | johnson:PREDS
 BENCHES: doduc espresso gcc li cfront groff | all
 EXIT CODES: 0 ok | 2 usage | 3 corrupt trace | 4 failed run | 5 checkpoint | 6 i/o
             7 interrupted (signal or budget; sweeps flush their checkpoint first)
+            8 work ledger (lease/lock failure; completed cells stay in the ledger)
 ";
 
 fn default_engines() -> Vec<EngineSpec> {
@@ -114,6 +133,265 @@ fn budget_from(a: &ParsedArgs, cancel: CancelToken) -> Result<Budget, CliError> 
         budget = budget.with_max_heap_bytes(mb.saturating_mul(1024 * 1024));
     }
     Ok(budget)
+}
+
+/// The (benchmark × cache) × engines grid and sweep config shared by
+/// `sweep` and its `sweep-worker` children — both sides must derive
+/// the identical grid from the same flags, or the workers would
+/// claim cells that do not exist in their own run list.
+fn sweep_grid(a: &ParsedArgs) -> Result<(Vec<RunSpec>, SweepConfig), CliError> {
+    let benches = parse_benches(a.get("bench").unwrap_or("all"))?;
+    let caches = {
+        let specs = a.get_all("cache");
+        if specs.is_empty() {
+            paper_caches()
+        } else {
+            specs.iter().map(|s| parse_cache(s)).collect::<Result<Vec<_>, _>>()?
+        }
+    };
+    let engines = engines_from(a)?;
+    Ok((cross(&benches, &caches, &engines), sweep_config(a)?))
+}
+
+/// The lease/retry knobs of a distributed sweep: `--lease-ms`
+/// (milliseconds a claim stays valid without a heartbeat) and
+/// `--max-attempts` (claims per cell before it is marked failed).
+fn ledger_knobs(a: &ParsedArgs) -> Result<(u64, u64), CliError> {
+    let positive = |flag: &str, s: &str| -> Result<u64, CliError> {
+        match s.parse::<u64>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(CliError(format!("bad --{flag} {s:?} (want a positive integer)"))),
+        }
+    };
+    let lease_ms = match a.get("lease-ms") {
+        Some(s) => positive("lease-ms", s)?,
+        None => DEFAULT_LEASE_MS,
+    };
+    let max_attempts = match a.get("max-attempts") {
+        Some(s) => positive("max-attempts", s)?,
+        None => DEFAULT_MAX_ATTEMPTS,
+    };
+    Ok((lease_ms, max_attempts))
+}
+
+/// Sends `sig` to process `pid`; a no-op off unix. Used for SIGTERM
+/// fan-out to sweep workers and for the SIGKILLs of the worker-death
+/// soak.
+#[cfg(unix)]
+fn send_signal(pid: u32, sig: i32) {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    // A failing kill means the child already exited; nothing to do.
+    unsafe {
+        let _ = kill(pid as i32, sig);
+    }
+}
+
+#[cfg(not(unix))]
+fn send_signal(_pid: u32, _sig: i32) {}
+
+/// The spec/budget flags a parent sweep forwards verbatim to its
+/// `sweep-worker` children, so every process derives the identical
+/// run grid and budget.
+const FORWARDED_FLAGS: [&str; 10] = [
+    "bench",
+    "cache",
+    "engine",
+    "len",
+    "seed",
+    "deadline",
+    "max-records",
+    "max-heap-mb",
+    "lease-ms",
+    "max-attempts",
+];
+
+/// Spawns one `sweep-worker` child against `ledger`, forwarding the
+/// sweep's spec flags. Worker stdout is discarded (the parent owns
+/// the merged report); stderr passes through for per-worker notes.
+fn spawn_worker(
+    exe: &Path,
+    a: &ParsedArgs,
+    ledger: &Path,
+    id: usize,
+) -> std::io::Result<Child> {
+    let mut cmd = Command::new(exe);
+    cmd.arg("sweep-worker")
+        .arg("--ledger")
+        .arg(ledger)
+        .arg("--worker-id")
+        .arg(format!("w{id}"));
+    for key in FORWARDED_FLAGS {
+        for val in a.get_all(key) {
+            cmd.arg(format!("--{key}")).arg(val);
+        }
+    }
+    cmd.stdout(Stdio::null());
+    cmd.spawn()
+}
+
+/// Waits for every worker child, fanning SIGTERM out once when the
+/// parent's own signal token trips so the children stop claiming,
+/// flush their state and exit 7.
+fn supervise_workers(
+    mut children: Vec<Child>,
+    token: &CancelToken,
+) -> Result<Vec<ExitStatus>, NlsError> {
+    let mut statuses = Vec::new();
+    let mut signalled = false;
+    while !children.is_empty() {
+        if token.is_cancelled() && !signalled {
+            signalled = true;
+            for child in &children {
+                send_signal(child.id(), 15);
+            }
+        }
+        let mut running = Vec::new();
+        for mut child in children {
+            match child.try_wait() {
+                Ok(Some(status)) => statuses.push(status),
+                Ok(None) => running.push(child),
+                Err(e) => return Err(NlsError::Io(e)),
+            }
+        }
+        children = running;
+        if !children.is_empty() {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+    Ok(statuses)
+}
+
+/// Merges a drained (or abandoned) ledger back into the sweep's
+/// report. All cells done renders the same block as a single-process
+/// sweep; unfinished cells exit 7 when a signal or a worker budget
+/// stopped the run, and 8 when the workers died without one.
+fn render_merged(
+    runs: &[RunSpec],
+    ledger: &Ledger,
+    a: &ParsedArgs,
+    path: &Path,
+    cancelled: bool,
+    worker_interrupted: bool,
+) -> Result<String, NlsError> {
+    let outcomes = merge_ledger_outcomes(runs, ledger);
+    let total = outcomes.len();
+    let mut results = Vec::new();
+    let mut notes = Vec::new();
+    let mut unfinished = 0usize;
+    let mut failed: Option<RunError> = None;
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => results.extend(o.into_results()),
+            Err(RunError::Interrupted { .. }) => unfinished += 1,
+            Err(e) => {
+                notes.push(format!("note: {e}"));
+                failed.get_or_insert(e);
+            }
+        }
+    }
+    if unfinished > 0 || cancelled {
+        let msg = format!(
+            "sweep stopped after {}/{total} cells; completed cells are in the ledger at {} — \
+             rerun with --resume to finish",
+            total - unfinished,
+            path.display()
+        );
+        // A signal here or a budget in a worker is an interruption;
+        // workers dying without one is a ledger-level failure.
+        return Err(if cancelled || worker_interrupted {
+            NlsError::Interrupted(msg)
+        } else {
+            NlsError::Ledger(msg)
+        });
+    }
+    let mut out = result_block(&results, a.has_switch("csv"));
+    for n in &notes {
+        let _ = writeln!(out, "{n}");
+    }
+    match failed {
+        Some(e) => Err(NlsError::Run(e)),
+        None => Ok(out),
+    }
+}
+
+/// A multi-process sweep: N `sweep-worker` children claim cells from
+/// the shared crash-safe ledger at `path`, the parent supervises
+/// them and deterministically merges the per-cell metrics, so the
+/// output is bit-for-bit identical to `--workers 1` (and to a plain
+/// single-process sweep of the same grid).
+fn sweep_distributed(
+    a: &ParsedArgs,
+    runs: &[RunSpec],
+    cfg: &SweepConfig,
+    path: PathBuf,
+) -> Result<String, NlsError> {
+    let workers: usize = match a.get("workers") {
+        Some(s) => match s.parse() {
+            Ok(n) if (1..=64).contains(&n) => n,
+            _ => return Err(CliError(format!("bad --workers {s:?} (want 1..=64)")).into()),
+        },
+        None => 1,
+    };
+    let (lease_ms, max_attempts) = ledger_knobs(a)?;
+    let file = LedgerFile::new(&path);
+    file.init(
+        Ledger::new(cfg, lease_ms, max_attempts, runs.iter().map(RunSpec::key)),
+        a.has_switch("resume"),
+    )?;
+    let token = install_signal_token();
+    let exe = std::env::current_exe().map_err(NlsError::Io)?;
+    let mut children = Vec::new();
+    for id in 0..workers {
+        children.push(spawn_worker(&exe, a, &path, id).map_err(NlsError::Io)?);
+    }
+    let statuses = supervise_workers(children, &token)?;
+    let worker_interrupted = statuses.iter().any(|s| s.code() == Some(7));
+    let ledger = file.read(&CancelToken::new())?;
+    render_merged(runs, &ledger, a, &path, token.is_cancelled(), worker_interrupted)
+}
+
+/// `nls sweep-worker`: one claiming worker of a distributed sweep.
+/// Spawned by `nls sweep --workers N`, but safe to point at any
+/// ledger by hand — it claims cells, renews its leases by heartbeat,
+/// reclaims orphans left by dead peers, and exits once the ledger is
+/// drained. Its summary goes to stderr so stdout stays with the
+/// parent's merged report.
+///
+/// # Errors
+///
+/// Fails on malformed options, a ledger that does not match the
+/// sweep grid, or with [`NlsError::Interrupted`] when stopped by
+/// signal or budget.
+pub fn sweep_worker(a: &ParsedArgs) -> Result<String, NlsError> {
+    a.expect_only(&[
+        "ledger",
+        "worker-id",
+        "bench",
+        "cache",
+        "engine",
+        "len",
+        "seed",
+        "lease-ms",
+        "max-attempts",
+        "deadline",
+        "max-records",
+        "max-heap-mb",
+    ])?;
+    let path = a.get("ledger").ok_or(CliError("--ledger is required".into()))?;
+    let worker = a.get("worker-id").unwrap_or("w0").to_string();
+    let (runs, cfg) = sweep_grid(a)?;
+    let token = install_signal_token();
+    let budget = budget_from(a, token.clone())?;
+    let file = LedgerFile::new(path);
+    let report =
+        run_ledger_worker(&runs, &cfg, &SweepOptions::default(), &budget, &file, &worker)?;
+    eprintln!(
+        "worker {worker}: {} cell(s) completed ({} reclaimed), {} failed attempt(s)",
+        report.completed, report.reclaimed, report.failed_attempts
+    );
+    Ok(String::new())
 }
 
 fn result_block(results: &[nls_core::SimResult], csv: bool) -> String {
@@ -236,26 +514,39 @@ pub fn sweep(a: &ParsedArgs) -> Result<String, NlsError> {
         "csv",
         "checkpoint",
         "resume",
+        "workers",
+        "ledger",
+        "lease-ms",
+        "max-attempts",
         "deadline",
         "max-records",
         "max-heap-mb",
     ])?;
-    let benches = parse_benches(a.get("bench").unwrap_or("all"))?;
-    let caches = {
-        let specs = a.get_all("cache");
-        if specs.is_empty() {
-            paper_caches()
-        } else {
-            specs.iter().map(|s| parse_cache(s)).collect::<Result<Vec<_>, _>>()?
-        }
-    };
-    let engines = engines_from(a)?;
-    let cfg = sweep_config(a)?;
-    let runs = cross(&benches, &caches, &engines);
+    let (runs, cfg) = sweep_grid(a)?;
 
     let checkpoint = a.get("checkpoint").map(PathBuf::from);
+    let ledger = a.get("ledger").map(PathBuf::from);
+    if ledger.is_some() && checkpoint.is_some() {
+        return Err(CliError(
+            "--ledger and --checkpoint are mutually exclusive (the ledger is the durable state)"
+                .into(),
+        )
+        .into());
+    }
+    if ledger.is_none() {
+        for flag in ["workers", "lease-ms", "max-attempts"] {
+            if a.get(flag).is_some() {
+                return Err(CliError(format!("--{flag} needs --ledger <FILE>")).into());
+            }
+        }
+    }
+    if let Some(path) = ledger {
+        return sweep_distributed(a, &runs, &cfg, path);
+    }
     if a.has_switch("resume") && checkpoint.is_none() {
-        return Err(CliError("--resume needs --checkpoint <FILE>".into()).into());
+        return Err(
+            CliError("--resume needs --checkpoint <FILE> or --ledger <FILE>".into()).into()
+        );
     }
     if let Some(path) = &checkpoint {
         if path.exists() && !a.has_switch("resume") {
@@ -331,6 +622,9 @@ pub fn sweep(a: &ParsedArgs) -> Result<String, NlsError> {
 /// Fails on malformed options, or with [`NlsError::Run`] when a
 /// case's counters violate the oracle.
 pub fn soak(a: &ParsedArgs) -> Result<String, NlsError> {
+    if a.has_switch("kill-workers") {
+        return soak_kill_workers(a);
+    }
     a.expect_only(&[
         "cases",
         "seed",
@@ -373,6 +667,215 @@ pub fn soak(a: &ParsedArgs) -> Result<String, NlsError> {
         Err(NlsError::Run(RunError::Panicked {
             run: "soak".to_string(),
             message: format!("chaos soak produced oracle violations:\n{out}"),
+            attempts: 1,
+        }))
+    }
+}
+
+/// `nls soak --kill-workers`: the worker-death chaos drill.
+///
+/// Spawns a multi-process sweep over a small fixed grid with
+/// deliberately short leases and injected ledger-lock contention
+/// (`NLS_LEDGER_CHAOS_HOLD_MS` in the children), SIGKILLs a seeded
+/// selection of workers mid-run ([`RuntimeFault::WorkerKill`]), and
+/// requires the survivors to reclaim every orphaned lease: every
+/// cell done, merged metrics bit-for-bit equal to the in-process
+/// single-run reference, and every merged result oracle-clean.
+///
+/// # Errors
+///
+/// Fails on malformed options, with [`NlsError::Interrupted`] on a
+/// signal, or with [`NlsError::Run`] when the drill leaves cells
+/// behind, diverges from the reference, or violates the oracle.
+fn soak_kill_workers(a: &ParsedArgs) -> Result<String, NlsError> {
+    a.expect_only(&["kill-workers", "workers", "kills", "seed", "len", "lease-ms", "hold-ms"])?;
+    let int = |flag: &str, s: &str| -> Result<u64, CliError> {
+        s.parse().map_err(|_| CliError(format!("bad --{flag} {s:?}")))
+    };
+    let workers: usize = match a.get("workers") {
+        Some(s) => match s.parse() {
+            Ok(n) if (2..=16).contains(&n) => n,
+            _ => return Err(CliError(format!("bad --workers {s:?} (want 2..=16)")).into()),
+        },
+        None => 3,
+    };
+    let kills = match a.get("kills") {
+        Some(s) => int("kills", s)? as usize,
+        None => 1,
+    };
+    if kills == 0 || kills >= workers {
+        return Err(CliError(format!(
+            "--kills {kills} must be between 1 and workers-1 ({}) so a survivor remains",
+            workers - 1
+        ))
+        .into());
+    }
+    let seed = match a.get("seed") {
+        Some(s) => int("seed", s)?,
+        None => 0x0dd5_0a4b,
+    };
+    let trace_len: usize = match a.get("len") {
+        Some(s) => parse_count(s)?,
+        None => 150_000,
+    };
+    let lease_ms = match a.get("lease-ms") {
+        Some(s) => int("lease-ms", s)?.max(1),
+        None => 300,
+    };
+    let hold_ms = match a.get("hold-ms") {
+        Some(s) => int("hold-ms", s)?,
+        None => 2,
+    };
+
+    // The fixed drill grid: all six benchmarks over two cache shapes
+    // and one engine — twelve cells, enough that every worker owns
+    // several and a killed worker always abandons leased work for
+    // the survivors to reclaim.
+    let benches = parse_benches("all")?;
+    let caches = vec![parse_cache("8K:1")?, parse_cache("8K:4")?];
+    let engines = vec![EngineSpec::nls_table(512)];
+    let runs = cross(&benches, &caches, &engines);
+    let cfg = SweepConfig { trace_len, seed };
+
+    // The single-process reference, computed in this process.
+    let reference = run_sweep(&runs, &cfg);
+
+    let path =
+        std::env::temp_dir().join(format!("nls-worker-soak-{}.json", std::process::id()));
+    let lock = PathBuf::from(format!("{}.lock", path.display()));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&lock);
+    let file = LedgerFile::new(&path);
+    // Each kill burns at most one attempt per orphaned cell, so the
+    // retry budget must outlast every planned kill.
+    file.init(
+        Ledger::new(&cfg, lease_ms, kills as u64 + 2, runs.iter().map(RunSpec::key)),
+        false,
+    )?;
+
+    let token = install_signal_token();
+    let exe = std::env::current_exe().map_err(NlsError::Io)?;
+    let mut procs: Vec<(Child, Option<ExitStatus>)> = Vec::new();
+    for id in 0..workers {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("sweep-worker")
+            .arg("--ledger")
+            .arg(&path)
+            .arg("--worker-id")
+            .arg(format!("w{id}"))
+            .arg("--bench")
+            .arg("all")
+            .arg("--cache")
+            .arg("8K:1")
+            .arg("--cache")
+            .arg("8K:4")
+            .arg("--engine")
+            .arg("nls-table:512")
+            .arg("--len")
+            .arg(trace_len.to_string())
+            .arg("--seed")
+            .arg(seed.to_string())
+            .env("NLS_LEDGER_CHAOS_HOLD_MS", hold_ms.to_string());
+        cmd.stdout(Stdio::null());
+        procs.push((cmd.spawn().map_err(NlsError::Io)?, None));
+    }
+
+    // The seeded kill schedule fires within the first lease
+    // interval, while cells are still in flight.
+    let mut plan = ChaosScheduler::new(seed).kill_plan(workers as u64, kills, lease_ms);
+    let mut killed: Vec<u64> = Vec::new();
+    let started = Instant::now();
+    let mut signalled = false;
+    loop {
+        let elapsed = started.elapsed().as_millis() as u64;
+        while plan.first().is_some_and(|f| f.trigger_at() <= elapsed) {
+            if let Some(RuntimeFault::WorkerKill { victim, .. }) = plan.first().copied() {
+                if let Some((child, status)) = procs.get_mut(victim as usize) {
+                    if status.is_none() {
+                        send_signal(child.id(), 9);
+                        killed.push(victim);
+                    }
+                }
+            }
+            plan.remove(0);
+        }
+        if token.is_cancelled() && !signalled {
+            signalled = true;
+            for (child, status) in &procs {
+                if status.is_none() {
+                    send_signal(child.id(), 15);
+                }
+            }
+        }
+        let mut all_done = true;
+        for (child, status) in procs.iter_mut() {
+            if status.is_none() {
+                match child.try_wait() {
+                    Ok(Some(s)) => *status = Some(s),
+                    Ok(None) => all_done = false,
+                    Err(e) => return Err(NlsError::Io(e)),
+                }
+            }
+        }
+        if all_done {
+            break;
+        }
+        // Watchdog: the drill must end in bounded time even if a
+        // survivor wedges — that itself is a failed drill.
+        if elapsed > 120_000 {
+            for (child, status) in &procs {
+                if status.is_none() {
+                    send_signal(child.id(), 9);
+                }
+            }
+            return Err(NlsError::Run(RunError::Panicked {
+                run: "worker-soak".to_string(),
+                message: "worker-death soak wedged: workers still running after 120 s"
+                    .to_string(),
+                attempts: 1,
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if token.is_cancelled() {
+        return Err(NlsError::Interrupted("worker-death soak stopped by signal".to_string()));
+    }
+
+    let ledger = file.read(&CancelToken::new())?;
+    let counts = ledger.counts();
+    let outcomes = merge_ledger_outcomes(&runs, &ledger);
+    let mut merged = Vec::new();
+    let mut unfinished = 0usize;
+    for outcome in outcomes {
+        match outcome {
+            Ok(o) => merged.extend(o.into_results()),
+            Err(_) => unfinished += 1,
+        }
+    }
+    let oracle_findings: Vec<String> =
+        merged.iter().flat_map(oracle::invariant_violations).collect();
+    let report = WorkerSoakReport {
+        workers,
+        killed,
+        cells: runs.len(),
+        done: counts.done,
+        failed: counts.failed,
+        unfinished: unfinished.saturating_sub(counts.failed),
+        matches_reference: merged == reference,
+        oracle_findings,
+    };
+    let out = report.render();
+    if report.is_healthy() {
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&lock);
+        Ok(out)
+    } else {
+        Err(NlsError::Run(RunError::Panicked {
+            run: "worker-soak".to_string(),
+            message: format!(
+                "worker-death soak failed (ledger kept at {}):\n{out}",
+                path.display()
+            ),
             attempts: 1,
         }))
     }
@@ -594,6 +1097,7 @@ pub fn dispatch(a: &ParsedArgs) -> Result<String, NlsError> {
     match a.command.as_str() {
         "simulate" => simulate(a),
         "sweep" => sweep(a),
+        "sweep-worker" => sweep_worker(a),
         "soak" => soak(a),
         "table1" => table1(a),
         "costs" => costs(a),
@@ -685,6 +1189,122 @@ mod tests {
     fn sweep_resume_without_checkpoint_is_a_usage_error() {
         let err = run(&["sweep", "--bench", "li", "--len", "10k", "--resume"]).unwrap_err();
         assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn distributed_sweep_flags_are_validated() {
+        // Worker/lease knobs without a ledger to apply them to.
+        for flag in [["--workers", "2"], ["--lease-ms", "100"], ["--max-attempts", "5"]] {
+            let args = ["sweep", "--bench", "li", "--len", "10k", flag[0], flag[1]];
+            let err = run(&args).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{args:?}");
+        }
+        // The ledger and the checkpoint are competing durable states.
+        let err = run(&[
+            "sweep",
+            "--bench",
+            "li",
+            "--ledger",
+            "/tmp/x.json",
+            "--checkpoint",
+            "/tmp/y.json",
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        // Garbage knob values.
+        for (flag, val) in [
+            ("--workers", "0"),
+            ("--workers", "many"),
+            ("--lease-ms", "0"),
+            ("--max-attempts", "0"),
+        ] {
+            let args = [
+                "sweep",
+                "--bench",
+                "li",
+                "--len",
+                "10k",
+                "--ledger",
+                "/tmp/x.json",
+                flag,
+                val,
+            ];
+            let err = run(&args).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{args:?}");
+        }
+    }
+
+    #[test]
+    fn kill_workers_flags_are_validated() {
+        // Killing every worker (or none) defeats the drill.
+        for kills in ["0", "3", "9"] {
+            let err = run(&["soak", "--kill-workers", "--workers", "3", "--kills", kills])
+                .unwrap_err();
+            assert_eq!(err.exit_code(), 2, "--kills {kills}");
+        }
+        let err = run(&["soak", "--kill-workers", "--workers", "1"]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "a one-worker drill has no survivor");
+    }
+
+    #[test]
+    fn sweep_worker_drains_a_ledger_single_handedly() {
+        use nls_core::{Ledger, LedgerFile, RunSpec, SweepConfig};
+
+        let dir = std::env::temp_dir().join("nls-cli-worker-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.json");
+        let _ = std::fs::remove_file(&path);
+        let path_s = path.to_str().unwrap().to_string();
+
+        let grid_args = [
+            "sweep-worker",
+            "--ledger",
+            &path_s,
+            "--worker-id",
+            "w0",
+            "--bench",
+            "li",
+            "--cache",
+            "8K:1",
+            "--cache",
+            "8K:4",
+            "--engine",
+            "nls-table:512",
+            "--len",
+            "40k",
+        ];
+
+        // Against a missing ledger the worker fails with the ledger
+        // class (exit 8) — it never invents one.
+        let err = run(&grid_args).unwrap_err();
+        assert_eq!(err.exit_code(), 8, "{err}");
+
+        // Seed the ledger the way the parent would, then drain it.
+        let cfg = SweepConfig { trace_len: 40_000, seed: 0x0b5e_55ed };
+        let benches = crate::args::parse_benches("li").unwrap();
+        let caches = vec![
+            crate::args::parse_cache("8K:1").unwrap(),
+            crate::args::parse_cache("8K:4").unwrap(),
+        ];
+        let engines = vec![nls_core::EngineSpec::nls_table(512)];
+        let runs = nls_core::cross(&benches, &caches, &engines);
+        let file = LedgerFile::new(&path);
+        file.init(Ledger::new(&cfg, 5_000, 3, runs.iter().map(RunSpec::key)), false).unwrap();
+
+        let out = run(&grid_args).unwrap();
+        assert!(out.is_empty(), "worker stdout belongs to the parent: {out:?}");
+        let drained = file.read(&nls_core::CancelToken::new()).unwrap();
+        let counts = drained.counts();
+        assert_eq!(counts.done, 2, "{counts:?}");
+        assert_eq!(counts.pending + counts.leased + counts.failed, 0, "{counts:?}");
+
+        // The merged cells replay bit-for-bit against the direct run.
+        let merged: Vec<_> = nls_core::merge_ledger_outcomes(&runs, &drained)
+            .into_iter()
+            .flat_map(|o| o.unwrap().into_results())
+            .collect();
+        assert_eq!(merged, nls_core::run_sweep(&runs, &cfg));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! Errors print to stderr with their class and exit with one code
 //! per [`NlsError`] class: usage 2, corrupt trace 3, failed run 4,
-//! checkpoint 5, other I/O 6, interrupted (signal/budget) 7.
+//! checkpoint 5, other I/O 6, interrupted (signal/budget) 7,
+//! work ledger 8.
 
 use std::process::ExitCode;
 
@@ -25,6 +26,10 @@ fn hint(e: &NlsError) -> &'static str {
         NlsError::Io(_) => "check the path, permissions and free space, then retry",
         NlsError::Interrupted(_) => {
             "completed work is safe; rerun `nls sweep --checkpoint <FILE> --resume` to continue"
+        }
+        NlsError::Ledger(_) => {
+            "completed cells are safe in the ledger; rerun `nls sweep --ledger <FILE> --resume`, \
+             or delete the ledger (and its .lock) to start over"
         }
     }
 }

@@ -1,10 +1,12 @@
 //! End-to-end tests of the `nls` binary: process exit codes, stderr
 //! classification, corruption recovery and supervised execution
-//! (signals, budgets, checkpoint/resume) as a user would see them.
+//! (signals, budgets, checkpoint/resume, distributed sweeps) as a
+//! user would see them.
 //!
 //! Each error class must map to its documented exit code (usage 2,
 //! corrupt trace 3, failed run 4, checkpoint 5, I/O 6, interrupted
-//! 7) with the diagnostic on stderr and nothing on stdout.
+//! 7, work ledger 8) with the diagnostic on stderr and nothing on
+//! stdout.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -214,6 +216,142 @@ fn sigint_mid_sweep_flushes_a_checkpoint_that_resume_completes() {
         "resumed metrics must equal an uninterrupted sweep bit-for-bit"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// The distributed-sweep acceptance path end to end: a `--workers 3`
+/// sweep has one worker SIGKILLed while it provably holds a lease,
+/// a survivor reclaims the orphaned cell once the lease expires, the
+/// parent still exits 0, and the merged metrics equal a `--workers
+/// 1` run of the same grid bit-for-bit.
+#[cfg(unix)]
+#[test]
+fn sigkilled_worker_is_reclaimed_and_merged_output_is_bit_identical() {
+    use std::process::Stdio;
+    use std::time::{Duration, Instant};
+
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGKILL: i32 = 9;
+
+    /// PID of the `sweep-worker` child holding `worker_id` against
+    /// `ledger`, found the way an operator would: /proc cmdlines.
+    fn worker_pid(worker_id: &str, ledger: &str) -> Option<i32> {
+        for entry in std::fs::read_dir("/proc").ok()?.flatten() {
+            let pid: i32 = match entry.file_name().to_string_lossy().parse() {
+                Ok(pid) => pid,
+                Err(_) => continue,
+            };
+            let Ok(raw) = std::fs::read(entry.path().join("cmdline")) else { continue };
+            let args: Vec<&str> =
+                raw.split(|b| *b == 0).map(|a| std::str::from_utf8(a).unwrap_or("")).collect();
+            if args.iter().any(|a| *a == "sweep-worker")
+                && args.iter().any(|a| *a == worker_id)
+                && args.iter().any(|a| *a == ledger)
+            {
+                return Some(pid);
+            }
+        }
+        None
+    }
+
+    let single = temp_path("ledger-single.json");
+    let multi = temp_path("ledger-multi.json");
+    for p in [&single, &multi] {
+        let _ = std::fs::remove_file(format!("{}.lock", p.display()));
+    }
+    let single_s = single.to_str().unwrap().to_string();
+    let multi_s = multi.to_str().unwrap().to_string();
+
+    // One bench over the six paper caches: six cells, each long
+    // enough that the kill below always lands mid-cell.
+    let base = vec![
+        "sweep",
+        "--bench",
+        "li",
+        "--engine",
+        "nls-table:512",
+        "--len",
+        "1m",
+        "--seed",
+        "11",
+    ];
+
+    // The single-process reference.
+    let mut ref_args = base.clone();
+    ref_args.extend(["--ledger", &single_s, "--workers", "1"]);
+    let reference = nls(&ref_args);
+    assert_eq!(reference.status.code(), Some(0), "{}", stderr(&reference));
+
+    // The distributed run, with a short lease so reclamation is fast.
+    let mut multi_args = base.clone();
+    multi_args.extend(["--ledger", &multi_s, "--workers", "3", "--lease-ms", "300"]);
+    let parent = Command::new(env!("CARGO_BIN_EXE_nls"))
+        .args(&multi_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("the nls binary must spawn");
+
+    // Wait until the ledger shows some worker holding a lease, then
+    // SIGKILL that worker while it provably owns an unfinished cell.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut victim: Option<(String, i32)> = None;
+    while victim.is_none() {
+        assert!(Instant::now() < deadline, "no lease ever appeared in {multi_s}");
+        if let Ok(text) = std::fs::read_to_string(&multi) {
+            if let Some(at) = text.find("\"leased\"") {
+                if let Some(tail) =
+                    text.get(at..).and_then(|t| t.split("\"worker\": \"").nth(1))
+                {
+                    let holder = tail.chars().take_while(|c| *c != '"').collect::<String>();
+                    if let Some(pid) = worker_pid(&holder, &multi_s) {
+                        victim = Some((holder, pid));
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (holder, pid) = victim.unwrap();
+    // SAFETY: plain kill(2) on a worker process this test observed.
+    let rc = unsafe { kill(pid, SIGKILL) };
+    assert_eq!(rc, 0, "SIGKILL must reach worker {holder} (pid {pid})");
+
+    let out = parent.wait_with_output().expect("parent must exit");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "a killed worker must not fail the sweep\nstderr: {}",
+        stderr(&out)
+    );
+
+    // Bit-for-bit: the merged multi-worker output equals --workers 1.
+    assert_eq!(
+        stdout(&out),
+        stdout(&reference),
+        "merged metrics must be identical to the single-process run"
+    );
+
+    // A survivor must have reclaimed the victim's orphaned cell (its
+    // per-worker summary counts reclaims), and the drained ledger
+    // must hold only done cells.
+    let err = stderr(&out);
+    let reclaims: usize = err
+        .lines()
+        .filter_map(|l| l.split_once(" reclaimed)"))
+        .filter_map(|(head, _)| head.rsplit('(').next())
+        .filter_map(|n| n.trim().parse::<usize>().ok())
+        .sum();
+    assert!(reclaims > 0, "no survivor reported a reclaimed cell:\n{err}");
+    let text = std::fs::read_to_string(&multi).unwrap();
+    assert!(!text.contains("\"leased\"") && !text.contains("\"pending\""), "{text}");
+    assert!(text.contains("\"done\""), "{text}");
+
+    for p in [&single, &multi] {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(format!("{}.lock", p.display()));
+    }
 }
 
 #[test]

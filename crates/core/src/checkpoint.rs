@@ -14,8 +14,10 @@
 //! the persistence layer dependency-free and lets the corruption
 //! tests pin down every failure mode. Saves go through the same
 //! write-to-temp-then-rename discipline as
-//! [`write_trace_atomic`](nls_trace::write_trace_atomic), so a crash
-//! mid-save leaves the previous checkpoint intact.
+//! [`write_trace_atomic`](nls_trace::write_trace_atomic) — plus a
+//! parent-directory fsync after the rename — so a crash mid-save
+//! leaves the previous checkpoint intact and a crash just after a
+//! save cannot roll the rename back.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -99,22 +101,13 @@ impl Checkpoint {
     }
 
     /// Atomically writes the checkpoint to `path`: serialise to a
-    /// temporary sibling, fsync, rename over the target.
+    /// temporary sibling, fsync, rename over the target, then fsync
+    /// the parent directory so the rename itself is durable (without
+    /// the directory fsync a crash after the rename can roll the
+    /// directory entry back to the old file).
     pub fn save(&self, path: &Path) -> Result<(), NlsError> {
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = std::path::PathBuf::from(tmp);
-        let write = (|| -> std::io::Result<()> {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(self.to_json().as_bytes())?;
-            f.sync_all()?;
-            fs::rename(&tmp, path)
-        })();
-        if let Err(e) = write {
-            let _ = fs::remove_file(&tmp);
-            return Err(NlsError::Checkpoint(format!("cannot write {}: {e}", path.display())));
-        }
-        Ok(())
+        write_atomic(path, &self.to_json())
+            .map_err(|e| NlsError::Checkpoint(format!("cannot write {}: {e}", path.display())))
     }
 
     /// Serialises to the versioned JSON schema.
@@ -172,7 +165,40 @@ impl Checkpoint {
     }
 }
 
-fn write_result(out: &mut String, r: &SimResult) {
+/// Atomic durable write shared by the checkpoint and the ledger:
+/// serialise to a temporary sibling, fsync the file, rename over the
+/// target, fsync the parent directory.
+pub(crate) fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = (|| -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)?;
+        fsync_parent_dir(path)
+    })();
+    if let Err(e) = write {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Fsyncs the directory containing `path`, making a just-performed
+/// rename of `path` durable. A path with no parent component syncs
+/// the current directory (`.`), where the rename landed.
+pub(crate) fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    // nls-lint: allow(fs-trace-read): opens a directory to fsync it; no bytes are read
+    fs::File::open(parent)?.sync_all()
+}
+
+pub(crate) fn write_result(out: &mut String, r: &SimResult) {
     out.push_str(&format!(
         "{{\"engine\": {}, \"bench\": {}, \"cache\": {}, \
          \"instructions\": {}, \"breaks\": {}, \"misfetches\": {}, \"mispredicts\": {}, \
@@ -199,7 +225,7 @@ fn write_result(out: &mut String, r: &SimResult) {
     out.push_str("]}");
 }
 
-fn parse_result(value: Json) -> Result<SimResult, NlsError> {
+pub(crate) fn parse_result(value: Json) -> Result<SimResult, NlsError> {
     let obj = value.into_object()?;
     let icache = field(&obj, "icache")?;
     let icache = match icache {
@@ -236,7 +262,7 @@ fn parse_result(value: Json) -> Result<SimResult, NlsError> {
     })
 }
 
-fn field<'a>(pairs: &'a [(String, Json)], name: &str) -> Result<&'a Json, NlsError> {
+pub(crate) fn field<'a>(pairs: &'a [(String, Json)], name: &str) -> Result<&'a Json, NlsError> {
     pairs
         .iter()
         .find(|(k, _)| k == name)
@@ -244,12 +270,12 @@ fn field<'a>(pairs: &'a [(String, Json)], name: &str) -> Result<&'a Json, NlsErr
         .ok_or_else(|| NlsError::Checkpoint(format!("missing field {name:?}")))
 }
 
-fn type_error(wanted: &str, got: Json) -> NlsError {
+pub(crate) fn type_error(wanted: &str, got: Json) -> NlsError {
     NlsError::Checkpoint(format!("expected {wanted}, found {}", got.kind()))
 }
 
 /// Escapes a string for JSON output.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -270,7 +296,7 @@ fn json_string(s: &str) -> String {
 /// The minimal JSON value space the checkpoint schema needs:
 /// objects, arrays, strings and unsigned integers.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Object(Vec<(String, Json)>),
     Array(Vec<Json>),
     String(String),
@@ -278,7 +304,7 @@ enum Json {
 }
 
 impl Json {
-    fn kind(&self) -> &'static str {
+    pub(crate) fn kind(&self) -> &'static str {
         match self {
             Json::Object(_) => "object",
             Json::Array(_) => "array",
@@ -287,28 +313,28 @@ impl Json {
         }
     }
 
-    fn into_object(self) -> Result<Vec<(String, Json)>, NlsError> {
+    pub(crate) fn into_object(self) -> Result<Vec<(String, Json)>, NlsError> {
         match self {
             Json::Object(pairs) => Ok(pairs),
             other => Err(type_error("object", other)),
         }
     }
 
-    fn into_array(self) -> Result<Vec<Json>, NlsError> {
+    pub(crate) fn into_array(self) -> Result<Vec<Json>, NlsError> {
         match self {
             Json::Array(items) => Ok(items),
             other => Err(type_error("array", other)),
         }
     }
 
-    fn as_u64(&self) -> Result<u64, NlsError> {
+    pub(crate) fn as_u64(&self) -> Result<u64, NlsError> {
         match self {
             Json::Number(n) => Ok(*n),
             other => Err(type_error("number", other.clone())),
         }
     }
 
-    fn as_str(&self) -> Result<&str, NlsError> {
+    pub(crate) fn as_str(&self) -> Result<&str, NlsError> {
         match self {
             Json::String(s) => Ok(s),
             other => Err(type_error("string", other.clone())),
@@ -318,7 +344,7 @@ impl Json {
     /// Parses `text` as a single JSON value with nothing but
     /// whitespace after it. Errors are plain strings with a byte
     /// offset; the caller wraps them in [`NlsError::Checkpoint`].
-    fn parse(text: &str) -> Result<Json, String> {
+    pub(crate) fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
         let value = p.value()?;
         p.skip_ws();
@@ -641,6 +667,28 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap().unwrap();
         assert_eq!(loaded, cp);
         assert!(!path.with_extension("json.tmp").exists());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_fsyncs_the_parent_directory_and_survives_bare_filenames() {
+        // The rename-durability fix opens the parent directory after
+        // the rename; both a real parent and the implicit `.` parent
+        // of a bare file name must resolve and sync cleanly.
+        let dir = std::env::temp_dir().join("nls-checkpoint-dirsync-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        sample().save(&path).unwrap();
+        fsync_parent_dir(&path).unwrap();
+        fsync_parent_dir(Path::new("bare-name.json")).unwrap();
+        let missing = dir.join("no-such-subdir").join("ckpt.json");
+        assert!(fsync_parent_dir(&missing).is_err(), "missing parent must not be masked");
+        let err = sample().save(&missing).unwrap_err();
+        assert_eq!(
+            err.exit_code(),
+            5,
+            "save into a missing directory stays a checkpoint error"
+        );
         let _ = fs::remove_file(&path);
     }
 

@@ -13,6 +13,7 @@
 //! | checkpoint damage | [`NlsError::Checkpoint`] | 5 |
 //! | other I/O | [`NlsError::Io`] | 6 |
 //! | interrupted (signal/budget) | [`NlsError::Interrupted`] | 7 |
+//! | work-ledger/lease failure | [`NlsError::Ledger`] | 8 |
 //!
 //! Exit codes 0 and 1 keep their conventional meanings (success, and
 //! a generic/unclassified failure) and code 101 remains Rust's
@@ -77,6 +78,10 @@ pub enum NlsError {
     /// A signal or budget stopped the work before it finished (state
     /// was flushed; rerun with `--resume` to continue).
     Interrupted(String),
+    /// The distributed-sweep work ledger failed: the ledger file or
+    /// its lock could not be acquired, read, or written, or the cell
+    /// grid disagrees with the requested sweep.
+    Ledger(String),
 }
 
 impl NlsError {
@@ -89,6 +94,7 @@ impl NlsError {
             NlsError::Checkpoint(_) => 5,
             NlsError::Io(_) => 6,
             NlsError::Interrupted(_) => 7,
+            NlsError::Ledger(_) => 8,
         }
     }
 
@@ -101,6 +107,7 @@ impl NlsError {
             NlsError::Checkpoint(_) => "checkpoint",
             NlsError::Io(_) => "io",
             NlsError::Interrupted(_) => "interrupted",
+            NlsError::Ledger(_) => "ledger",
         }
     }
 }
@@ -114,6 +121,7 @@ impl fmt::Display for NlsError {
             NlsError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
             NlsError::Io(e) => write!(f, "i/o error: {e}"),
             NlsError::Interrupted(msg) => write!(f, "interrupted: {msg}"),
+            NlsError::Ledger(msg) => write!(f, "ledger error: {msg}"),
         }
     }
 }
@@ -164,6 +172,7 @@ mod tests {
             NlsError::Checkpoint("version 99".into()),
             NlsError::Io(io::Error::other("disk gone")),
             NlsError::Interrupted("SIGINT during the verdict sweep".into()),
+            NlsError::Ledger("lease on cell li | 8K direct expired".into()),
         ];
         let mut codes: Vec<u8> = errors.iter().map(NlsError::exit_code).collect();
         codes.sort_unstable();
@@ -207,5 +216,14 @@ mod tests {
         assert_eq!(e.exit_code(), 7);
         assert_eq!(e.class(), "interrupted");
         assert!(e.to_string().contains("deadline hit"));
+    }
+
+    #[test]
+    fn ledger_failures_are_their_own_class() {
+        let e = NlsError::Ledger("could not acquire ledger lock".into());
+        assert_eq!(e.exit_code(), 8);
+        assert_eq!(e.class(), "ledger");
+        assert!(e.to_string().contains("ledger error"));
+        assert!(e.to_string().contains("lock"));
     }
 }

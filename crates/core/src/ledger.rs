@@ -1,0 +1,1199 @@
+//! The distributed-sweep work ledger: checkpoint schema v2.
+//!
+//! A [`Checkpoint`](crate::Checkpoint) records *finished* cells; the
+//! ledger evolves that file into a shared coordination substrate for
+//! multi-process sweeps. Every (bench × cache × engines) cell carries
+//! a state machine:
+//!
+//! ```text
+//! Pending ──claim──▶ Leased{worker, deadline} ──complete──▶ Done
+//!    ▲                   │
+//!    └── lease expiry / failed attempt (with exponential backoff),
+//!        until max_attempts is spent ──▶ Failed{attempts}
+//! ```
+//!
+//! Workers claim cells through a lock-file-guarded atomic
+//! read-modify-write ([`LedgerFile::update`]): take the sibling
+//! `.lock` file with `O_EXCL`, load the ledger, mutate, write it back
+//! through the same fsync-temp-rename-fsync-dir discipline as the
+//! checkpoint, release the lock. A running worker renews its lease by
+//! heartbeat ([`Heartbeat`]); *any* worker reclaims an orphaned cell
+//! whose lease expired, so a SIGKILLed or hung worker costs at most
+//! one lease interval. Each reclamation consumes one of the cell's
+//! bounded attempts and schedules the retry with exponential backoff;
+//! a cell whose attempts are spent is marked [`CellState::Failed`]
+//! instead of retrying forever.
+//!
+//! Timestamps are wall-clock epoch milliseconds. They order lease
+//! expiry and backoff only — coordination state, never simulation
+//! input — so merged results remain bit-for-bit deterministic no
+//! matter how many workers raced over the grid.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use crate::budget::CancelToken;
+use crate::checkpoint::{
+    field, json_string, parse_result, type_error, write_atomic, write_result, Json,
+};
+use crate::error::NlsError;
+use crate::metrics::SimResult;
+use crate::sweep::SweepConfig;
+
+/// Ledger schema version: the successor of the v1 checkpoint schema.
+/// A v1 file handed to the ledger (or vice versa) is refused with a
+/// version mismatch rather than misread.
+pub const LEDGER_VERSION: u64 = 2;
+
+/// Default lease duration granted to a claimed cell.
+pub const DEFAULT_LEASE_MS: u64 = 5_000;
+
+/// Default number of lease grants a cell may consume before it is
+/// marked [`CellState::Failed`].
+pub const DEFAULT_MAX_ATTEMPTS: u64 = 3;
+
+/// Base of the exponential retry backoff: a cell reclaimed after its
+/// `n`-th spent attempt becomes claimable again after
+/// `RETRY_BACKOFF_BASE_MS * 2^(n-1)` milliseconds (capped).
+pub const RETRY_BACKOFF_BASE_MS: u64 = 250;
+
+/// Upper bound on the computed backoff.
+const RETRY_BACKOFF_CAP_MS: u64 = 30_000;
+
+/// A ledger lock older than this is presumed abandoned (its holder
+/// was SIGKILLed mid-update) and is broken by the next acquirer. Far
+/// above any legitimate critical section, which is one small-file
+/// read-modify-write.
+const LOCK_STALE_MS: u64 = 5_000;
+
+/// Sleep between lock-acquisition attempts.
+const LOCK_RETRY_SLEEP_MS: u64 = 2;
+
+/// Give up on the lock after this long: something is wedged beyond
+/// what stale-lock breaking can fix, and hanging forever would defeat
+/// the supervision contract.
+const LOCK_ACQUIRE_TIMEOUT_MS: u64 = 60_000;
+
+/// Heartbeats fire at a third of the lease so two renewals can be
+/// missed before the lease expires; never faster than this floor.
+const MIN_HEARTBEAT_MS: u64 = 10;
+
+/// Epoch milliseconds for lease/lock bookkeeping. Coordination state
+/// only: these timestamps never feed simulation results.
+pub fn now_ms() -> u64 {
+    // nls-lint: allow(determinism): lease timestamps coordinate workers; results stay bit-exact
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .ok()
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// The lifecycle of one sweep cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellState {
+    /// Unclaimed. `not_before_ms` is the backoff gate: a reclaimed
+    /// cell is not claimable again until then.
+    Pending {
+        /// Lease grants already consumed by this cell.
+        attempts: u64,
+        /// Epoch ms before which the cell must not be claimed.
+        not_before_ms: u64,
+    },
+    /// Claimed by `worker` until `lease_expires_ms`; renewed by
+    /// heartbeat while the worker is alive.
+    Leased {
+        /// The claiming worker's id.
+        worker: String,
+        /// Lease grants consumed including this one.
+        attempts: u64,
+        /// Epoch ms at which the lease is considered orphaned.
+        lease_expires_ms: u64,
+    },
+    /// Completed; the results are final and immutable.
+    Done {
+        /// One result per engine, in engine order.
+        results: Vec<SimResult>,
+    },
+    /// Permanently failed after `attempts` lease grants.
+    Failed {
+        /// Lease grants consumed before giving up.
+        attempts: u64,
+        /// The last failure observed.
+        error: String,
+    },
+}
+
+/// Cell totals by state, for progress reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellCounts {
+    /// Unclaimed cells (including ones parked in backoff).
+    pub pending: usize,
+    /// Cells currently under a live (or expired-but-unreclaimed)
+    /// lease.
+    pub leased: usize,
+    /// Completed cells.
+    pub done: usize,
+    /// Permanently failed cells.
+    pub failed: usize,
+}
+
+/// What [`Ledger::claim`] decided.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClaimOutcome {
+    /// The caller now holds a lease on `key`.
+    Claimed {
+        /// The claimed cell's run key.
+        key: String,
+        /// Which lease grant this is (1-based); > 1 means the cell
+        /// was reclaimed from an earlier worker.
+        attempt: u64,
+        /// The granted lease duration, for heartbeat pacing.
+        lease_ms: u64,
+    },
+    /// Nothing is claimable right now (live leases or backoff gates),
+    /// but cells remain open; check again around `until_ms`.
+    Wait {
+        /// Epoch ms of the earliest lease expiry or backoff gate.
+        until_ms: u64,
+    },
+    /// Every cell is `Done` or `Failed`; the sweep is over.
+    Drained,
+}
+
+/// The durable work ledger: sweep identity plus the cell grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ledger {
+    /// Dynamic trace length the cells are measured under.
+    pub trace_len: u64,
+    /// Walker seed the cells are measured under.
+    pub seed: u64,
+    /// Lease duration granted on claim.
+    pub lease_ms: u64,
+    /// Lease grants allowed per cell before `Failed`.
+    pub max_attempts: u64,
+    cells: BTreeMap<String, CellState>,
+}
+
+impl Ledger {
+    /// A fresh ledger for `cfg` with every cell `Pending`.
+    pub fn new<I>(cfg: &SweepConfig, lease_ms: u64, max_attempts: u64, keys: I) -> Self
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let cells = keys
+            .into_iter()
+            .map(|k| (k, CellState::Pending { attempts: 0, not_before_ms: 0 }))
+            .collect();
+        Ledger {
+            trace_len: cfg.trace_len as u64,
+            seed: cfg.seed,
+            lease_ms: lease_ms.max(1),
+            max_attempts: max_attempts.max(1),
+            cells,
+        }
+    }
+
+    /// Whether this ledger's cells are valid for `cfg`.
+    pub fn matches(&self, cfg: &SweepConfig) -> bool {
+        self.trace_len == cfg.trace_len as u64 && self.seed == cfg.seed
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the grid has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The state of one cell.
+    pub fn state(&self, key: &str) -> Option<&CellState> {
+        self.cells.get(key)
+    }
+
+    /// Whether both ledgers cover the same cell grid.
+    pub fn same_keys(&self, other: &Ledger) -> bool {
+        self.cells.keys().eq(other.cells.keys())
+    }
+
+    /// Cell totals by state.
+    pub fn counts(&self) -> CellCounts {
+        let mut c = CellCounts::default();
+        for state in self.cells.values() {
+            match state {
+                CellState::Pending { .. } => c.pending += 1,
+                CellState::Leased { .. } => c.leased += 1,
+                CellState::Done { .. } => c.done += 1,
+                CellState::Failed { .. } => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// The backoff gate after `attempts` spent lease grants.
+    pub fn backoff_ms(attempts: u64) -> u64 {
+        let shift = attempts.saturating_sub(1).min(16);
+        RETRY_BACKOFF_BASE_MS.saturating_mul(1u64 << shift).min(RETRY_BACKOFF_CAP_MS)
+    }
+
+    /// Claims the first claimable cell for `worker`, reclaiming
+    /// orphaned leases (and failing attempt-exhausted cells) on the
+    /// way. One scan both advances expired state and grabs work, so a
+    /// dead worker's cells re-enter circulation the moment any live
+    /// worker looks for its next cell.
+    pub fn claim(&mut self, worker: &str, now_ms: u64) -> ClaimOutcome {
+        let lease_ms = self.lease_ms;
+        let max_attempts = self.max_attempts;
+        let mut wake: Option<u64> = None;
+        let mut nearer = |t: u64| {
+            wake = Some(wake.map_or(t, |w| w.min(t)));
+        };
+        // nls-lint: allow(cancellation-reach): bounded by the cell grid; pure in-memory scan, no simulation
+        for (key, state) in self.cells.iter_mut() {
+            match state {
+                CellState::Done { .. } | CellState::Failed { .. } => {}
+                CellState::Pending { attempts, not_before_ms } => {
+                    if *not_before_ms <= now_ms {
+                        let attempt = *attempts + 1;
+                        *state = CellState::Leased {
+                            worker: worker.to_string(),
+                            attempts: attempt,
+                            lease_expires_ms: now_ms.saturating_add(lease_ms),
+                        };
+                        return ClaimOutcome::Claimed { key: key.clone(), attempt, lease_ms };
+                    }
+                    nearer(*not_before_ms);
+                }
+                CellState::Leased { worker: holder, attempts, lease_expires_ms } => {
+                    if *lease_expires_ms <= now_ms {
+                        // Orphaned: the holder died or hung. Its
+                        // grant stays spent; park the cell behind the
+                        // backoff gate or retire it.
+                        if *attempts >= max_attempts {
+                            *state = CellState::Failed {
+                                attempts: *attempts,
+                                error: format!(
+                                    "lease held by {holder} expired after {attempts} \
+                                     attempt(s); worker presumed dead or hung"
+                                ),
+                            };
+                        } else {
+                            let gate = now_ms.saturating_add(Self::backoff_ms(*attempts));
+                            *state =
+                                CellState::Pending { attempts: *attempts, not_before_ms: gate };
+                            nearer(gate);
+                        }
+                    } else {
+                        nearer(*lease_expires_ms);
+                    }
+                }
+            }
+        }
+        match wake {
+            Some(until_ms) => ClaimOutcome::Wait { until_ms },
+            None => ClaimOutcome::Drained,
+        }
+    }
+
+    /// Extends `worker`'s lease on `key`. Returns false when the
+    /// lease is no longer held (reclaimed, completed elsewhere, or
+    /// never granted) — the caller must stop publishing into it.
+    pub fn renew(&mut self, key: &str, worker: &str, now_ms: u64) -> bool {
+        match self.cells.get_mut(key) {
+            Some(CellState::Leased { worker: holder, lease_expires_ms, .. })
+                if holder == worker =>
+            {
+                *lease_expires_ms = now_ms.saturating_add(self.lease_ms);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Marks `key` `Done` with `results`, if `worker` still holds the
+    /// lease. Returns false when the lease was lost in the meantime —
+    /// the results are discarded and whoever reclaimed the cell owns
+    /// its outcome (results are deterministic, so either copy is the
+    /// same bits).
+    pub fn complete(&mut self, key: &str, worker: &str, results: Vec<SimResult>) -> bool {
+        match self.cells.get_mut(key) {
+            Some(state @ CellState::Leased { .. }) => {
+                let held = matches!(state, CellState::Leased { worker: h, .. } if h == worker);
+                if held {
+                    *state = CellState::Done { results };
+                }
+                held
+            }
+            _ => false,
+        }
+    }
+
+    /// Cooperatively returns `worker`'s leased cell to `Pending`,
+    /// refunding the attempt: the run was withdrawn (budget, signal),
+    /// not broken, so it must not burn retry budget.
+    pub fn release(&mut self, key: &str, worker: &str, now_ms: u64) -> bool {
+        match self.cells.get_mut(key) {
+            Some(state @ CellState::Leased { .. }) => {
+                let attempts = match state {
+                    CellState::Leased { worker: h, attempts, .. } if h == worker => *attempts,
+                    _ => return false,
+                };
+                *state = CellState::Pending {
+                    attempts: attempts.saturating_sub(1),
+                    not_before_ms: now_ms,
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records a failed attempt on `worker`'s leased cell: back to
+    /// `Pending` behind the exponential backoff gate, or `Failed`
+    /// once the attempt budget is spent.
+    pub fn record_failure(
+        &mut self,
+        key: &str,
+        worker: &str,
+        now_ms: u64,
+        error: &str,
+    ) -> bool {
+        let max_attempts = self.max_attempts;
+        match self.cells.get_mut(key) {
+            Some(state @ CellState::Leased { .. }) => {
+                let attempts = match state {
+                    CellState::Leased { worker: h, attempts, .. } if h == worker => *attempts,
+                    _ => return false,
+                };
+                *state = if attempts >= max_attempts {
+                    CellState::Failed { attempts, error: error.to_string() }
+                } else {
+                    CellState::Pending {
+                        attempts,
+                        not_before_ms: now_ms.saturating_add(Self::backoff_ms(attempts)),
+                    }
+                };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Serialises to the versioned JSON schema (v2: the checkpoint
+    /// schema with per-cell state).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {LEDGER_VERSION},\n"));
+        out.push_str(&format!("  \"trace_len\": {},\n", self.trace_len));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"lease_ms\": {},\n", self.lease_ms));
+        out.push_str(&format!("  \"max_attempts\": {},\n", self.max_attempts));
+        out.push_str("  \"cells\": {");
+        // nls-lint: allow(cancellation-reach): bounded by the cell grid; in-memory serialisation only
+        for (i, (key, state)) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&json_string(key));
+            out.push_str(": ");
+            write_cell(&mut out, state);
+        }
+        if !self.cells.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Parses the versioned JSON schema, refusing other versions
+    /// (including v1 checkpoints) and shape mismatches.
+    pub fn from_json(text: &str) -> Result<Self, NlsError> {
+        let parsed = (|| -> Result<Ledger, NlsError> {
+            let root = Json::parse(text).map_err(NlsError::Checkpoint)?.into_object()?;
+            let version = field(&root, "version")?.as_u64()?;
+            if version != LEDGER_VERSION {
+                return Err(NlsError::Checkpoint(format!(
+                    "unsupported ledger version {version} (expected {LEDGER_VERSION}; \
+                     version 1 is a plain checkpoint, not a work ledger)"
+                )));
+            }
+            let trace_len = field(&root, "trace_len")?.as_u64()?;
+            let seed = field(&root, "seed")?.as_u64()?;
+            let lease_ms = field(&root, "lease_ms")?.as_u64()?;
+            let max_attempts = field(&root, "max_attempts")?.as_u64()?;
+            let mut cells = BTreeMap::new();
+            // nls-lint: allow(cancellation-reach): bounded by the cell grid; in-memory parse only
+            for (key, value) in field(&root, "cells")?.clone().into_object()? {
+                cells.insert(key, parse_cell(value)?);
+            }
+            Ok(Ledger { trace_len, seed, lease_ms, max_attempts, cells })
+        })();
+        parsed.map_err(as_ledger_err)
+    }
+}
+
+/// Rewraps the shared JSON helpers' checkpoint-class errors as ledger
+/// errors so a damaged ledger exits 8, not 5.
+fn as_ledger_err(e: NlsError) -> NlsError {
+    match e {
+        NlsError::Checkpoint(msg) => NlsError::Ledger(msg),
+        other => other,
+    }
+}
+
+fn write_cell(out: &mut String, state: &CellState) {
+    match state {
+        CellState::Pending { attempts, not_before_ms } => {
+            out.push_str(&format!(
+                "{{\"state\": \"pending\", \"attempts\": {attempts}, \
+                 \"not_before_ms\": {not_before_ms}}}"
+            ));
+        }
+        CellState::Leased { worker, attempts, lease_expires_ms } => {
+            out.push_str(&format!(
+                "{{\"state\": \"leased\", \"worker\": {}, \"attempts\": {attempts}, \
+                 \"lease_expires_ms\": {lease_expires_ms}}}",
+                json_string(worker)
+            ));
+        }
+        CellState::Done { results } => {
+            out.push_str("{\"state\": \"done\", \"results\": [");
+            // nls-lint: allow(cancellation-reach): bounded by the engine list of one cell
+            for (i, r) in results.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_result(out, r);
+            }
+            out.push_str("]}");
+        }
+        CellState::Failed { attempts, error } => {
+            out.push_str(&format!(
+                "{{\"state\": \"failed\", \"attempts\": {attempts}, \"error\": {}}}",
+                json_string(error)
+            ));
+        }
+    }
+}
+
+fn parse_cell(value: Json) -> Result<CellState, NlsError> {
+    let obj = value.into_object()?;
+    let tag = field(&obj, "state")?.as_str()?.to_string();
+    match tag.as_str() {
+        "pending" => Ok(CellState::Pending {
+            attempts: field(&obj, "attempts")?.as_u64()?,
+            not_before_ms: field(&obj, "not_before_ms")?.as_u64()?,
+        }),
+        "leased" => Ok(CellState::Leased {
+            worker: field(&obj, "worker")?.as_str()?.to_string(),
+            attempts: field(&obj, "attempts")?.as_u64()?,
+            lease_expires_ms: field(&obj, "lease_expires_ms")?.as_u64()?,
+        }),
+        "done" => {
+            let results = field(&obj, "results")?
+                .clone()
+                .into_array()?
+                .into_iter()
+                .map(parse_result)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(CellState::Done { results })
+        }
+        "failed" => Ok(CellState::Failed {
+            attempts: field(&obj, "attempts")?.as_u64()?,
+            error: field(&obj, "error")?.as_str()?.to_string(),
+        }),
+        other => Err(type_error(
+            "cell state (pending/leased/done/failed)",
+            Json::String(other.to_string()),
+        )),
+    }
+}
+
+/// A ledger on disk plus its sibling lock file: the unit every worker
+/// process shares. Cloneable so heartbeat threads get their own
+/// handle.
+#[derive(Debug, Clone)]
+pub struct LedgerFile {
+    path: PathBuf,
+}
+
+impl LedgerFile {
+    /// A handle to the ledger at `path` (the file need not exist yet;
+    /// see [`LedgerFile::init`]).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        LedgerFile { path: path.into() }
+    }
+
+    /// The ledger file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn lock_path(&self) -> PathBuf {
+        let mut p = self.path.as_os_str().to_owned();
+        p.push(".lock");
+        PathBuf::from(p)
+    }
+
+    /// Creates the ledger, or — with `resume` — adopts an existing
+    /// one after verifying it was built for the same sweep (config
+    /// and cell grid). A pre-existing file without `resume` is
+    /// refused so two unrelated sweeps never share a ledger by
+    /// accident.
+    pub fn init(&self, fresh: Ledger, resume: bool) -> Result<Ledger, NlsError> {
+        let _lock = self.acquire_lock(&CancelToken::new())?;
+        let existing = self.load_locked()?;
+        let ledger = match existing {
+            None => fresh,
+            Some(_) if !resume => {
+                return Err(NlsError::Ledger(format!(
+                    "{} already exists; pass --resume to continue it or delete it to start over",
+                    self.path.display()
+                )));
+            }
+            Some(mut found) => {
+                let cfg = SweepConfig { trace_len: fresh.trace_len as usize, seed: fresh.seed };
+                if !found.matches(&cfg) {
+                    return Err(NlsError::Ledger(format!(
+                        "{} was measured with trace_len={} seed={} but this sweep uses \
+                         trace_len={} seed={}; delete it to start over",
+                        self.path.display(),
+                        found.trace_len,
+                        found.seed,
+                        fresh.trace_len,
+                        fresh.seed
+                    )));
+                }
+                if !found.same_keys(&fresh) {
+                    return Err(NlsError::Ledger(format!(
+                        "{} covers a different cell grid than this sweep; \
+                         delete it to start over",
+                        self.path.display()
+                    )));
+                }
+                // CLI-provided lease/retry knobs win over the stored
+                // ones so a resume can shorten or lengthen leases.
+                found.lease_ms = fresh.lease_ms;
+                found.max_attempts = fresh.max_attempts;
+                found
+            }
+        };
+        self.save_locked(&ledger)?;
+        Ok(ledger)
+    }
+
+    /// Reads the current ledger under the lock (e.g. for the final
+    /// merge).
+    pub fn read(&self, cancel: &CancelToken) -> Result<Ledger, NlsError> {
+        let _lock = self.acquire_lock(cancel)?;
+        self.load_locked()?
+            .ok_or_else(|| NlsError::Ledger(format!("{} does not exist", self.path.display())))
+    }
+
+    /// The atomic read-modify-write every state transition goes
+    /// through: lock, load, mutate, durably save, unlock.
+    pub fn update<T>(
+        &self,
+        cancel: &CancelToken,
+        f: impl FnOnce(&mut Ledger) -> T,
+    ) -> Result<T, NlsError> {
+        let _lock = self.acquire_lock(cancel)?;
+        let mut ledger = self.load_locked()?.ok_or_else(|| {
+            NlsError::Ledger(format!("{} disappeared mid-sweep", self.path.display()))
+        })?;
+        let out = f(&mut ledger);
+        self.save_locked(&ledger)?;
+        Ok(out)
+    }
+
+    fn load_locked(&self) -> Result<Option<Ledger>, NlsError> {
+        // nls-lint: allow(fs-trace-read): ledger JSON, not trace bytes; recovery policy does not apply
+        let text = match fs::read_to_string(&self.path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(NlsError::Ledger(format!(
+                    "cannot read {}: {e}",
+                    self.path.display()
+                )));
+            }
+        };
+        Ledger::from_json(&text).map(Some)
+    }
+
+    fn save_locked(&self, ledger: &Ledger) -> Result<(), NlsError> {
+        write_atomic(&self.path, &ledger.to_json())
+            .map_err(|e| NlsError::Ledger(format!("cannot write {}: {e}", self.path.display())))
+    }
+
+    /// Takes the sibling lock file with `O_EXCL`, breaking locks left
+    /// by a holder that died mid-update (older than [`LOCK_STALE_MS`]).
+    /// Polls `cancel` while waiting so a signal is never stuck behind
+    /// lock contention.
+    fn acquire_lock(&self, cancel: &CancelToken) -> Result<LedgerLock, NlsError> {
+        let lock_path = self.lock_path();
+        let start = now_ms();
+        loop {
+            if cancel.is_cancelled() {
+                return Err(NlsError::Interrupted(
+                    "cancelled while waiting for the ledger lock".to_string(),
+                ));
+            }
+            match fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
+                Ok(mut f) => {
+                    // Lock contents are diagnostic only; acquisition
+                    // is the O_EXCL create itself.
+                    let _ = f.write_all(format!("{}\n", now_ms()).as_bytes());
+                    let hold = chaos_hold_ms();
+                    if hold > 0 {
+                        // Contention injection for the soak harness:
+                        // widen the critical section so lock waiting
+                        // and stale-lock breaking actually exercise.
+                        std::thread::sleep(Duration::from_millis(hold));
+                    }
+                    return Ok(LedgerLock { path: lock_path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    if lock_age_ms(&lock_path).is_some_and(|age| age > LOCK_STALE_MS) {
+                        // The holder is presumed dead (a live one
+                        // finishes its read-modify-write in
+                        // milliseconds); break the lock and retry the
+                        // exclusive create.
+                        let _ = fs::remove_file(&lock_path);
+                        continue;
+                    }
+                }
+                Err(e) => {
+                    return Err(NlsError::Ledger(format!(
+                        "cannot take ledger lock {}: {e}",
+                        lock_path.display()
+                    )));
+                }
+            }
+            if now_ms().saturating_sub(start) > LOCK_ACQUIRE_TIMEOUT_MS {
+                return Err(NlsError::Ledger(format!(
+                    "could not acquire ledger lock {} within {LOCK_ACQUIRE_TIMEOUT_MS} ms",
+                    lock_path.display()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(LOCK_RETRY_SLEEP_MS));
+        }
+    }
+}
+
+/// Held lock on a ledger; dropping releases it.
+struct LedgerLock {
+    path: PathBuf,
+}
+
+impl Drop for LedgerLock {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// Age of the lock file in milliseconds, if it still exists.
+fn lock_age_ms(path: &Path) -> Option<u64> {
+    let modified = fs::metadata(path).ok()?.modified().ok()?;
+    // nls-lint: allow(determinism): lock staleness is wall-clock by nature; coordination only
+    SystemTime::now()
+        .duration_since(modified)
+        .ok()
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// Chaos knob: milliseconds to hold the ledger lock after acquiring
+/// it. Set (via `NLS_LEDGER_CHAOS_HOLD_MS`) only by the soak harness
+/// to inject ledger contention; zero/absent in real sweeps.
+fn chaos_hold_ms() -> u64 {
+    // nls-lint: allow(determinism): chaos-only knob read by the soak harness; never set in production sweeps
+    std::env::var("NLS_LEDGER_CHAOS_HOLD_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0)
+}
+
+/// Sleeps `ms` in small slices, polling `cancel`. Returns false when
+/// cancellation cut the sleep short.
+pub fn sleep_polling(ms: u64, cancel: &CancelToken) -> bool {
+    let mut slept = 0u64;
+    while slept < ms {
+        if cancel.is_cancelled() {
+            return false;
+        }
+        let step = (ms - slept).min(10);
+        std::thread::sleep(Duration::from_millis(step));
+        slept += step;
+    }
+    !cancel.is_cancelled()
+}
+
+/// A background lease-renewal thread for one claimed cell. Renews at
+/// a third of the lease interval; stops on drop. If a renewal finds
+/// the lease stolen (this worker was presumed dead), `stop` reports
+/// it and the caller discards its results.
+pub struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    lost: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Starts renewing `worker`'s lease on `key` every
+    /// `lease_ms / 3` milliseconds.
+    pub fn start(
+        file: &LedgerFile,
+        key: &str,
+        worker: &str,
+        lease_ms: u64,
+        cancel: &CancelToken,
+    ) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let lost = Arc::new(AtomicBool::new(false));
+        let (file, key, worker) = (file.clone(), key.to_string(), worker.to_string());
+        let (stop2, lost2, cancel2) = (Arc::clone(&stop), Arc::clone(&lost), cancel.clone());
+        let handle = std::thread::spawn(move || {
+            let interval = (lease_ms / 3).max(MIN_HEARTBEAT_MS);
+            loop {
+                let mut slept = 0u64;
+                while slept < interval {
+                    if stop2.load(Ordering::SeqCst) || cancel2.is_cancelled() {
+                        return;
+                    }
+                    let step = (interval - slept).min(10);
+                    std::thread::sleep(Duration::from_millis(step));
+                    slept += step;
+                }
+                match file.update(&cancel2, |l| l.renew(&key, &worker, now_ms())) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        lost2.store(true, Ordering::SeqCst);
+                        return;
+                    }
+                    // Transient lock contention or I/O hiccup: the
+                    // lease survives a missed beat or two by
+                    // construction (interval = lease / 3).
+                    Err(_) => {}
+                }
+            }
+        });
+        Heartbeat { stop, lost, handle: Some(handle) }
+    }
+
+    /// Whether a renewal observed the lease stolen.
+    pub fn lease_lost(&self) -> bool {
+        self.lost.load(Ordering::SeqCst)
+    }
+
+    /// Stops the renewal thread and reports whether the lease was
+    /// lost while running.
+    pub fn stop(mut self) -> bool {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.lost.load(Ordering::SeqCst)
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::KindCounts;
+    use nls_icache::CacheStats;
+
+    fn cfg() -> SweepConfig {
+        SweepConfig { trace_len: 60_000, seed: 7 }
+    }
+
+    fn keys() -> Vec<String> {
+        vec!["a | 8K direct | e".to_string(), "b | 8K direct | e".to_string()]
+    }
+
+    fn sample_result() -> SimResult {
+        SimResult {
+            engine: "1024 NLS table".into(),
+            bench: "li".into(),
+            cache: "8K direct".into(),
+            instructions: 60_000,
+            breaks: 9_000,
+            misfetches: 400,
+            mispredicts: 700,
+            icache: CacheStats { accesses: 60_000, misses: 1_200 },
+            by_kind: [KindCounts::default(); 5],
+        }
+    }
+
+    fn fresh() -> Ledger {
+        Ledger::new(&cfg(), 1_000, 2, keys())
+    }
+
+    #[test]
+    fn claim_walks_the_state_machine_to_done() {
+        let mut l = fresh();
+        let claim = l.claim("w0", 100);
+        let ClaimOutcome::Claimed { key, attempt, lease_ms } = claim else {
+            panic!("fresh ledger must grant a lease: {claim:?}");
+        };
+        assert_eq!(key, "a | 8K direct | e");
+        assert_eq!(attempt, 1);
+        assert_eq!(lease_ms, 1_000);
+        assert!(matches!(
+            l.state(&key),
+            Some(CellState::Leased { worker, attempts: 1, lease_expires_ms: 1_100 })
+                if worker == "w0"
+        ));
+        assert!(l.complete(&key, "w0", vec![sample_result()]));
+        assert!(matches!(l.state(&key), Some(CellState::Done { .. })));
+        // Second cell drains the grid.
+        let ClaimOutcome::Claimed { key: key2, .. } = l.claim("w0", 200) else {
+            panic!("second cell must be claimable");
+        };
+        assert!(l.complete(&key2, "w0", vec![sample_result()]));
+        assert_eq!(l.claim("w0", 300), ClaimOutcome::Drained);
+        assert_eq!(l.counts(), CellCounts { pending: 0, leased: 0, done: 2, failed: 0 });
+    }
+
+    #[test]
+    fn live_leases_are_not_stolen_and_wait_names_the_expiry() {
+        let mut l = fresh();
+        let _ = l.claim("w0", 100);
+        let _ = l.claim("w0", 100);
+        // Both cells leased; another worker must wait for the
+        // earliest expiry, not steal.
+        assert_eq!(l.claim("w1", 500), ClaimOutcome::Wait { until_ms: 1_100 });
+        assert_eq!(l.counts().leased, 2);
+    }
+
+    #[test]
+    fn expired_lease_is_reclaimed_with_backoff_then_granted() {
+        let mut l = fresh();
+        let ClaimOutcome::Claimed { key, .. } = l.claim("w0", 100) else { panic!() };
+        // w0 dies. At expiry the cell is parked behind the backoff
+        // gate (one attempt spent), then granted to w1.
+        let after_expiry = 1_200;
+        let out = l.claim("w1", after_expiry);
+        match l.state(&key) {
+            Some(CellState::Pending { attempts: 1, not_before_ms }) => {
+                assert_eq!(*not_before_ms, after_expiry + Ledger::backoff_ms(1));
+            }
+            other => panic!("expired lease must be reclaimed: {other:?}"),
+        }
+        // w1 got the *other* (never-claimed) cell in the same scan.
+        assert!(matches!(out, ClaimOutcome::Claimed { attempt: 1, .. }), "{out:?}");
+        // Once the backoff gate passes, the reclaimed cell is granted
+        // as attempt 2.
+        let gate = after_expiry + Ledger::backoff_ms(1);
+        let out = l.claim("w1", gate + 1);
+        assert!(
+            matches!(&out, ClaimOutcome::Claimed { key: k, attempt: 2, .. } if *k == key),
+            "{out:?}"
+        );
+    }
+
+    #[test]
+    fn attempts_are_bounded_and_exhaustion_is_failed() {
+        let key = "a | 8K direct | e";
+        let mut l = Ledger::new(&cfg(), 1_000, 2, vec![key.to_string()]);
+        // Attempt 1: claimed, then the worker dies and the lease
+        // expires at 11_000.
+        let out = l.claim("dying", 10_000);
+        assert!(matches!(out, ClaimOutcome::Claimed { attempt: 1, .. }), "{out:?}");
+        // The reclaiming scan parks the cell behind the backoff gate;
+        // nothing is claimable until the gate passes.
+        assert_eq!(
+            l.claim("w1", 20_000),
+            ClaimOutcome::Wait { until_ms: 20_000 + Ledger::backoff_ms(1) }
+        );
+        // Attempt 2 (the last allowed): claimed past the gate, then
+        // that lease expires too.
+        let out = l.claim("dying", 30_000);
+        assert!(matches!(out, ClaimOutcome::Claimed { attempt: 2, .. }), "{out:?}");
+        // Attempts spent: the next scan retires the cell for good.
+        assert_eq!(l.claim("w1", 50_000), ClaimOutcome::Drained);
+        match l.state(key) {
+            Some(CellState::Failed { attempts: 2, error }) => {
+                assert!(error.contains("dying"), "{error}");
+                assert!(error.contains("expired"), "{error}");
+            }
+            other => panic!("attempt-exhausted cell must be Failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renew_extends_only_the_holders_lease() {
+        let mut l = fresh();
+        let ClaimOutcome::Claimed { key, .. } = l.claim("w0", 100) else { panic!() };
+        assert!(l.renew(&key, "w0", 900));
+        assert!(matches!(
+            l.state(&key),
+            Some(CellState::Leased { lease_expires_ms: 1_900, .. })
+        ));
+        assert!(!l.renew(&key, "imposter", 950));
+        assert!(!l.renew("no-such-cell", "w0", 950));
+    }
+
+    #[test]
+    fn complete_after_steal_is_refused() {
+        let mut l = fresh();
+        let ClaimOutcome::Claimed { key, .. } = l.claim("w0", 100) else { panic!() };
+        // Lease expires; reclamation parks it; w1 claims it later.
+        let _ = l.claim("w1", 1_200);
+        let gate = 1_200 + Ledger::backoff_ms(1);
+        // The other cell is leased to w1 already; move past it.
+        let out = l.claim("w1", gate + 1);
+        assert!(matches!(&out, ClaimOutcome::Claimed { key: k, .. } if *k == key), "{out:?}");
+        // The presumed-dead w0 wakes up and tries to publish: refused.
+        assert!(!l.complete(&key, "w0", vec![sample_result()]));
+        assert!(l.complete(&key, "w1", vec![sample_result()]));
+    }
+
+    #[test]
+    fn release_refunds_the_attempt() {
+        let mut l = fresh();
+        let ClaimOutcome::Claimed { key, attempt, .. } = l.claim("w0", 100) else { panic!() };
+        assert_eq!(attempt, 1);
+        assert!(l.release(&key, "w0", 150));
+        let out = l.claim("w1", 200);
+        assert!(
+            matches!(&out, ClaimOutcome::Claimed { key: k, attempt: 1, .. } if *k == key),
+            "a released cell is immediately claimable at attempt 1 again: {out:?}"
+        );
+    }
+
+    #[test]
+    fn record_failure_applies_backoff_then_fails_permanently() {
+        let mut l = Ledger::new(&cfg(), 1_000, 2, keys());
+        let ClaimOutcome::Claimed { key, .. } = l.claim("w0", 100) else { panic!() };
+        assert!(l.record_failure(&key, "w0", 100, "engine panicked: boom"));
+        match l.state(&key) {
+            Some(CellState::Pending { attempts: 1, not_before_ms }) => {
+                assert_eq!(*not_before_ms, 100 + Ledger::backoff_ms(1));
+            }
+            other => panic!("{other:?}"),
+        }
+        let gate = 100 + Ledger::backoff_ms(1);
+        let out = l.claim("w0", gate);
+        assert!(matches!(&out, ClaimOutcome::Claimed { key: k, attempt: 2, .. } if *k == key));
+        assert!(l.record_failure(&key, "w0", gate + 1, "engine panicked: boom"));
+        match l.state(&key) {
+            Some(CellState::Failed { attempts: 2, error }) => {
+                assert!(error.contains("boom"), "{error}");
+            }
+            other => panic!("second failure must exhaust two attempts: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        assert_eq!(Ledger::backoff_ms(1), RETRY_BACKOFF_BASE_MS);
+        assert_eq!(Ledger::backoff_ms(2), RETRY_BACKOFF_BASE_MS * 2);
+        assert_eq!(Ledger::backoff_ms(3), RETRY_BACKOFF_BASE_MS * 4);
+        assert_eq!(Ledger::backoff_ms(60), RETRY_BACKOFF_CAP_MS, "cap holds for huge counts");
+    }
+
+    #[test]
+    fn json_round_trips_every_state() {
+        let grid: Vec<String> =
+            ["a", "b", "c", "d"].iter().map(|b| format!("{b} | 8K direct | e")).collect();
+        let mut l = Ledger::new(&cfg(), 1_000, 1, grid);
+        // End state: a Done (two results), b Leased by a worker whose
+        // id needs escaping, c Pending with a nonzero gate, d Failed
+        // with a payload that needs escaping.
+        assert!(matches!(l.claim("w0", 100), ClaimOutcome::Claimed { .. }));
+        assert!(l.complete("a | 8K direct | e", "w0", vec![sample_result(), sample_result()]));
+        assert!(matches!(l.claim("wéird \"worker\"", 100), ClaimOutcome::Claimed { .. }));
+        assert!(matches!(l.state("b | 8K direct | e"), Some(CellState::Leased { .. })));
+        assert!(matches!(l.claim("w1", 200), ClaimOutcome::Claimed { .. }));
+        assert!(l.release("c | 8K direct | e", "w1", 300));
+        assert!(matches!(l.claim("w2", 200), ClaimOutcome::Claimed { .. }));
+        assert!(l.record_failure("d | 8K direct | e", "w2", 200, "payload with \"quotes\"\n"));
+        assert!(matches!(l.state("d | 8K direct | e"), Some(CellState::Failed { .. })));
+        let parsed = Ledger::from_json(&l.to_json()).unwrap();
+        assert_eq!(parsed, l);
+    }
+
+    #[test]
+    fn v1_checkpoints_and_damage_are_ledger_errors() {
+        let text = fresh().to_json().replacen("\"version\": 2", "\"version\": 1", 1);
+        let err = Ledger::from_json(&text).unwrap_err();
+        assert_eq!(err.exit_code(), 8, "wrong version is a ledger error: {err}");
+        assert!(err.to_string().contains("version 1"));
+        for bad in ["", "{", "not json", "{\"version\": 2}"] {
+            let err = Ledger::from_json(bad).unwrap_err();
+            assert_eq!(err.exit_code(), 8, "input {bad:?} must be a ledger error");
+        }
+    }
+
+    fn temp_ledger_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("nls-ledger-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.json", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(format!("{}.lock", path.display()));
+        path
+    }
+
+    #[test]
+    fn init_refuses_reuse_without_resume_and_mismatched_grids() {
+        let path = temp_ledger_path("init");
+        let file = LedgerFile::new(&path);
+        file.init(fresh(), false).unwrap();
+        let err = file.init(fresh(), false).unwrap_err();
+        assert_eq!(err.exit_code(), 8);
+        assert!(err.to_string().contains("--resume"), "{err}");
+
+        // Same config, different grid: refused even with resume.
+        let other = Ledger::new(&cfg(), 1_000, 2, vec!["z | z | z".to_string()]);
+        let err = file.init(other, true).unwrap_err();
+        assert!(err.to_string().contains("cell grid"), "{err}");
+
+        // Different config: refused with the config in the message.
+        let other_cfg = SweepConfig { trace_len: 1, seed: 1 };
+        let err = file.init(Ledger::new(&other_cfg, 1_000, 2, keys()), true).unwrap_err();
+        assert!(err.to_string().contains("trace_len"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn update_round_trips_through_the_locked_file() {
+        let path = temp_ledger_path("update");
+        let file = LedgerFile::new(&path);
+        file.init(fresh(), false).unwrap();
+        let cancel = CancelToken::new();
+        let out = file.update(&cancel, |l| l.claim("w0", now_ms())).unwrap();
+        let ClaimOutcome::Claimed { key, .. } = out else { panic!("{out:?}") };
+        let reread = file.read(&cancel).unwrap();
+        assert!(matches!(reread.state(&key), Some(CellState::Leased { .. })));
+        assert!(!path.with_extension("json.tmp").exists());
+        assert!(!Path::new(&format!("{}.lock", path.display())).exists(), "lock released");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_adopts_done_cells_and_new_lease_knobs() {
+        let path = temp_ledger_path("resume");
+        let file = LedgerFile::new(&path);
+        file.init(fresh(), false).unwrap();
+        let cancel = CancelToken::new();
+        let done_key = file
+            .update(&cancel, |l| {
+                let ClaimOutcome::Claimed { key, .. } = l.claim("w0", now_ms()) else {
+                    panic!("claimable")
+                };
+                assert!(l.complete(&key, "w0", vec![sample_result()]));
+                key
+            })
+            .unwrap();
+        let adopted = file.init(Ledger::new(&cfg(), 9_999, 5, keys()), true).unwrap();
+        assert_eq!(adopted.lease_ms, 9_999, "resume adopts the requested lease");
+        assert_eq!(adopted.max_attempts, 5);
+        assert!(matches!(adopted.state(&done_key), Some(CellState::Done { .. })));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn a_stale_lock_is_broken_a_fresh_one_is_respected() {
+        let path = temp_ledger_path("stale-lock");
+        let file = LedgerFile::new(&path);
+        file.init(fresh(), false).unwrap();
+        let lock_path = PathBuf::from(format!("{}.lock", path.display()));
+
+        // A lock whose holder died: backdate its mtime beyond the
+        // stale threshold and the next update must break it.
+        fs::write(&lock_path, b"dead\n").unwrap();
+        let old = SystemTime::now() - Duration::from_millis(LOCK_STALE_MS * 3);
+        let f = fs::File::options().write(true).open(&lock_path).unwrap();
+        f.set_modified(old).unwrap();
+        drop(f);
+        let cancel = CancelToken::new();
+        let counts = file.update(&cancel, |l| l.counts()).unwrap();
+        assert_eq!(counts.pending, 2, "stale lock must not wedge the ledger");
+        assert!(!lock_path.exists());
+
+        // A fresh lock blocks, and cancellation cuts the wait short
+        // with exit-7 semantics instead of hanging.
+        fs::write(&lock_path, b"alive\n").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = file.update(&token, |l| l.counts()).unwrap_err();
+        assert_eq!(err.exit_code(), 7, "{err}");
+        let _ = fs::remove_file(&lock_path);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heartbeat_keeps_a_short_lease_alive() {
+        let path = temp_ledger_path("heartbeat");
+        let file = LedgerFile::new(&path);
+        file.init(Ledger::new(&cfg(), 120, 3, keys()), false).unwrap();
+        let cancel = CancelToken::new();
+        let out = file.update(&cancel, |l| l.claim("w0", now_ms())).unwrap();
+        let ClaimOutcome::Claimed { key, lease_ms, .. } = out else { panic!("{out:?}") };
+
+        let hb = Heartbeat::start(&file, &key, "w0", lease_ms, &cancel);
+        // Without renewal a 120 ms lease would expire well within
+        // this window; the heartbeat must keep it held.
+        std::thread::sleep(Duration::from_millis(400));
+        let claim = file.update(&cancel, |l| l.claim("thief", now_ms())).unwrap();
+        match &claim {
+            ClaimOutcome::Claimed { key: k, .. } => {
+                assert_ne!(*k, key, "the heartbeat-renewed lease must not be reclaimed")
+            }
+            other => panic!("the second cell is free: {other:?}"),
+        }
+        assert!(!hb.stop(), "lease was never lost");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn heartbeat_reports_a_reclaimed_lease_as_lost() {
+        let path = temp_ledger_path("heartbeat-lost");
+        let file = LedgerFile::new(&path);
+        let one_cell = vec!["a | 8K direct | e".to_string()];
+        file.init(Ledger::new(&cfg(), 120, 3, one_cell), false).unwrap();
+        let cancel = CancelToken::new();
+        let out = file.update(&cancel, |l| l.claim("w0", now_ms())).unwrap();
+        let ClaimOutcome::Claimed { key, lease_ms, .. } = out else { panic!("{out:?}") };
+        let hb = Heartbeat::start(&file, &key, "w0", lease_ms, &cancel);
+        // Reclaim the cell out from under w0 by scanning at a forged
+        // far-future instant, as another worker would after w0 hung
+        // past its lease. The cell drops back to Pending, so w0's
+        // next renewal must observe the loss.
+        file.update(&cancel, |l| {
+            let _ = l.claim("reclaimer", now_ms() + 10_000_000);
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        assert!(hb.stop(), "heartbeat must report the reclaimed lease");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sleep_polling_observes_cancellation() {
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(!sleep_polling(10_000, &token), "cancelled sleep returns immediately");
+        let token = CancelToken::new();
+        assert!(sleep_polling(1, &token));
+    }
+}

@@ -51,6 +51,7 @@ mod checkpoint;
 mod engine;
 mod error;
 mod johnson_engine;
+pub mod ledger;
 mod metrics;
 mod nls_cache_engine;
 mod nls_table_engine;
@@ -68,6 +69,10 @@ pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
 pub use engine::{BreakOutcome, Counters, FetchAction, FetchEngine, KindCounts};
 pub use error::{NlsError, RunError};
 pub use johnson_engine::JohnsonEngine;
+pub use ledger::{
+    CellCounts, CellState, ClaimOutcome, Heartbeat, Ledger, LedgerFile, DEFAULT_LEASE_MS,
+    DEFAULT_MAX_ATTEMPTS, LEDGER_VERSION,
+};
 pub use metrics::{average, SimResult};
 pub use nls_cache_engine::NlsCacheEngine;
 pub use nls_table_engine::NlsTableEngine;
@@ -78,7 +83,7 @@ pub use supervisor::{
     drive_supervised, estimated_heap_bytes, install_signal_token, run_one_supervised, Outcome,
 };
 pub use sweep::{
-    cross, drive, paper_caches, run_one, run_sweep, run_sweep_fallible, run_sweep_resumable,
-    run_sweep_supervised, run_sweep_with, RunSpec, SweepConfig, SweepOptions,
-    DEFAULT_TRACE_LEN,
+    cross, drive, merge_ledger_outcomes, paper_caches, run_ledger_worker, run_one, run_sweep,
+    run_sweep_fallible, run_sweep_resumable, run_sweep_supervised, run_sweep_with, RunSpec,
+    SweepConfig, SweepOptions, WorkerReport, DEFAULT_TRACE_LEN,
 };

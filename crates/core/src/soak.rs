@@ -154,6 +154,74 @@ impl SoakReport {
     }
 }
 
+/// Result of one worker-death chaos drill (`nls soak
+/// --kill-workers`): a multi-process sweep over a shared work ledger
+/// where a seeded selection of workers is SIGKILLed mid-run, ledger
+/// lock contention is injected, and the survivors must reclaim every
+/// orphaned lease. The orchestration lives in the CLI (it spawns
+/// worker processes of the `nls` binary); this type is the verdict
+/// contract it must satisfy.
+#[derive(Debug, Clone)]
+pub struct WorkerSoakReport {
+    /// Worker processes spawned.
+    pub workers: usize,
+    /// Zero-based indices of the workers actually SIGKILLed.
+    pub killed: Vec<u64>,
+    /// Cells in the sweep grid.
+    pub cells: usize,
+    /// Cells the ledger recorded as done.
+    pub done: usize,
+    /// Cells that exhausted their retry budget.
+    pub failed: usize,
+    /// Cells never completed (still pending or leased at the end).
+    pub unfinished: usize,
+    /// Whether the merged per-cell metrics equal the single-process
+    /// reference bit for bit.
+    pub matches_reference: bool,
+    /// Oracle findings across every merged result (must be empty).
+    pub oracle_findings: Vec<String>,
+}
+
+impl WorkerSoakReport {
+    /// Healthy means the kills cost nothing: every cell done, none
+    /// failed or abandoned, the merged metrics bit-identical to the
+    /// single-process reference, and the oracle silent.
+    pub fn is_healthy(&self) -> bool {
+        self.done == self.cells
+            && self.failed == 0
+            && self.unfinished == 0
+            && self.matches_reference
+            && self.oracle_findings.is_empty()
+    }
+
+    /// A compact, deterministic summary block in the style of
+    /// [`SoakReport::render`].
+    pub fn render(&self) -> String {
+        let victims: Vec<String> = self.killed.iter().map(|w| format!("w{w}")).collect();
+        let mut out = format!(
+            "worker soak: {} workers, killed [{}] — {} cells: {} done, {} failed, {} unfinished, healthy={}\n",
+            self.workers,
+            victims.join(", "),
+            self.cells,
+            self.done,
+            self.failed,
+            self.unfinished,
+            if self.is_healthy() { "yes" } else { "NO" },
+        );
+        out.push_str(&format!(
+            "  merged metrics match single-process reference: {}\n",
+            if self.matches_reference { "yes" } else { "NO" }
+        ));
+        if self.oracle_findings.is_empty() {
+            out.push_str("  oracle: clean\n");
+        }
+        for f in &self.oracle_findings {
+            out.push_str(&format!("  ORACLE: {f}\n"));
+        }
+        out
+    }
+}
+
 /// Runs `cfg.cases` seeded chaos cases and aggregates the verdicts.
 pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     let cases = (0..cfg.cases).map(|i| run_case(cfg, cfg.base_seed.wrapping_add(i))).collect();
@@ -317,6 +385,39 @@ mod tests {
         assert_eq!(a.verdict, b.verdict);
         assert_eq!(a.instructions, b.instructions);
         assert_eq!(a.bench, b.bench);
+    }
+
+    #[test]
+    fn worker_soak_report_judges_and_renders_the_drill() {
+        let mut report = WorkerSoakReport {
+            workers: 3,
+            killed: vec![1],
+            cells: 12,
+            done: 12,
+            failed: 0,
+            unfinished: 0,
+            matches_reference: true,
+            oracle_findings: Vec::new(),
+        };
+        assert!(report.is_healthy());
+        let text = report.render();
+        assert!(text.contains("killed [w1]"), "{text}");
+        assert!(text.contains("healthy=yes"), "{text}");
+        assert!(text.contains("oracle: clean"), "{text}");
+
+        // Any abandoned cell, divergence, or oracle finding flips it.
+        report.done = 11;
+        report.unfinished = 1;
+        assert!(!report.is_healthy());
+        report.done = 12;
+        report.unfinished = 0;
+        report.matches_reference = false;
+        assert!(!report.is_healthy());
+        assert!(report.render().contains("reference: NO"), "{}", report.render());
+        report.matches_reference = true;
+        report.oracle_findings.push("breaks exceed instructions".into());
+        assert!(!report.is_healthy());
+        assert!(report.render().contains("ORACLE:"), "{}", report.render());
     }
 
     #[test]

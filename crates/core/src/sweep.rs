@@ -37,10 +37,11 @@ use nls_icache::CacheConfig;
 use nls_trace::{BenchProfile, TraceRecord};
 use parking_lot::Mutex;
 
-use crate::budget::Budget;
+use crate::budget::{Budget, CancelToken};
 use crate::checkpoint::Checkpoint;
 use crate::engine::FetchEngine;
 use crate::error::{NlsError, RunError};
+use crate::ledger::{self, CellState, ClaimOutcome, Heartbeat, Ledger, LedgerFile};
 use crate::metrics::SimResult;
 use crate::spec::EngineSpec;
 use crate::supervisor::{drive_supervised, run_one_supervised, Outcome};
@@ -395,6 +396,138 @@ pub fn run_sweep_resumable(
     Ok(results.into_iter().map(|r| r.map(Outcome::into_results)).collect())
 }
 
+/// One worker's execution summary from a ledger-coordinated sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// Cells this worker completed and published.
+    pub completed: usize,
+    /// Claims that re-ran a cell after another worker's lease expired
+    /// (attempt number above 1).
+    pub reclaimed: usize,
+    /// Attempts this worker burned on panicking runs.
+    pub failed_attempts: usize,
+}
+
+/// One worker process's share of a ledger-coordinated sweep: claim a
+/// cell, simulate it under `budget` while a [`Heartbeat`] renews the
+/// lease, publish the results, repeat until the ledger drains.
+///
+/// Per the supervision contract, a tripped budget or cancellation
+/// returns [`NlsError::Interrupted`] (exit code 7) after releasing
+/// any held lease; a panicking run consumes one of the cell's
+/// attempts and the worker moves on. Claims whose lease is lost
+/// mid-run (this process was presumed dead) discard their results —
+/// whoever reclaimed the cell republishes the identical bits, so the
+/// merged sweep stays deterministic.
+pub fn run_ledger_worker(
+    runs: &[RunSpec],
+    cfg: &SweepConfig,
+    opts: &SweepOptions,
+    budget: &Budget,
+    file: &LedgerFile,
+    worker: &str,
+) -> Result<WorkerReport, NlsError> {
+    let cancel = budget.cancel_token();
+    let mut report = WorkerReport::default();
+    loop {
+        if let Err(reason) = budget.check_now() {
+            return Err(NlsError::Interrupted(format!("worker {worker}: {reason}")));
+        }
+        match file.update(&cancel, |l| l.claim(worker, ledger::now_ms()))? {
+            ClaimOutcome::Drained => return Ok(report),
+            ClaimOutcome::Wait { until_ms } => {
+                // Nothing claimable until a lease expires or a
+                // backoff gate passes; nap towards that instant (in
+                // bounded hops so a renewed lease re-evaluates).
+                let ms = until_ms.saturating_sub(ledger::now_ms()).clamp(1, 1_000);
+                let _ = ledger::sleep_polling(ms, &cancel);
+            }
+            ClaimOutcome::Claimed { key, attempt, lease_ms } => {
+                if attempt > 1 {
+                    report.reclaimed += 1;
+                }
+                let Some(spec) = runs.iter().find(|r| r.key() == key) else {
+                    return Err(NlsError::Ledger(format!(
+                        "ledger cell {key:?} does not correspond to any run of this sweep"
+                    )));
+                };
+                let hb = Heartbeat::start(file, &key, worker, lease_ms, &cancel);
+                let outcome = attempt_run(
+                    &|s: &RunSpec, c: &SweepConfig| run_one_supervised(s, c, budget),
+                    spec,
+                    cfg,
+                    opts.max_retries,
+                );
+                let lease_lost = hb.stop();
+                // Ledger writes below run under a fresh token: once a
+                // cell's fate is known, publishing it must not be
+                // abandoned by a cancellation race (the lock wait is
+                // bounded regardless).
+                let publish = CancelToken::new();
+                match outcome {
+                    Ok(Outcome::Complete(results)) => {
+                        if lease_lost {
+                            continue;
+                        }
+                        if file.update(&publish, |l| l.complete(&key, worker, results))? {
+                            report.completed += 1;
+                        }
+                    }
+                    Ok(Outcome::Degraded { reason, .. }) => {
+                        // Cooperative withdrawal: give the cell back
+                        // with its attempt refunded, then surface the
+                        // interruption (exit 7 at the CLI boundary).
+                        let _ = file
+                            .update(&publish, |l| l.release(&key, worker, ledger::now_ms()))?;
+                        return Err(NlsError::Interrupted(format!(
+                            "worker {worker}: {reason}"
+                        )));
+                    }
+                    Err(e) => {
+                        report.failed_attempts += 1;
+                        file.update(&publish, |l| {
+                            l.record_failure(&key, worker, ledger::now_ms(), &e.to_string())
+                        })?;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Folds a drained ledger back into run-order outcomes — the shape
+/// [`run_sweep_supervised`] returns — so `--workers N` output is
+/// assembled deterministically from the ledger, independent of which
+/// worker ran which cell and in what order.
+pub fn merge_ledger_outcomes(
+    runs: &[RunSpec],
+    ledger: &Ledger,
+) -> Vec<Result<Outcome, RunError>> {
+    runs.iter()
+        .map(|r| {
+            let key = r.key();
+            match ledger.state(&key) {
+                Some(CellState::Done { results }) => Ok(Outcome::Complete(results.clone())),
+                Some(CellState::Failed { attempts, error }) => Err(RunError::Panicked {
+                    run: key,
+                    message: error.clone(),
+                    attempts: u32::try_from(*attempts).unwrap_or(u32::MAX),
+                }),
+                Some(CellState::Pending { .. }) | Some(CellState::Leased { .. }) => {
+                    Err(RunError::Interrupted {
+                        run: key,
+                        reason: "cell was never completed (workers stopped early)".to_string(),
+                    })
+                }
+                None => Err(RunError::Interrupted {
+                    run: key,
+                    reason: "cell missing from the ledger".to_string(),
+                }),
+            }
+        })
+        .collect()
+}
+
 /// Executes `runs` across threads. Results are returned flattened in
 /// run order (then engine order within each run), independent of
 /// scheduling.
@@ -639,6 +772,83 @@ mod tests {
         assert!(complete[0].as_ref().expect("clean run").is_complete());
         let cp = Checkpoint::load(&path).expect("file parses").expect("file exists");
         assert!(cp.contains(&runs[0].key()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ledger_workers_reproduce_a_single_process_sweep_bit_for_bit() {
+        let dir = std::env::temp_dir().join("nls-ledger-sweep-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("ledger-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let runs = cross(
+            &[BenchProfile::li(), BenchProfile::espresso()],
+            &[CacheConfig::paper(8, 1), CacheConfig::paper(8, 4)],
+            &[EngineSpec::nls_table(512)],
+        );
+        let cfg = small_cfg();
+        let reference = run_sweep(&runs, &cfg);
+
+        let file = LedgerFile::new(&path);
+        file.init(Ledger::new(&cfg, 5_000, 3, runs.iter().map(RunSpec::key)), false)
+            .expect("fresh ledger");
+        std::thread::scope(|s| {
+            for w in 0..3 {
+                let file = file.clone();
+                let (runs, cfg) = (&runs, &cfg);
+                s.spawn(move || {
+                    let report = run_ledger_worker(
+                        runs,
+                        cfg,
+                        &SweepOptions::default(),
+                        &Budget::unlimited(),
+                        &file,
+                        &format!("w{w}"),
+                    )
+                    .expect("worker drains the ledger");
+                    assert_eq!(report.failed_attempts, 0);
+                });
+            }
+        });
+
+        let final_ledger = file.read(&CancelToken::new()).expect("ledger readable");
+        assert_eq!(final_ledger.counts().done, runs.len());
+        let merged: Vec<SimResult> = merge_ledger_outcomes(&runs, &final_ledger)
+            .into_iter()
+            .map(|r| r.expect("all cells done").into_results())
+            .collect::<Vec<_>>()
+            .concat();
+        assert_eq!(merged, reference, "merged ledger output must be bit-for-bit identical");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ledger_worker_rejects_a_foreign_cell_grid() {
+        let dir = std::env::temp_dir().join("nls-ledger-sweep-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join(format!("foreign-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+
+        let runs = cross(
+            &[BenchProfile::li()],
+            &[CacheConfig::paper(8, 1)],
+            &[EngineSpec::nls_table(512)],
+        );
+        let cfg = small_cfg();
+        let file = LedgerFile::new(&path);
+        file.init(Ledger::new(&cfg, 5_000, 3, vec!["not | a real | cell".to_string()]), false)
+            .expect("fresh ledger");
+        let err = run_ledger_worker(
+            &runs,
+            &cfg,
+            &SweepOptions::default(),
+            &Budget::unlimited(),
+            &file,
+            "w0",
+        )
+        .expect_err("a cell with no matching run is a ledger error");
+        assert_eq!(err.exit_code(), 8, "{err}");
         let _ = std::fs::remove_file(&path);
     }
 

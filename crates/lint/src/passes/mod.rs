@@ -37,7 +37,7 @@ use crate::symbols::{FnId, SymbolTable};
 /// The engine files whose `step`/`run*`/`drive` functions are the
 /// roots of reachability: everything a simulation executes per record
 /// hangs off these.
-pub const ENTRY_FILES: [&str; 7] = [
+pub const ENTRY_FILES: [&str; 8] = [
     "crates/core/src/engine.rs",
     "crates/core/src/btb_engine.rs",
     "crates/core/src/nls_table_engine.rs",
@@ -45,6 +45,7 @@ pub const ENTRY_FILES: [&str; 7] = [
     "crates/core/src/johnson_engine.rs",
     "crates/core/src/sweep.rs",
     "crates/core/src/supervisor.rs",
+    "crates/core/src/ledger.rs",
 ];
 
 /// Non-Rust inputs the passes consult (the artifact-conformance

@@ -453,6 +453,41 @@ impl ErrorExitMap {
         out
     }
 
+    /// `(variant, code, line)` triples parsed from `exit_code()`'s
+    /// arms: each `NlsError::V … => <number>` pattern with the first
+    /// numeric literal that follows it.
+    fn exit_code_pairs(body: &[crate::lexer::Tok]) -> Vec<(String, String, u32)> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while let Some(t) = body.get(i) {
+            let variant = (t.is_ident("NlsError")
+                && body.get(i + 1).is_some_and(|p| p.is_punct(':'))
+                && body.get(i + 2).is_some_and(|p| p.is_punct(':')))
+            .then(|| body.get(i + 3))
+            .flatten();
+            let Some(v) = variant else {
+                i += 1;
+                continue;
+            };
+            let name = v.text.clone();
+            let line = v.line;
+            // The arm's code is the first number before the next arm.
+            let mut j = i + 4;
+            while let Some(t) = body.get(j) {
+                if t.kind == crate::lexer::TokKind::Number {
+                    out.push((name, t.text.clone(), line));
+                    break;
+                }
+                if t.is_ident("NlsError") {
+                    break;
+                }
+                j += 1;
+            }
+            i = j.max(i + 1);
+        }
+        out
+    }
+
     /// Token span of `fn <name>` body in `file`, if present.
     fn fn_body<'a>(file: &'a SourceFile, name: &str) -> Option<&'a [crate::lexer::Tok]> {
         let code = &file.code;
@@ -527,6 +562,30 @@ impl Rule for ErrorExitMap {
                     line: body[0].line,
                     message: format!("{fn_name}() must not use a wildcard `_ =>` arm"),
                 });
+            }
+        }
+        // The module doc's exit-code table is the contract the README
+        // and DESIGN.md tables copy from — it must carry a row for
+        // every (variant, code) pair exit_code() actually returns.
+        if let Some(body) = Self::fn_body(error_rs, "exit_code") {
+            for (v, code, line) in Self::exit_code_pairs(body) {
+                let variant_ref = format!("NlsError::{v}");
+                let code_cell = format!("| {code} |");
+                let documented = error_rs
+                    .comments
+                    .iter()
+                    .any(|c| c.text.contains(&variant_ref) && c.text.contains(&code_cell));
+                if !documented {
+                    out.push(Violation {
+                        rule: self.id(),
+                        file: error_rs.rel.clone(),
+                        line,
+                        message: format!(
+                            "exit code {code} for {v} is missing from the module doc table \
+                             (want a `| <class> | [`NlsError::{v}`] | {code} |` row)"
+                        ),
+                    });
+                }
             }
         }
         // The CLI surface must acknowledge each class by name.
@@ -667,7 +726,8 @@ mod tests {
 
     #[test]
     fn error_exit_map_passes_a_complete_taxonomy() {
-        let error_rs = "pub enum NlsError { Usage(String) }\n\
+        let error_rs = "//! | bad invocation | [`NlsError::Usage`] | 2 |\n\
+            pub enum NlsError { Usage(String) }\n\
             impl NlsError {\n\
             pub fn exit_code(&self) -> u8 { match self { NlsError::Usage(_) => 2 } }\n\
             pub fn class(&self) -> &str { match self { NlsError::Usage(_) => \"usage\" } }\n\
@@ -680,5 +740,34 @@ mod tests {
         let mut out = Vec::new();
         ErrorExitMap.check_workspace(&files, &mut out);
         assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn error_exit_map_requires_the_doc_table_row() {
+        // The arm says 8 but the doc table still says 9 (and drops
+        // the variant entirely for Io): both rows must be flagged.
+        let error_rs = "//! | work-ledger failure | [`NlsError::Ledger`] | 9 |\n\
+            pub enum NlsError { Ledger(String), Io(E) }\n\
+            impl NlsError {\n\
+            pub fn exit_code(&self) -> u8 { match self { NlsError::Ledger(_) => 8, NlsError::Io(_) => 6 } }\n\
+            pub fn class(&self) -> &str { match self { NlsError::Ledger(_) => \"ledger\", NlsError::Io(_) => \"io\" } }\n\
+            }\n";
+        let cli = "fn f(e: &NlsError) { match e { NlsError::Ledger(_) => (), NlsError::Io(_) => () }; }";
+        let files = vec![
+            SourceFile::parse("crates/core/src/error.rs", error_rs),
+            SourceFile::parse("crates/cli/src/main.rs", cli),
+        ];
+        let mut out = Vec::new();
+        ErrorExitMap.check_workspace(&files, &mut out);
+        let msgs: Vec<_> = out.iter().map(|v| v.message.as_str()).collect();
+        assert!(
+            msgs.iter().any(|m| m.contains("exit code 8 for Ledger")),
+            "stale table row must be flagged: {msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("exit code 6 for Io")),
+            "missing table row must be flagged: {msgs:?}"
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
     }
 }

@@ -1,5 +1,11 @@
 //! Passing fixture for `error-exit-map`: every variant has explicit
-//! `exit_code` and `class` arms and no wildcard absorbs new ones.
+//! `exit_code` and `class` arms, no wildcard absorbs new ones, and
+//! the module-doc exit-code table matches the arms:
+//!
+//! | class | variant | exit code |
+//! |---|---|---|
+//! | bad invocation | [`NlsError::Usage`] | 2 |
+//! | corrupt trace | [`NlsError::Trace`] | 3 |
 pub enum NlsError {
     Usage(String),
     Trace(String),

@@ -182,14 +182,30 @@ pub enum RuntimeFault {
         /// Records yielded before the error hits.
         after_records: u64,
     },
+    /// SIGKILL worker process `victim` of a multi-process sweep,
+    /// `after_millis` of wall clock into the run — the fault a work
+    /// ledger's lease/reclamation protocol exists to absorb. A
+    /// process-level fault: [`ChaosStream`] ignores it (nothing
+    /// happens at the record level), the soak orchestrator executes
+    /// it against its worker pool.
+    WorkerKill {
+        /// Zero-based index of the worker to kill.
+        victim: u64,
+        /// Milliseconds after sweep start at which the kill fires.
+        after_millis: u64,
+    },
 }
 
 impl RuntimeFault {
-    /// The record count at which the fault triggers.
+    /// The trigger point the fault sorts by: a record count for
+    /// stream faults, milliseconds of wall clock for process faults.
+    /// Plans mix units only within their own kind ([`ChaosScheduler`]
+    /// plans stream faults and worker kills separately).
     pub fn trigger_at(&self) -> u64 {
         match *self {
             RuntimeFault::ReadStall { after_records, .. }
             | RuntimeFault::IoError { after_records } => after_records,
+            RuntimeFault::WorkerKill { after_millis, .. } => after_millis,
         }
     }
 }
@@ -244,6 +260,36 @@ impl ChaosScheduler {
                 self.read_stall(trace_len, max_millis)
             };
             out.push(fault);
+        }
+        out.sort_by_key(RuntimeFault::trigger_at);
+        out
+    }
+
+    /// A kill of one of `workers` worker processes (never worker 0,
+    /// so a multi-process sweep always keeps one survivor to reclaim
+    /// the victims' cells) within the first `max_delay_ms` of the
+    /// run.
+    pub fn worker_kill(&mut self, workers: u64, max_delay_ms: u64) -> RuntimeFault {
+        let victim = if workers > 1 { 1 + self.rng.next_u64() % (workers - 1) } else { 0 };
+        RuntimeFault::WorkerKill {
+            victim,
+            after_millis: self.rng.next_u64() % max_delay_ms.max(1),
+        }
+    }
+
+    /// A plan of `kills` seeded [`RuntimeFault::WorkerKill`]s against
+    /// a pool of `workers`, sorted by firing time. Like every chaos
+    /// plan, identical seeds produce identical kill schedules.
+    pub fn kill_plan(
+        &mut self,
+        workers: u64,
+        kills: usize,
+        max_delay_ms: u64,
+    ) -> Vec<RuntimeFault> {
+        // nls-lint: allow(unchecked-capacity): `kills` is a caller-chosen plan size, single digits in every harness
+        let mut out = Vec::with_capacity(kills);
+        for _ in 0..kills {
+            out.push(self.worker_kill(workers, max_delay_ms));
         }
         out.sort_by_key(RuntimeFault::trigger_at);
         out
@@ -319,6 +365,9 @@ impl<I: Iterator<Item = TraceRecord>> Iterator for ChaosStream<I> {
                         "injected chaos fault: read failed",
                     )));
                 }
+                // Process-level faults do nothing at the record
+                // level; the soak orchestrator owns them.
+                RuntimeFault::WorkerKill { .. } => {}
             }
         }
         let record = self.inner.next()?;
@@ -417,6 +466,44 @@ mod tests {
         assert!(a.windows(2).all(|w| w[0].trigger_at() <= w[1].trigger_at()), "plan is sorted");
         let errors = a.iter().filter(|f| matches!(f, RuntimeFault::IoError { .. })).count();
         assert!(errors <= 1, "at most one I/O failure per plan");
+    }
+
+    #[test]
+    fn kill_plans_are_reproducible_and_spare_worker_zero() {
+        let a = ChaosScheduler::new(7).kill_plan(4, 6, 300);
+        let b = ChaosScheduler::new(7).kill_plan(4, 6, 300);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].trigger_at() <= w[1].trigger_at()), "plan is sorted");
+        for fault in &a {
+            match fault {
+                RuntimeFault::WorkerKill { victim, after_millis } => {
+                    assert!((1..4).contains(victim), "worker 0 must always survive");
+                    assert!(*after_millis < 300);
+                }
+                other => panic!("kill plans hold only WorkerKill faults, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_worker_kill_plan_targets_the_only_worker() {
+        // Degenerate fleet: with one worker there is no survivor to
+        // spare, and the caller gets victim 0 back unrounded.
+        match ChaosScheduler::new(1).worker_kill(1, 100) {
+            RuntimeFault::WorkerKill { victim, .. } => assert_eq!(victim, 0),
+            other => panic!("want WorkerKill, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn worker_kills_pass_through_a_chaos_stream() {
+        let records: Vec<_> = (0..5)
+            .map(|i| crate::TraceRecord::sequential(crate::Addr::new(0x100 + i * 4)))
+            .collect();
+        let plan = vec![RuntimeFault::WorkerKill { victim: 1, after_millis: 0 }];
+        let got: Result<Vec<_>, _> =
+            ChaosStream::new(records.clone().into_iter(), plan).collect();
+        assert_eq!(got.unwrap(), records, "process faults never touch the record stream");
     }
 
     #[test]

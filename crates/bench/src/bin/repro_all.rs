@@ -197,6 +197,7 @@ fn main() {
         "ext_wide_issue",
         "ext_type_predictor",
         "ext_set_prediction",
+        "throughput",
     ] {
         let stage = run_stage(bin, &token, timeout);
         if stage.ok {

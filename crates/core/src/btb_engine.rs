@@ -126,6 +126,32 @@ impl FetchEngine for BtbEngine {
         Some(outcome)
     }
 
+    fn step_block(&mut self, block: &[TraceRecord]) {
+        // Monomorphic batched loop. Sequential records — the vast
+        // majority of a trace — only touch the instruction counter
+        // and the cache; a single fused scan groups consecutive
+        // same-line sequential fetches and collapses each group into
+        // one coalesced cache probe. Each break record goes through
+        // the full `step` logic (non-virtual here, so it inlines).
+        let shift = self.cache.config().line_bytes.trailing_zeros();
+        let mut rest = block;
+        while let Some((first, tail)) = rest.split_first() {
+            if first.is_break() {
+                self.step(first);
+                rest = tail;
+                continue;
+            }
+            let line = first.pc.as_u64() >> shift;
+            let n = rest
+                .iter()
+                .take_while(|r| !r.is_break() && r.pc.as_u64() >> shift == line)
+                .count();
+            self.cache.access_run(first.pc, (n - 1) as u64);
+            self.counters.instructions += n as u64;
+            rest = rest.get(n..).unwrap_or_default();
+        }
+    }
+
     fn result(&self, bench: &str) -> SimResult {
         SimResult {
             engine: self.label(),

@@ -86,23 +86,24 @@ pub struct Counters {
 
 impl Counters {
     /// Records one classified break of the given kind.
+    ///
+    /// `BreakKind::index()` is a constant-time match (no scan over
+    /// `ALL`), and the outcome split compiles to two conditional
+    /// increments — this sits on the per-break hot path of every
+    /// engine, so it stays branch-light.
+    #[inline]
     pub fn record(&mut self, outcome: BreakOutcome, kind: BreakKind) {
         self.breaks += 1;
-        match outcome {
-            BreakOutcome::Correct => {}
-            BreakOutcome::Misfetch => self.misfetches += 1,
-            BreakOutcome::Mispredict => self.mispredicts += 1,
-        }
-        // `kind` is always a member of ALL, so the breakdown never
-        // silently drops an event.
-        let ki = BreakKind::ALL.iter().position(|&k| k == kind).unwrap_or_default();
-        if let Some(kc) = self.by_kind.get_mut(ki) {
+        let misfetch = (outcome == BreakOutcome::Misfetch) as u64;
+        let mispredict = (outcome == BreakOutcome::Mispredict) as u64;
+        self.misfetches += misfetch;
+        self.mispredicts += mispredict;
+        // `index()` is `< ALL.len()` by construction, so the
+        // breakdown never silently drops an event.
+        if let Some(kc) = self.by_kind.get_mut(kind.index()) {
             kc.breaks += 1;
-            match outcome {
-                BreakOutcome::Correct => {}
-                BreakOutcome::Misfetch => kc.misfetches += 1,
-                BreakOutcome::Mispredict => kc.mispredicts += 1,
-            }
+            kc.misfetches += misfetch;
+            kc.mispredicts += mispredict;
         }
     }
 }
@@ -115,6 +116,22 @@ pub trait FetchEngine {
     /// Feeds one dynamic instruction through the front end.
     /// Returns the penalty classification for breaks.
     fn step(&mut self, r: &TraceRecord) -> Option<BreakOutcome>;
+
+    /// Feeds a whole block of dynamic instructions through the front
+    /// end, in order. Must be observably identical to calling
+    /// [`step`](FetchEngine::step) on every record in sequence —
+    /// block size is an execution detail, never a semantic one.
+    ///
+    /// The default does exactly that, so the trait stays object-safe
+    /// and third-party engines keep working; the built-in engines
+    /// override it with monomorphic loops that hoist the
+    /// class dispatch out of the per-record path (one virtual call
+    /// per block instead of one per record).
+    fn step_block(&mut self, block: &[TraceRecord]) {
+        for r in block {
+            self.step(r);
+        }
+    }
 
     /// Packages the accumulated counters as a [`SimResult`].
     fn result(&self, bench: &str) -> SimResult;
@@ -135,6 +152,9 @@ impl FetchEngine for Box<dyn FetchEngine + Send> {
     }
     fn step(&mut self, r: &TraceRecord) -> Option<BreakOutcome> {
         (**self).step(r)
+    }
+    fn step_block(&mut self, block: &[TraceRecord]) {
+        (**self).step_block(block)
     }
     fn result(&self, bench: &str) -> SimResult {
         (**self).result(bench)

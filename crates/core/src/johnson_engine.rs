@@ -142,6 +142,40 @@ impl FetchEngine for JohnsonEngine {
         Some(outcome)
     }
 
+    fn step_block(&mut self, block: &[TraceRecord]) {
+        let shift = self.cache.config().line_bytes.trailing_zeros();
+        let mut rest = block;
+        while let Some((first, tail)) = rest.split_first() {
+            // Breaks — and the record right after one, which commits
+            // the pending successor pointer — route through the full
+            // `step`.
+            if self.pending.is_some() || first.is_break() {
+                self.step(first);
+                rest = tail;
+                continue;
+            }
+            // With no pending pointer, a sequential record bumps the
+            // counter, accesses the cache, and invalidates the
+            // frame's pointers on a refill — nothing else. One fused
+            // scan groups consecutive same-line sequential fetches
+            // into a single coalesced probe (only the first fetch of
+            // a line can miss; the repeats are guaranteed hits).
+            let line = first.pc.as_u64() >> shift;
+            let n = rest
+                .iter()
+                .take_while(|r| !r.is_break() && r.pc.as_u64() >> shift == line)
+                .count();
+            let set =
+                u32::try_from(self.cache.config().set_index(first.pc)).unwrap_or(u32::MAX);
+            let acc = self.cache.access_run(first.pc, (n - 1) as u64);
+            if !acc.hit {
+                self.preds.invalidate_line(set, acc.way);
+            }
+            self.counters.instructions += n as u64;
+            rest = rest.get(n..).unwrap_or_default();
+        }
+    }
+
     fn result(&self, bench: &str) -> SimResult {
         SimResult {
             engine: self.label(),

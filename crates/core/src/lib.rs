@@ -80,7 +80,8 @@ pub use penalty::PenaltyModel;
 pub use set_prediction::{fallthrough_way_prediction, FallThroughWayStats};
 pub use spec::{EngineSpec, PhtSpec};
 pub use supervisor::{
-    drive_supervised, estimated_heap_bytes, install_signal_token, run_one_supervised, Outcome,
+    drive_supervised, drive_supervised_scalar, drive_walker_supervised, estimated_heap_bytes,
+    install_signal_token, run_one_supervised, Outcome, BLOCK_RECORDS,
 };
 pub use sweep::{
     cross, drive, merge_ledger_outcomes, paper_caches, run_ledger_worker, run_one, run_sweep,

@@ -82,8 +82,7 @@ impl SimResult {
     /// The event counts for one break kind (§7 attribution: e.g. how
     /// much of the mispredict penalty comes from indirect jumps).
     pub fn kind_counts(&self, kind: BreakKind) -> KindCounts {
-        let ki = BreakKind::ALL.iter().position(|&k| k == kind).unwrap_or_default();
-        self.by_kind.get(ki).copied().unwrap_or_default()
+        self.by_kind.get(kind.index()).copied().unwrap_or_default()
     }
 
     /// Wide-issue extension (the paper's §8 outlook): estimated

@@ -196,6 +196,43 @@ impl FetchEngine for NlsTableEngine {
         Some(outcome)
     }
 
+    fn step_block(&mut self, block: &[TraceRecord]) {
+        // With the type predictor enabled every record predicts and
+        // trains the type table, so there is no sequential fast path:
+        // run the reference loop.
+        if self.type_table.is_some() {
+            for r in block {
+                self.step(r);
+            }
+            return;
+        }
+        let shift = self.cache.config().line_bytes.trailing_zeros();
+        let mut rest = block;
+        while let Some((first, tail)) = rest.split_first() {
+            // Breaks — and the record right after one, which commits
+            // the pending pointer update — route through the full
+            // `step` (the successor may itself be a break that
+            // re-arms `pending`).
+            if self.pending.is_some() || first.is_break() {
+                self.step(first);
+                rest = tail;
+                continue;
+            }
+            // With no pending update and a predecode bit, sequential
+            // records only bump the counter and touch the cache — one
+            // fused scan groups consecutive same-line fetches into a
+            // single coalesced probe.
+            let line = first.pc.as_u64() >> shift;
+            let n = rest
+                .iter()
+                .take_while(|r| !r.is_break() && r.pc.as_u64() >> shift == line)
+                .count();
+            self.cache.access_run(first.pc, (n - 1) as u64);
+            self.counters.instructions += n as u64;
+            rest = rest.get(n..).unwrap_or_default();
+        }
+    }
+
     fn result(&self, bench: &str) -> SimResult {
         SimResult {
             engine: self.label(),

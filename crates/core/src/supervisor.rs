@@ -76,17 +76,100 @@ pub fn estimated_heap_bytes(engines: &[Box<dyn FetchEngine + Send>]) -> u64 {
     engines.iter().map(|e| e.approx_heap_bytes()).sum()
 }
 
-/// Feeds `trace` to every engine under `budget`, polling before each
-/// record. Returns `None` when the trace was fully consumed, or the
+/// Records per drive-loop block: the granularity at which the
+/// batched loops poll the [`Budget`] and make one virtual
+/// [`step_block`](FetchEngine::step_block) call per engine.
+///
+/// A multiple of [`DEADLINE_POLL_INTERVAL`](crate::budget::DEADLINE_POLL_INTERVAL),
+/// so every block-boundary poll lands on a record count where the
+/// scalar loop would also have read the wall clock; 4096 records is
+/// small enough that a block of `TraceRecord`s (~128 KiB) stays
+/// cache-resident while large enough that per-block overhead (poll,
+/// virtual dispatch) is amortised to noise.
+pub const BLOCK_RECORDS: usize = 4096;
+
+/// One block-granularity budget poll: checks `budget` at `done`
+/// consumed records and returns how many of the next `want` records
+/// may run before the record limit lands (all of them when no limit
+/// is set).
+fn poll_block_quota(
+    budget: &Budget,
+    done: u64,
+    heap: u64,
+    want: usize,
+) -> Result<usize, StopReason> {
+    budget.check(done, heap)?;
+    let allowed = match budget.max_records() {
+        Some(limit) => {
+            usize::try_from(limit.saturating_sub(done)).unwrap_or(usize::MAX).min(want)
+        }
+        None => want,
+    };
+    Ok(allowed)
+}
+
+/// Feeds `trace` to every engine under `budget`, one
+/// [`BLOCK_RECORDS`]-sized block at a time: the budget is polled
+/// once per block (not once per record) and each engine gets a
+/// single [`step_block`](FetchEngine::step_block) call per block.
+/// Records are borrowed from the caller — nothing on this path
+/// copies a `TraceRecord`.
+///
+/// Returns `None` when the trace was fully consumed, or the
 /// [`StopReason`] that cut it short (engines then hold the counters
-/// of the records consumed so far).
-pub fn drive_supervised<I>(
+/// of the records consumed so far). Stopping is bit-for-bit
+/// identical to the scalar reference loop
+/// ([`drive_supervised_scalar`]): a record limit still lands on the
+/// exact record, because the block straddling it is split there. The
+/// one sanctioned relaxation is deadline slack — the wall clock is
+/// read at block rather than [`DEADLINE_POLL_INTERVAL`] granularity.
+pub fn drive_supervised(
+    trace: &[TraceRecord],
+    engines: &mut [Box<dyn FetchEngine + Send>],
+    budget: &Budget,
+) -> Option<StopReason> {
+    let heap = estimated_heap_bytes(engines);
+    let mut done: u64 = 0;
+    for block in trace.chunks(BLOCK_RECORDS) {
+        let allowed = match poll_block_quota(budget, done, heap, block.len()) {
+            Ok(n) => n,
+            Err(reason) => return Some(reason),
+        };
+        let (now, rest) = block.split_at(allowed);
+        for e in engines.iter_mut() {
+            e.step_block(now);
+        }
+        done += now.len() as u64;
+        if !rest.is_empty() {
+            // The record limit landed mid-block. Re-polling at the
+            // stopping point keeps the scalar loop's priority order
+            // (cancellation is observed before the record limit);
+            // the fallback is unreachable — `allowed < len` only
+            // happens when the limit binds at exactly `done` — but
+            // keeps the path total.
+            return Some(
+                budget
+                    .check(done, heap)
+                    .err()
+                    .unwrap_or(StopReason::RecordLimit { limit: done }),
+            );
+        }
+    }
+    None
+}
+
+/// The pre-batching reference loop: one budget poll and one virtual
+/// [`step`](FetchEngine::step) call per record. This is the semantic
+/// specification the block path is differentially tested against
+/// (every counter, outcome and stop reason must match); it is not on
+/// any hot path.
+pub fn drive_supervised_scalar<'a, I>(
     trace: I,
     engines: &mut [Box<dyn FetchEngine + Send>],
     budget: &Budget,
 ) -> Option<StopReason>
 where
-    I: IntoIterator<Item = TraceRecord>,
+    I: IntoIterator<Item = &'a TraceRecord>,
 {
     let heap = estimated_heap_bytes(engines);
     for (done, r) in trace.into_iter().enumerate() {
@@ -94,7 +177,57 @@ where
             return Some(reason);
         }
         for e in engines.iter_mut() {
-            e.step(&r);
+            e.step(r);
+        }
+    }
+    None
+}
+
+/// Streams up to `trace_len` records out of `walker` in
+/// [`BLOCK_RECORDS`]-sized blocks through every engine, refilling a
+/// single reusable buffer — the whole trace is never materialised.
+///
+/// Stop semantics mirror the scalar loop over `walker.take(trace_len)`
+/// exactly, including the boundary case where the walk ends on the
+/// same record a limit would land on: the scalar loop only ever
+/// polled with a freshly pulled record in hand, so a walk that ends
+/// is `Complete` no matter what the budget would have said next.
+pub fn drive_walker_supervised(
+    walker: &mut Walker<'_>,
+    trace_len: usize,
+    engines: &mut [Box<dyn FetchEngine + Send>],
+    budget: &Budget,
+) -> Option<StopReason> {
+    let heap = estimated_heap_bytes(engines);
+    let mut block: Vec<TraceRecord> = Vec::with_capacity(BLOCK_RECORDS.min(trace_len));
+    let mut done: u64 = 0;
+    let mut remaining = trace_len;
+    while remaining > 0 {
+        let got = walker.fill_block(&mut block, BLOCK_RECORDS.min(remaining));
+        if got == 0 {
+            // The walk ended (malformed program): an exhausted
+            // iterator is a complete run, never a degraded one.
+            return None;
+        }
+        remaining -= got;
+        let allowed = match poll_block_quota(budget, done, heap, got) {
+            Ok(n) => n,
+            Err(reason) => return Some(reason),
+        };
+        let (now, _) = block.split_at(allowed);
+        for e in engines.iter_mut() {
+            e.step_block(now);
+        }
+        done += now.len() as u64;
+        if allowed < got {
+            // Mid-block record limit; same re-poll rationale as in
+            // [`drive_supervised`].
+            return Some(
+                budget
+                    .check(done, heap)
+                    .err()
+                    .unwrap_or(StopReason::RecordLimit { limit: done }),
+            );
         }
     }
     None
@@ -109,8 +242,8 @@ pub fn run_one_supervised(spec: &RunSpec, cfg: &SweepConfig, budget: &Budget) ->
     let program = synthesize(&spec.bench, &gen_cfg);
     let mut engines: Vec<Box<dyn FetchEngine + Send>> =
         spec.engines.iter().map(|e| e.build(spec.cache)).collect();
-    let walker = Walker::new(&program, cfg.seed);
-    let stopped = drive_supervised(walker.take(cfg.trace_len), &mut engines, budget);
+    let mut walker = Walker::new(&program, cfg.seed);
+    let stopped = drive_walker_supervised(&mut walker, cfg.trace_len, &mut engines, budget);
     let results: Vec<SimResult> = engines.iter().map(|e| e.result(spec.bench.name)).collect();
     match stopped {
         None => Outcome::Complete(results),

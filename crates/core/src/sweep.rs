@@ -110,13 +110,11 @@ impl RunSpec {
 
 /// Runs a prepared trace through a set of engines. Exposed for
 /// integration tests that hand-craft traces.
-pub fn drive<'a, I>(trace: I, engines: &mut [Box<dyn FetchEngine + Send>])
-where
-    I: IntoIterator<Item = &'a TraceRecord>,
-{
-    // An unlimited budget never trips, so the supervised loop is a
-    // plain drive here.
-    drive_supervised(trace.into_iter().cloned(), engines, &Budget::unlimited());
+pub fn drive(trace: &[TraceRecord], engines: &mut [Box<dyn FetchEngine + Send>]) {
+    // An unlimited budget never trips, so the supervised block loop
+    // is a plain drive here; records are borrowed straight from the
+    // caller's slice, never cloned.
+    drive_supervised(trace, engines, &Budget::unlimited());
 }
 
 /// Executes one run: synthesises the workload, walks `trace_len`

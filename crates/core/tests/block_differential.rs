@@ -1,0 +1,174 @@
+//! Differential tests for the batched execution path.
+//!
+//! The block-decoded drive loop ([`drive_supervised`]) and the
+//! streaming walker loop ([`drive_walker_supervised`]) must be
+//! *bit-for-bit* identical to the pre-batching scalar reference loop
+//! ([`drive_supervised_scalar`]): same per-engine counters, same
+//! per-kind breakdowns, same icache statistics and same stop
+//! reasons, for every engine and for every way a budget can cut a
+//! run short — including limits that land in the middle of a block.
+
+use nls_core::{
+    drive_supervised, drive_supervised_scalar, drive_walker_supervised, Budget, CancelToken,
+    EngineSpec, FetchEngine, NlsTableEngine, SimResult, StopReason, BLOCK_RECORDS,
+};
+use nls_icache::CacheConfig;
+use nls_trace::{synthesize, BenchProfile, GenConfig, TraceRecord, Walker};
+
+/// Long enough for several full blocks plus a partial tail block.
+const TRACE_LEN: usize = 3 * BLOCK_RECORDS + 1234;
+const SEED: u64 = 0xd1ff;
+
+fn program() -> nls_trace::Program {
+    let bench = BenchProfile::espresso();
+    synthesize(&bench, &GenConfig::for_profile(&bench))
+}
+
+fn trace(program: &nls_trace::Program) -> Vec<TraceRecord> {
+    Walker::new(program, SEED).take_trace(TRACE_LEN)
+}
+
+/// One of every fetch architecture, including the NLS-table variant
+/// with the decode-assist type predictor (whose `step_block` falls
+/// back to the scalar loop).
+fn fleet() -> Vec<Box<dyn FetchEngine + Send>> {
+    let cache = CacheConfig::paper(8, 2);
+    vec![
+        EngineSpec::btb(128, 2).build(cache),
+        EngineSpec::nls_table(1024).build(cache),
+        EngineSpec::nls_cache(2).build(cache),
+        (EngineSpec::Johnson { preds_per_line: 2 }).build(cache),
+        Box::new(NlsTableEngine::new(1024, cache).with_type_predictor(512)),
+    ]
+}
+
+fn results(engines: &[Box<dyn FetchEngine + Send>]) -> Vec<SimResult> {
+    engines.iter().map(|e| e.result("differential")).collect()
+}
+
+/// Runs the same trace through all three drive loops with fresh
+/// engine fleets and per-run budgets, asserting identical stop
+/// reasons and identical `SimResult`s across all engines.
+fn assert_paths_agree(budget_for: impl Fn() -> Budget) -> (Option<StopReason>, Vec<SimResult>) {
+    let program = program();
+    let trace = trace(&program);
+
+    let mut scalar = fleet();
+    let scalar_stop = drive_supervised_scalar(&trace, &mut scalar, &budget_for());
+
+    let mut block = fleet();
+    let block_stop = drive_supervised(&trace, &mut block, &budget_for());
+
+    let mut streamed = fleet();
+    let mut walker = Walker::new(&program, SEED);
+    let walker_stop =
+        drive_walker_supervised(&mut walker, TRACE_LEN, &mut streamed, &budget_for());
+
+    assert_eq!(block_stop, scalar_stop, "block stop reason diverged from scalar");
+    assert_eq!(walker_stop, scalar_stop, "walker stop reason diverged from scalar");
+    let want = results(&scalar);
+    assert_eq!(results(&block), want, "block counters diverged from scalar");
+    assert_eq!(results(&streamed), want, "walker counters diverged from scalar");
+    (scalar_stop, want)
+}
+
+#[test]
+fn unlimited_budget_is_bit_identical_across_paths() {
+    let (stop, results) = assert_paths_agree(Budget::unlimited);
+    assert_eq!(stop, None, "unlimited run must complete");
+    for r in &results {
+        assert_eq!(r.instructions, TRACE_LEN as u64, "{}", r.engine);
+        assert!(r.breaks > 0, "{} saw no branches", r.engine);
+    }
+}
+
+#[test]
+fn record_limit_mid_block_stops_on_the_exact_record() {
+    // 10_000 lands inside the third block (not on a block boundary):
+    // the block straddling the limit must be split at the record.
+    let limit = 10_000u64;
+    assert!(limit as usize % BLOCK_RECORDS != 0, "limit must land mid-block");
+    let (stop, results) = assert_paths_agree(|| Budget::unlimited().with_max_records(limit));
+    assert_eq!(stop, Some(StopReason::RecordLimit { limit }));
+    for r in &results {
+        assert_eq!(r.instructions, limit, "{} overran the record limit", r.engine);
+    }
+}
+
+#[test]
+fn record_limit_at_trace_end_is_a_complete_run() {
+    // The scalar loop only polls with a record in hand, so a limit
+    // that binds exactly where the trace ends never trips.
+    let (stop, results) =
+        assert_paths_agree(|| Budget::unlimited().with_max_records(TRACE_LEN as u64));
+    assert_eq!(stop, None);
+    for r in &results {
+        assert_eq!(r.instructions, TRACE_LEN as u64);
+    }
+}
+
+#[test]
+fn cancelled_token_stops_before_the_first_record_on_every_path() {
+    // SIGINT-style cancellation: the token is already set when the
+    // drive loop starts (the signal handler path flips the same
+    // token asynchronously).
+    let (stop, results) = assert_paths_agree(|| {
+        let token = CancelToken::new();
+        token.cancel();
+        Budget::unlimited().with_cancel(token)
+    });
+    assert_eq!(stop, Some(StopReason::Cancelled));
+    for r in &results {
+        assert_eq!(r.instructions, 0, "{} ran after cancellation", r.engine);
+    }
+}
+
+#[test]
+fn tiny_heap_budget_trips_before_the_first_record_on_every_path() {
+    let (stop, results) = assert_paths_agree(|| Budget::unlimited().with_max_heap_bytes(16));
+    assert!(
+        matches!(stop, Some(StopReason::HeapLimit { .. })),
+        "expected a heap stop, got {stop:?}"
+    );
+    for r in &results {
+        assert_eq!(r.instructions, 0);
+    }
+}
+
+#[test]
+fn expired_deadline_degrades_identically() {
+    let (stop, results) =
+        assert_paths_agree(|| Budget::unlimited().with_deadline(std::time::Duration::ZERO));
+    assert!(
+        matches!(stop, Some(StopReason::DeadlineExceeded { .. })),
+        "expected a deadline stop, got {stop:?}"
+    );
+    for r in &results {
+        assert_eq!(r.instructions, 0, "{} ran past an expired deadline", r.engine);
+    }
+}
+
+#[test]
+fn degraded_block_prefix_matches_a_shorter_complete_run() {
+    // A run cut short at N records must leave exactly the state of a
+    // complete run over the first N records — for the block path as
+    // for the scalar one.
+    let limit = 2 * BLOCK_RECORDS + 777;
+    let program = program();
+    let trace = trace(&program);
+
+    let mut capped = fleet();
+    let stop = drive_supervised(
+        &trace,
+        &mut capped,
+        &Budget::unlimited().with_max_records(limit as u64),
+    );
+    assert_eq!(stop, Some(StopReason::RecordLimit { limit: limit as u64 }));
+
+    let mut short = fleet();
+    let Some(prefix) = trace.get(..limit) else {
+        panic!("trace shorter than the limit");
+    };
+    assert_eq!(drive_supervised(prefix, &mut short, &Budget::unlimited()), None);
+    assert_eq!(results(&capped), results(&short));
+}

@@ -83,9 +83,20 @@ impl CacheConfig {
 
     /// Number of sets (rows). For a direct-mapped cache this equals
     /// the number of line frames.
+    ///
+    /// Geometry fields are asserted to be powers of two in [`new`],
+    /// so the hot path reduces to a shift; the division fallback
+    /// keeps literal-constructed configs working unchanged.
+    ///
+    /// [`new`]: CacheConfig::new
     #[inline]
     pub fn num_sets(&self) -> u64 {
-        self.size_bytes / (self.line_bytes * u64::from(self.assoc))
+        let frame = self.line_bytes * u64::from(self.assoc);
+        if frame.is_power_of_two() {
+            self.size_bytes >> frame.trailing_zeros()
+        } else {
+            self.size_bytes / frame
+        }
     }
 
     /// Total number of line frames (sets × ways).
@@ -100,16 +111,39 @@ impl CacheConfig {
         self.line_bytes / nls_trace::INST_BYTES
     }
 
+    /// The line number of `addr` (shift when the line size is a
+    /// power of two — the asserted common case — else divide).
+    #[inline]
+    fn line_number(&self, addr: nls_trace::Addr) -> u64 {
+        if self.line_bytes.is_power_of_two() {
+            addr.as_u64() >> self.line_bytes.trailing_zeros()
+        } else {
+            addr.as_u64() / self.line_bytes
+        }
+    }
+
     /// The set index of `addr`.
     #[inline]
     pub fn set_index(&self, addr: nls_trace::Addr) -> u64 {
-        (addr.as_u64() / self.line_bytes) % self.num_sets()
+        let sets = self.num_sets();
+        let line = self.line_number(addr);
+        if sets.is_power_of_two() {
+            line & (sets - 1)
+        } else {
+            line % sets
+        }
     }
 
     /// The tag of `addr` (bits above set index and line offset).
     #[inline]
     pub fn tag(&self, addr: nls_trace::Addr) -> u64 {
-        (addr.as_u64() / self.line_bytes) / self.num_sets()
+        let sets = self.num_sets();
+        let line = self.line_number(addr);
+        if sets.is_power_of_two() {
+            line >> sets.trailing_zeros()
+        } else {
+            line / sets
+        }
     }
 
     /// A short human-readable label like `"16K 4-way"`.

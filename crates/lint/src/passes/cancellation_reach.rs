@@ -13,17 +13,23 @@
 //!   [`super::ENTRY_FILES`] (unlike the other reachability passes,
 //!   `step` is *not* a root: one step is per-record bounded work, and
 //!   the loop that invokes it is the thing that must poll);
-//! * reachability does not descend into `step` for the same reason —
-//!   everything under it runs within one record;
+//! * reachability does not descend into `step` or `step_block` for
+//!   the same reason — everything under `step` runs within one
+//!   record, and everything under `step_block` within one
+//!   `BLOCK_RECORDS`-sized block, whose caller polls at the block
+//!   boundary (the documented block-granularity supervision
+//!   contract);
 //! * only loops in functions *defined in* [`super::ENTRY_FILES`] are
 //!   checked (a loop in, say, metrics aggregation is bounded by its
 //!   input, not by trace length);
 //! * only the outermost loop of a nest must poll — a poll anywhere in
 //!   its span covers the inner loops, which are per-iteration work.
 //!
-//! A poll is any call named `check`/`check_now`/`is_cancelled`, or
-//! any call qualified `Budget::`/`CancelToken::` (receiver-blind,
-//! like the rest of the call graph). Bounded loops that genuinely
+//! A poll is any call named `check`/`check_now`/`is_cancelled`, any
+//! call whose name starts with `poll` (the batched supervisor's
+//! once-per-block `poll_block_quota` helper), or any call qualified
+//! `Budget::`/`CancelToken::` (receiver-blind, like the rest of the
+//! call graph). Bounded loops that genuinely
 //! need no poll (a retry loop, a prefill over an in-memory list) are
 //! waived with `// nls-lint: allow(cancellation-reach): <why bounded>`.
 
@@ -73,7 +79,11 @@ fn reach_skipping_step(a: &Analysis, roots: &[FnId]) -> BTreeMap<FnId, FnId> {
     }
     while let Some(id) = queue.pop_front() {
         for e in a.graph.edges_from(id) {
-            if lookup(&a.files, e.callee).is_some_and(|(_, it)| it.name == "step") {
+            // `step` is per-record bounded, `step_block` per-block
+            // bounded: their internal loops finish without a poll.
+            if lookup(&a.files, e.callee)
+                .is_some_and(|(_, it)| it.name == "step" || it.name == "step_block")
+            {
                 continue;
             }
             if let Entry::Vacant(slot) = pred.entry(e.callee) {
@@ -116,9 +126,12 @@ fn outermost_loops(code: &[Tok], span: (usize, usize)) -> Vec<(u32, (usize, usiz
     out
 }
 
-/// True when the call site reads the budget or the cancel token.
+/// True when the call site reads the budget or the cancel token —
+/// directly, or through a `poll*`-named helper like the batched
+/// supervisor's once-per-block `poll_block_quota`.
 fn is_poll(c: &CallSite) -> bool {
     matches!(c.name.as_str(), "check" | "check_now" | "is_cancelled")
+        || c.name.starts_with("poll")
         || matches!(c.qualifier.as_deref(), Some("Budget" | "CancelToken"))
 }
 
@@ -228,6 +241,38 @@ mod tests {
              fn touch(_w: u64) {}\n",
         )]);
         assert!(v.is_empty(), "per-record work is bounded by construction: {v:?}");
+    }
+
+    #[test]
+    fn a_poll_named_helper_in_the_driving_loop_counts() {
+        // The batched supervisor polls once per block through a
+        // `poll*`-named helper instead of calling `budget.check`
+        // inline; that satisfies the rule.
+        let v = run(&[(
+            "crates/core/src/supervisor.rs",
+            "pub fn drive_blocks(blocks: &[B], budget: &Budget) {\n    \
+             for b in blocks {\n        \
+             poll_block_quota(budget, 0, 0, b.len());\n        \
+             consume(b);\n    \
+             }\n}\n\
+             fn consume(_b: &B) {}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn loops_under_step_block_are_per_block_work_not_this_passes_business() {
+        // A block is BLOCK_RECORDS-bounded; the caller polls at the
+        // block boundary, so `step_block`'s internal decode loops
+        // need no poll of their own.
+        let v = run(&[(
+            "crates/core/src/btb_engine.rs",
+            "impl E {\n    \
+             pub fn drive_trace(&mut self) { self.step_block(); }\n    \
+             fn step_block(&mut self) { for w in 0..4096 { touch(w); } }\n}\n\
+             fn touch(_w: u64) {}\n",
+        )]);
+        assert!(v.is_empty(), "per-block work is bounded by construction: {v:?}");
     }
 
     #[test]

@@ -35,9 +35,16 @@ impl BtbConfig {
         BtbConfig { entries, assoc }
     }
 
-    /// Number of sets.
+    /// Number of sets. `new` asserts power-of-two geometry, so this
+    /// is a shift on the hot path (with a division fallback for
+    /// literal-constructed configs).
+    #[inline]
     pub fn num_sets(&self) -> usize {
-        self.entries / self.assoc as usize
+        if self.assoc.is_power_of_two() {
+            self.entries >> self.assoc.trailing_zeros()
+        } else {
+            self.entries / self.assoc as usize
+        }
     }
 
     /// Short label like `"128 direct BTB"` or `"256 4-way BTB"`.
@@ -61,14 +68,17 @@ pub struct BtbEntry {
     pub kind: BreakKind,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    tag: u64,
-    entry: BtbEntry,
-    stamp: u64,
-}
-
 /// A set-associative, LRU branch target buffer.
+///
+/// State is held struct-of-arrays: tags, targets, kinds and LRU
+/// stamps live in four flat vectors indexed `set * assoc + way`, so
+/// the tag scan of a set walks one contiguous `u64` run instead of
+/// striding over boxed per-set slot vectors. A stamp of `0` marks an
+/// empty way (the clock is incremented before every use, so every
+/// valid stamp is >= 1), which makes victim selection a single
+/// min-scan: an empty way's stamp 0 always loses to any valid stamp,
+/// and ties resolve to the first way — exactly the old
+/// first-empty-way-else-LRU policy.
 ///
 /// # Examples
 ///
@@ -85,14 +95,26 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct Btb {
     cfg: BtbConfig,
-    sets: Vec<Vec<Option<Slot>>>,
+    tags: Vec<u64>,
+    targets: Vec<Addr>,
+    kinds: Vec<BreakKind>,
+    /// LRU stamps; `0` = empty way, valid stamps are >= 1.
+    stamps: Vec<u64>,
     clock: u64,
 }
 
 impl Btb {
     /// An empty BTB.
     pub fn new(cfg: BtbConfig) -> Self {
-        Btb { cfg, sets: vec![vec![None; cfg.assoc as usize]; cfg.num_sets()], clock: 0 }
+        let n = cfg.entries;
+        Btb {
+            cfg,
+            tags: vec![0; n],
+            targets: vec![Addr::new(0); n],
+            kinds: vec![BreakKind::Conditional; n],
+            stamps: vec![0; n],
+            clock: 0,
+        }
     }
 
     /// The geometry.
@@ -102,60 +124,94 @@ impl Btb {
 
     #[inline]
     fn set_of(&self, pc: Addr) -> usize {
-        (pc.inst_index() % self.cfg.num_sets() as u64) as usize
+        let sets = self.cfg.num_sets() as u64;
+        let i = pc.inst_index();
+        (if sets.is_power_of_two() { i & (sets - 1) } else { i % sets }) as usize
     }
 
     #[inline]
     fn tag_of(&self, pc: Addr) -> u64 {
-        pc.inst_index() / self.cfg.num_sets() as u64
+        let sets = self.cfg.num_sets() as u64;
+        let i = pc.inst_index();
+        if sets.is_power_of_two() {
+            i >> sets.trailing_zeros()
+        } else {
+            i / sets
+        }
+    }
+
+    /// The flat index of the valid way in `set` holding `tag`, if any.
+    #[inline]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        let assoc = self.cfg.assoc as usize;
+        let base = set * assoc;
+        let tags = self.tags.get(base..base + assoc)?;
+        let stamps = self.stamps.get(base..base + assoc)?;
+        tags.iter().zip(stamps).position(|(&t, &s)| s != 0 && t == tag).map(|way| base + way)
+    }
+
+    /// The entry at flat index `i` (caller guarantees validity).
+    #[inline]
+    fn entry_at(&self, i: usize) -> Option<BtbEntry> {
+        Some(BtbEntry {
+            target: self.targets.get(i).copied()?,
+            kind: self.kinds.get(i).copied()?,
+        })
     }
 
     /// Looks up `pc`, refreshing its LRU position on a hit.
     pub fn lookup(&mut self, pc: Addr) -> Option<BtbEntry> {
         self.clock += 1;
-        let set = self.set_of(pc);
-        let tag = self.tag_of(pc);
+        let i = self.find_way(self.set_of(pc), self.tag_of(pc))?;
         let clock = self.clock;
-        self.sets.get_mut(set)?.iter_mut().flatten().find(|s| s.tag == tag).map(|s| {
-            s.stamp = clock;
-            s.entry
-        })
+        if let Some(s) = self.stamps.get_mut(i) {
+            *s = clock;
+        }
+        self.entry_at(i)
     }
 
     /// Looks up `pc` without touching LRU state.
     pub fn probe(&self, pc: Addr) -> Option<BtbEntry> {
-        let set = self.set_of(pc);
-        let tag = self.tag_of(pc);
-        self.sets.get(set)?.iter().flatten().find(|s| s.tag == tag).map(|s| s.entry)
+        let i = self.find_way(self.set_of(pc), self.tag_of(pc))?;
+        self.entry_at(i)
     }
 
     /// Inserts or updates the entry for a *taken* branch at `pc`.
     /// Existing entries are updated in place; otherwise the LRU way
-    /// of the set is replaced.
+    /// of the set is replaced (empty ways first).
     pub fn insert(&mut self, pc: Addr, target: Addr, kind: BreakKind) {
         self.clock += 1;
         let set = self.set_of(pc);
         let tag = self.tag_of(pc);
-        let entry = BtbEntry { target, kind };
         let clock = self.clock;
-        let Some(ways) = self.sets.get_mut(set) else { return };
-        // Update in place on a tag match.
-        if let Some(slot) = ways.iter_mut().flatten().find(|s| s.tag == tag) {
-            slot.entry = entry;
-            slot.stamp = clock;
-            return;
-        }
-        // Fill an empty way if one exists, else evict the LRU way.
-        let victim = match ways.iter().position(Option::is_none) {
+        let i = match self.find_way(set, tag) {
+            // Update in place on a tag match.
             Some(i) => i,
-            None => ways
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.map(|s| s.stamp).unwrap_or(0))
-                .map_or(0, |(i, _)| i),
+            // Min-stamp scan: empty ways (stamp 0) always win, ties
+            // resolve to the first way.
+            None => {
+                let assoc = self.cfg.assoc as usize;
+                let base = set * assoc;
+                let Some(stamps) = self.stamps.get(base..base + assoc) else { return };
+                let way = stamps
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &s)| s)
+                    .map_or(0, |(way, _)| way);
+                base + way
+            }
         };
-        if let Some(slot) = ways.get_mut(victim) {
-            *slot = Some(Slot { tag, entry, stamp: clock });
+        if let Some(t) = self.tags.get_mut(i) {
+            *t = tag;
+        }
+        if let Some(t) = self.targets.get_mut(i) {
+            *t = target;
+        }
+        if let Some(k) = self.kinds.get_mut(i) {
+            *k = kind;
+        }
+        if let Some(s) = self.stamps.get_mut(i) {
+            *s = clock;
         }
     }
 
@@ -163,20 +219,18 @@ impl Btb {
     /// Used by the evict-on-not-taken policy ablation (the paper
     /// deliberately *keeps* entries when their branch falls through).
     pub fn remove(&mut self, pc: Addr) -> bool {
-        let set = self.set_of(pc);
-        let tag = self.tag_of(pc);
-        for slot in self.sets.get_mut(set).into_iter().flatten() {
-            if slot.map(|s| s.tag) == Some(tag) {
-                *slot = None;
-                return true;
+        if let Some(i) = self.find_way(self.set_of(pc), self.tag_of(pc)) {
+            if let Some(s) = self.stamps.get_mut(i) {
+                *s = 0;
             }
+            return true;
         }
         false
     }
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.iter().flatten().count()).sum()
+        self.stamps.iter().filter(|&&s| s != 0).count()
     }
 }
 

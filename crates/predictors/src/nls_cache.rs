@@ -87,13 +87,22 @@ impl NlsCacheConfig {
 #[derive(Debug, Clone)]
 pub struct NlsCachePredictors {
     cfg: NlsCacheConfig,
-    entries: Vec<NlsEntry>,
+    /// Struct-of-arrays layout: one-byte type fields and the wider
+    /// line pointers in separate contiguous vectors (same length), so
+    /// refill invalidation and type probes walk packed bytes.
+    types: Vec<crate::nls::NlsType>,
+    ptrs: Vec<LinePointer>,
 }
 
 impl NlsCachePredictors {
     /// A predictor array with all entries invalid.
     pub fn new(cfg: NlsCacheConfig) -> Self {
-        NlsCachePredictors { cfg, entries: vec![NlsEntry::default(); cfg.total_predictors()] }
+        let n = cfg.total_predictors();
+        NlsCachePredictors {
+            cfg,
+            types: vec![crate::nls::NlsType::Invalid; n],
+            ptrs: vec![LinePointer::default(); n],
+        }
     }
 
     /// The geometry.
@@ -109,14 +118,24 @@ impl NlsCachePredictors {
             inst_offset < self.cfg.insts_per_line,
             "offset {inst_offset} out of range"
         );
-        let pred = inst_offset / self.cfg.insts_per_pred();
+        let ipp = self.cfg.insts_per_pred();
+        // Power of two for every paper geometry — shift, don't divide.
+        let pred = if ipp.is_power_of_two() {
+            inst_offset >> ipp.trailing_zeros()
+        } else {
+            inst_offset / ipp
+        };
         ((set * self.cfg.ways + u32::from(way)) * self.cfg.preds_per_line + pred) as usize
     }
 
     /// The predictor covering the branch at `(set, way, inst_offset)`.
     #[inline]
     pub fn lookup(&self, set: u32, way: u8, inst_offset: u32) -> NlsEntry {
-        self.entries.get(self.slot(set, way, inst_offset)).copied().unwrap_or_default()
+        let i = self.slot(set, way, inst_offset);
+        NlsEntry {
+            ty: self.types.get(i).copied().unwrap_or_default(),
+            ptr: self.ptrs.get(i).copied().unwrap_or_default(),
+        }
     }
 
     /// Resolution-time update (same rules as the NLS-table).
@@ -130,8 +149,15 @@ impl NlsCachePredictors {
         target: Option<LinePointer>,
     ) {
         let i = self.slot(set, way, inst_offset);
-        if let Some(e) = self.entries.get_mut(i) {
-            e.update(kind, taken, target);
+        if let Some(ty) = self.types.get_mut(i) {
+            *ty = kind.into();
+        }
+        if taken {
+            if let Some(ptr) = target {
+                if let Some(slot) = self.ptrs.get_mut(i) {
+                    *slot = ptr;
+                }
+            }
         }
     }
 
@@ -142,14 +168,17 @@ impl NlsCachePredictors {
     pub fn invalidate_line(&mut self, set: u32, way: u8) {
         let base = ((set * self.cfg.ways + u32::from(way)) * self.cfg.preds_per_line) as usize;
         let n = self.cfg.preds_per_line as usize;
-        for e in self.entries.iter_mut().skip(base).take(n) {
-            *e = NlsEntry::default();
+        for ty in self.types.iter_mut().skip(base).take(n) {
+            *ty = crate::nls::NlsType::Invalid;
+        }
+        for ptr in self.ptrs.iter_mut().skip(base).take(n) {
+            *ptr = LinePointer::default();
         }
     }
 
     /// Number of valid predictor entries (diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.ty != crate::nls::NlsType::Invalid).count()
+        self.types.iter().filter(|&&ty| ty != crate::nls::NlsType::Invalid).count()
     }
 
     /// Convenience: the offset of `pc` within its cache line, for a

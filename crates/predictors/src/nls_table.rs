@@ -29,7 +29,13 @@ use crate::nls::{LinePointer, NlsEntry};
 /// ```
 #[derive(Debug, Clone)]
 pub struct NlsTable {
-    entries: Vec<NlsEntry>,
+    /// Struct-of-arrays layout: the one-byte type fields and the
+    /// wider line pointers live in separate contiguous vectors, so a
+    /// type-only probe (the common case on the batched hot path)
+    /// touches a dense byte array instead of striding over full
+    /// entries. `types` and `ptrs` always have the same length.
+    types: Vec<crate::nls::NlsType>,
+    ptrs: Vec<LinePointer>,
 }
 
 impl NlsTable {
@@ -41,33 +47,43 @@ impl NlsTable {
     pub fn new(entries: usize) -> Self {
         // nls-lint: allow(panic-reach): fail-fast on spec constants at construction, before any trace byte
         assert!(entries.is_power_of_two(), "NLS table entries must be a power of two");
-        NlsTable { entries: vec![NlsEntry::default(); entries] }
+        NlsTable {
+            types: vec![crate::nls::NlsType::Invalid; entries],
+            ptrs: vec![LinePointer::default(); entries],
+        }
     }
 
     /// Number of predictor entries.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.types.len()
     }
 
     /// Whether the table has no entries (never true: size >= 1).
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.types.is_empty()
     }
 
     #[inline]
     fn index(&self, pc: Addr) -> usize {
-        (pc.inst_index() % self.entries.len() as u64) as usize
+        // `new` asserts a power-of-two size, so modulo is a mask.
+        (pc.inst_index() & (self.types.len() as u64 - 1)) as usize
     }
 
     /// The predictor for the branch at `pc`. Tag-less: aliased
     /// branches share the entry.
     #[inline]
     pub fn lookup(&self, pc: Addr) -> NlsEntry {
-        self.entries.get(self.index(pc)).copied().unwrap_or_default()
+        let i = self.index(pc);
+        NlsEntry {
+            ty: self.types.get(i).copied().unwrap_or_default(),
+            ptr: self.ptrs.get(i).copied().unwrap_or_default(),
+        }
     }
 
     /// Applies the resolution-time update rules for the branch at
-    /// `pc` (see [`NlsEntry::update`]).
+    /// `pc` (same rules as [`NlsEntry::update`]: every executed
+    /// branch rewrites the type field; only taken branches with a
+    /// resident target rewrite the pointer).
     pub fn update(
         &mut self,
         pc: Addr,
@@ -76,14 +92,21 @@ impl NlsTable {
         target: Option<LinePointer>,
     ) {
         let i = self.index(pc);
-        if let Some(entry) = self.entries.get_mut(i) {
-            entry.update(kind, taken, target);
+        if let Some(ty) = self.types.get_mut(i) {
+            *ty = kind.into();
+        }
+        if taken {
+            if let Some(ptr) = target {
+                if let Some(slot) = self.ptrs.get_mut(i) {
+                    *slot = ptr;
+                }
+            }
         }
     }
 
     /// Number of non-invalid entries (diagnostics).
     pub fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.ty != crate::nls::NlsType::Invalid).count()
+        self.types.iter().filter(|&&ty| ty != crate::nls::NlsType::Invalid).count()
     }
 }
 

@@ -11,7 +11,7 @@
 
 use nls_trace::Addr;
 
-use crate::counter::SaturatingCounter;
+use crate::counter::CounterTable;
 use crate::history::GlobalHistory;
 
 /// A conditional-branch direction predictor.
@@ -62,13 +62,16 @@ pub enum PhtIndexing {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Pht {
-    table: Vec<SaturatingCounter>,
+    /// Counter state lives in struct-of-arrays [`CounterTable`]s —
+    /// one contiguous byte per counter, saturation value shared —
+    /// so the hot predict/update path walks packed bytes.
+    table: CounterTable,
     history: GlobalHistory,
     indexing: PhtIndexing,
     /// Tournament only: the bimodal side table and the chooser
     /// (chooser predicts-taken = "use gshare").
-    second: Option<Vec<SaturatingCounter>>,
-    chooser: Option<Vec<SaturatingCounter>>,
+    second: Option<CounterTable>,
+    chooser: Option<CounterTable>,
 }
 
 impl Pht {
@@ -83,9 +86,9 @@ impl Pht {
         assert!(entries.is_power_of_two(), "PHT entries must be a power of two");
         let hist_bits = u8::try_from(entries.trailing_zeros()).unwrap_or(u8::MAX);
         let aux = (indexing == PhtIndexing::Tournament)
-            .then(|| vec![SaturatingCounter::new(counter_bits); entries]);
+            .then(|| CounterTable::new(entries, counter_bits));
         Pht {
-            table: vec![SaturatingCounter::new(counter_bits); entries],
+            table: CounterTable::new(entries, counter_bits),
             history: GlobalHistory::new(hist_bits),
             indexing,
             second: aux.clone(),
@@ -104,14 +107,22 @@ impl Pht {
         self.table.len()
     }
 
+    /// Index mask: `new` asserts the entry count is a power of two,
+    /// so `x % entries` is `x & (entries - 1)` — a mask instead of a
+    /// division on the per-branch predict/update path.
+    #[inline]
+    fn index_mask(&self) -> u64 {
+        self.table.len() as u64 - 1
+    }
+
     #[inline]
     fn gshare_index(&self, pc: Addr) -> usize {
-        ((self.history.value() ^ pc.inst_index()) % self.table.len() as u64) as usize
+        ((self.history.value() ^ pc.inst_index()) & self.index_mask()) as usize
     }
 
     #[inline]
     fn pc_index(&self, pc: Addr) -> usize {
-        (pc.inst_index() % self.table.len() as u64) as usize
+        (pc.inst_index() & self.index_mask()) as usize
     }
 
     #[inline]
@@ -119,9 +130,7 @@ impl Pht {
         match self.indexing {
             // Tournament's primary table is gshare indexed.
             PhtIndexing::Gshare | PhtIndexing::Tournament => self.gshare_index(pc),
-            PhtIndexing::GlobalOnly => {
-                (self.history.value() % self.table.len() as u64) as usize
-            }
+            PhtIndexing::GlobalOnly => (self.history.value() & self.index_mask()) as usize,
             PhtIndexing::Bimodal => self.pc_index(pc),
         }
     }
@@ -132,14 +141,13 @@ impl DirectionPredictor for Pht {
         match (self.indexing, &self.second, &self.chooser) {
             (PhtIndexing::Tournament, Some(second), Some(chooser)) => {
                 let bi = self.pc_index(pc);
-                let use_gshare = chooser.get(bi).is_some_and(|c| c.predict_taken());
-                if use_gshare {
-                    self.table.get(self.gshare_index(pc)).is_some_and(|c| c.predict_taken())
+                if chooser.predict_taken(bi) {
+                    self.table.predict_taken(self.gshare_index(pc))
                 } else {
-                    second.get(bi).is_some_and(|c| c.predict_taken())
+                    second.predict_taken(bi)
                 }
             }
-            _ => self.table.get(self.index(pc)).is_some_and(|c| c.predict_taken()),
+            _ => self.table.predict_taken(self.index(pc)),
         }
     }
 
@@ -147,27 +155,21 @@ impl DirectionPredictor for Pht {
         if self.indexing == PhtIndexing::Tournament {
             let gi = self.gshare_index(pc);
             let bi = self.pc_index(pc);
-            let g_correct = self.table.get(gi).is_some_and(|c| c.predict_taken()) == taken;
-            let b_correct =
-                self.second.as_ref().and_then(|t| t.get(bi)).is_some_and(|c| c.predict_taken())
-                    == taken;
-            if let Some(c) = self.table.get_mut(gi) {
-                c.update(taken);
-            }
-            if let Some(c) = self.second.as_mut().and_then(|t| t.get_mut(bi)) {
-                c.update(taken);
+            let g_correct = self.table.predict_taken(gi) == taken;
+            let b_correct = self.second.as_ref().is_some_and(|t| t.predict_taken(bi)) == taken;
+            self.table.update(gi, taken);
+            if let Some(t) = self.second.as_mut() {
+                t.update(bi, taken);
             }
             // Train the chooser only when the components disagree.
             if g_correct != b_correct {
-                if let Some(c) = self.chooser.as_mut().and_then(|t| t.get_mut(bi)) {
-                    c.update(g_correct);
+                if let Some(t) = self.chooser.as_mut() {
+                    t.update(bi, g_correct);
                 }
             }
         } else {
             let i = self.index(pc);
-            if let Some(c) = self.table.get_mut(i) {
-                c.update(taken);
-            }
+            self.table.update(i, taken);
         }
         self.history.push(taken);
     }

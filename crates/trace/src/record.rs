@@ -37,6 +37,22 @@ impl BreakKind {
         BreakKind::Return,
     ];
 
+    /// The position of this kind in [`BreakKind::ALL`] (Table 1
+    /// column order), as a constant-time lookup. Everything that
+    /// keeps per-kind arrays — `Counters::by_kind`, the metrics
+    /// attribution tables — indexes them with this, so the mapping
+    /// lives in exactly one place.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            BreakKind::Conditional => 0,
+            BreakKind::IndirectJump => 1,
+            BreakKind::Unconditional => 2,
+            BreakKind::Call => 3,
+            BreakKind::Return => 4,
+        }
+    }
+
     /// Whether the target address can be recomputed from the
     /// instruction itself during the decode stage (direct branches),
     /// as opposed to only at execute (indirect jumps and returns).
@@ -192,6 +208,14 @@ mod tests {
             false,
             Addr::new(0x1000),
         );
+    }
+
+    #[test]
+    fn index_is_the_position_in_all() {
+        for (i, &k) in BreakKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i, "{k:?}");
+            assert_eq!(BreakKind::ALL[k.index()], k);
+        }
     }
 
     #[test]

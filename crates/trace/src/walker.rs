@@ -82,6 +82,25 @@ impl<'p> Walker<'p> {
         self.by_ref().take(n).collect()
     }
 
+    /// Refills `block` with up to `want` records and returns how many
+    /// were produced (fewer only when the program is malformed and
+    /// the walk ends early).
+    ///
+    /// This is the block-decode entry point of the batched drive
+    /// loops: the caller keeps one buffer alive for the whole run, so
+    /// the per-record cost is a push into already-reserved capacity —
+    /// no per-`next()` iterator plumbing, no reallocation after the
+    /// first block.
+    pub fn fill_block(&mut self, block: &mut Vec<TraceRecord>, want: usize) -> usize {
+        block.clear();
+        block.reserve(want);
+        while block.len() < want {
+            let Some(r) = self.next() else { break };
+            block.push(r);
+        }
+        block.len()
+    }
+
     /// Current call-stack depth (frames below the executing procedure).
     pub fn depth(&self) -> usize {
         self.stack.len()
@@ -255,6 +274,24 @@ mod tests {
         let a = Walker::new(&program, 5).take_trace(50_000);
         let b = Walker::new(&program, 6).take_trace(50_000);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fill_block_matches_the_iterator_stream() {
+        let p = BenchProfile::doduc();
+        let program = synthesize(&p, &GenConfig::for_profile(&p));
+        let reference = Walker::new(&program, 5).take_trace(10_000);
+        let mut w = Walker::new(&program, 5);
+        let mut block = Vec::new();
+        let mut streamed = Vec::new();
+        // Deliberately awkward block size: the last block is partial.
+        while streamed.len() < 10_000 {
+            let want = 4096.min(10_000 - streamed.len());
+            let got = w.fill_block(&mut block, want);
+            assert_eq!(got, want, "well-formed programs never end the walk");
+            streamed.extend_from_slice(&block);
+        }
+        assert_eq!(streamed, reference);
     }
 
     #[test]

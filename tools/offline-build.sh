@@ -21,6 +21,19 @@ export CARGO="${CARGO:-cargo}"
 
 RUSTC_FLAGS=(--edition 2021 -L "dependency=$OUT" -Dwarnings -Aunused-imports)
 
+# Optimisation level for perf measurement (e.g. NLS_OFFLINE_OPT=3 for
+# the throughput bench). Defaults to unoptimised for fast edit cycles.
+if [[ -n "${NLS_OFFLINE_OPT:-}" ]]; then
+    RUSTC_FLAGS+=(-C "opt-level=${NLS_OFFLINE_OPT}")
+fi
+
+# Extra rustc flags, word-split on purpose (e.g.
+# NLS_OFFLINE_EXTRA_FLAGS="-C debuginfo=1" from tools/profile.sh).
+if [[ -n "${NLS_OFFLINE_EXTRA_FLAGS:-}" ]]; then
+    # shellcheck disable=SC2206
+    RUSTC_FLAGS+=(${NLS_OFFLINE_EXTRA_FLAGS})
+fi
+
 ext() { # name -> --extern name=$OUT/libname.rlib
     echo "--extern" "$1=$OUT/lib$1.rlib"
 }
@@ -97,6 +110,8 @@ test_bin nls_lint crates/lint/src/lib.rs
 test_bin corruption crates/trace/tests/corruption.rs nls_trace
 test_bin calibration crates/trace/tests/calibration.rs nls_trace
 test_bin fault_tolerance crates/core/tests/fault_tolerance.rs \
+    nls_core nls_trace nls_icache nls_predictors
+test_bin block_differential crates/core/tests/block_differential.rs \
     nls_core nls_trace nls_icache nls_predictors
 CARGO_BIN_EXE_nls="$PWD/$OUT/nls" test_bin e2e_cli crates/cli/tests/e2e_cli.rs \
     nls_cli nls_core nls_trace

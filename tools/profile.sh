@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Profile the hot step path: builds the throughput bench at opt-level
+# 3 (with debug line info so samples resolve to source) and runs it
+# under `perf record`, falling back to a plain timed run when perf is
+# unavailable or lacks permission (common in containers).
+#
+# Usage:
+#   tools/profile.sh                 # perf-record the throughput bench
+#   tools/profile.sh report          # open the last recording
+#   NLS_THROUGHPUT_RECORDS=8_000_000 tools/profile.sh   # longer run
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=target/offline
+PERF_DATA="$OUT/perf.data"
+BIN="$OUT/throughput"
+
+if [[ "${1:-}" == report ]]; then
+    if [[ ! -f "$PERF_DATA" ]]; then
+        echo "error: no recording at $PERF_DATA — run tools/profile.sh first" >&2
+        exit 2
+    fi
+    exec perf report -i "$PERF_DATA"
+fi
+
+echo "profile: building throughput bench (opt-level=3, line debuginfo)"
+NLS_OFFLINE_OPT=3 NLS_OFFLINE_EXTRA_FLAGS="-C debuginfo=1" ./tools/offline-build.sh >/dev/null
+
+if command -v perf >/dev/null 2>&1 && perf record -o "$PERF_DATA" -e task-clock -- true >/dev/null 2>&1; then
+    echo "profile: recording with perf (call graphs, output $PERF_DATA)"
+    perf record -o "$PERF_DATA" -g --call-graph dwarf -- "$BIN" "$@"
+    echo
+    echo "profile: top symbols"
+    perf report -i "$PERF_DATA" --stdio --percent-limit 1 | head -40
+    echo
+    echo "profile: full report with 'tools/profile.sh report'"
+else
+    echo "profile: perf unavailable (not installed, or perf_event_paranoid too strict)"
+    echo "profile: falling back to a timed run — rates below, no per-symbol breakdown"
+    exec "$BIN" "$@"
+fi

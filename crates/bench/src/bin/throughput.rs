@@ -24,7 +24,8 @@ use std::time::Instant;
 
 use nls_bench::results_dir;
 use nls_core::{
-    drive_supervised, drive_supervised_scalar, Budget, EngineSpec, FetchEngine, BLOCK_RECORDS,
+    drive_supervised, drive_supervised_scalar, write_atomic, Budget, EngineSpec, FetchEngine,
+    BLOCK_RECORDS,
 };
 use nls_icache::CacheConfig;
 use nls_trace::{synthesize, BenchProfile, GenConfig, TraceRecord, Walker};
@@ -355,7 +356,9 @@ fn main() {
         std::process::exit(3);
     }
     let path = dir.join("BENCH_throughput.json");
-    if let Err(e) = std::fs::write(&path, &json) {
+    // Atomic write: the CI perf-budget job reads this file as its
+    // `--check` baseline input, so it must never be observed torn.
+    if let Err(e) = write_atomic(&path, &json) {
         eprintln!("error[io]: cannot write {}: {e}", path.display());
         std::process::exit(3);
     }

@@ -164,10 +164,12 @@ impl Table {
 
     /// Writes the CSV into `results/<name>.csv` and returns the
     /// path. An unwritable destination is reported on stderr; the
-    /// rendered table (the primary output) is unaffected.
+    /// rendered table (the primary output) is unaffected. The write
+    /// is atomic (tmp + fsync + rename) so a crash mid-save cannot
+    /// leave a torn CSV behind for `--check` baselines to trip on.
     pub fn save(&self, name: &str) -> PathBuf {
         let path = results_dir().join(format!("{name}.csv"));
-        if let Err(e) = std::fs::write(&path, self.to_csv()) {
+        if let Err(e) = nls_core::write_atomic(&path, &self.to_csv()) {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
         path

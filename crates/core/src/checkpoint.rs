@@ -165,10 +165,16 @@ impl Checkpoint {
     }
 }
 
-/// Atomic durable write shared by the checkpoint and the ledger:
-/// serialise to a temporary sibling, fsync the file, rename over the
-/// target, fsync the parent directory.
-pub(crate) fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+/// Atomic durable write shared by the checkpoint, the ledger, and
+/// the bench results writers: serialise to a temporary sibling,
+/// fsync the file, rename over the target, fsync the parent
+/// directory.
+///
+/// # Errors
+///
+/// Any I/O failure along that sequence; the temporary sibling is
+/// removed on error and the target is left untouched.
+pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);

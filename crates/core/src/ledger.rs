@@ -649,6 +649,7 @@ impl LedgerFile {
                     "cancelled while waiting for the ledger lock".to_string(),
                 ));
             }
+            // nls-lint: allow(fs-durability): the advisory lock is ephemeral by design — O_EXCL must hit the real path, and losing it on crash is what stale-lock breaking handles
             match fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
                 Ok(mut f) => {
                     // Lock contents are diagnostic only; acquisition

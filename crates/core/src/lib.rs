@@ -65,7 +65,7 @@ mod sweep;
 
 pub use btb_engine::BtbEngine;
 pub use budget::{Budget, CancelToken, StopReason, DEADLINE_POLL_INTERVAL};
-pub use checkpoint::{Checkpoint, CHECKPOINT_VERSION};
+pub use checkpoint::{write_atomic, Checkpoint, CHECKPOINT_VERSION};
 pub use engine::{BreakOutcome, Counters, FetchAction, FetchEngine, KindCounts};
 pub use error::{NlsError, RunError};
 pub use johnson_engine::JohnsonEngine;

@@ -206,7 +206,6 @@ where
         .min(todo.len().max(1));
     let next = AtomicUsize::new(0);
     let slots = Mutex::new(slots);
-    let unsaved = AtomicUsize::new(0);
     let save_error: Mutex<Option<NlsError>> = Mutex::new(None);
 
     crossbeam::scope(|scope| {
@@ -226,10 +225,14 @@ where
                 {
                     let mut cp = cp.lock();
                     cp.insert(run.key(), results.clone());
-                    if unsaved.fetch_add(1, Ordering::Relaxed) + 1
-                        >= opts.checkpoint_every.max(1)
-                    {
-                        unsaved.store(0, Ordering::Relaxed);
+                    // Flush every `checkpoint_every` completions. The
+                    // gate reads the checkpoint's own size under the
+                    // mutex that guards the insert — unlike the
+                    // relaxed counter it replaced, the decision is
+                    // ordered with the state it flushes (each insert
+                    // adds a distinct key, so len() advances by one
+                    // per completion).
+                    if cp.len() % opts.checkpoint_every.max(1) == 0 {
                         if let Err(e) = cp.save(path) {
                             let mut first = save_error.lock();
                             if first.is_none() {

@@ -151,6 +151,25 @@ impl CallGraph {
     }
 }
 
+/// The function items nested inside `container`'s body (same file,
+/// body token span strictly contained). Signal-safety uses this to
+/// find handler functions declared inside their installer, e.g.
+/// `extern "C" fn on_signal` inside `install_signal_token`.
+pub fn fns_within(files: &[FileItems], container: FnId) -> Vec<FnId> {
+    let Some((file, outer)) = lookup(files, container) else { return Vec::new() };
+    file.items
+        .iter()
+        .enumerate()
+        .filter(|&(ii, it)| {
+            ii != container.1
+                && it.kind == ItemKind::Fn
+                && it.body.0 >= outer.body.0
+                && it.body.1 <= outer.body.1
+        })
+        .map(|(ii, _)| (container.0, ii))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +239,22 @@ mod tests {
         let pred = g.reach(&[entry]);
         // Only entry and helper: the test caller contributes nothing.
         assert_eq!(pred.len(), 2);
+    }
+
+    #[test]
+    fn fns_within_finds_nested_handlers() {
+        let (_, files, _, _) = build(&[(
+            "crates/a/src/lib.rs",
+            "pub fn install() {\n    extern \"C\" fn on_signal(_s: i32) {}\n    register(on_signal);\n}\nfn outside() {}\n",
+        )]);
+        let install = id_of(&files, "install");
+        let nested = fns_within(&files, install);
+        assert_eq!(nested.len(), 1);
+        assert_eq!(
+            lookup(&files, nested[0]).map(|(_, i)| i.name.clone()),
+            Some("on_signal".into())
+        );
+        assert!(fns_within(&files, id_of(&files, "outside")).is_empty());
     }
 
     #[test]

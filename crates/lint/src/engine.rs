@@ -287,6 +287,73 @@ fn fix_suppression_line(line: &str) -> Option<String> {
     Some(format!("{}: {TODO_REASON}", line.get(..keep)?))
 }
 
+/// `--fix`, analysis half: applies the machine-applicable repairs the
+/// passes offer ([`crate::passes::Fix`] — e.g. atomics-discipline's
+/// `Relaxed` → `SeqCst` on a cancel-flag load). Returns the patched
+/// workspace-relative paths.
+///
+/// # Errors
+///
+/// Fails when the workspace cannot be walked or a source file cannot
+/// be read or written back.
+pub fn fix_passes(root: &Path) -> io::Result<Vec<String>> {
+    let mut paths = Vec::new();
+    collect_rs_files(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for rel in &paths {
+        // nls-lint: allow(fs-trace-read): the fixer reads Rust source text, never trace bytes
+        let text = fs::read_to_string(root.join(rel))?;
+        files.push(SourceFile::parse(rel, &text));
+    }
+    let analysis = Analysis::build(&files, load_docs(root));
+    let mut fixes: Vec<crate::passes::Fix> = Vec::new();
+    for pass in all_passes() {
+        fixes.extend(pass.fixes(&analysis));
+    }
+    let mut fixed = Vec::new();
+    for rel in &paths {
+        let wanted: Vec<&crate::passes::Fix> =
+            fixes.iter().filter(|f| &f.file == rel).collect();
+        if wanted.is_empty() {
+            continue;
+        }
+        let path = root.join(rel);
+        // nls-lint: allow(fs-trace-read): the fixer reads Rust source text, never trace bytes
+        let text = fs::read_to_string(&path)?;
+        let Some(patched) = apply_fixes(&text, &wanted) else { continue };
+        fs::write(&path, patched)?;
+        fixed.push(rel.clone());
+    }
+    Ok(fixed)
+}
+
+/// Applies single-token line fixes to `text`; `None` when nothing
+/// matched (the fix's `from` must still be present on its line).
+fn apply_fixes(text: &str, fixes: &[&crate::passes::Fix]) -> Option<String> {
+    let mut changed = false;
+    let mut out_lines: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = u32::try_from(i + 1).unwrap_or(u32::MAX);
+        let mut patched = line.to_string();
+        for f in fixes.iter().filter(|f| f.line == lineno) {
+            if patched.contains(f.from) {
+                patched = patched.replacen(f.from, f.to, 1);
+                changed = true;
+            }
+        }
+        out_lines.push(patched);
+    }
+    if !changed {
+        return None;
+    }
+    let mut out = out_lines.join("\n");
+    if text.ends_with('\n') {
+        out.push('\n');
+    }
+    Some(out)
+}
+
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
@@ -401,6 +468,22 @@ mod tests {
     fn fix_leaves_empty_rule_lists_to_humans() {
         assert_eq!(fix_suppression_text("// nls-lint: allow()\n"), None);
         assert_eq!(fix_suppression_text("no annotations here\n"), None);
+    }
+
+    #[test]
+    fn apply_fixes_replaces_one_token_on_the_right_line() {
+        let fix = crate::passes::Fix {
+            file: "crates/x/src/a.rs".to_string(),
+            line: 2,
+            from: "Relaxed",
+            to: "SeqCst",
+        };
+        let text =
+            "fn f(s: &AtomicBool) {\n    s.load(Ordering::Relaxed);\n    other(Relaxed);\n}\n";
+        let fixed = apply_fixes(text, &[&fix]).expect("line 2 patched");
+        assert!(fixed.contains("s.load(Ordering::SeqCst);"), "{fixed}");
+        assert!(fixed.contains("other(Relaxed);"), "line 3 untouched: {fixed}");
+        assert_eq!(apply_fixes("no match\n", &[&fix]), None);
     }
 
     #[test]

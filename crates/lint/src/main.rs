@@ -13,7 +13,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use nls_lint::engine::{analyze_workspace, fix_suppressions};
+use nls_lint::engine::{analyze_workspace, fix_passes, fix_suppressions};
 use nls_lint::report::rule_table;
 use nls_lint::{changed_files, render, Format};
 
@@ -32,10 +32,13 @@ OPTIONS:
                        is still analyzed; interprocedural findings are
                        always reported)
   --pass ID            run only the named analysis pass (repeatable);
-                       default runs all passes
+                       a pass exit code works too (--pass 23 ==
+                       --pass atomics-discipline); default runs all
   --no-passes          lexical rules only, no interprocedural passes
   --fix                rewrite reasonless `allow(...)` annotations into
-                       the canonical form with a TODO reason, then lint
+                       the canonical form with a TODO reason and apply
+                       the passes' one-token repairs (e.g. Relaxed ->
+                       SeqCst on a cancel-flag load), then lint
   --list-rules         print the rule/pass table (id, exit code, summary)
 
 Suppress a finding with an adjacent comment carrying a reason:
@@ -98,9 +101,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option {other:?}")),
         }
     }
-    if let Some(ids) = &opts.passes {
-        let known: Vec<&str> = nls_lint::passes::all_passes().iter().map(|p| p.id()).collect();
+    if let Some(ids) = &mut opts.passes {
+        let passes = nls_lint::passes::all_passes();
+        let known: Vec<&str> = passes.iter().map(|p| p.id()).collect();
         for id in ids {
+            // A numeric selector names a pass by its exit code
+            // (`--pass 23` == `--pass atomics-discipline`).
+            if let Some(name) = id
+                .parse::<u8>()
+                .ok()
+                .and_then(|code| passes.iter().find(|p| p.exit_code() == code))
+                .map(|p| p.id())
+            {
+                *id = name.to_string();
+                continue;
+            }
             if !known.contains(&id.as_str()) {
                 return Err(format!("unknown pass {id:?}; known passes: {known:?}"));
             }
@@ -134,6 +149,17 @@ fn main() -> ExitCode {
                     eprintln!("nls-lint: fixed reasonless allow() in {rel}");
                 }
                 eprintln!("nls-lint: --fix patched {} file(s)", fixed.len());
+            }
+            Err(e) => {
+                eprintln!("error[io]: {e}");
+                return ExitCode::from(6);
+            }
+        }
+        match fix_passes(&opts.root) {
+            Ok(fixed) => {
+                for rel in &fixed {
+                    eprintln!("nls-lint: applied pass repairs in {rel}");
+                }
             }
             Err(e) => {
                 eprintln!("error[io]: {e}");

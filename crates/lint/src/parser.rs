@@ -64,6 +64,10 @@ pub struct FileItems {
     /// Workspace-relative path, mirroring [`SourceFile::rel`].
     pub rel: String,
     pub items: Vec<Item>,
+    /// Declarations of `Atomic*` variables (fields, statics, locals,
+    /// params) found anywhere in the file — the atomics-discipline
+    /// pass matches use sites against these by name.
+    pub atomics: Vec<AtomicDecl>,
 }
 
 impl FileItems {
@@ -71,7 +75,8 @@ impl FileItems {
     pub fn parse(file: &SourceFile) -> FileItems {
         let mut p = Parser { file, items: Vec::new() };
         p.items_in(0, file.code.len(), None);
-        FileItems { rel: file.rel.clone(), items: p.items }
+        let atomics = atomic_decls(file);
+        FileItems { rel: file.rel.clone(), items: p.items, atomics }
     }
 
     /// The functions of this file, in source order.
@@ -412,6 +417,191 @@ pub fn call_sites(code: &[Tok], span: (usize, usize)) -> Vec<CallSite> {
                 is_macro: true,
                 line: t.line,
             });
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One declaration of an `Atomic*`-typed variable: a struct field
+/// (`stop: Arc<AtomicBool>`), a static (`static SIGNALLED:
+/// AtomicBool`), a local (`let next = AtomicUsize::new(0)`), or a
+/// typed parameter (`flag: &'static AtomicBool`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicDecl {
+    /// The variable/field name use sites are matched against.
+    pub name: String,
+    /// The atomic type name (`AtomicBool`, `AtomicUsize`, ...).
+    pub ty: String,
+    /// True when the declared value is test-only scaffolding.
+    pub is_test: bool,
+    pub line: u32,
+}
+
+/// Extracts every [`AtomicDecl`] from `file`'s token stream. Two
+/// shapes are recognised, both by bounded lookahead (no type
+/// checking): `name : ... Atomic* ...` (fields, statics, params,
+/// annotated lets — the `Atomic*` ident must appear within a few
+/// tokens, before the binding ends) and `let name = ... Atomic*::new`
+/// (inferred lets, through `Arc::new(...)` wrappers).
+pub fn atomic_decls(file: &SourceFile) -> Vec<AtomicDecl> {
+    let code = &file.code;
+    let is_atomic_ty =
+        |t: &Tok| t.kind == TokKind::Ident && t.text.starts_with("Atomic") && t.text.len() > 6;
+    let mut out: Vec<AtomicDecl> = Vec::new();
+    let mut push = |name: &Tok, ty: &Tok, file: &SourceFile| {
+        let decl = AtomicDecl {
+            name: name.text.clone(),
+            ty: ty.text.clone(),
+            is_test: file.is_test_code(name.line),
+            line: name.line,
+        };
+        if !out.contains(&decl) {
+            out.push(decl);
+        }
+    };
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // `name : [&['static]] [Arc<] Atomic* ...` — stop the
+        // lookahead at binding/field terminators so an atomic later
+        // in the line cannot be attributed to an earlier name.
+        if code.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && !code.get(i + 2).is_some_and(|n| n.is_punct(':'))
+        {
+            for k in i + 2..(i + 10).min(code.len()) {
+                let Some(n) = code.get(k) else { break };
+                if n.is_punct(',') || n.is_punct(';') || n.is_punct('=') || n.is_punct(')') {
+                    break;
+                }
+                if is_atomic_ty(n) {
+                    push(t, n, file);
+                    break;
+                }
+            }
+        }
+        // `let name = ... Atomic*::new(` before the `;`.
+        if t.is_ident("let") {
+            let Some(name) = code.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                continue;
+            };
+            if !code.get(i + 2).is_some_and(|n| n.is_punct('=')) {
+                continue;
+            }
+            for k in i + 3..(i + 16).min(code.len()) {
+                let Some(n) = code.get(k) else { break };
+                if n.is_punct(';') {
+                    break;
+                }
+                if is_atomic_ty(n) {
+                    push(name, n, file);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The atomic memory-access method names [`atomic_ops`] recognises.
+pub const ATOMIC_OPS: [&str; 11] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// One atomic memory access: `recv.op(..., Ordering::X, ...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicOp {
+    /// The receiver's final name segment (`self.unsaved.load(..)` and
+    /// `SIGNALLED.store(..)` both record the field/static name).
+    pub recv: String,
+    /// The method name (`load`, `store`, `fetch_add`, ...).
+    pub op: String,
+    /// Every `Ordering` variant named in the argument list, in order
+    /// (`compare_exchange` carries two).
+    pub orderings: Vec<String>,
+    /// True when the op sits inside an `if`/`while` condition — its
+    /// result directly gates control flow.
+    pub in_condition: bool,
+    pub line: u32,
+}
+
+/// Extracts every atomic access in `code[span]`: a `.op(` method call
+/// with an [`ATOMIC_OPS`] name, its receiver name, and the `Ordering`
+/// variants named in its arguments.
+pub fn atomic_ops(code: &[Tok], span: (usize, usize)) -> Vec<AtomicOp> {
+    const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+    let conditions = condition_spans(code, span);
+    let mut out = Vec::new();
+    let mut i = span.0;
+    while i < span.1 {
+        let Some(t) = code.get(i) else { break };
+        let is_op = t.kind == TokKind::Ident
+            && ATOMIC_OPS.contains(&t.text.as_str())
+            && i > 0
+            && code.get(i - 1).is_some_and(|p| p.is_punct('.'))
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('));
+        if !is_op {
+            i += 1;
+            continue;
+        }
+        let Some(recv) = code.get(i.saturating_sub(2)).filter(|r| r.kind == TokKind::Ident)
+        else {
+            i += 1;
+            continue;
+        };
+        let close = crate::rules::matching_punct(code, i + 1, '(', ')').unwrap_or(span.1);
+        let orderings = code
+            .get(i + 2..close)
+            .unwrap_or(&[])
+            .iter()
+            .filter(|a| a.kind == TokKind::Ident && ORDERINGS.contains(&a.text.as_str()))
+            .map(|a| a.text.clone())
+            .collect();
+        out.push(AtomicOp {
+            recv: recv.text.clone(),
+            op: t.text.clone(),
+            orderings,
+            in_condition: conditions.iter().any(|&(lo, hi)| lo <= i && i < hi),
+            line: t.line,
+        });
+        i = close.max(i + 1);
+    }
+    out
+}
+
+/// The `if`/`while` condition spans of `code[span]`: token ranges
+/// between the keyword and the block it opens.
+fn condition_spans(code: &[Tok], span: (usize, usize)) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = span.0;
+    while i < span.1 {
+        let Some(t) = code.get(i) else { break };
+        if t.is_ident("if") || t.is_ident("while") {
+            let mut depth = 0i64;
+            let mut j = i + 1;
+            while j < span.1 {
+                let Some(n) = code.get(j) else { break };
+                if n.is_punct('(') || n.is_punct('[') {
+                    depth += 1;
+                } else if n.is_punct(')') || n.is_punct(']') {
+                    depth -= 1;
+                } else if depth == 0 && n.is_punct('{') {
+                    break;
+                }
+                j += 1;
+            }
+            out.push((i + 1, j));
         }
         i += 1;
     }

@@ -1,0 +1,269 @@
+//! Pass 8: crash-durability of writes to recovery-critical paths.
+//!
+//! The ledger, checkpoints, and results files exist so a crash can
+//! be recovered from — which means *their own* writes must survive
+//! crashes. The workspace discipline (DESIGN.md §8.2) is
+//! tmp-sibling + `sync_all` + `rename` + parent-directory fsync,
+//! packaged in `write_atomic`/`write_trace_atomic`. A bare
+//! `fs::write`/`File::create` to a durable path can be torn by a
+//! crash mid-write or silently lost when the directory entry never
+//! hits disk.
+//!
+//! Scope — a function is *durable scope* when any of:
+//! * it is defined in a ledger or checkpoint module (file path
+//!   contains `ledger`/`checkpoint`),
+//! * its body mentions a durable-location marker: an identifier
+//!   containing `ledger`/`checkpoint`, the `results_dir()` helper,
+//!   or a string literal under `results/`,
+//! * its name contains `save` or `persist` (the workspace's naming
+//!   convention for durable writers).
+//!
+//! Findings inside durable scope:
+//! * `fs::write(..)`, `File::create(..)`, or an
+//!   `OpenOptions`-`create_new` chain whose argument span does not
+//!   mention a tmp sibling — direct writes to the durable path;
+//! * `fs::rename(..)` in a function that never calls a
+//!   `*parent*`-named fsync helper — the rename itself is atomic but
+//!   the directory entry is not durable until the parent is synced.
+//!
+//! Exemptions: functions whose name contains `atomic` (they *are*
+//! the discipline), writes whose arguments mention `tmp` (the
+//! tmp-sibling half of the protocol; the rename rule covers the
+//! other half), and test code. Genuine exceptions — e.g. an
+//! advisory `.lock` file that must be `create_new` on the real path
+//! and is ephemeral by design — are waived with
+//! `// nls-lint: allow(fs-durability): <why this write may be lost>`.
+//!
+//! Soundness caveats: scope is inferred per function, so a helper
+//! that receives a durable path as an argument from another crate is
+//! only caught if its own body or file mentions a marker; the
+//! tmp-name exemption trusts naming.
+
+use crate::parser::{call_sites, CallSite, ItemKind};
+use crate::rules::{matching_punct, Violation};
+use crate::source::SourceFile;
+
+use super::{Analysis, Pass};
+
+pub struct FsDurability;
+
+/// True when the function is durable scope (see module docs).
+fn durable_scope(src: &SourceFile, it: &crate::parser::Item) -> bool {
+    let rel = src.rel.to_ascii_lowercase();
+    if rel.contains("ledger") || rel.contains("checkpoint") {
+        return true;
+    }
+    let name = it.name.to_ascii_lowercase();
+    if name.contains("save") || name.contains("persist") {
+        return true;
+    }
+    src.code.get(it.body.0..it.body.1).unwrap_or(&[]).iter().any(|t| match t.kind {
+        crate::lexer::TokKind::Ident => {
+            let low = t.text.to_ascii_lowercase();
+            low.contains("ledger") || low.contains("checkpoint") || low == "results_dir"
+        }
+        crate::lexer::TokKind::Str => t.text.contains("results/"),
+        _ => false,
+    })
+}
+
+/// True when the call's argument span names a tmp sibling — the
+/// first half of the tmp+fsync+rename protocol.
+fn args_mention_tmp(src: &SourceFile, call: &CallSite, body: (usize, usize)) -> bool {
+    // Find the call's opening paren by locating the name token at
+    // the call line, then scan its argument span.
+    let code = &src.code;
+    for i in body.0..body.1 {
+        let Some(t) = code.get(i) else { break };
+        if t.line == call.line && t.is_ident(&call.name) {
+            let Some(open) = (i + 1..(i + 4).min(body.1))
+                .find(|&j| code.get(j).is_some_and(|t| t.is_punct('(')))
+            else {
+                continue;
+            };
+            let close = matching_punct(code, open, '(', ')').unwrap_or(body.1);
+            if code.get(open..close).unwrap_or(&[]).iter().any(|t| {
+                t.kind == crate::lexer::TokKind::Ident
+                    && t.text.to_ascii_lowercase().contains("tmp")
+            }) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// True for a call that opens/overwrites a file for writing.
+fn is_direct_write(call: &CallSite) -> bool {
+    if call.is_macro {
+        return false;
+    }
+    match (call.qualifier.as_deref(), call.name.as_str()) {
+        (Some("fs"), "write") | (Some("File"), "create") => true,
+        // `OpenOptions::new().write(true).create_new(true).open(..)`:
+        // `create_new` is the distinctive link of the chain.
+        (_, "create_new") => call.is_method,
+        _ => false,
+    }
+}
+
+impl Pass for FsDurability {
+    fn id(&self) -> &'static str {
+        "fs-durability"
+    }
+    fn exit_code(&self) -> u8 {
+        25
+    }
+    fn summary(&self) -> &'static str {
+        "writes to ledger/checkpoint/results paths go through tmp+fsync+rename with a parent fsync"
+    }
+
+    fn check(&self, a: &Analysis, out: &mut Vec<Violation>) {
+        for (fi, file) in a.files.iter().enumerate() {
+            let Some(src) = a.sources.get(fi) else { continue };
+            if src.is_test_file() {
+                continue;
+            }
+            for it in &file.items {
+                if it.kind != ItemKind::Fn || it.is_test {
+                    continue;
+                }
+                if it.name.to_ascii_lowercase().contains("atomic") {
+                    continue;
+                }
+                if !durable_scope(src, it) {
+                    continue;
+                }
+                let calls = call_sites(&src.code, it.body);
+                let has_parent_sync = calls
+                    .iter()
+                    .any(|c| !c.is_macro && c.name.to_ascii_lowercase().contains("parent"));
+                for call in &calls {
+                    if src.is_test_code(call.line) || src.is_suppressed(self.id(), call.line) {
+                        continue;
+                    }
+                    if is_direct_write(call) && !args_mention_tmp(src, call, it.body) {
+                        out.push(Violation {
+                            rule: self.id(),
+                            file: src.rel.clone(),
+                            line: call.line,
+                            message: format!(
+                                "`{}` writes a durable path directly in `{}` — route it \
+                                 through the tmp+fsync+rename helper (write_atomic)",
+                                call.name,
+                                it.qual()
+                            ),
+                        });
+                    }
+                    if !call.is_macro
+                        && call.name == "rename"
+                        && call.qualifier.as_deref() == Some("fs")
+                        && !has_parent_sync
+                    {
+                        out.push(Violation {
+                            rule: self.id(),
+                            file: src.rel.clone(),
+                            line: call.line,
+                            message: format!(
+                                "`fs::rename` in `{}` without fsyncing the parent directory \
+                                 — the new directory entry is not durable until the parent \
+                                 is synced",
+                                it.qual()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::Docs;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Violation> {
+        let sources: Vec<SourceFile> =
+            srcs.iter().map(|(rel, text)| SourceFile::parse(rel, text)).collect();
+        let a = Analysis::build(&sources, Docs::default());
+        let mut out = Vec::new();
+        FsDurability.check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn a_bare_write_to_a_results_path_is_flagged() {
+        let v = run(&[(
+            "crates/bench/src/lib.rs",
+            "pub fn save(name: &str) {\n    \
+             let path = results_dir().join(name);\n    \
+             let _ = std::fs::write(&path, \"csv\");\n}\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("write_atomic"), "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn the_atomic_helper_itself_is_the_discipline_not_a_finding() {
+        let v = run(&[(
+            "crates/core/src/checkpoint.rs",
+            "pub fn write_atomic(path: &Path, text: &str) {\n    \
+             let tmp = tmp_sibling(path);\n    \
+             let f = File::create(&tmp);\n    \
+             f.sync_all();\n    \
+             fs::rename(&tmp, path);\n    \
+             fsync_parent_dir(path);\n}\n\
+             fn tmp_sibling(p: &Path) -> PathBuf { p.to_path_buf() }\n\
+             fn fsync_parent_dir(_p: &Path) {}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn writing_the_tmp_sibling_is_the_protocol_not_a_finding() {
+        let v = run(&[(
+            "crates/core/src/ledger.rs",
+            "pub fn flush(tmp_path: &Path, path: &Path) {\n    \
+             let f = File::create(tmp_path);\n    \
+             f.sync_all();\n    \
+             fs::rename(tmp_path, path);\n    \
+             sync_parent_dir(path);\n}\n\
+             fn sync_parent_dir(_p: &Path) {}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn a_rename_without_a_parent_fsync_is_flagged() {
+        let v = run(&[(
+            "crates/core/src/ledger.rs",
+            "pub fn publish(tmp: &Path, path: &Path) {\n    \
+             fs::rename(tmp, path);\n}\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("parent directory"), "{v:?}");
+    }
+
+    #[test]
+    fn non_durable_writes_are_out_of_scope() {
+        let v = run(&[(
+            "crates/trace/src/file.rs",
+            "pub fn spill(dir: &Path) {\n    \
+             let _ = std::fs::write(dir.join(\"scratch.bin\"), \"x\");\n}\n",
+        )]);
+        assert!(v.is_empty(), "no durable marker anywhere: {v:?}");
+    }
+
+    #[test]
+    fn an_ephemeral_lock_file_waiver_is_honoured() {
+        let v = run(&[(
+            "crates/core/src/ledger.rs",
+            "pub fn acquire(lock_path: &Path) {\n    \
+             // nls-lint: allow(fs-durability): advisory lock is ephemeral; create_new must hit the real path\n    \
+             let f = fs::OpenOptions::new().write(true).create_new(true).open(lock_path);\n}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

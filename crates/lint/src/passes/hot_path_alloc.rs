@@ -1,0 +1,289 @@
+//! Pass 9: allocation-free `step`/`step_block`/`access_run` subtrees.
+//!
+//! The batched hot path earns its throughput by never touching the
+//! allocator per record: predictor state is flat arrays, blocks are
+//! reused, and the only growth happens at construction time. The
+//! throughput bench guards that property dynamically; this pass
+//! makes it a statically enforced contract, so a stray `format!` in
+//! a predictor update cannot quietly cost an order of magnitude
+//! until the next bench run notices.
+//!
+//! Roots are the non-test `step`/`step_block`/`access_run` functions
+//! in the simulation surface — the engine files plus everything in
+//! `crates/predictors` and `crates/icache` — and reachability stays
+//! *inside* that surface: receiver-blind resolution would otherwise
+//! drag driver-layer code behind every common method name (`step`
+//! calling `.update(..)` also "resolves" to the ledger's `update`),
+//! and the driver layer is allowed to allocate. Findings are
+//! allocation/formatting markers that leave the workspace:
+//!
+//! * the `format!`/`vec!` macros (and the printing macros that embed
+//!   the format machinery);
+//! * `Box::new`, `String::from`;
+//! * unresolved method calls that grow or produce heap storage:
+//!   `push`, `insert`, `extend`, `append`, `reserve`,
+//!   `with_capacity`, `to_string`, `to_owned`, `to_vec`, `collect`.
+//!
+//! A *resolved* call is never a finding: it lands on a workspace
+//! function that is itself scanned (the fixed-capacity
+//! `ReturnStack::push` is fine because its body is). That
+//! receiver-blindness is also the pass's main caveat — a real
+//! `Vec::push` whose name collides with any workspace method is
+//! trusted; the differential bench remains the dynamic backstop.
+//! Cold paths that genuinely must allocate (error construction on
+//! the failure branch) are waived with
+//! `// nls-lint: allow(hot-path-alloc): <why this is off the hot path>`.
+
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::parser::{CallSite, ItemKind};
+use crate::rules::Violation;
+use crate::symbols::{lookup, FnId};
+
+use super::{Analysis, Pass};
+
+pub struct HotPathAlloc;
+
+/// Macros that embed formatting/allocation machinery.
+const ALLOC_MACROS: [&str; 6] = ["format", "vec", "println", "eprintln", "print", "write"];
+
+/// Method names that grow or produce heap storage when they do not
+/// resolve to a workspace definition.
+const GROWTH_METHODS: [&str; 10] = [
+    "push",
+    "insert",
+    "extend",
+    "append",
+    "reserve",
+    "with_capacity",
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "collect",
+];
+
+/// The per-record engine files (the driver files in
+/// [`super::ENTRY_FILES`] — sweep, supervisor, ledger — are *not*
+/// hot: they run once per block or per run and may allocate).
+const HOT_ENGINE_FILES: [&str; 5] = [
+    "crates/core/src/engine.rs",
+    "crates/core/src/btb_engine.rs",
+    "crates/core/src/nls_table_engine.rs",
+    "crates/core/src/nls_cache_engine.rs",
+    "crates/core/src/johnson_engine.rs",
+];
+
+/// The simulation surface the allocation-free contract covers.
+fn is_hot_file(rel: &str) -> bool {
+    HOT_ENGINE_FILES.contains(&rel)
+        || rel.starts_with("crates/predictors/")
+        || rel.starts_with("crates/icache/")
+}
+
+/// The hot-path roots: non-test `step`/`step_block`/`access_run`
+/// definitions in the simulation surface.
+fn hot_roots(a: &Analysis) -> Vec<FnId> {
+    let mut out = Vec::new();
+    for (fi, file) in a.files.iter().enumerate() {
+        if !is_hot_file(&file.rel) {
+            continue;
+        }
+        for (ii, it) in file.items.iter().enumerate() {
+            if it.kind == ItemKind::Fn
+                && !it.is_test
+                && matches!(it.name.as_str(), "step" | "step_block" | "access_run")
+            {
+                out.push((fi, ii));
+            }
+        }
+    }
+    out
+}
+
+/// Reachability that never leaves the simulation surface: an edge to
+/// a function defined outside [`is_hot_file`] is a receiver-blind
+/// resolution artifact (or a driver-layer call that is not per-record
+/// work) and is not descended into.
+fn hot_reach(a: &Analysis, roots: &[FnId]) -> BTreeMap<FnId, FnId> {
+    let mut pred: BTreeMap<FnId, FnId> = BTreeMap::new();
+    let mut queue: VecDeque<FnId> = VecDeque::new();
+    for &r in roots {
+        if let Entry::Vacant(slot) = pred.entry(r) {
+            slot.insert(r);
+            queue.push_back(r);
+        }
+    }
+    while let Some(id) = queue.pop_front() {
+        for e in a.graph.edges_from(id) {
+            if !lookup(&a.files, e.callee).is_some_and(|(f, _)| is_hot_file(&f.rel)) {
+                continue;
+            }
+            if let Entry::Vacant(slot) = pred.entry(e.callee) {
+                slot.insert(id);
+                queue.push_back(e.callee);
+            }
+        }
+    }
+    pred
+}
+
+/// True when this call site allocates (by the markers above) and
+/// cannot be inspected further.
+fn is_alloc_marker(a: &Analysis, it: &crate::parser::Item, call: &CallSite) -> bool {
+    if call.is_macro {
+        return ALLOC_MACROS.contains(&call.name.as_str());
+    }
+    if call.qualifier.as_deref() == Some("Box") && call.name == "new" {
+        return true;
+    }
+    if call.qualifier.as_deref() == Some("String") && call.name == "from" {
+        return true;
+    }
+    GROWTH_METHODS.contains(&call.name.as_str())
+        && a.symbols.resolve(call, it.owner.as_deref()).is_empty()
+}
+
+impl Pass for HotPathAlloc {
+    fn id(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+    fn exit_code(&self) -> u8 {
+        26
+    }
+    fn summary(&self) -> &'static str {
+        "no allocation, format!, Box, or growable pushes reachable from step/step_block/access_run"
+    }
+
+    fn check(&self, a: &Analysis, out: &mut Vec<Violation>) {
+        let roots = hot_roots(a);
+        let pred = hot_reach(a, &roots);
+        for &id in pred.keys() {
+            let Some((_, it)) = lookup(&a.files, id) else { continue };
+            let Some(src) = a.source_of(id) else { continue };
+            for call in a.graph.calls_in(id) {
+                if src.is_suppressed(self.id(), call.line) {
+                    continue;
+                }
+                if !is_alloc_marker(a, it, call) {
+                    continue;
+                }
+                let path = a.graph.path_to(&pred, id, &a.files);
+                let bang = if call.is_macro { "!" } else { "" };
+                out.push(Violation {
+                    rule: self.id(),
+                    file: src.rel.clone(),
+                    line: call.line,
+                    message: format!(
+                        "`{}{bang}` allocates on the hot path {}",
+                        call.name,
+                        path.join(" -> ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::Docs;
+    use crate::source::SourceFile;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Violation> {
+        let sources: Vec<SourceFile> =
+            srcs.iter().map(|(rel, text)| SourceFile::parse(rel, text)).collect();
+        let a = Analysis::build(&sources, Docs::default());
+        let mut out = Vec::new();
+        HotPathAlloc.check(&a, &mut out);
+        out
+    }
+
+    #[test]
+    fn an_unresolved_push_under_step_is_flagged_with_a_path() {
+        let v = run(&[(
+            "crates/core/src/engine.rs",
+            "impl E {\n    \
+             pub fn step(&mut self) { self.note(); }\n    \
+             fn note(&mut self) { self.events.push(1); }\n}\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("E::step -> E::note"), "{v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn format_machinery_under_step_block_is_flagged() {
+        let v = run(&[(
+            "crates/core/src/engine.rs",
+            "impl E { pub fn step_block(&mut self) { let _k = format!(\"{}\", 1); } }\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("`format!`"), "{v:?}");
+    }
+
+    #[test]
+    fn a_fixed_capacity_workspace_push_is_inspected_not_flagged() {
+        // `.push` resolves to the circular ReturnStack, whose body is
+        // scanned and allocation-free — the SoA discipline in action.
+        let v = run(&[(
+            "crates/predictors/src/ras.rs",
+            "pub struct ReturnStack { top: usize }\n\
+             impl ReturnStack {\n    \
+             pub fn access_run(&mut self) { self.push(7); }\n    \
+             pub fn push(&mut self, addr: u64) { self.top = (self.top + 1) % 8; }\n}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn allocation_off_the_hot_path_is_out_of_scope() {
+        let v = run(&[(
+            "crates/core/src/engine.rs",
+            "impl E {\n    \
+             pub fn new() -> E { let mut v = Vec::new(); v.push(1); E }\n    \
+             pub fn step(&mut self) {}\n}\n",
+        )]);
+        assert!(v.is_empty(), "constructors may allocate: {v:?}");
+    }
+
+    #[test]
+    fn a_cold_branch_waiver_is_honoured() {
+        let v = run(&[(
+            "crates/core/src/engine.rs",
+            "impl E {\n    \
+             pub fn step(&mut self) {\n        \
+             // nls-lint: allow(hot-path-alloc): error construction on the failure branch only\n        \
+             if self.broken { self.log.push(1); }\n    }\n}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn driver_layer_edges_are_not_descended_into() {
+        // `.update(..)` receiver-blindly resolves to the ledger's
+        // `update` too; the driver layer may allocate and must not be
+        // dragged into the hot subtree.
+        let v = run(&[
+            (
+                "crates/core/src/engine.rs",
+                "impl E { pub fn step(&mut self) { self.update(1); } }\n",
+            ),
+            (
+                "crates/core/src/ledger.rs",
+                "impl LedgerFile { pub fn update(&mut self, n: u64) { let _m = format!(\"{n}\"); } }\n",
+            ),
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cli_helpers_named_step_are_not_roots() {
+        let v = run(&[(
+            "crates/cli/src/main.rs",
+            "pub fn step() { let _m = format!(\"menu\"); }\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -17,15 +17,41 @@
 //!   consistently numbered across DESIGN.md and `repro_all`?
 //! * [`cancellation_reach`] — does every loop on a supervised
 //!   `run*`/`drive*` path poll the budget or cancel token?
+//! * [`atomics_discipline`] — does every atomic field follow the
+//!   ordering protocol its inferred role (flag/counter/latch) needs?
+//! * [`signal_safety`] — does the signal handler's call subtree stay
+//!   within atomics and async-signal-safe operations?
+//! * [`fs_durability`] — does every write to a durable path (ledger,
+//!   checkpoint, results) go through tmp+fsync+rename?
+//! * [`hot_path_alloc`] — is the `step`/`step_block`/`access_run`
+//!   subtree free of allocation and formatting machinery?
 //!
-//! Passes share the rules' exit-code protocol (codes 18–22, after the
+//! Passes share the rules' exit-code protocol (codes 18–26, after the
 //! lexical rules) and the same suppression syntax; see DESIGN.md §9
 //! for the catalogue and the soundness caveats of the approximation.
+//! The `error-exit-map` rule keeps this table in sync with
+//! [`all_passes`] — edit both together:
+//!
+//! | pass | exit code |
+//! |------|-----------|
+//! | `panic-reach` | 18 |
+//! | `determinism` | 19 |
+//! | `unit-safety` | 20 |
+//! | `artifact-conformance` | 21 |
+//! | `cancellation-reach` | 22 |
+//! | `atomics-discipline` | 23 |
+//! | `signal-safety` | 24 |
+//! | `fs-durability` | 25 |
+//! | `hot-path-alloc` | 26 |
 
 pub mod artifact;
+pub mod atomics_discipline;
 pub mod cancellation_reach;
 pub mod determinism;
+pub mod fs_durability;
+pub mod hot_path_alloc;
 pub mod panic_reach;
+pub mod signal_safety;
 pub mod unit_safety;
 
 use crate::callgraph::CallGraph;
@@ -102,6 +128,19 @@ fn is_entry_name(name: &str) -> bool {
     name == "step" || name == "drive" || name.starts_with("run")
 }
 
+/// One machine-applicable repair a pass can offer under `--fix`: a
+/// single-token replacement on one line of one file (e.g. `Relaxed`
+/// → `SeqCst` on a control-flag load).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fix {
+    pub file: String,
+    pub line: u32,
+    /// The exact substring to replace on that line.
+    pub from: &'static str,
+    /// Its replacement.
+    pub to: &'static str,
+}
+
 /// One interprocedural analysis pass.
 pub trait Pass {
     /// Stable kebab-case id, used in reports, suppressions, and
@@ -114,6 +153,11 @@ pub trait Pass {
     fn summary(&self) -> &'static str;
     /// Runs the pass over the whole analysis.
     fn check(&self, a: &Analysis, out: &mut Vec<Violation>);
+    /// Machine-applicable repairs for this pass's findings (applied
+    /// by `--fix`). Default: none — most findings need a human.
+    fn fixes(&self, _a: &Analysis) -> Vec<Fix> {
+        Vec::new()
+    }
 }
 
 /// Every pass, in exit-code priority order (after the lexical rules).
@@ -124,6 +168,10 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(unit_safety::UnitSafety),
         Box::new(artifact::ArtifactConformance),
         Box::new(cancellation_reach::CancellationReach),
+        Box::new(atomics_discipline::AtomicsDiscipline),
+        Box::new(signal_safety::SignalSafety),
+        Box::new(fs_durability::FsDurability),
+        Box::new(hot_path_alloc::HotPathAlloc),
     ]
 }
 

@@ -515,6 +515,33 @@ impl Rule for ErrorExitMap {
     }
 
     fn check_workspace(&self, files: &[SourceFile], out: &mut Vec<Violation>) {
+        // The analysis-pass catalogue is under the same contract as
+        // the NlsError table: the passes/mod.rs module doc must carry
+        // a `| `<id>` | <code> |` row for every registered pass, so a
+        // new pass (or a renumbered exit code) with a stale table is
+        // a finding.
+        if let Some(mod_rs) = files.iter().find(|f| f.rel == "crates/lint/src/passes/mod.rs") {
+            for pass in crate::passes::all_passes() {
+                let id_cell = format!("`{}`", pass.id());
+                let code_cell = format!("| {} |", pass.exit_code());
+                let documented = mod_rs
+                    .comments
+                    .iter()
+                    .any(|c| c.text.contains(&id_cell) && c.text.contains(&code_cell));
+                if !documented {
+                    out.push(Violation {
+                        rule: self.id(),
+                        file: mod_rs.rel.clone(),
+                        line: 1,
+                        message: format!(
+                            "pass {id_cell} (exit {}) is missing from the passes/mod.rs \
+                             module-doc table (want a `| {id_cell} {code_cell}` row)",
+                            pass.exit_code()
+                        ),
+                    });
+                }
+            }
+        }
         let Some(error_rs) = files.iter().find(|f| f.rel == "crates/core/src/error.rs") else {
             return;
         };
@@ -769,5 +796,43 @@ mod tests {
             "missing table row must be flagged: {msgs:?}"
         );
         assert_eq!(out.len(), 2, "{out:?}");
+    }
+
+    #[test]
+    fn error_exit_map_requires_a_pass_table_row_per_registered_pass() {
+        // A passes/mod.rs whose doc table stops at 22 must be flagged
+        // once per missing pass (the four concurrency passes here).
+        let mod_rs = "//! | `panic-reach` | 18 |\n\
+            //! | `determinism` | 19 |\n\
+            //! | `unit-safety` | 20 |\n\
+            //! | `artifact-conformance` | 21 |\n\
+            //! | `cancellation-reach` | 22 |\n\
+            pub fn all_passes() {}\n";
+        let files = vec![SourceFile::parse("crates/lint/src/passes/mod.rs", mod_rs)];
+        let mut out = Vec::new();
+        ErrorExitMap.check_workspace(&files, &mut out);
+        let msgs: Vec<_> = out.iter().map(|v| v.message.as_str()).collect();
+        for missing in
+            ["atomics-discipline", "signal-safety", "fs-durability", "hot-path-alloc"]
+        {
+            assert!(
+                msgs.iter().any(|m| m.contains(missing)),
+                "{missing} must be flagged: {msgs:?}"
+            );
+        }
+        assert_eq!(out.len(), 4, "documented passes stay clean: {out:?}");
+    }
+
+    #[test]
+    fn error_exit_map_accepts_a_complete_pass_table() {
+        let mut mod_rs = String::new();
+        for pass in crate::passes::all_passes() {
+            mod_rs.push_str(&format!("//! | `{}` | {} |\n", pass.id(), pass.exit_code()));
+        }
+        mod_rs.push_str("pub fn all_passes() {}\n");
+        let files = vec![SourceFile::parse("crates/lint/src/passes/mod.rs", &mod_rs)];
+        let mut out = Vec::new();
+        ErrorExitMap.check_workspace(&files, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 }

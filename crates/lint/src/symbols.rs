@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::parser::{FileItems, Item, ItemKind};
+use crate::parser::{AtomicDecl, FileItems, Item, ItemKind};
 
 /// A function's identity: `(file index, item index)` into the
 /// parallel `files`/`items` arrays held by the analysis.
@@ -26,6 +26,11 @@ pub struct SymbolTable {
     methods: BTreeMap<String, Vec<FnId>>,
     /// Free-function name → definitions without an owner.
     free: BTreeMap<String, Vec<FnId>>,
+    /// Atomic variable/field name → `(file index, decl index)` into
+    /// each file's `atomics` list. Name-keyed, like method
+    /// resolution: two fields with the same name across files share
+    /// one entry (a documented over-approximation).
+    atomics: BTreeMap<String, Vec<(usize, usize)>>,
 }
 
 impl SymbolTable {
@@ -44,8 +49,32 @@ impl SymbolTable {
                     None => t.free.entry(item.name.clone()).or_default().push(id),
                 }
             }
+            for (di, decl) in file.atomics.iter().enumerate() {
+                t.atomics.entry(decl.name.clone()).or_default().push((fi, di));
+            }
         }
         t
+    }
+
+    /// Declaration sites of an atomic variable/field called `name`.
+    pub fn atomic_decls_named<'f>(
+        &self,
+        files: &'f [FileItems],
+        name: &str,
+    ) -> Vec<(&'f FileItems, &'f AtomicDecl)> {
+        let Some(sites) = self.atomics.get(name) else { return Vec::new() };
+        sites
+            .iter()
+            .filter_map(|&(fi, di)| {
+                let file = files.get(fi)?;
+                Some((file, file.atomics.get(di)?))
+            })
+            .collect()
+    }
+
+    /// Every distinct atomic variable/field name, in sorted order.
+    pub fn atomic_names(&self) -> impl Iterator<Item = &str> {
+        self.atomics.keys().map(String::as_str)
     }
 
     /// Definitions of `Owner::name`.
@@ -189,6 +218,18 @@ mod tests {
         let r = t.resolve(&call("average", Some("metrics"), false), None);
         assert_eq!(r.len(), 1);
         assert_eq!(lookup(&files, r[0]).map(|(_, i)| i.qual()), Some("average".into()));
+    }
+
+    #[test]
+    fn atomic_decls_are_indexed_by_name() {
+        let (files, t) = build(&[
+            ("crates/x/src/a.rs", "struct S { stop: Arc<AtomicBool> }\n"),
+            ("crates/x/src/b.rs", "static STOP: AtomicUsize = AtomicUsize::new(0);\n"),
+        ]);
+        assert_eq!(t.atomic_decls_named(&files, "stop").len(), 1);
+        assert_eq!(t.atomic_decls_named(&files, "STOP")[0].1.ty, "AtomicUsize");
+        assert_eq!(t.atomic_names().collect::<Vec<_>>(), ["STOP", "stop"]);
+        assert!(t.atomic_decls_named(&files, "missing").is_empty());
     }
 
     #[test]

@@ -103,6 +103,89 @@ fn artifact_fixtures() {
 }
 
 #[test]
+fn atomics_discipline_fixtures() {
+    let rel = "crates/core/src/budget.rs";
+    let bad =
+        analyze(&[(rel, include_str!("fixtures/atomics_discipline_bad.rs"))], Docs::default());
+    // Relaxed flag load + mixed orderings + relaxed RMW gate.
+    assert_eq!(bad.violations.len(), 3, "{:?}", bad.violations);
+    let good =
+        analyze(&[(rel, include_str!("fixtures/atomics_discipline_good.rs"))], Docs::default());
+    check_pass("atomics-discipline", 23, bad, good);
+}
+
+#[test]
+fn signal_safety_fixtures() {
+    let rel = "crates/core/src/supervisor.rs";
+    let bad = analyze(&[(rel, include_str!("fixtures/signal_safety_bad.rs"))], Docs::default());
+    assert!(
+        bad.violations.iter().any(|v| v.message.contains("on_signal -> note_signal")),
+        "finding must carry the handler path: {:?}",
+        bad.violations
+    );
+    let good =
+        analyze(&[(rel, include_str!("fixtures/signal_safety_good.rs"))], Docs::default());
+    check_pass("signal-safety", 24, bad, good);
+}
+
+#[test]
+fn fs_durability_fixtures() {
+    let rel = "crates/core/src/checkpoint.rs";
+    let bad = analyze(&[(rel, include_str!("fixtures/fs_durability_bad.rs"))], Docs::default());
+    // The in-place write and the unsynced rename are separate findings.
+    assert!(
+        bad.violations.iter().any(|v| v.message.contains("write_atomic"))
+            && bad.violations.iter().any(|v| v.message.contains("parent directory")),
+        "{:?}",
+        bad.violations
+    );
+    let good =
+        analyze(&[(rel, include_str!("fixtures/fs_durability_good.rs"))], Docs::default());
+    check_pass("fs-durability", 25, bad, good);
+}
+
+#[test]
+fn hot_path_alloc_fixtures() {
+    let rel = "crates/core/src/engine.rs";
+    let bad =
+        analyze(&[(rel, include_str!("fixtures/hot_path_alloc_bad.rs"))], Docs::default());
+    assert!(
+        bad.violations.iter().any(|v| v.message.contains("Engine::step -> Engine::note")),
+        "finding must carry the hot-path witness: {:?}",
+        bad.violations
+    );
+    let good =
+        analyze(&[(rel, include_str!("fixtures/hot_path_alloc_good.rs"))], Docs::default());
+    check_pass("hot-path-alloc", 26, bad, good);
+}
+
+#[test]
+fn heartbeat_witness_path_matches_the_golden_file() {
+    // A two-file mini workspace around the ledger's Heartbeat: the
+    // beat loop polls its stop flag with a relaxed load
+    // (atomics-discipline, with the decl site cross-referenced) and
+    // the SIGINT handler reaches the heartbeat's format machinery
+    // (signal-safety, with a cross-file witness path).
+    let report = analyze(
+        &[
+            ("crates/core/src/ledger.rs", include_str!("fixtures/heartbeat/ledger.rs")),
+            ("crates/core/src/supervisor.rs", include_str!("fixtures/heartbeat/supervisor.rs")),
+        ],
+        Docs::default(),
+    );
+    let actual = nls_lint::render(&report, nls_lint::Format::Human);
+    let expected = include_str!("golden/heartbeat.txt");
+    assert_eq!(actual, expected, "\nACTUAL report:\n{actual}");
+    assert!(
+        report.violations.iter().any(|v| v.message.contains("on_signal -> Heartbeat::mark")),
+        "the witness path must walk the handler into the ledger Heartbeat: {:?}",
+        report.violations
+    );
+    // Atomics findings sort first, so the lowest violated code wins.
+    assert_eq!(report.exit_code(), 23);
+}
+
+#[test]
 fn full_workspace_analysis_fits_the_perf_budget() {
     // CARGO_MANIFEST_DIR is crates/lint; the workspace root is two up.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");

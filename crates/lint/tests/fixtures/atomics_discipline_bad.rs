@@ -1,0 +1,27 @@
+//! Failing fixture for `atomics-discipline`: the stop flag is a
+//! cross-thread cancel flag (one side stores, the other polls)
+//! loaded with `Ordering::Relaxed` — which also gives it a mixed
+//! ordering profile — and a relaxed read-modify-write counter gates
+//! the flush it is supposed to order.
+
+pub struct Token {
+    stop: AtomicBool,
+}
+
+impl Token {
+    pub fn cancel(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+}
+
+pub fn tally(unsaved: &AtomicUsize) {
+    if unsaved.fetch_add(1, Ordering::Relaxed) + 1 >= 8 {
+        flush();
+    }
+}
+
+fn flush() {}

@@ -1,0 +1,22 @@
+//! Passing fixture: one `SeqCst` protocol for the cancel flag, and
+//! the relaxed counter is a pure ticket dispenser — its result is
+//! let-bound, never a gate.
+
+pub struct Token {
+    stop: AtomicBool,
+}
+
+impl Token {
+    pub fn cancel(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+pub fn claim(next_index: &AtomicUsize) -> usize {
+    let ticket = next_index.fetch_add(1, Ordering::Relaxed);
+    ticket
+}

@@ -1,0 +1,11 @@
+//! Failing fixture for `fs-durability` (the rel path places every
+//! function in durable scope): an in-place overwrite of the durable
+//! path and a rename that never fsyncs the parent directory.
+
+pub fn save(path: &Path, text: &str) {
+    let _ = fs::write(path, text);
+}
+
+pub fn publish(staged: &Path, path: &Path) {
+    let _ = fs::rename(staged, path);
+}

@@ -1,0 +1,19 @@
+//! Passing fixture: the tmp+fsync+rename discipline, parent fsync
+//! included.
+
+pub fn save(path: &Path, text: &str) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let file = File::create(&tmp)?;
+    file.write_all(text.as_bytes())?;
+    file.sync_all()?;
+    fs::rename(&tmp, path)?;
+    fsync_parent_dir(path)
+}
+
+fn tmp_sibling(path: &Path) -> PathBuf {
+    path.with_extension("csv.tmp")
+}
+
+fn fsync_parent_dir(_path: &Path) -> io::Result<()> {
+    Ok(())
+}

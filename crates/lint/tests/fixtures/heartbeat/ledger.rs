@@ -1,0 +1,33 @@
+//! Ledger half of the heartbeat mini workspace: the beat thread's
+//! stop flag is polled with a relaxed load, and the heartbeat's
+//! `mark` embeds format machinery the signal handler will reach.
+
+pub struct Heartbeat {
+    stop: AtomicBool,
+}
+
+impl Heartbeat {
+    pub fn run(&self) {
+        while !self.is_cancelled() {
+            self.beat();
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    fn beat(&self) {
+        touch_lease();
+    }
+
+    pub fn mark(&self) {
+        let _note = format!("worker interrupted");
+    }
+}
+
+pub fn stop_heartbeat(hb: &Heartbeat) {
+    hb.stop.store(true, Ordering::SeqCst);
+}
+
+fn touch_lease() {}

@@ -1,0 +1,11 @@
+//! Handler half: SIGINT marks the heartbeat as interrupted — which
+//! drags the ledger's format machinery into the signal subtree.
+
+pub fn install_signal_token() -> CancelToken {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+        Heartbeat::mark(&HEARTBEAT);
+    }
+    unsafe { signal(SIGINT, on_signal as usize) };
+    CancelToken::new()
+}

@@ -1,0 +1,18 @@
+//! Failing fixture for `hot-path-alloc`: the per-record `step` path
+//! reaches an unresolved `push` two calls deep — a growable event
+//! log on the hot path.
+
+pub struct Engine {
+    cursor: usize,
+}
+
+impl Engine {
+    pub fn step(&mut self, pc: u64) {
+        self.cursor = self.cursor.wrapping_add(1);
+        self.note(pc);
+    }
+
+    fn note(&mut self, pc: u64) {
+        self.events.push(pc);
+    }
+}

@@ -1,0 +1,18 @@
+//! Passing fixture: flat scalar state — the whole `step` subtree
+//! mutates in place and never touches the allocator.
+
+pub struct Engine {
+    cursor: usize,
+    total: u64,
+}
+
+impl Engine {
+    pub fn step(&mut self, pc: u64) {
+        self.cursor = self.cursor.wrapping_add(1);
+        self.note(pc);
+    }
+
+    fn note(&mut self, pc: u64) {
+        self.total = self.total.wrapping_add(pc);
+    }
+}

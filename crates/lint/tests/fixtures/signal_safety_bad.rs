@@ -1,0 +1,16 @@
+//! Failing fixture for `signal-safety`: the handler records the
+//! signal through a helper that allocates (format machinery) — two
+//! calls deep, so the finding carries a witness path.
+
+pub fn install_signal_token() -> CancelToken {
+    extern "C" fn on_signal(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+        note_signal();
+    }
+    unsafe { signal(SIGINT, on_signal as usize) };
+    CancelToken::new()
+}
+
+fn note_signal() {
+    let _line = format!("caught a signal");
+}

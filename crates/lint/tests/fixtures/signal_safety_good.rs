@@ -1,0 +1,12 @@
+//! Passing fixture: a store-only handler that re-arms the signal —
+//! everything it touches is an atomic access or an allowlisted
+//! async-signal-safe syscall.
+
+pub fn install_signal_token() -> CancelToken {
+    extern "C" fn on_signal(sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+        unsafe { signal(sig, on_signal as usize) };
+    }
+    unsafe { signal(SIGINT, on_signal as usize) };
+    CancelToken::new()
+}

@@ -118,6 +118,7 @@ CARGO_BIN_EXE_nls="$PWD/$OUT/nls" test_bin e2e_cli crates/cli/tests/e2e_cli.rs \
 test_bin end_to_end tests/end_to_end.rs nextline
 test_bin micro_traces tests/micro_traces.rs nextline
 test_bin lint_fixtures crates/lint/tests/fixtures.rs nls_lint
+CARGO_MANIFEST_DIR="$PWD/crates/lint" test_bin lint_analysis crates/lint/tests/analysis.rs nls_lint
 
 fail=0
 for t in "$OUT"/test_*; do

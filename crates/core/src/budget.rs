@@ -152,7 +152,8 @@ impl Budget {
 
     /// Stop once `limit` wall-clock time has elapsed from now.
     pub fn with_deadline(mut self, limit: Duration) -> Self {
-        // nls-lint: allow(determinism): the deadline anchors to real time by design; it never feeds simulation results
+        // The deadline anchors to real time by design; it never
+        // feeds simulation results.
         self.deadline = Instant::now().checked_add(limit);
         self.deadline_ms = u64::try_from(limit.as_millis()).unwrap_or(u64::MAX);
         self

@@ -106,7 +106,16 @@ impl Checkpoint {
     /// the directory fsync a crash after the rename can roll the
     /// directory entry back to the old file).
     pub fn save(&self, path: &Path) -> Result<(), NlsError> {
-        write_atomic(path, &self.to_json())
+        Self::save_json(path, &self.to_json())
+    }
+
+    /// Writes an already-serialised checkpoint atomically. Split from
+    /// [`Checkpoint::save`] so callers that guard the checkpoint with
+    /// a mutex can serialise under the lock and run the fsync-heavy
+    /// write outside it — holding a lock across fsync stalls every
+    /// other worker for the disk's sync latency.
+    pub fn save_json(path: &Path, json: &str) -> Result<(), NlsError> {
+        write_atomic(path, json)
             .map_err(|e| NlsError::Checkpoint(format!("cannot write {}: {e}", path.display())))
     }
 

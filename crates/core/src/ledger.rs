@@ -649,7 +649,10 @@ impl LedgerFile {
                     "cancelled while waiting for the ledger lock".to_string(),
                 ));
             }
-            // nls-lint: allow(fs-durability): the advisory lock is ephemeral by design — O_EXCL must hit the real path, and losing it on crash is what stale-lock breaking handles
+            // The advisory lock is ephemeral by design — O_EXCL must
+            // hit the real path, and losing it on crash is what
+            // stale-lock breaking handles. (`fs-durability` exempts
+            // `create_new` on a lock path for exactly this shape.)
             match fs::OpenOptions::new().write(true).create_new(true).open(&lock_path) {
                 Ok(mut f) => {
                     // Lock contents are diagnostic only; acquisition
@@ -1086,6 +1089,56 @@ mod tests {
         let reread = file.read(&cancel).unwrap();
         assert!(matches!(reread.state(&key), Some(CellState::Leased { .. })));
         assert!(!path.with_extension("json.tmp").exists());
+        assert!(!Path::new(&format!("{}.lock", path.display())).exists(), "lock released");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn contending_workers_drain_the_grid_exactly_once() {
+        // The interleaving test CI runs under TSan: four threads race
+        // claim/complete through the locked file. Long leases keep
+        // expiry out of play, so every publish must succeed and every
+        // cell must be published exactly once — double publishes,
+        // lost updates, or torn reads all fail the counts below.
+        use std::sync::atomic::AtomicUsize;
+        let path = temp_ledger_path("contention");
+        let grid: Vec<String> = (0..8).map(|i| format!("b{i} | 8K direct | e")).collect();
+        LedgerFile::new(&path)
+            .init(Ledger::new(&cfg(), 60_000, 3, grid.clone()), false)
+            .unwrap();
+        let published = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let (path, published) = (&path, &published);
+                s.spawn(move || {
+                    let file = LedgerFile::new(path);
+                    let cancel = CancelToken::new();
+                    let worker = format!("w{w}");
+                    loop {
+                        let out = file.update(&cancel, |l| l.claim(&worker, now_ms())).unwrap();
+                        match out {
+                            ClaimOutcome::Claimed { key, .. } => {
+                                let ok = file
+                                    .update(&cancel, |l| {
+                                        l.complete(&key, &worker, vec![sample_result()])
+                                    })
+                                    .unwrap();
+                                assert!(ok, "a live lease's publish must not be refused");
+                                published.fetch_add(1, Ordering::SeqCst);
+                            }
+                            ClaimOutcome::Wait { .. } => std::thread::yield_now(),
+                            ClaimOutcome::Drained => break,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(published.load(Ordering::SeqCst), grid.len(), "one publish per cell");
+        let end = LedgerFile::new(&path).read(&CancelToken::new()).unwrap();
+        assert_eq!(
+            end.counts(),
+            CellCounts { pending: 0, leased: 0, done: grid.len(), failed: 0 }
+        );
         assert!(!Path::new(&format!("{}.lock", path.display())).exists(), "lock released");
         let _ = fs::remove_file(&path);
     }

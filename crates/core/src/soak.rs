@@ -361,7 +361,7 @@ mod tests {
             ..tiny()
         };
         let plan = vec![RuntimeFault::ReadStall { after_records: 10, millis: 100 }];
-        // nls-lint: allow(determinism): this test measures real wall-clock on purpose
+        // This test measures real wall-clock on purpose.
         let started = std::time::Instant::now();
         let case = execute_case(&cfg, 12, plan);
         let elapsed = started.elapsed();

@@ -223,17 +223,23 @@ where
                 let outcome = attempt_run(run_fn, run, cfg, opts.max_retries);
                 if let (Some((path, cp)), Ok(Outcome::Complete(results))) = (persist, &outcome)
                 {
-                    let mut cp = cp.lock();
-                    cp.insert(run.key(), results.clone());
                     // Flush every `checkpoint_every` completions. The
                     // gate reads the checkpoint's own size under the
                     // mutex that guards the insert — unlike the
                     // relaxed counter it replaced, the decision is
                     // ordered with the state it flushes (each insert
                     // adds a distinct key, so len() advances by one
-                    // per completion).
-                    if cp.len() % opts.checkpoint_every.max(1) == 0 {
-                        if let Err(e) = cp.save(path) {
+                    // per completion). Serialisation happens under
+                    // the lock; the fsync-heavy write runs after the
+                    // guard drops, so no worker's insert ever waits
+                    // on the disk's sync latency.
+                    let flush = {
+                        let mut cp = cp.lock();
+                        cp.insert(run.key(), results.clone());
+                        (cp.len() % opts.checkpoint_every.max(1) == 0).then(|| cp.to_json())
+                    };
+                    if let Some(json) = flush {
+                        if let Err(e) = Checkpoint::save_json(path, &json) {
                             let mut first = save_error.lock();
                             if first.is_none() {
                                 *first = Some(e);
@@ -262,7 +268,10 @@ where
     // failure: the caller asked for durability and silently losing
     // it would defeat resume.
     if let Some((path, cp)) = persist {
-        cp.lock().save(path)?;
+        // Same discipline as the periodic flush: serialise under the
+        // lock, fsync outside it.
+        let json = cp.lock().to_json();
+        Checkpoint::save_json(path, &json)?;
     }
     if let Some(e) = save_error.into_inner() {
         return Err(e);
@@ -448,6 +457,13 @@ pub fn run_ledger_worker(
                     report.reclaimed += 1;
                 }
                 let Some(spec) = runs.iter().find(|r| r.key() == key) else {
+                    // A manifest mismatch is fatal to this worker,
+                    // but the claim must not be stranded until its
+                    // lease expires: give the cell back first so a
+                    // correctly-configured worker can pick it up.
+                    let _ = file.update(&CancelToken::new(), |l| {
+                        l.release(&key, worker, ledger::now_ms())
+                    });
                     return Err(NlsError::Ledger(format!(
                         "ledger cell {key:?} does not correspond to any run of this sweep"
                     )));
@@ -459,7 +475,7 @@ pub fn run_ledger_worker(
                     cfg,
                     opts.max_retries,
                 );
-                let lease_lost = hb.stop();
+                hb.stop();
                 // Ledger writes below run under a fresh token: once a
                 // cell's fate is known, publishing it must not be
                 // abandoned by a cancellation race (the lock wait is
@@ -467,9 +483,13 @@ pub fn run_ledger_worker(
                 let publish = CancelToken::new();
                 match outcome {
                     Ok(Outcome::Complete(results)) => {
-                        if lease_lost {
-                            continue;
-                        }
+                        // `Ledger::complete` is self-guarding: it
+                        // publishes only while this worker still
+                        // holds the lease, so results whose lease
+                        // was lost mid-run (this process presumed
+                        // dead) are discarded inside the ledger —
+                        // whoever reclaimed the cell republishes
+                        // the identical bits.
                         if file.update(&publish, |l| l.complete(&key, worker, results))? {
                             report.completed += 1;
                         }

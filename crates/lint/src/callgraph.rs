@@ -130,6 +130,29 @@ impl CallGraph {
         path
     }
 
+    /// Like [`Self::path_to`], but returning `(file, line, qual)`
+    /// location steps (declaration sites) for SARIF code flows.
+    pub fn path_steps(
+        &self,
+        pred: &BTreeMap<FnId, FnId>,
+        to: FnId,
+        files: &[FileItems],
+    ) -> Vec<(String, u32, String)> {
+        let mut path = Vec::new();
+        let mut cur = to;
+        for _ in 0..pred.len() + 1 {
+            if let Some((f, it)) = lookup(files, cur) {
+                path.push((f.rel.clone(), it.line, it.qual()));
+            }
+            match pred.get(&cur) {
+                Some(&p) if p != cur => cur = p,
+                _ => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+
     /// Renders the graph for golden-file tests: one `caller -> callee`
     /// line per edge, in deterministic order.
     pub fn dump(&self, files: &[FileItems]) -> String {

@@ -1,0 +1,237 @@
+//! A small gen/kill worklist solver over [`crate::cfg::Cfg`] blocks.
+//!
+//! Facts are opaque `usize` indices into a pass-owned table; a pass
+//! supplies a transfer function per block and picks a direction and a
+//! meet:
+//!
+//! * `Forward` + `Union` — may-analyses ("a lock acquired on *some*
+//!   path into this block is still live"): start from the entry with
+//!   nothing, join paths by union.
+//! * `Backward` + `Intersect` — must-analyses ("every path from here
+//!   to the exit releases the lease"): start from the exit with
+//!   nothing, join paths by intersection, initialise interior blocks
+//!   to the full universe (the optimistic top).
+//!
+//! The solver iterates full sweeps until a fixed point; transfer
+//! functions must be monotone (the usual `gen ∪ (facts − kill)` form
+//! is). CFGs here are function-sized, so plain sweeps beat a real
+//! priority worklist on simplicity without measurable cost.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+
+/// Analysis direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Forward,
+    Backward,
+}
+
+/// How facts merge where paths meet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Meet {
+    Union,
+    Intersect,
+}
+
+/// The fixed point: per-block fact sets at block entry and exit
+/// (entry/exit in *execution* order, regardless of direction).
+#[derive(Debug)]
+pub struct Flow {
+    pub inp: Vec<BTreeSet<usize>>,
+    pub out: Vec<BTreeSet<usize>>,
+}
+
+/// Solves the dataflow problem on `cfg`.
+///
+/// `universe` is the set of all fact indices (used as the optimistic
+/// initial value under `Meet::Intersect`); `transfer(block, facts)`
+/// maps the facts flowing into a block (in the chosen direction) to
+/// the facts flowing out of it.
+pub fn solve(
+    cfg: &Cfg,
+    dir: Dir,
+    meet: Meet,
+    universe: &BTreeSet<usize>,
+    transfer: &dyn Fn(usize, &BTreeSet<usize>) -> BTreeSet<usize>,
+) -> Flow {
+    let n = cfg.blocks.len();
+    let init = match meet {
+        Meet::Union => BTreeSet::new(),
+        Meet::Intersect => universe.clone(),
+    };
+    let mut inp: Vec<BTreeSet<usize>> = (0..n).map(|_| init.clone()).collect();
+    let mut out: Vec<BTreeSet<usize>> = (0..n).map(|_| init.clone()).collect();
+    let preds = cfg.preds();
+    let boundary = match dir {
+        Dir::Forward => cfg.entry,
+        Dir::Backward => cfg.exit,
+    };
+    if let Some(b) = match dir {
+        Dir::Forward => inp.get_mut(boundary),
+        Dir::Backward => out.get_mut(boundary),
+    } {
+        b.clear();
+    }
+    let mut changed = true;
+    let mut sweeps = 0usize;
+    // Fact sets only grow (union) or shrink (intersect), so the
+    // fixed point arrives in O(blocks × facts) sweeps; the explicit
+    // cap is a belt against a non-monotone transfer.
+    while changed && sweeps <= n.saturating_mul(2) + universe.len() + 2 {
+        changed = false;
+        sweeps += 1;
+        for b in 0..n {
+            // Neighbours the facts flow in from.
+            let sources: Vec<usize> = match dir {
+                Dir::Forward => preds.get(b).cloned().unwrap_or_default(),
+                Dir::Backward => {
+                    cfg.blocks.get(b).map(|blk| blk.succs.clone()).unwrap_or_default()
+                }
+            };
+            let merged: Option<BTreeSet<usize>> = if b == boundary {
+                Some(BTreeSet::new())
+            } else if sources.is_empty() {
+                // No flow in: keep the initial value.
+                None
+            } else {
+                let mut acc: Option<BTreeSet<usize>> = None;
+                for s in sources {
+                    let neighbour = match dir {
+                        Dir::Forward => out.get(s),
+                        Dir::Backward => inp.get(s),
+                    };
+                    let Some(nb) = neighbour else { continue };
+                    acc = Some(match (acc, meet) {
+                        (None, _) => nb.clone(),
+                        (Some(a), Meet::Union) => a.union(nb).copied().collect(),
+                        (Some(a), Meet::Intersect) => a.intersection(nb).copied().collect(),
+                    });
+                }
+                acc
+            };
+            let (flow_in, flow_out) = match dir {
+                Dir::Forward => (&mut inp, &mut out),
+                Dir::Backward => (&mut out, &mut inp),
+            };
+            if let Some(m) = merged {
+                if flow_in.get(b) != Some(&m) {
+                    if let Some(slot) = flow_in.get_mut(b) {
+                        *slot = m;
+                    }
+                    changed = true;
+                }
+            }
+            let new_out = flow_in.get(b).map(|f| transfer(b, f)).unwrap_or_default();
+            if flow_out.get(b) != Some(&new_out) {
+                if let Some(slot) = flow_out.get_mut(b) {
+                    *slot = new_out;
+                }
+                changed = true;
+            }
+        }
+    }
+    Flow { inp, out }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn cfg_of(text: &str) -> (Vec<crate::lexer::Tok>, Cfg) {
+        let src = SourceFile::parse("crates/x/src/a.rs", text);
+        let files = crate::parser::FileItems::parse(&src);
+        let body = files.fns().next().map(|f| f.body).unwrap_or((0, 0));
+        let cfg = Cfg::build(&src.code, body);
+        (src.code.clone(), cfg)
+    }
+
+    /// Blocks whose range contains an identifier `name`.
+    fn blocks_with(code: &[crate::lexer::Tok], cfg: &Cfg, name: &str) -> Vec<usize> {
+        (0..cfg.blocks.len())
+            .filter(|&b| cfg.tokens(code, b).iter().any(|t| t.is_ident(name)))
+            .collect()
+    }
+
+    #[test]
+    fn forward_union_tracks_may_liveness_across_branches() {
+        // `acquire` on one branch only: live at the join by union.
+        let (code, cfg) = cfg_of("fn f(c: bool) { if c { acquire(); } use_it(); }\n");
+        let gen = blocks_with(&code, &cfg, "acquire");
+        let universe: BTreeSet<usize> = [0].into_iter().collect();
+        let flow = solve(&cfg, Dir::Forward, Meet::Union, &universe, &|b, facts| {
+            let mut f = facts.clone();
+            if gen.contains(&b) {
+                f.insert(0);
+            }
+            f
+        });
+        let at_use = blocks_with(&code, &cfg, "use_it");
+        assert!(
+            at_use.iter().any(|&b| flow.inp.get(b).is_some_and(|f| f.contains(&0))),
+            "{flow:?}"
+        );
+    }
+
+    #[test]
+    fn backward_intersect_demands_release_on_every_path() {
+        // Release on only one branch: must-reach fails before the if.
+        let (code, cfg) =
+            cfg_of("fn f(c: bool) { claim(); if c { release(); } else { other(); } }\n");
+        let rel = blocks_with(&code, &cfg, "release");
+        let universe: BTreeSet<usize> = [0].into_iter().collect();
+        let flow = solve(&cfg, Dir::Backward, Meet::Intersect, &universe, &|b, facts| {
+            let mut f = facts.clone();
+            if rel.contains(&b) {
+                f.insert(0);
+            }
+            f
+        });
+        let at_claim = blocks_with(&code, &cfg, "claim");
+        assert!(
+            at_claim.iter().all(|&b| flow.inp.get(b).is_some_and(|f| !f.contains(&0))),
+            "one branch leaks: {flow:?}"
+        );
+    }
+
+    #[test]
+    fn backward_intersect_accepts_release_on_all_paths() {
+        let (code, cfg) =
+            cfg_of("fn f(c: bool) { claim(); if c { release(); } else { release(); } }\n");
+        let rel = blocks_with(&code, &cfg, "release");
+        let universe: BTreeSet<usize> = [0].into_iter().collect();
+        let flow = solve(&cfg, Dir::Backward, Meet::Intersect, &universe, &|b, facts| {
+            let mut f = facts.clone();
+            if rel.contains(&b) {
+                f.insert(0);
+            }
+            f
+        });
+        let at_claim = blocks_with(&code, &cfg, "claim");
+        assert!(
+            at_claim.iter().any(|&b| flow.inp.get(b).is_some_and(|f| f.contains(&0))),
+            "{flow:?}"
+        );
+    }
+
+    #[test]
+    fn a_question_mark_path_defeats_must_reach() {
+        let (code, cfg) = cfg_of("fn f() -> R { claim(); mid()?; release(); Ok(()) }\n");
+        let rel = blocks_with(&code, &cfg, "release");
+        let universe: BTreeSet<usize> = [0].into_iter().collect();
+        let flow = solve(&cfg, Dir::Backward, Meet::Intersect, &universe, &|b, facts| {
+            let mut f = facts.clone();
+            if rel.contains(&b) {
+                f.insert(0);
+            }
+            f
+        });
+        let at_claim = blocks_with(&code, &cfg, "claim");
+        assert!(
+            at_claim.iter().all(|&b| flow.inp.get(b).is_some_and(|f| !f.contains(&0))),
+            "the `?` edge bypasses the release: {flow:?}"
+        );
+    }
+}

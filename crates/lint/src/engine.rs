@@ -27,6 +27,10 @@ pub struct LintReport {
     pub violations: Vec<Violation>,
     /// How many files were linted.
     pub files: usize,
+    /// Wall time per executed analysis pass, `(pass id, microseconds)`
+    /// in execution order — the perf-budget job reads these out of
+    /// `--format json`. Empty for rules-only runs.
+    pub timings: Vec<(String, u128)>,
 }
 
 impl LintReport {
@@ -69,6 +73,7 @@ pub fn lint_sources(files: &[SourceFile]) -> LintReport {
             if s.reason.is_empty() || s.rules.is_empty() {
                 violations.push(Violation {
                     rule: SUPPRESSION_RULE,
+                    path: Vec::new(),
                     file: file.rel.clone(),
                     line: s.line,
                     message: "malformed suppression: use `nls-lint: allow(<rule>): <reason>`"
@@ -88,7 +93,7 @@ pub fn lint_sources(files: &[SourceFile]) -> LintReport {
         }));
     }
     violations.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    LintReport { violations, files: files.len() }
+    LintReport { violations, files: files.len(), timings: Vec::new() }
 }
 
 /// Lints `files` with the rules, then runs the interprocedural
@@ -105,7 +110,9 @@ pub fn analyze_sources(
     for pass in all_passes() {
         let enabled = passes.is_none_or(|ids| ids.iter().any(|id| id == pass.id()));
         if enabled {
+            let start = std::time::Instant::now();
             pass.check(&analysis, &mut found);
+            report.timings.push((pass.id().to_string(), start.elapsed().as_micros()));
         }
     }
     report.violations.extend(found.into_iter().filter(|v| {

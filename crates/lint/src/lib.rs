@@ -15,7 +15,10 @@
 //! cannot fetch `syn` or run clippy) with a small Rust lexer
 //! ([`lexer`]), per-file context ([`source`]), a pluggable rule set
 //! ([`rules`]), and a driver ([`engine`]) with human/JSON output
-//! ([`report`]).
+//! ([`report`]). The interprocedural layer (`nls-analyze`, [`passes`])
+//! adds a symbol table, a call graph, and — for the path-sensitive
+//! passes — intraprocedural control-flow graphs ([`cfg`]) with a
+//! gen/kill dataflow solver ([`dataflow`]).
 //!
 //! Run it with `cargo run -p nls-lint`; see DESIGN.md §9 for the
 //! rule catalogue and suppression syntax
@@ -24,6 +27,8 @@
 //! [`NlsError`-class exit]: https://example.invalid/nextline
 
 pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod engine;
 pub mod lexer;
 pub mod parser;
@@ -39,5 +44,5 @@ pub use engine::{
 };
 pub use passes::{all_passes, Analysis, Docs, Pass};
 pub use report::{render, Format};
-pub use rules::{all_rules, Rule, Violation};
+pub use rules::{all_rules, PathStep, Rule, Violation};
 pub use source::SourceFile;

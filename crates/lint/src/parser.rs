@@ -269,7 +269,7 @@ impl Parser<'_> {
 }
 
 /// Index of the `}` matching the `{` at `open` (which must hold one).
-fn matching_brace(code: &[Tok], open: usize, end: usize) -> Option<usize> {
+pub(crate) fn matching_brace(code: &[Tok], open: usize, end: usize) -> Option<usize> {
     let mut depth = 0i64;
     for k in open..end {
         let t = code.get(k)?;
@@ -283,6 +283,86 @@ fn matching_brace(code: &[Tok], open: usize, end: usize) -> Option<usize> {
         }
     }
     None
+}
+
+/// True when `#[cold]` is among the attributes immediately preceding
+/// `it`'s `fn` keyword. The hot-path pass treats such functions (and
+/// their call subtrees) as off the hot path by declaration.
+pub fn has_cold_attr(code: &[Tok], it: &Item) -> bool {
+    // Find the item's `fn` keyword by scanning back from the body.
+    let mut f = it.body.0;
+    let mut fn_tok = None;
+    while f > 0 {
+        f -= 1;
+        let Some(t) = code.get(f) else { break };
+        if t.is_ident("fn") && code.get(f + 1).is_some_and(|n| n.is_ident(&it.name)) {
+            fn_tok = Some(f);
+            break;
+        }
+        // Give up once we walk past the previous item's body.
+        if t.is_punct('}') {
+            break;
+        }
+    }
+    let Some(mut k) = fn_tok else { return false };
+    // Walk back over visibility/qualifier tokens, then attributes.
+    while k > 0 {
+        k -= 1;
+        let Some(t) = code.get(k) else { break };
+        match t.kind {
+            TokKind::Comment => continue,
+            TokKind::Ident
+                if matches!(
+                    t.text.as_str(),
+                    "pub" | "crate" | "const" | "unsafe" | "extern" | "async"
+                ) =>
+            {
+                continue;
+            }
+            TokKind::Punct if t.is_punct(')') => {
+                // `pub(crate)` group: skip back to its `(`.
+                let mut depth = 1i64;
+                while k > 0 && depth > 0 {
+                    k -= 1;
+                    let Some(p) = code.get(k) else { break };
+                    if p.is_punct(')') {
+                        depth += 1;
+                    } else if p.is_punct('(') {
+                        depth -= 1;
+                    }
+                }
+                continue;
+            }
+            TokKind::Punct if t.is_punct(']') => {
+                // An attribute group: find its `[`, check for `cold`.
+                let mut depth = 1i64;
+                let close = k;
+                let mut open = k;
+                while open > 0 && depth > 0 {
+                    open -= 1;
+                    let Some(p) = code.get(open) else { break };
+                    if p.is_punct(']') {
+                        depth += 1;
+                    } else if p.is_punct('[') {
+                        depth -= 1;
+                    }
+                }
+                if depth != 0
+                    || open == 0
+                    || !code.get(open - 1).is_some_and(|p| p.is_punct('#'))
+                {
+                    return false;
+                }
+                if code.get(open..close).unwrap_or(&[]).iter().any(|p| p.is_ident("cold")) {
+                    return true;
+                }
+                k = open - 1; // continue from before the `#`
+                continue;
+            }
+            _ => break,
+        }
+    }
+    false
 }
 
 /// The self type of an `impl` header (tokens between `impl` and its

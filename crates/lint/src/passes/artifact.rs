@@ -97,6 +97,7 @@ impl Pass for ArtifactConformance {
                 }
                 out.push(Violation {
                     rule: self.id(),
+                    path: Vec::new(),
                     file: src.rel.clone(),
                     line: 1,
                     message: format!("bench binary `{stem}`: {problem}"),

@@ -132,6 +132,7 @@ fn findings(a: &Analysis) -> (Vec<Violation>, Vec<Fix>) {
                 if !src.is_suppressed(id, p.decl_line) {
                     out.push(Violation {
                         rule: id,
+                        path: Vec::new(),
                         file: src.rel.clone(),
                         line: p.decl_line,
                         message: format!(
@@ -154,6 +155,7 @@ fn findings(a: &Analysis) -> (Vec<Violation>, Vec<Fix>) {
             if role == Role::CancelFlag && op.op == "load" && relaxed {
                 out.push(Violation {
                     rule: id,
+                    path: Vec::new(),
                     file: src.rel.clone(),
                     line: op.line,
                     message: format!(
@@ -174,6 +176,7 @@ fn findings(a: &Analysis) -> (Vec<Violation>, Vec<Fix>) {
             if is_rmw && op.in_condition && relaxed {
                 out.push(Violation {
                     rule: id,
+                    path: Vec::new(),
                     file: src.rel.clone(),
                     line: op.line,
                     message: format!(

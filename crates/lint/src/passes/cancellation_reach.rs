@@ -165,6 +165,14 @@ impl Pass for CancellationReach {
                 let path = a.graph.path_to(&pred, id, &a.files);
                 out.push(Violation {
                     rule: self.id(),
+                    path: super::witness_steps(
+                        a,
+                        &pred,
+                        id,
+                        &src.rel,
+                        line,
+                        "loop never polls Budget/CancelToken",
+                    ),
                     file: src.rel.clone(),
                     line,
                     message: format!(

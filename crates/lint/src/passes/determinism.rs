@@ -71,6 +71,7 @@ impl Pass for Determinism {
                 let path = a.graph.path_to(&pred, id, &a.files);
                 out.push(Violation {
                     rule: self.id(),
+                    path: Vec::new(),
                     file: src.rel.clone(),
                     line: call.line,
                     message: format!(

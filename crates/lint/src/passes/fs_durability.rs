@@ -22,25 +22,33 @@
 //! * `fs::write(..)`, `File::create(..)`, or an
 //!   `OpenOptions`-`create_new` chain whose argument span does not
 //!   mention a tmp sibling — direct writes to the durable path;
-//! * `fs::rename(..)` in a function that never calls a
-//!   `*parent*`-named fsync helper — the rename itself is atomic but
-//!   the directory entry is not durable until the parent is synced.
+//! * `fs::rename(..)` from which no `*parent*`-named fsync helper is
+//!   reached **on every [`crate::cfg`] path** — the rename itself is
+//!   atomic but the directory entry is not durable until the parent
+//!   is synced, and a `?` between the two loses exactly the crash
+//!   window the protocol exists for. (The rename's own `?` edge is
+//!   exempt: a failed rename publishes nothing.)
 //!
 //! Exemptions: functions whose name contains `atomic` (they *are*
 //! the discipline), writes whose arguments mention `tmp` (the
 //! tmp-sibling half of the protocol; the rename rule covers the
-//! other half), and test code. Genuine exceptions — e.g. an
-//! advisory `.lock` file that must be `create_new` on the real path
-//! and is ephemeral by design — are waived with
-//! `// nls-lint: allow(fs-durability): <why this write may be lost>`.
+//! other half), advisory-lock `create_new` sites (a `lock`-named
+//! identifier on the call line: `O_EXCL` must hit the real path and
+//! losing the file on crash is what stale-lock breaking handles),
+//! and test code.
 //!
 //! Soundness caveats: scope is inferred per function, so a helper
 //! that receives a durable path as an argument from another crate is
 //! only caught if its own body or file mentions a marker; the
-//! tmp-name exemption trusts naming.
+//! tmp-name and lock-name exemptions trust naming.
 
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, Dir, Meet};
+use crate::lexer::{Tok, TokKind};
 use crate::parser::{call_sites, CallSite, ItemKind};
-use crate::rules::{matching_punct, Violation};
+use crate::rules::{matching_punct, PathStep, Violation};
 use crate::source::SourceFile;
 
 use super::{Analysis, Pass};
@@ -93,6 +101,43 @@ fn args_mention_tmp(src: &SourceFile, call: &CallSite, body: (usize, usize)) -> 
     false
 }
 
+/// True when the call's line names a `lock`-ish identifier — the
+/// advisory-lock exemption for `create_new` (see module docs).
+fn line_mentions_lock(src: &SourceFile, line: u32) -> bool {
+    src.code.iter().any(|t| {
+        t.line == line
+            && t.kind == TokKind::Ident
+            && t.text.to_ascii_lowercase().contains("lock")
+    })
+}
+
+/// Is the token at `i` a call to a `*parent*`-named fsync helper?
+fn is_parent_sync_at(code: &[Tok], i: usize) -> bool {
+    code.get(i).is_some_and(|t| {
+        t.kind == TokKind::Ident
+            && t.text.to_ascii_lowercase().contains("parent")
+            && code.get(i + 1).is_some_and(|n| n.is_punct('('))
+    })
+}
+
+/// Backward must-analysis: fact 0 at a block means a parent fsync is
+/// reached from there on every path. `inp` is indexed by block.
+fn must_sync(cfg: &Cfg, code: &[Tok]) -> Vec<BTreeSet<usize>> {
+    let universe: BTreeSet<usize> = [0].into_iter().collect();
+    solve(cfg, Dir::Backward, Meet::Intersect, &universe, &|b, facts| {
+        let mut f = facts.clone();
+        let in_block = cfg
+            .blocks
+            .get(b)
+            .is_some_and(|blk| (blk.lo..blk.hi).any(|i| is_parent_sync_at(code, i)));
+        if in_block {
+            f.insert(0);
+        }
+        f
+    })
+    .inp
+}
+
 /// True for a call that opens/overwrites a file for writing.
 fn is_direct_write(call: &CallSite) -> bool {
     if call.is_macro {
@@ -135,16 +180,18 @@ impl Pass for FsDurability {
                     continue;
                 }
                 let calls = call_sites(&src.code, it.body);
-                let has_parent_sync = calls
-                    .iter()
-                    .any(|c| !c.is_macro && c.name.to_ascii_lowercase().contains("parent"));
+                let mut renames: Vec<&CallSite> = Vec::new();
                 for call in &calls {
                     if src.is_test_code(call.line) || src.is_suppressed(self.id(), call.line) {
                         continue;
                     }
-                    if is_direct_write(call) && !args_mention_tmp(src, call, it.body) {
+                    if is_direct_write(call)
+                        && !args_mention_tmp(src, call, it.body)
+                        && !(call.name == "create_new" && line_mentions_lock(src, call.line))
+                    {
                         out.push(Violation {
                             rule: self.id(),
+                            path: Vec::new(),
                             file: src.rel.clone(),
                             line: call.line,
                             message: format!(
@@ -158,20 +205,72 @@ impl Pass for FsDurability {
                     if !call.is_macro
                         && call.name == "rename"
                         && call.qualifier.as_deref() == Some("fs")
-                        && !has_parent_sync
                     {
-                        out.push(Violation {
-                            rule: self.id(),
+                        renames.push(call);
+                    }
+                }
+                if renames.is_empty() {
+                    continue;
+                }
+                // Path-sensitive half: each rename must reach a
+                // parent fsync on every CFG path out of it.
+                let cfg = Cfg::build(&src.code, it.body);
+                let synced = must_sync(&cfg, &src.code);
+                for call in renames {
+                    let Some(rt) = (it.body.0..it.body.1).find(|&i| {
+                        src.code
+                            .get(i)
+                            .is_some_and(|t| t.line == call.line && t.is_ident("rename"))
+                    }) else {
+                        continue;
+                    };
+                    let Some(b) = cfg.block_of(rt) else { continue };
+                    let same_block_after = cfg.blocks.get(b).is_some_and(|blk| {
+                        (rt + 1..blk.hi).any(|i| is_parent_sync_at(&src.code, i))
+                    });
+                    if same_block_after {
+                        continue;
+                    }
+                    // The rename's own `?` edge is exempt, so check
+                    // the fall-through successors.
+                    let succs =
+                        cfg.blocks.get(b).map(|blk| blk.succs.clone()).unwrap_or_default();
+                    let fall: Vec<usize> =
+                        succs.iter().copied().filter(|&s| s != cfg.exit).collect();
+                    let ok = !fall.is_empty()
+                        && fall.iter().all(|&s| synced.get(s).is_some_and(|f| f.contains(&0)));
+                    if ok {
+                        continue;
+                    }
+                    let escape = fall
+                        .iter()
+                        .find(|&&s| !synced.get(s).is_some_and(|f| f.contains(&0)))
+                        .map(|&s| cfg.first_line(&src.code, s))
+                        .filter(|&l| l != 0 && l != call.line);
+                    let mut path = vec![PathStep {
+                        file: src.rel.clone(),
+                        line: call.line,
+                        label: "rename publishes the entry".to_string(),
+                    }];
+                    if let Some(l) = escape {
+                        path.push(PathStep {
                             file: src.rel.clone(),
-                            line: call.line,
-                            message: format!(
-                                "`fs::rename` in `{}` without fsyncing the parent directory \
-                                 — the new directory entry is not durable until the parent \
-                                 is synced",
-                                it.qual()
-                            ),
+                            line: l,
+                            label: "path escapes before the parent fsync".to_string(),
                         });
                     }
+                    out.push(Violation {
+                        rule: self.id(),
+                        path,
+                        file: src.rel.clone(),
+                        line: call.line,
+                        message: format!(
+                            "`fs::rename` in `{}` does not reach a parent-directory \
+                             fsync on every path — the new directory entry is not \
+                             durable until the parent is synced",
+                            it.qual()
+                        ),
+                    });
                 }
             }
         }
@@ -243,7 +342,7 @@ mod tests {
              fs::rename(tmp, path);\n}\n",
         )]);
         assert_eq!(v.len(), 1, "{v:?}");
-        assert!(v[0].message.contains("parent directory"), "{v:?}");
+        assert!(v[0].message.contains("parent-directory fsync"), "{v:?}");
     }
 
     #[test]
@@ -257,12 +356,67 @@ mod tests {
     }
 
     #[test]
-    fn an_ephemeral_lock_file_waiver_is_honoured() {
+    fn an_ephemeral_lock_file_create_new_is_exempt_without_a_waiver() {
+        // `O_EXCL` must hit the real path; losing the lock file on
+        // crash is what stale-lock breaking handles. The `lock`-named
+        // identifier on the call line is the built-in exemption.
         let v = run(&[(
             "crates/core/src/ledger.rs",
             "pub fn acquire(lock_path: &Path) {\n    \
-             // nls-lint: allow(fs-durability): advisory lock is ephemeral; create_new must hit the real path\n    \
              let f = fs::OpenOptions::new().write(true).create_new(true).open(lock_path);\n}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn a_return_between_rename_and_parent_fsync_is_flagged() {
+        let v = run(&[(
+            "crates/core/src/ledger.rs",
+            "pub fn publish(tmp: &Path, path: &Path, quick: bool) {\n    \
+             fs::rename(tmp, path);\n    \
+             if quick {\n        return;\n    }\n    \
+             sync_parent_dir(path);\n}\n\
+             fn sync_parent_dir(_p: &Path) {}\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("every path"), "{v:?}");
+        assert!(!v[0].path.is_empty(), "witness path attached: {v:?}");
+    }
+
+    #[test]
+    fn a_question_mark_between_rename_and_parent_fsync_is_flagged() {
+        let v = run(&[(
+            "crates/core/src/ledger.rs",
+            "pub fn publish(tmp: &Path, path: &Path) -> R {\n    \
+             fs::rename(tmp, path)?;\n    \
+             audit(path)?;\n    \
+             sync_parent_dir(path);\n    Ok(())\n}\n\
+             fn sync_parent_dir(_p: &Path) {}\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn the_renames_own_question_mark_is_exempt() {
+        let v = run(&[(
+            "crates/core/src/ledger.rs",
+            "pub fn publish(tmp: &Path, path: &Path) -> R {\n    \
+             fs::rename(tmp, path)?;\n    \
+             sync_parent_dir(path);\n    Ok(())\n}\n\
+             fn sync_parent_dir(_p: &Path) {}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn syncing_on_both_branches_is_clean() {
+        let v = run(&[(
+            "crates/core/src/ledger.rs",
+            "pub fn publish(tmp: &Path, path: &Path, quick: bool) {\n    \
+             fs::rename(tmp, path);\n    \
+             if quick {\n        sync_parent_dir(path);\n        return;\n    }\n    \
+             sync_parent_dir(path);\n}\n\
+             fn sync_parent_dir(_p: &Path) {}\n",
         )]);
         assert!(v.is_empty(), "{v:?}");
     }

@@ -30,15 +30,20 @@
 //! receiver-blindness is also the pass's main caveat — a real
 //! `Vec::push` whose name collides with any workspace method is
 //! trusted; the differential bench remains the dynamic backstop.
-//! Cold paths that genuinely must allocate (error construction on
-//! the failure branch) are waived with
-//! `// nls-lint: allow(hot-path-alloc): <why this is off the hot path>`.
+//!
+//! Cold code is exempt without a waiver: allocation sites inside
+//! [`crate::cfg`] cold blocks (`Err` match arms, diverging `let-else`
+//! bodies) never run on the per-record path, and `#[cold]`-attributed
+//! functions are neither scanned nor descended into — marking the
+//! error-construction helper `#[cold]` is the supported way to take
+//! it off the contract.
 
 use std::collections::btree_map::Entry;
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::parser::{CallSite, ItemKind};
-use crate::rules::Violation;
+use crate::cfg::Cfg;
+use crate::parser::{has_cold_attr, CallSite, ItemKind};
+use crate::rules::{PathStep, Violation};
 use crate::symbols::{lookup, FnId};
 
 use super::{Analysis, Pass};
@@ -119,6 +124,15 @@ fn hot_reach(a: &Analysis, roots: &[FnId]) -> BTreeMap<FnId, FnId> {
             if !lookup(&a.files, e.callee).is_some_and(|(f, _)| is_hot_file(&f.rel)) {
                 continue;
             }
+            // A `#[cold]` callee is off the per-record path by
+            // declaration; its subtree may allocate.
+            let is_cold = a
+                .source_of(e.callee)
+                .zip(lookup(&a.files, e.callee))
+                .is_some_and(|(src, (_, it))| has_cold_attr(&src.code, it));
+            if is_cold {
+                continue;
+            }
             if let Entry::Vacant(slot) = pred.entry(e.callee) {
                 slot.insert(id);
                 queue.push_back(e.callee);
@@ -144,6 +158,22 @@ fn is_alloc_marker(a: &Analysis, it: &crate::parser::Item, call: &CallSite) -> b
         && a.symbols.resolve(call, it.owner.as_deref()).is_empty()
 }
 
+/// True when the call site sits in a cold CFG block (an `Err` arm or
+/// a diverging `let-else` body) — never per-record work.
+fn in_cold_block(
+    cfg: &Cfg,
+    code: &[crate::lexer::Tok],
+    body: (usize, usize),
+    call: &CallSite,
+) -> bool {
+    let Some(tok) = (body.0..body.1)
+        .find(|&i| code.get(i).is_some_and(|t| t.line == call.line && t.is_ident(&call.name)))
+    else {
+        return false;
+    };
+    cfg.block_of(tok).and_then(|b| cfg.blocks.get(b)).is_some_and(|blk| blk.cold)
+}
+
 impl Pass for HotPathAlloc {
     fn id(&self) -> &'static str {
         "hot-path-alloc"
@@ -161,6 +191,11 @@ impl Pass for HotPathAlloc {
         for &id in pred.keys() {
             let Some((_, it)) = lookup(&a.files, id) else { continue };
             let Some(src) = a.source_of(id) else { continue };
+            if has_cold_attr(&src.code, it) {
+                continue;
+            }
+            // Lazily built: most hot functions have no markers.
+            let mut cfg: Option<Cfg> = None;
             for call in a.graph.calls_in(id) {
                 if src.is_suppressed(self.id(), call.line) {
                     continue;
@@ -168,10 +203,30 @@ impl Pass for HotPathAlloc {
                 if !is_alloc_marker(a, it, call) {
                     continue;
                 }
+                let c = cfg.get_or_insert_with(|| Cfg::build(&src.code, it.body));
+                if in_cold_block(c, &src.code, it.body, call) {
+                    continue;
+                }
                 let path = a.graph.path_to(&pred, id, &a.files);
+                let mut steps: Vec<PathStep> = a
+                    .graph
+                    .path_steps(&pred, id, &a.files)
+                    .into_iter()
+                    .map(|(file, line, qual)| PathStep {
+                        file,
+                        line,
+                        label: format!("hot path through `{qual}`"),
+                    })
+                    .collect();
+                steps.push(PathStep {
+                    file: src.rel.clone(),
+                    line: call.line,
+                    label: format!("`{}` allocates", call.name),
+                });
                 let bang = if call.is_macro { "!" } else { "" };
                 out.push(Violation {
                     rule: self.id(),
+                    path: steps,
                     file: src.rel.clone(),
                     line: call.line,
                     message: format!(
@@ -249,13 +304,60 @@ mod tests {
     }
 
     #[test]
-    fn a_cold_branch_waiver_is_honoured() {
+    fn an_err_arm_allocation_is_cold_and_exempt() {
+        // Error construction on the failure branch never runs per
+        // record — the CFG marks the `Err` arm cold.
         let v = run(&[(
             "crates/core/src/engine.rs",
             "impl E {\n    \
              pub fn step(&mut self) {\n        \
-             // nls-lint: allow(hot-path-alloc): error construction on the failure branch only\n        \
-             if self.broken { self.log.push(1); }\n    }\n}\n",
+             match self.fetch() {\n            \
+             Ok(w) => self.apply(w),\n            \
+             Err(e) => self.log.push(e),\n        }\n    }\n    \
+             fn fetch(&self) -> R { Ok(1) }\n    \
+             fn apply(&mut self, _w: u64) {}\n}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn a_let_else_body_allocation_is_cold_and_exempt() {
+        let v = run(&[(
+            "crates/core/src/engine.rs",
+            "impl E {\n    \
+             pub fn step(&mut self) {\n        \
+             let Some(w) = self.peek() else {\n            \
+             self.log.push(0);\n            return;\n        };\n        \
+             self.apply(w);\n    }\n    \
+             fn peek(&self) -> Option<u64> { None }\n    \
+             fn apply(&mut self, _w: u64) {}\n}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn the_same_allocation_on_the_hot_branch_is_still_flagged() {
+        let v = run(&[(
+            "crates/core/src/engine.rs",
+            "impl E {\n    \
+             pub fn step(&mut self) {\n        \
+             match self.fetch() {\n            \
+             Ok(w) => self.log.push(w),\n            \
+             Err(_e) => {}\n        }\n    }\n    \
+             fn fetch(&self) -> R { Ok(1) }\n}\n",
+        )]);
+        assert_eq!(v.len(), 1, "the Ok arm is hot: {v:?}");
+        assert!(!v[0].path.is_empty(), "witness path attached: {v:?}");
+    }
+
+    #[test]
+    fn a_cold_attributed_helper_may_allocate() {
+        let v = run(&[(
+            "crates/core/src/engine.rs",
+            "impl E {\n    \
+             pub fn step(&mut self) { if self.broken { self.blame(); } }\n    \
+             #[cold]\n    \
+             fn blame(&mut self) { self.log.push(1); }\n}\n",
         )]);
         assert!(v.is_empty(), "{v:?}");
     }

@@ -25,6 +25,14 @@
 //!   checkpoint, results) go through tmp+fsync+rename?
 //! * [`hot_path_alloc`] — is the `step`/`step_block`/`access_run`
 //!   subtree free of allocation and formatting machinery?
+//! * [`lock_order`] — are lock acquisitions cycle-free, never
+//!   re-entered on a path, and never held across fsync or a
+//!   subprocess wait?
+//! * [`resource_leak`] — does every claimed lease and every tmp file
+//!   reach its release/durability call on *every* CFG path,
+//!   including `?` early returns?
+//! * [`stale_waiver`] — does every inline waiver still suppress a
+//!   real finding, or has the code under it moved on?
 //!
 //! Passes share the rules' exit-code protocol (codes 18–26, after the
 //! lexical rules) and the same suppression syntax; see DESIGN.md §9
@@ -43,6 +51,9 @@
 //! | `signal-safety` | 24 |
 //! | `fs-durability` | 25 |
 //! | `hot-path-alloc` | 26 |
+//! | `lock-order` | 27 |
+//! | `resource-leak` | 28 |
+//! | `stale-waiver` | 29 |
 
 pub mod artifact;
 pub mod atomics_discipline;
@@ -50,13 +61,18 @@ pub mod cancellation_reach;
 pub mod determinism;
 pub mod fs_durability;
 pub mod hot_path_alloc;
+pub mod lock_order;
 pub mod panic_reach;
+pub mod resource_leak;
 pub mod signal_safety;
+pub mod stale_waiver;
 pub mod unit_safety;
+
+use std::collections::BTreeMap;
 
 use crate::callgraph::CallGraph;
 use crate::parser::{FileItems, ItemKind};
-use crate::rules::Violation;
+use crate::rules::{PathStep, Violation};
 use crate::source::SourceFile;
 use crate::symbols::{FnId, SymbolTable};
 
@@ -128,6 +144,32 @@ fn is_entry_name(name: &str) -> bool {
     name == "step" || name == "drive" || name.starts_with("run")
 }
 
+/// Converts a [`CallGraph::reach`] witness chain into [`PathStep`]s:
+/// one step per function from the root to `id` (declaration sites),
+/// plus a final step at the finding itself. Shared by the
+/// reachability passes so their SARIF code flows all look alike.
+pub(crate) fn witness_steps(
+    a: &Analysis,
+    pred: &BTreeMap<FnId, FnId>,
+    id: FnId,
+    site_file: &str,
+    site_line: u32,
+    site_label: &str,
+) -> Vec<PathStep> {
+    let mut steps: Vec<PathStep> = a
+        .graph
+        .path_steps(pred, id, &a.files)
+        .into_iter()
+        .map(|(file, line, qual)| PathStep { file, line, label: format!("via `{qual}`") })
+        .collect();
+    steps.push(PathStep {
+        file: site_file.to_string(),
+        line: site_line,
+        label: site_label.to_string(),
+    });
+    steps
+}
+
 /// One machine-applicable repair a pass can offer under `--fix`: a
 /// single-token replacement on one line of one file (e.g. `Relaxed`
 /// → `SeqCst` on a control-flag load).
@@ -172,6 +214,9 @@ pub fn all_passes() -> Vec<Box<dyn Pass>> {
         Box::new(signal_safety::SignalSafety),
         Box::new(fs_durability::FsDurability),
         Box::new(hot_path_alloc::HotPathAlloc),
+        Box::new(lock_order::LockOrder),
+        Box::new(resource_leak::ResourceLeak),
+        Box::new(stale_waiver::StaleWaiver),
     ]
 }
 

@@ -91,6 +91,7 @@ impl Pass for PanicReach {
                 let path = a.graph.path_to(&pred, id, &a.files);
                 out.push(Violation {
                     rule: self.id(),
+                    path: super::witness_steps(a, &pred, id, &src.rel, site.line, &site.what),
                     file: src.rel.clone(),
                     line: site.line,
                     message: format!(

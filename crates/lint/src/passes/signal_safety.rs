@@ -125,6 +125,14 @@ impl Pass for SignalSafety {
                 let bang = if call.is_macro { "!" } else { "" };
                 out.push(Violation {
                     rule: self.id(),
+                    path: super::witness_steps(
+                        a,
+                        &pred,
+                        id,
+                        &src.rel,
+                        call.line,
+                        &format!("`{}{bang}` is not async-signal-safe", call.name),
+                    ),
                     file: src.rel.clone(),
                     line: call.line,
                     message: format!(

@@ -284,6 +284,7 @@ impl UnitSafety {
                     {
                         out.push(Violation {
                             rule: self.id(),
+                            path: Vec::new(),
                             file: src.rel.clone(),
                             line: t.line,
                             message: format!(

@@ -32,6 +32,12 @@ fn human(report: &LintReport) -> String {
     let mut out = String::new();
     for v in &report.violations {
         let _ = writeln!(out, "{}:{}: {}: {}", v.file, v.line, v.rule, v.message);
+        // The path-sensitive passes attach a witness path: one
+        // indented step per hop, so the finding reads as a walk from
+        // the acquisition/claim site to the violating edge.
+        for s in &v.path {
+            let _ = writeln!(out, "    {}:{} {}", s.file, s.line, s.label);
+        }
     }
     let _ = writeln!(
         out,
@@ -48,14 +54,40 @@ fn json(report: &LintReport) -> String {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             out,
-            "{sep}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            "{sep}\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}",
             json_str(&v.file),
             v.line,
             json_str(v.rule),
             json_str(&v.message),
         );
+        // Witness path (additive field): present only for the
+        // path-sensitive passes that record one.
+        if !v.path.is_empty() {
+            out.push_str(", \"path\": [");
+            for (j, s) in v.path.iter().enumerate() {
+                let psep = if j == 0 { "" } else { ", " };
+                let _ = write!(
+                    out,
+                    "{psep}{{\"file\": {}, \"line\": {}, \"label\": {}}}",
+                    json_str(&s.file),
+                    s.line,
+                    json_str(&s.label),
+                );
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     if !report.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"timings\": [");
+    for (i, (pass, micros)) in report.timings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ =
+            write!(out, "{sep}\n    {{\"pass\": {}, \"micros\": {micros}}}", json_str(pass),);
+    }
+    if !report.timings.is_empty() {
         out.push_str("\n  ");
     }
     let _ = write!(
@@ -102,12 +134,44 @@ fn sarif(report: &LintReport) -> String {
             out,
             "{sep}\n      {{\"ruleId\": {}, \"level\": \"error\", \"message\": {{\"text\": {}}}, \
              \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
-             \"region\": {{\"startLine\": {}}}}}}}]}}",
+             \"region\": {{\"startLine\": {}}}}}}}]",
             json_str(v.rule),
             json_str(&v.message),
             json_str(&v.file),
             v.line.max(1),
         );
+        // The path-sensitive passes attach a witness path — rendered
+        // both as a codeFlow (the step-through view in code scanning)
+        // and as relatedLocations (the inline cross-references).
+        if !v.path.is_empty() {
+            out.push_str(", \"codeFlows\": [{\"threadFlows\": [{\"locations\": [");
+            for (j, s) in v.path.iter().enumerate() {
+                let psep = if j == 0 { "" } else { ", " };
+                let _ = write!(
+                    out,
+                    "{psep}{{\"location\": {{\"physicalLocation\": {{\"artifactLocation\": \
+                     {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}, \
+                     \"message\": {{\"text\": {}}}}}}}",
+                    json_str(&s.file),
+                    s.line.max(1),
+                    json_str(&s.label),
+                );
+            }
+            out.push_str("]}]}], \"relatedLocations\": [");
+            for (j, s) in v.path.iter().enumerate() {
+                let psep = if j == 0 { "" } else { ", " };
+                let _ = write!(
+                    out,
+                    "{psep}{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}, \
+                     \"region\": {{\"startLine\": {}}}}}, \"message\": {{\"text\": {}}}}}",
+                    json_str(&s.file),
+                    s.line.max(1),
+                    json_str(&s.label),
+                );
+            }
+            out.push(']');
+        }
+        out.push('}');
     }
     if !report.violations.is_empty() {
         out.push_str("\n    ");
@@ -165,11 +229,39 @@ mod tests {
         LintReport {
             violations: vec![Violation {
                 rule: "no-panic",
+                path: Vec::new(),
                 file: "crates/x/src/a.rs".into(),
                 line: 3,
                 message: "say \"no\"\tto panics".into(),
             }],
             files: 2,
+            timings: vec![("panic-reach".to_string(), 1234)],
+        }
+    }
+
+    fn sample_with_path() -> LintReport {
+        use crate::rules::PathStep;
+        LintReport {
+            violations: vec![Violation {
+                rule: "lock-order",
+                path: vec![
+                    PathStep {
+                        file: "crates/core/src/sweep.rs".into(),
+                        line: 10,
+                        label: "`cp` acquired".into(),
+                    },
+                    PathStep {
+                        file: "crates/core/src/sweep.rs".into(),
+                        line: 14,
+                        label: "blocking call `sync_all` while held".into(),
+                    },
+                ],
+                file: "crates/core/src/sweep.rs".into(),
+                line: 14,
+                message: "held across fsync".into(),
+            }],
+            files: 1,
+            timings: Vec::new(),
         }
     }
 
@@ -181,11 +273,41 @@ mod tests {
     }
 
     #[test]
+    fn human_renders_witness_steps_indented_under_the_finding() {
+        let text = human(&sample_with_path());
+        assert!(text.contains("\n    crates/core/src/sweep.rs:10 `cp` acquired\n"), "{text}");
+        assert!(
+            text.contains(
+                "    crates/core/src/sweep.rs:14 blocking call `sync_all` while held\n"
+            ),
+            "{text}"
+        );
+        assert!(!human(&sample()).contains("\n    "), "pathless findings stay one line");
+    }
+
+    #[test]
     fn json_escapes_and_versions() {
         let text = json(&sample());
         assert!(text.contains("\"version\": 1"));
         assert!(text.contains("\\\"no\\\"\\tto"));
         assert!(text.contains("\"exit_code\": 10"));
+    }
+
+    #[test]
+    fn json_carries_per_pass_timings() {
+        let text = json(&sample());
+        assert!(text.contains("{\"pass\": \"panic-reach\", \"micros\": 1234}"), "{text}");
+    }
+
+    #[test]
+    fn json_attaches_witness_paths_only_when_present() {
+        let with = json(&sample_with_path());
+        assert!(
+            with.contains("\"path\": [{\"file\": \"crates/core/src/sweep.rs\", \"line\": 10"),
+            "{with}"
+        );
+        let without = json(&sample());
+        assert!(!without.contains("\"path\""), "{without}");
     }
 
     #[test]
@@ -204,6 +326,17 @@ mod tests {
         assert!(text.contains("\"id\": \"panic-reach\""), "passes are declared as rules");
         let empty = sarif(&LintReport::default());
         assert!(empty.contains("\"results\": []"));
+    }
+
+    #[test]
+    fn sarif_renders_witness_paths_as_code_flows() {
+        let text = sarif(&sample_with_path());
+        assert!(text.contains("\"codeFlows\""), "{text}");
+        assert!(text.contains("\"threadFlows\""), "{text}");
+        assert!(text.contains("\"relatedLocations\""), "{text}");
+        assert!(text.contains("`cp` acquired"), "step labels travel: {text}");
+        let plain = sarif(&sample());
+        assert!(!plain.contains("codeFlows"), "no empty codeFlows: {plain}");
     }
 
     #[test]

@@ -9,12 +9,26 @@
 use crate::source::SourceFile;
 
 /// One finding at a file/line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Violation {
     pub rule: &'static str,
     pub file: String,
     pub line: u32,
     pub message: String,
+    /// Witness path for interprocedural/path-sensitive findings
+    /// (empty for plain lexical findings). Rendered as SARIF
+    /// `codeFlows`/`relatedLocations` so code scanning shows *how*
+    /// the bad state is reached, not just where it lands.
+    pub path: Vec<PathStep>,
+}
+
+/// One step of a finding's witness path.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PathStep {
+    pub file: String,
+    pub line: u32,
+    /// What happens at this step (`"Engine::step"`, `"lock acquired"`).
+    pub label: String,
 }
 
 /// A pluggable lint rule.
@@ -46,7 +60,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
 }
 
 fn violation(rule: &'static str, file: &SourceFile, line: u32, message: String) -> Violation {
-    Violation { rule, file: file.rel.clone(), line, message }
+    Violation { rule, file: file.rel.clone(), line, message, path: Vec::new() }
 }
 
 // ---------------------------------------------------------------- no-panic
@@ -531,6 +545,7 @@ impl Rule for ErrorExitMap {
                 if !documented {
                     out.push(Violation {
                         rule: self.id(),
+                        path: Vec::new(),
                         file: mod_rs.rel.clone(),
                         line: 1,
                         message: format!(
@@ -549,6 +564,7 @@ impl Rule for ErrorExitMap {
         if variants.is_empty() {
             out.push(Violation {
                 rule: self.id(),
+                path: Vec::new(),
                 file: error_rs.rel.clone(),
                 line: 1,
                 message: "could not find `enum NlsError` variants".to_string(),
@@ -559,6 +575,7 @@ impl Rule for ErrorExitMap {
             let Some(body) = Self::fn_body(error_rs, fn_name) else {
                 out.push(Violation {
                     rule: self.id(),
+                    path: Vec::new(),
                     file: error_rs.rel.clone(),
                     line: 1,
                     message: format!("NlsError is missing fn {fn_name}()"),
@@ -575,6 +592,7 @@ impl Rule for ErrorExitMap {
                 if !mapped {
                     out.push(Violation {
                         rule: self.id(),
+                        path: Vec::new(),
                         file: error_rs.rel.clone(),
                         line: *line,
                         message: format!("variant {v} has no explicit arm in {fn_name}()"),
@@ -585,6 +603,7 @@ impl Rule for ErrorExitMap {
             if body.windows(2).any(|w| w[0].is_ident("_") && w[1].is_punct('=')) {
                 out.push(Violation {
                     rule: self.id(),
+                    path: Vec::new(),
                     file: error_rs.rel.clone(),
                     line: body[0].line,
                     message: format!("{fn_name}() must not use a wildcard `_ =>` arm"),
@@ -605,6 +624,7 @@ impl Rule for ErrorExitMap {
                 if !documented {
                     out.push(Violation {
                         rule: self.id(),
+                        path: Vec::new(),
                         file: error_rs.rel.clone(),
                         line,
                         message: format!(
@@ -623,6 +643,7 @@ impl Rule for ErrorExitMap {
             if !mentioned {
                 out.push(Violation {
                     rule: self.id(),
+                    path: Vec::new(),
                     file: error_rs.rel.clone(),
                     line: *line,
                     message: format!("variant {v} is never handled or mentioned in crates/cli"),
@@ -801,7 +822,8 @@ mod tests {
     #[test]
     fn error_exit_map_requires_a_pass_table_row_per_registered_pass() {
         // A passes/mod.rs whose doc table stops at 22 must be flagged
-        // once per missing pass (the four concurrency passes here).
+        // once per missing pass (the concurrency and path-sensitive
+        // passes here).
         let mod_rs = "//! | `panic-reach` | 18 |\n\
             //! | `determinism` | 19 |\n\
             //! | `unit-safety` | 20 |\n\
@@ -812,15 +834,21 @@ mod tests {
         let mut out = Vec::new();
         ErrorExitMap.check_workspace(&files, &mut out);
         let msgs: Vec<_> = out.iter().map(|v| v.message.as_str()).collect();
-        for missing in
-            ["atomics-discipline", "signal-safety", "fs-durability", "hot-path-alloc"]
-        {
+        for missing in [
+            "atomics-discipline",
+            "signal-safety",
+            "fs-durability",
+            "hot-path-alloc",
+            "lock-order",
+            "resource-leak",
+            "stale-waiver",
+        ] {
             assert!(
                 msgs.iter().any(|m| m.contains(missing)),
                 "{missing} must be flagged: {msgs:?}"
             );
         }
-        assert_eq!(out.len(), 4, "documented passes stay clean: {out:?}");
+        assert_eq!(out.len(), 7, "documented passes stay clean: {out:?}");
     }
 
     #[test]

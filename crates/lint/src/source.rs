@@ -63,13 +63,32 @@ impl SourceFile {
         })
     }
 
+    /// A copy of this file with every waiver removed. The
+    /// stale-waiver pass re-runs the other checks on this view: a
+    /// waiver that suppresses nothing on the stripped file is dead
+    /// weight and gets reported.
+    pub fn without_suppressions(&self) -> SourceFile {
+        SourceFile {
+            rel: self.rel.clone(),
+            code: self.code.clone(),
+            comments: self.comments.clone(),
+            test_regions: self.test_regions.clone(),
+            suppressions: Vec::new(),
+            lines: self.lines,
+        }
+    }
+
     /// True when a well-formed suppression for `rule` covers `line`
-    /// (annotations apply to their own line and the one below).
+    /// (annotations apply to their own line and the one below). The
+    /// `all` wildcard covers every rule *except* `stale-waiver`: a
+    /// wildcard that could waive its own staleness check would be
+    /// immune to rot forever, so only a waiver that names
+    /// `stale-waiver` explicitly can silence that pass.
     pub fn is_suppressed(&self, rule: &str, line: u32) -> bool {
         self.suppressions.iter().any(|s| {
             !s.reason.is_empty()
                 && (s.line == line || s.line + 1 == line)
-                && s.rules.iter().any(|r| r == rule || r == "all")
+                && s.rules.iter().any(|r| r == rule || (r == "all" && rule != "stale-waiver"))
         })
     }
 }

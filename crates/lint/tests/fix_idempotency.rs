@@ -1,0 +1,65 @@
+//! End-to-end `--fix` idempotency: running the binary twice over the
+//! same workspace must reach a fixed point — the first run edits, the
+//! second applies zero edits and leaves every byte alone.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The binary under test: the offline harness exports `NLS_LINT_BIN`;
+/// cargo exports `CARGO_BIN_EXE_nls-lint`.
+fn lint_bin() -> PathBuf {
+    let bin = option_env!("NLS_LINT_BIN").or(option_env!("CARGO_BIN_EXE_nls-lint"));
+    PathBuf::from(bin.expect(
+        "set NLS_LINT_BIN (offline harness) or run under cargo (CARGO_BIN_EXE_nls-lint)",
+    ))
+}
+
+/// Two machine-fixable defects: a reasonless waiver (rewritten into
+/// the canonical TODO form) and a cancel flag loaded with
+/// `Ordering::Relaxed` (strengthened to `SeqCst` by the
+/// atomics-discipline pass repair).
+const FIXABLE: &str = "\
+pub struct T { stop: Arc<AtomicBool> }
+impl T {
+    pub fn cancel(&self) { self.stop.store(true, Ordering::SeqCst); }
+    pub fn is_on(&self) -> bool { self.stop.load(Ordering::Relaxed) }
+    pub fn first(xs: &[u64]) -> u64 {
+        // nls-lint: allow(no-panic)
+        xs.first().copied().unwrap()
+    }
+}
+";
+
+#[test]
+fn fix_applies_once_then_reaches_a_fixed_point() {
+    let root = std::env::temp_dir().join(format!("nls-lint-fix-{}", std::process::id()));
+    let src_dir = root.join("crates/core/src");
+    fs::create_dir_all(&src_dir).expect("create temp workspace");
+    let file = src_dir.join("budget.rs");
+    fs::write(&file, FIXABLE).expect("write fixture");
+
+    let run = |label: &str| -> (String, String) {
+        let out = Command::new(lint_bin())
+            .arg("--root")
+            .arg(&root)
+            .arg("--fix")
+            .output()
+            .expect(label);
+        let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+        let text = fs::read_to_string(&file).expect("read back");
+        (stderr, text)
+    };
+
+    let (err1, after1) = run("first --fix run");
+    assert_ne!(after1, FIXABLE, "first run must edit the file; stderr:\n{err1}");
+    assert!(!after1.contains("Relaxed"), "pass repair must land:\n{after1}");
+    assert!(after1.contains("TODO"), "waiver rewrite must land:\n{after1}");
+
+    let (err2, after2) = run("second --fix run");
+    assert_eq!(after2, after1, "second run must be byte-identical; stderr:\n{err2}");
+    assert!(err2.contains("--fix patched 0 file(s)"), "{err2}");
+    assert!(!err2.contains("applied pass repairs"), "{err2}");
+
+    let _ = fs::remove_dir_all(&root);
+}

@@ -1,13 +1,25 @@
-//! Passing fixture: the tmp+fsync+rename discipline, parent fsync
-//! included.
+//! Passing fixture: the tmp+fsync+rename discipline — parent fsync
+//! included, and the staged tmp removed on the failure path (so the
+//! resource-leak pass is satisfied too: no `?` strands the tmp).
 
 pub fn save(path: &Path, text: &str) -> io::Result<()> {
     let tmp = tmp_sibling(path);
-    let file = File::create(&tmp)?;
+    match stage(&tmp, text) {
+        Ok(()) => {
+            fs::rename(&tmp, path)?;
+            fsync_parent_dir(path)
+        }
+        Err(e) => {
+            let _ = fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+fn stage(tmp: &Path, text: &str) -> io::Result<()> {
+    let file = File::create(tmp)?;
     file.write_all(text.as_bytes())?;
-    file.sync_all()?;
-    fs::rename(&tmp, path)?;
-    fsync_parent_dir(path)
+    file.sync_all()
 }
 
 fn tmp_sibling(path: &Path) -> PathBuf {

@@ -1,0 +1,21 @@
+//! Failing fixture for the lock-order pass: a guard held across
+//! fsync, and opposite acquisition orders across two functions.
+
+pub fn flush(s: &Store, f: &File) -> Result<(), E> {
+    let guard = s.slots.lock();
+    guard.merge();
+    f.sync_all()?;
+    Ok(())
+}
+
+pub fn ab(s: &Store) {
+    let a = s.alpha.lock();
+    let b = s.beta.lock();
+    a.join(b);
+}
+
+pub fn ba(s: &Store) {
+    let b = s.beta.lock();
+    let a = s.alpha.lock();
+    b.join(a);
+}

@@ -1,0 +1,15 @@
+//! Lockleak mini workspace, file 1: a table guard held across an
+//! fsync that is only reached through a helper — the witness path
+//! must name the chain.
+
+pub fn flush(s: &Store, f: &File) -> Result<(), E> {
+    let guard = s.slots.lock();
+    guard.merge();
+    persist_table(f)?;
+    Ok(())
+}
+
+fn persist_table(f: &File) -> Result<(), E> {
+    f.sync_all()?;
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Lockleak mini workspace, file 2: a claimed lease that escapes on
+//! the lookup `?` — the witness path must walk the escaping blocks.
+
+pub fn drain(file: &LedgerFile, key: &str) -> Result<(), E> {
+    match file.claim(key)? {
+        Outcome::Claimed(k) => {
+            let spec = lookup(&k)?;
+            file.complete(&k, spec)?;
+        }
+        Outcome::Busy => {}
+    }
+    Ok(())
+}

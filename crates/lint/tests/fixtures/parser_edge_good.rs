@@ -1,0 +1,34 @@
+//! Parser regression fixture: let-else bindings and labeled loops
+//! must parse, lower through the CFG, and produce no findings. The
+//! labeled outer loop is a supervision root (this fixture poses as
+//! `sweep.rs`), so `cancellation-reach` walks its header; the
+//! let-else else-block is a release path `resource-leak` must see.
+
+pub fn run_batches(budget: &Budget, batches: &[Batch]) -> Result<(), E> {
+    'outer: for b in batches {
+        budget.check_now()?;
+        for item in b.items() {
+            if item.is_poison() {
+                break 'outer;
+            }
+            consume(item);
+        }
+    }
+    Ok(())
+}
+
+pub fn run_pick(file: &LedgerFile, key: &str) -> Result<(), E> {
+    match file.claim(key)? {
+        Outcome::Claimed(k) => {
+            let Some(spec) = lookup(&k) else {
+                file.release(&k)?;
+                return Ok(());
+            };
+            file.complete(&k, spec)?;
+        }
+        Outcome::Busy => {}
+    }
+    Ok(())
+}
+
+fn consume(_i: Item) {}

@@ -1,0 +1,22 @@
+//! Failing fixture for the resource-leak pass: a `?` between claim
+//! and publish leaks the lease, and a validation `?` between the
+//! staged write and its rename strands the tmp file.
+
+pub fn drain(file: &LedgerFile, key: &str) -> Result<(), E> {
+    match file.claim(key)? {
+        Outcome::Claimed(k) => {
+            let spec = lookup(&k)?;
+            file.complete(&k, spec)?;
+        }
+        Outcome::Busy => {}
+    }
+    Ok(())
+}
+
+pub fn publish_blob(path: &Path, text: &str) -> Result<(), E> {
+    let tmp = sibling(path);
+    fs::write(&tmp, text)?;
+    validate(text)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}

@@ -1,0 +1,28 @@
+//! Passing fixture for the resource-leak pass — and the let-else
+//! regression fixture: the lease is handed back on the let-else
+//! path, the Err arm, and the happy path alike, and the staged tmp
+//! renames with nothing fallible in between.
+
+pub fn drain(file: &LedgerFile, key: &str) -> Result<(), E> {
+    match file.claim(key)? {
+        Outcome::Claimed(k) => {
+            let Some(spec) = lookup(&k) else {
+                file.release(&k)?;
+                return Ok(());
+            };
+            match simulate(&spec) {
+                Ok(r) => file.complete(&k, r)?,
+                Err(e) => file.record_failure(&k, e)?,
+            }
+        }
+        Outcome::Busy => {}
+    }
+    Ok(())
+}
+
+pub fn publish_blob(path: &Path, text: &str) -> Result<(), E> {
+    let tmp = sibling(path);
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}

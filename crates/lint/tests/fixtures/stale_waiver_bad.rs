@@ -1,0 +1,7 @@
+//! Failing fixture for the stale-waiver pass: the waived line is
+//! clean, so the waiver suppresses nothing and should be deleted.
+
+pub fn first_or_zero(xs: &[u64]) -> u64 {
+    // nls-lint: allow(no-panic): historical — the unwrap this waived is long gone
+    xs.first().copied().unwrap_or(0)
+}

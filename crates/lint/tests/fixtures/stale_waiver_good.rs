@@ -1,0 +1,7 @@
+//! Passing fixture for the stale-waiver pass: the waiver still
+//! suppresses a live `no-panic` finding, so it earns its keep.
+
+pub fn first(xs: &[u64]) -> u64 {
+    // nls-lint: allow(no-panic): the caller guarantees xs is non-empty
+    xs.first().copied().unwrap()
+}

@@ -119,6 +119,7 @@ test_bin end_to_end tests/end_to_end.rs nextline
 test_bin micro_traces tests/micro_traces.rs nextline
 test_bin lint_fixtures crates/lint/tests/fixtures.rs nls_lint
 CARGO_MANIFEST_DIR="$PWD/crates/lint" test_bin lint_analysis crates/lint/tests/analysis.rs nls_lint
+NLS_LINT_BIN="$PWD/$OUT/nls-lint" test_bin lint_fix_idempotency crates/lint/tests/fix_idempotency.rs nls_lint
 
 fail=0
 for t in "$OUT"/test_*; do

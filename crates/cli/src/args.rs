@@ -276,6 +276,23 @@ pub fn parse_duration(s: &str) -> Result<std::time::Duration, CliError> {
     Ok(std::time::Duration::from_millis(n.saturating_mul(per_unit_ms)))
 }
 
+/// Parses a size in mebibytes for `--max-heap-mb` and the server's
+/// `x-nls-max-heap-mb` header: a positive integer, optional `_`
+/// separators (`256`, `4_096`).
+///
+/// # Errors
+///
+/// Fails on non-numeric or zero values (usage errors, exit 2).
+pub fn parse_size_mb(s: &str) -> Result<u64, CliError> {
+    let n: u64 = s.replace('_', "").parse().map_err(|_| {
+        CliError(format!("bad size {s:?} (want a positive MB count, e.g. 256)"))
+    })?;
+    if n == 0 {
+        return err("size must be positive");
+    }
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +382,15 @@ mod tests {
         assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
         assert!(parse_duration("0").is_err());
         assert!(parse_duration("fast").is_err());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(parse_size_mb("256").unwrap(), 256);
+        assert_eq!(parse_size_mb("4_096").unwrap(), 4_096);
+        assert!(parse_size_mb("0").is_err(), "zero heap budget is a usage error");
+        assert!(parse_size_mb("many").is_err(), "non-numeric is a usage error");
+        assert!(parse_size_mb("-4").is_err());
     }
 
     #[test]

@@ -47,7 +47,7 @@ use nls_trace::{
 
 use crate::args::{
     parse_benches, parse_cache, parse_count, parse_duration, parse_engine,
-    parse_recovery_policy, CliError, ParsedArgs,
+    parse_recovery_policy, parse_size_mb, CliError, ParsedArgs,
 };
 
 /// Splits trace-layer failures into their true classes: an
@@ -77,6 +77,11 @@ USAGE:
                 [--max-stall-ms 2] [--deadline 10s] [--max-records N]
                 [--kill-workers [--workers 3] [--kills 1] [--lease-ms 300]
                 [--hold-ms 2]]
+                [--server [--clients 6] [--requests 3] [--stalls 2]]
+  nls serve     [--addr 127.0.0.1] [--port 8080] [--jobs 4] [--queue 16]
+                [--state-dir DIR] [--resume] [--len 2m] [--seed N]
+                [--max-deadline 60s] [--max-records N] [--max-heap-mb N]
+                [--io-timeout 5s]
   nls table1    [--len 2m] [--seed N]
   nls costs     [--cache-kb 8,16,32,64]
   nls gen-trace --bench <NAME> --out <FILE> [--len 2m] [--seed N]
@@ -128,9 +133,7 @@ fn budget_from(a: &ParsedArgs, cancel: CancelToken) -> Result<Budget, CliError> 
         budget = budget.with_max_records(parse_count(s)? as u64);
     }
     if let Some(s) = a.get("max-heap-mb") {
-        let mb: u64 =
-            s.parse().map_err(|_| CliError(format!("bad heap budget {s:?} (want MB)")))?;
-        budget = budget.with_max_heap_bytes(mb.saturating_mul(1024 * 1024));
+        budget = budget.with_max_heap_bytes(parse_size_mb(s)?.saturating_mul(1024 * 1024));
     }
     Ok(budget)
 }
@@ -178,7 +181,7 @@ fn ledger_knobs(a: &ParsedArgs) -> Result<(u64, u64), CliError> {
 /// fan-out to sweep workers and for the SIGKILLs of the worker-death
 /// soak.
 #[cfg(unix)]
-fn send_signal(pid: u32, sig: i32) {
+pub(crate) fn send_signal(pid: u32, sig: i32) {
     extern "C" {
         fn kill(pid: i32, sig: i32) -> i32;
     }
@@ -189,7 +192,7 @@ fn send_signal(pid: u32, sig: i32) {
 }
 
 #[cfg(not(unix))]
-fn send_signal(_pid: u32, _sig: i32) {}
+pub(crate) fn send_signal(_pid: u32, _sig: i32) {}
 
 /// The spec/budget flags a parent sweep forwards verbatim to its
 /// `sweep-worker` children, so every process derives the identical
@@ -624,6 +627,9 @@ pub fn sweep(a: &ParsedArgs) -> Result<String, NlsError> {
 pub fn soak(a: &ParsedArgs) -> Result<String, NlsError> {
     if a.has_switch("kill-workers") {
         return soak_kill_workers(a);
+    }
+    if a.has_switch("server") {
+        return crate::serve::soak_server(a);
     }
     a.expect_only(&[
         "cases",
@@ -1099,6 +1105,7 @@ pub fn dispatch(a: &ParsedArgs) -> Result<String, NlsError> {
         "sweep" => sweep(a),
         "sweep-worker" => sweep_worker(a),
         "soak" => soak(a),
+        "serve" => crate::serve::serve(a),
         "table1" => table1(a),
         "costs" => costs(a),
         "gen-trace" => gen_trace(a),
@@ -1120,9 +1127,17 @@ mod tests {
     #[test]
     fn help_lists_subcommands() {
         let h = run(&["help"]).unwrap();
-        for cmd in
-            ["simulate", "sweep", "soak", "table1", "costs", "gen-trace", "replay", "set-pred"]
-        {
+        for cmd in [
+            "simulate",
+            "sweep",
+            "soak",
+            "serve",
+            "table1",
+            "costs",
+            "gen-trace",
+            "replay",
+            "set-pred",
+        ] {
             assert!(h.contains(cmd), "usage should mention {cmd}");
         }
         assert!(h.contains("7 interrupted"), "usage should document exit code 7");
@@ -1329,8 +1344,10 @@ mod tests {
     fn budget_flags_reject_garbage() {
         for args in [
             ["simulate", "--bench", "li", "--deadline", "soon"],
+            ["simulate", "--bench", "li", "--deadline", "0"],
             ["simulate", "--bench", "li", "--max-records", "none"],
             ["simulate", "--bench", "li", "--max-heap-mb", "big"],
+            ["simulate", "--bench", "li", "--max-heap-mb", "0"],
         ] {
             let err = run(&args).unwrap_err();
             assert_eq!(err.exit_code(), 2, "{args:?}");

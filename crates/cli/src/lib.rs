@@ -8,6 +8,7 @@
 //! nls gen-trace --bench li --out li.nlst --len 2m
 //! nls replay --trace li.nlst --engine nls-table:1024
 //! nls set-pred --bench all --cache 16K:2
+//! nls serve --port 8080 --jobs 4
 //! ```
 //!
 //! The library half exists so the argument parsing ([`args`]) and
@@ -17,3 +18,4 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;

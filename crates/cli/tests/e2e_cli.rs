@@ -354,6 +354,119 @@ fn sigkilled_worker_is_reclaimed_and_merged_output_is_bit_identical() {
     }
 }
 
+/// The service acceptance path end to end: `nls serve` accepts a
+/// sweep job, is SIGTERM'd while the job is in flight, drains with
+/// exit code 7 and the interrupted diagnostic, and a `--resume`
+/// restart carries the accepted job to completion — no accepted work
+/// is ever dropped.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_server_and_resume_completes_accepted_jobs() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::process::{Child, Stdio};
+    use std::time::Duration;
+
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+
+    fn spawn_server(state_dir: &str, resume: bool) -> (Child, String) {
+        let mut args = vec!["serve", "--port", "0", "--jobs", "1", "--state-dir", state_dir];
+        if resume {
+            args.push("--resume");
+        }
+        let mut child = Command::new(env!("CARGO_BIN_EXE_nls"))
+            .args(&args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("the nls binary must spawn");
+        let mut line = String::new();
+        BufReader::new(child.stdout.take().expect("piped stdout"))
+            .read_line(&mut line)
+            .expect("the server must announce its address");
+        let addr = line
+            .trim()
+            .strip_prefix("serving on ")
+            .unwrap_or_else(|| panic!("unexpected banner: {line:?}"))
+            .to_string();
+        (child, addr)
+    }
+
+    fn http(addr: &str, req: &str) -> String {
+        let mut s = std::net::TcpStream::connect(addr).expect("connect to nls serve");
+        s.write_all(req.as_bytes()).unwrap();
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = String::new();
+        let _ = s.read_to_string(&mut out);
+        out
+    }
+
+    let state_dir = std::env::temp_dir().join("nls-e2e-serve-state");
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let state_s = state_dir.to_str().unwrap().to_string();
+
+    // Phase 1: accept a sweep long enough that the signal always
+    // lands while it is still in flight.
+    let (mut server, addr) = spawn_server(&state_s, false);
+    let body = "{\"bench\": \"li\", \"caches\": [\"8K:1\", \"8K:2\", \"16K:1\", \"16K:2\"], \
+                \"engines\": [\"nls-table:512\"], \"len\": 2000000, \"seed\": 9}";
+    let submit = format!(
+        "POST /v1/sweep HTTP/1.1\r\nHost: nls\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let resp = http(&addr, &submit);
+    assert!(resp.starts_with("HTTP/1.1 202"), "submit must be accepted: {resp}");
+    let job_id: u64 = resp
+        .split("\"job\": ")
+        .nth(1)
+        .and_then(|t| {
+            t.chars().take_while(char::is_ascii_digit).collect::<String>().parse().ok()
+        })
+        .unwrap_or_else(|| panic!("no job id in {resp}"));
+
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(
+        server.try_wait().expect("try_wait").is_none(),
+        "the job finished before the signal; grow --len to keep this test meaningful"
+    );
+    // SAFETY: plain kill(2) on a child this test owns.
+    let rc = unsafe { kill(server.id() as i32, SIGTERM) };
+    assert_eq!(rc, 0, "kill(2) must reach the server");
+    let out = server.wait_with_output().expect("server must exit");
+    assert_eq!(out.status.code(), Some(7), "{}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.starts_with("error[interrupted]:"), "{err}");
+    assert!(err.contains("--resume"), "the drain must say how to continue: {err}");
+    assert!(err.contains("1 unfinished job"), "the accepted job must be checkpointed: {err}");
+
+    // Phase 2: a --resume restart adopts the checkpointed job and
+    // carries it to completion; streaming its status blocks until
+    // the terminal line arrives.
+    let (server, addr) = spawn_server(&state_s, true);
+    let stream = http(
+        &addr,
+        &format!("GET /v1/jobs/{job_id} HTTP/1.1\r\nHost: nls\r\nConnection: close\r\n\r\n"),
+    );
+    let last = stream
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{'))
+        .next_back()
+        .unwrap_or_else(|| panic!("no status lines in {stream}"));
+    assert!(last.contains("\"status\": \"done\""), "resumed job must finish: {last}");
+    assert!(last.contains("\"results\": ["), "a finished job carries its results: {last}");
+
+    // A drain with nothing in flight still exits through the
+    // interrupted path.
+    let rc = unsafe { kill(server.id() as i32, SIGTERM) };
+    assert_eq!(rc, 0);
+    let out = server.wait_with_output().expect("server must exit");
+    assert_eq!(out.status.code(), Some(7), "{}", stderr(&out));
+    let _ = std::fs::remove_dir_all(&state_dir);
+}
+
 #[test]
 fn truncated_trace_file_recovers_under_truncate_policy() {
     let path = temp_path("torn-write.nlst");

@@ -154,6 +154,7 @@ impl Budget {
     pub fn with_deadline(mut self, limit: Duration) -> Self {
         // The deadline anchors to real time by design; it never
         // feeds simulation results.
+        // nls-lint: allow(determinism): deadline budgets anchor at wall clock; they gate runtime, never results
         self.deadline = Instant::now().checked_add(limit);
         self.deadline_ms = u64::try_from(limit.as_millis()).unwrap_or(u64::MAX);
         self

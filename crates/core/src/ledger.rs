@@ -227,6 +227,7 @@ impl Ledger {
     /// Cell totals by state.
     pub fn counts(&self) -> CellCounts {
         let mut c = CellCounts::default();
+        // nls-lint: allow(cancellation-reach): bounded by the grid's cell count; pure counting
         for state in self.cells.values() {
             match state {
                 CellState::Pending { .. } => c.pending += 1,
@@ -1239,6 +1240,141 @@ mod tests {
         .unwrap();
         std::thread::sleep(Duration::from_millis(250));
         assert!(hb.stop(), "heartbeat must report the reclaimed lease");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stolen_lease_never_publishes_stale_results_under_contention() {
+        // The four-thread steal drill behind `nls serve`'s retry
+        // policy: a victim claims a cell and heartbeats it, a thief
+        // reclaims and completes that same cell by scanning at a
+        // forged far-future instant (as any worker would after the
+        // victim hung past its lease), and two contending workers
+        // drain the bystander cells afterwards. The victim's publish
+        // after the steal must be refused by the self-guarded
+        // `complete`, its heartbeat must report the loss, and the
+        // cell must keep the thief's results — never the stale pair.
+        use std::sync::atomic::{AtomicBool, AtomicUsize};
+        use std::sync::mpsc;
+        let path = temp_ledger_path("steal-under-contention");
+        let grid: Vec<String> =
+            ["a", "b", "c", "d"].iter().map(|b| format!("{b} | 8K direct | e")).collect();
+        LedgerFile::new(&path)
+            .init(Ledger::new(&cfg(), 1_000, 3, grid.clone()), false)
+            .unwrap();
+        let (key_tx, key_rx) = mpsc::channel::<String>();
+        let (stolen_tx, stolen_rx) = mpsc::channel::<()>();
+        let published = AtomicUsize::new(0);
+        let go = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let (path, go_flag) = (&path, &go);
+            s.spawn(move || {
+                // Victim: claim, heartbeat, then publish after the
+                // steal — the stale results must be discarded.
+                let file = LedgerFile::new(path);
+                let cancel = CancelToken::new();
+                let out = file.update(&cancel, |l| l.claim("victim", now_ms())).unwrap();
+                let ClaimOutcome::Claimed { key, lease_ms, .. } = out else {
+                    panic!("{out:?}")
+                };
+                let hb = Heartbeat::start(&file, &key, "victim", lease_ms, &cancel);
+                key_tx.send(key.clone()).unwrap();
+                stolen_rx.recv().unwrap();
+                let ok = file
+                    .update(&cancel, |l| l.complete(&key, "victim", vec![sample_result()]))
+                    .unwrap();
+                assert!(!ok, "a publish after a lost lease must be refused");
+                let mut waited = 0u32;
+                while !hb.lease_lost() && waited < 5_000 {
+                    std::thread::sleep(Duration::from_millis(20));
+                    waited += 20;
+                }
+                assert!(hb.stop(), "the heartbeat must report the stolen lease");
+            });
+            s.spawn(move || {
+                // Thief: one locked update does the whole steal, so
+                // the contenders never see forged-time leases. Holds
+                // the bystander grants so the forged scan walks on to
+                // the reclaimed cell, then hands them straight back
+                // gated at real time.
+                let file = LedgerFile::new(path);
+                let cancel = CancelToken::new();
+                let victim_key = key_rx.recv().unwrap();
+                let real_now = now_ms();
+                file.update(&cancel, |l| {
+                    let mut t = real_now + 10_000_000;
+                    let mut held: Vec<String> = Vec::new();
+                    loop {
+                        match l.claim("thief", t) {
+                            ClaimOutcome::Claimed { key, .. } if key == victim_key => break,
+                            ClaimOutcome::Claimed { key, .. } => held.push(key),
+                            ClaimOutcome::Wait { until_ms } => t = t.max(until_ms) + 1,
+                            ClaimOutcome::Drained => {
+                                panic!("the reclaimed cell never re-entered circulation")
+                            }
+                        }
+                    }
+                    assert!(
+                        l.complete(
+                            &victim_key,
+                            "thief",
+                            vec![sample_result(), sample_result()]
+                        ),
+                        "the thief holds the reclaimed lease"
+                    );
+                    for k in held {
+                        assert!(l.release(&k, "thief", real_now));
+                    }
+                })
+                .unwrap();
+                stolen_tx.send(()).unwrap();
+                go_flag.store(true, Ordering::SeqCst);
+            });
+            for w in 0..2 {
+                let (published, go_flag) = (&published, &go);
+                s.spawn(move || {
+                    // Contenders: wait out the steal, then drain the
+                    // released bystander cells exactly once each.
+                    while !go_flag.load(Ordering::SeqCst) {
+                        std::thread::yield_now();
+                    }
+                    let file = LedgerFile::new(path);
+                    let cancel = CancelToken::new();
+                    let worker = format!("contender{w}");
+                    loop {
+                        let out = file.update(&cancel, |l| l.claim(&worker, now_ms())).unwrap();
+                        match out {
+                            ClaimOutcome::Claimed { key, .. } => {
+                                let ok = file
+                                    .update(&cancel, |l| {
+                                        l.complete(&key, &worker, vec![sample_result()])
+                                    })
+                                    .unwrap();
+                                if ok {
+                                    published.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                            ClaimOutcome::Wait { .. } => std::thread::yield_now(),
+                            ClaimOutcome::Drained => break,
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            published.load(Ordering::SeqCst),
+            grid.len() - 1,
+            "contenders publish every bystander cell exactly once"
+        );
+        let end = LedgerFile::new(&path).read(&CancelToken::new()).unwrap();
+        assert_eq!(
+            end.counts(),
+            CellCounts { pending: 0, leased: 0, done: grid.len(), failed: 0 }
+        );
+        let Some(CellState::Done { results }) = end.state(&grid[0]) else {
+            panic!("the stolen cell must end Done with the thief's results");
+        };
+        assert_eq!(results.len(), 2, "the cell keeps the thief's results, not the stale pair");
         let _ = fs::remove_file(&path);
     }
 

@@ -23,6 +23,9 @@
 //!   code per class).
 //! * [`oracle`] — accounting-invariant and cross-engine agreement
 //!   checks for fault-injection harnesses.
+//! * [`serve`] — the simulation-service core behind `nls serve`: job
+//!   registry, bounded admission queue, drain state machine, and the
+//!   content-addressed result cache.
 //!
 //! # Quick start
 //!
@@ -57,6 +60,7 @@ mod nls_cache_engine;
 mod nls_table_engine;
 pub mod oracle;
 mod penalty;
+pub mod serve;
 mod set_prediction;
 pub mod soak;
 mod spec;
@@ -77,6 +81,10 @@ pub use metrics::{average, SimResult};
 pub use nls_cache_engine::NlsCacheEngine;
 pub use nls_table_engine::NlsTableEngine;
 pub use penalty::PenaltyModel;
+pub use serve::{
+    AdmitOutcome, DrainState, Job, JobKind, JobLimits, JobSpec, JobStatus, Registry,
+    ResultCache, ServerCounters, SERVER_COUNTERS,
+};
 pub use set_prediction::{fallthrough_way_prediction, FallThroughWayStats};
 pub use spec::{EngineSpec, PhtSpec};
 pub use supervisor::{

@@ -222,6 +222,108 @@ impl WorkerSoakReport {
     }
 }
 
+/// Result of one server chaos drill (`nls soak --server`): a live
+/// `nls serve` daemon under seeded request floods, stalled
+/// connections, a mid-job SIGKILL + `--resume` restart, and a final
+/// SIGTERM drain. The orchestration lives in the CLI (it spawns
+/// server processes of the `nls` binary); this type is the verdict
+/// contract it must satisfy.
+#[derive(Debug, Clone, Default)]
+pub struct ServeSoakReport {
+    /// HTTP submissions fired at the daemon.
+    pub requests: usize,
+    /// Jobs the daemon acknowledged with `202 Accepted`.
+    pub accepted: usize,
+    /// Accepted jobs that reached `done` (must equal `accepted`).
+    pub completed: usize,
+    /// Submissions answered `200` inline from the result cache.
+    pub direct_hits: usize,
+    /// Submissions shed with `429`/`503`.
+    pub shed: usize,
+    /// Sheds missing their `Retry-After` header (must be zero).
+    pub malformed_sheds: usize,
+    /// Deliberately stalled client connections the daemon timed out.
+    pub stalled_clients: usize,
+    /// Server processes SIGKILLed mid-job.
+    pub server_kills: usize,
+    /// Socket-level failures (tolerated: the SIGKILL makes some
+    /// connection resets legitimate).
+    pub connect_errors: usize,
+    /// Served results that differ bit-for-bit from in-process runs
+    /// of the same `(profile, config, seed)` (must be empty).
+    pub parity_failures: Vec<String>,
+    /// Protocol violations: wrong statuses, hangs, unparseable
+    /// bodies (must be empty).
+    pub protocol_errors: Vec<String>,
+    /// Oracle findings across every served result (must be empty).
+    pub oracle_findings: Vec<String>,
+    /// Whether the final SIGTERM drained the daemon with exit 7.
+    pub drain_exit_ok: bool,
+}
+
+impl ServeSoakReport {
+    /// Healthy means the chaos cost nothing an operator would see:
+    /// overload shed (with retry advice), every accepted job
+    /// completed bit-identically to an in-process run, the oracle
+    /// stayed silent, and SIGTERM drained cleanly with exit 7.
+    pub fn is_healthy(&self) -> bool {
+        self.accepted > 0
+            && self.completed == self.accepted
+            && self.shed > 0
+            && self.malformed_sheds == 0
+            && self.parity_failures.is_empty()
+            && self.protocol_errors.is_empty()
+            && self.oracle_findings.is_empty()
+            && self.drain_exit_ok
+    }
+
+    /// A compact, deterministic summary block in the style of
+    /// [`SoakReport::render`].
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "serve soak: {} requests — {} accepted, {} completed, {} direct, {} shed, {} \
+             stalled clients, {} server kill(s), healthy={}\n",
+            self.requests,
+            self.accepted,
+            self.completed,
+            self.direct_hits,
+            self.shed,
+            self.stalled_clients,
+            self.server_kills,
+            if self.is_healthy() { "yes" } else { "NO" },
+        );
+        out.push_str(&format!(
+            "  drain on SIGTERM exited 7: {}\n",
+            if self.drain_exit_ok { "yes" } else { "NO" }
+        ));
+        if self.malformed_sheds > 0 {
+            out.push_str(&format!(
+                "  SHED WITHOUT Retry-After: {} response(s)\n",
+                self.malformed_sheds
+            ));
+        }
+        if self.connect_errors > 0 {
+            out.push_str(&format!("  tolerated connect errors: {}\n", self.connect_errors));
+        }
+        if self.parity_failures.is_empty() {
+            out.push_str("  parity with in-process runs: bit-for-bit\n");
+        }
+        for p in &self.parity_failures {
+            out.push_str(&format!("  PARITY: {p}\n"));
+        }
+        for p in &self.protocol_errors {
+            out.push_str(&format!("  PROTOCOL: {p}\n"));
+        }
+        if self.oracle_findings.is_empty() {
+            out.push_str("  oracle: clean\n");
+        }
+        for f in &self.oracle_findings {
+            out.push_str(&format!("  ORACLE: {f}\n"));
+        }
+        out
+    }
+}
+
 /// Runs `cfg.cases` seeded chaos cases and aggregates the verdicts.
 pub fn run_soak(cfg: &SoakConfig) -> SoakReport {
     let cases = (0..cfg.cases).map(|i| run_case(cfg, cfg.base_seed.wrapping_add(i))).collect();
@@ -418,6 +520,47 @@ mod tests {
         report.oracle_findings.push("breaks exceed instructions".into());
         assert!(!report.is_healthy());
         assert!(report.render().contains("ORACLE:"), "{}", report.render());
+    }
+
+    #[test]
+    fn serve_soak_report_judges_and_renders_the_drill() {
+        let mut report = ServeSoakReport {
+            requests: 20,
+            accepted: 5,
+            completed: 5,
+            direct_hits: 3,
+            shed: 12,
+            stalled_clients: 2,
+            server_kills: 1,
+            drain_exit_ok: true,
+            ..ServeSoakReport::default()
+        };
+        assert!(report.is_healthy());
+        let text = report.render();
+        assert!(text.contains("5 accepted, 5 completed"), "{text}");
+        assert!(text.contains("healthy=yes"), "{text}");
+        assert!(text.contains("bit-for-bit"), "{text}");
+        assert!(text.contains("oracle: clean"), "{text}");
+
+        // A dropped accepted job, a shed without retry advice, a
+        // parity break, or a botched drain each flips the verdict.
+        report.completed = 4;
+        assert!(!report.is_healthy());
+        report.completed = 5;
+        report.malformed_sheds = 1;
+        assert!(!report.is_healthy());
+        assert!(report.render().contains("SHED WITHOUT Retry-After"), "{}", report.render());
+        report.malformed_sheds = 0;
+        report.parity_failures.push("job 3 differs".into());
+        assert!(!report.is_healthy());
+        assert!(report.render().contains("PARITY:"), "{}", report.render());
+        report.parity_failures.clear();
+        report.drain_exit_ok = false;
+        assert!(!report.is_healthy());
+        assert!(report.render().contains("exited 7: NO"), "{}", report.render());
+        report.drain_exit_ok = true;
+        report.shed = 0;
+        assert!(!report.is_healthy(), "a drill that never sheds proved nothing");
     }
 
     #[test]

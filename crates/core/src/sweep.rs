@@ -578,6 +578,7 @@ pub fn cross(
     engines: &[EngineSpec],
 ) -> Vec<RunSpec> {
     let mut runs = Vec::with_capacity(benches.len() * caches.len());
+    // nls-lint: allow(cancellation-reach): bounded by the grid dimensions; pure construction
     for bench in benches {
         for &cache in caches {
             runs.push(RunSpec { bench: bench.clone(), cache, engines: engines.to_vec() });
@@ -590,6 +591,7 @@ pub fn cross(
 /// direct-mapped and 4-way.
 pub fn paper_caches() -> Vec<CacheConfig> {
     let mut v = Vec::new();
+    // nls-lint: allow(cancellation-reach): six fixed configurations; pure construction
     for kb in [8, 16, 32] {
         for assoc in [1, 4] {
             v.push(CacheConfig::paper(kb, assoc));

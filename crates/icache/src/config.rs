@@ -59,9 +59,13 @@ impl CacheConfig {
     /// Panics unless `size_bytes`, `line_bytes` and `assoc` are
     /// powers of two and `size_bytes >= line_bytes * assoc`.
     pub fn new(size_bytes: u64, line_bytes: u64, assoc: u32) -> Self {
+        // nls-lint: allow(panic-reach): construction-time geometry validation, documented above; callers pre-validate
         assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        // nls-lint: allow(panic-reach): construction-time geometry validation, documented above; callers pre-validate
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        // nls-lint: allow(panic-reach): construction-time geometry validation, documented above; callers pre-validate
         assert!(assoc.is_power_of_two(), "associativity must be a power of two");
+        // nls-lint: allow(panic-reach): construction-time geometry validation, documented above; callers pre-validate
         assert!(
             size_bytes >= line_bytes * u64::from(assoc),
             "cache must hold at least one set"

@@ -13,6 +13,11 @@
 //!
 //! `repro_all` itself is the registry, not an artifact, and is
 //! exempt.
+//!
+//! The server's operational counters are part of the same contract:
+//! every name in `SERVER_COUNTERS` (`crates/core/src/serve.rs`) must
+//! appear in DESIGN.md, so a future metrics endpoint cannot expose a
+//! counter the protocol documentation never promised.
 
 use std::collections::BTreeSet;
 
@@ -25,6 +30,8 @@ pub struct ArtifactConformance;
 
 const BIN_DIR: &str = "crates/bench/src/bin/";
 const REGISTRY: &str = "crates/bench/src/bin/repro_all.rs";
+const SERVE_CORE: &str = "crates/core/src/serve.rs";
+const COUNTER_REGISTRY: &str = "SERVER_COUNTERS";
 
 /// `figN_*` / `tableN_*` → the `Fig N` / `Table N` label DESIGN.md
 /// must use on the row mentioning the binary.
@@ -104,6 +111,50 @@ impl Pass for ArtifactConformance {
                 });
             }
         }
+        self.check_server_counters(a, out);
+    }
+}
+
+impl ArtifactConformance {
+    /// Every counter name declared in the `SERVER_COUNTERS` registry
+    /// must be documented in DESIGN.md: the string literals between
+    /// the registry identifier and the `;` ending its initialiser.
+    fn check_server_counters(&self, a: &Analysis, out: &mut Vec<Violation>) {
+        let Some(src) = a.sources.iter().find(|s| s.rel == SERVE_CORE) else {
+            return;
+        };
+        // The names are the string literals of the registry's
+        // initialiser: skip the declaration (its `[&str; N]` type
+        // holds a `;` of its own) and scan `= [...];` only.
+        let mut seen_ident = false;
+        let mut in_init = false;
+        for tok in &src.code {
+            match tok.kind {
+                TokKind::Ident if tok.text == COUNTER_REGISTRY => seen_ident = true,
+                TokKind::Punct if seen_ident && !in_init && tok.text == "=" => in_init = true,
+                TokKind::Punct if in_init && tok.text == ";" => break,
+                TokKind::Str if in_init => {
+                    if !a.docs.design_md.contains(tok.text.as_str()) {
+                        if src.is_suppressed(self.id(), tok.line) {
+                            continue;
+                        }
+                        out.push(Violation {
+                            rule: self.id(),
+                            path: Vec::new(),
+                            file: src.rel.clone(),
+                            line: tok.line,
+                            message: format!(
+                                "server counter `{}` is in {COUNTER_REGISTRY} but DESIGN.md \
+                                 never documents it — the metrics surface drifted from the \
+                                 protocol spec",
+                                tok.text
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
     }
 }
 
@@ -177,5 +228,40 @@ mod tests {
     fn repro_all_itself_is_exempt() {
         let v = run(&[(REGISTRY, "fn main() {}\n")], "");
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    const COUNTERS_SRC: &str = "pub const SERVER_COUNTERS: [&str; 2] = \
+                                [\"cache_hits\", \"jobs_shed\"];\n\
+                                fn render() { let x = \"not_a_counter\"; }\n";
+
+    #[test]
+    fn documented_server_counters_are_clean() {
+        let v = run(
+            &[(SERVE_CORE, COUNTERS_SRC)],
+            "§8.3: counters `cache_hits` and `jobs_shed` are exposed.\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn undocumented_server_counter_is_flagged() {
+        let v =
+            run(&[(SERVE_CORE, COUNTERS_SRC)], "§8.3: only `cache_hits` is documented here.\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("jobs_shed"), "{v:?}");
+        assert!(v[0].message.contains("DESIGN.md"), "{v:?}");
+    }
+
+    #[test]
+    fn strings_after_the_registry_initialiser_are_not_counters() {
+        // `not_a_counter` sits past the `;` that ends the registry —
+        // it must never be treated as part of the contract.
+        let v = run(
+            &[(SERVE_CORE, COUNTERS_SRC)],
+            "counters: `cache_hits`, `jobs_shed` (but never not_a_counter)\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = run(&[(SERVE_CORE, "fn no_registry_here() {}\n")], "");
+        assert!(v.is_empty(), "a serve.rs without the registry is clean: {v:?}");
     }
 }

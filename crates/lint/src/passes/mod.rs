@@ -78,8 +78,9 @@ use crate::symbols::{FnId, SymbolTable};
 
 /// The engine files whose `step`/`run*`/`drive` functions are the
 /// roots of reachability: everything a simulation executes per record
-/// hangs off these.
-pub const ENTRY_FILES: [&str; 8] = [
+/// hangs off these, plus the server's accept/worker loops (a daemon
+/// that cannot be cancelled cannot drain).
+pub const ENTRY_FILES: [&str; 10] = [
     "crates/core/src/engine.rs",
     "crates/core/src/btb_engine.rs",
     "crates/core/src/nls_table_engine.rs",
@@ -88,6 +89,8 @@ pub const ENTRY_FILES: [&str; 8] = [
     "crates/core/src/sweep.rs",
     "crates/core/src/supervisor.rs",
     "crates/core/src/ledger.rs",
+    "crates/core/src/serve.rs",
+    "crates/cli/src/serve.rs",
 ];
 
 /// Non-Rust inputs the passes consult (the artifact-conformance

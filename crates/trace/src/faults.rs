@@ -194,6 +194,19 @@ pub enum RuntimeFault {
         /// Milliseconds after sweep start at which the kill fires.
         after_millis: u64,
     },
+    /// Open a connection to a server under test, send a *partial*
+    /// request, then hold the socket open for `hold_ms` without
+    /// finishing it — the slow-loris shape the server's io-timeout
+    /// exists to absorb. A socket-level fault: [`ChaosStream`]
+    /// ignores it, the server soak orchestrator executes it with
+    /// real connections.
+    ClientStall {
+        /// Milliseconds after drill start at which the client
+        /// connects.
+        after_millis: u64,
+        /// Milliseconds the half-written request is held open.
+        hold_ms: u64,
+    },
 }
 
 impl RuntimeFault {
@@ -205,7 +218,8 @@ impl RuntimeFault {
         match *self {
             RuntimeFault::ReadStall { after_records, .. }
             | RuntimeFault::IoError { after_records } => after_records,
-            RuntimeFault::WorkerKill { after_millis, .. } => after_millis,
+            RuntimeFault::WorkerKill { after_millis, .. }
+            | RuntimeFault::ClientStall { after_millis, .. } => after_millis,
         }
     }
 }
@@ -295,6 +309,35 @@ impl ChaosScheduler {
         out
     }
 
+    /// A plan of `stalls` seeded [`RuntimeFault::ClientStall`]s:
+    /// each connects within the first `window_ms` of the drill and
+    /// holds its half-written request for `1..=max_hold_ms`. Sorted
+    /// by connect time, reproducible from the seed like every plan.
+    pub fn stall_plan(
+        &mut self,
+        stalls: usize,
+        window_ms: u64,
+        max_hold_ms: u64,
+    ) -> Vec<RuntimeFault> {
+        // nls-lint: allow(unchecked-capacity): `stalls` is a caller-chosen plan size, single digits in every harness
+        let mut out = Vec::with_capacity(stalls);
+        for _ in 0..stalls {
+            out.push(RuntimeFault::ClientStall {
+                after_millis: self.rng.next_u64() % window_ms.max(1),
+                hold_ms: 1 + self.rng.next_u64() % max_hold_ms.max(1),
+            });
+        }
+        out.sort_by_key(RuntimeFault::trigger_at);
+        out
+    }
+
+    /// A uniform seeded sample in `0..bound` (`bound` of 0 is read
+    /// as 1), for orchestrators that need reproducible choices —
+    /// e.g. which corpus request a flood client fires next.
+    pub fn pick(&mut self, bound: u64) -> u64 {
+        self.rng.next_u64() % bound.max(1)
+    }
+
     fn position(&mut self, trace_len: u64) -> u64 {
         if trace_len == 0 {
             0
@@ -365,9 +408,9 @@ impl<I: Iterator<Item = TraceRecord>> Iterator for ChaosStream<I> {
                         "injected chaos fault: read failed",
                     )));
                 }
-                // Process-level faults do nothing at the record
-                // level; the soak orchestrator owns them.
-                RuntimeFault::WorkerKill { .. } => {}
+                // Process- and socket-level faults do nothing at the
+                // record level; the soak orchestrators own them.
+                RuntimeFault::WorkerKill { .. } | RuntimeFault::ClientStall { .. } => {}
             }
         }
         let record = self.inner.next()?;
@@ -483,6 +526,46 @@ mod tests {
                 other => panic!("kill plans hold only WorkerKill faults, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn stall_plans_are_reproducible_and_bounded() {
+        let a = ChaosScheduler::new(5).stall_plan(6, 200, 400);
+        let b = ChaosScheduler::new(5).stall_plan(6, 200, 400);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].trigger_at() <= w[1].trigger_at()), "plan is sorted");
+        for fault in &a {
+            match fault {
+                RuntimeFault::ClientStall { after_millis, hold_ms } => {
+                    assert!(*after_millis < 200);
+                    assert!((1..=400).contains(hold_ms));
+                }
+                other => panic!("stall plans hold only ClientStall faults, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn client_stalls_pass_through_a_chaos_stream() {
+        let records: Vec<_> = (0..5)
+            .map(|i| crate::TraceRecord::sequential(crate::Addr::new(0x100 + i * 4)))
+            .collect();
+        let plan = vec![RuntimeFault::ClientStall { after_millis: 0, hold_ms: 10 }];
+        let got: Result<Vec<_>, _> =
+            ChaosStream::new(records.clone().into_iter(), plan).collect();
+        assert_eq!(got.unwrap(), records, "socket faults never touch the record stream");
+    }
+
+    #[test]
+    fn picks_are_reproducible_and_in_range() {
+        let mut a = ChaosScheduler::new(3);
+        let mut b = ChaosScheduler::new(3);
+        for _ in 0..64 {
+            let x = a.pick(7);
+            assert_eq!(x, b.pick(7));
+            assert!(x < 7);
+        }
+        assert_eq!(a.pick(0), 0, "zero bound degrades to the only choice");
     }
 
     #[test]

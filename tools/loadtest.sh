@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Load-test a running `nls serve`: N concurrent clients each fire M
+# simulate requests, then the script reports latency percentiles and
+# the shed rate (429/503 responses from admission control). Shed
+# responses are excluded from the percentiles — a rejection in
+# single-digit milliseconds would otherwise flatter the latency.
+#
+# Usage:
+#   nls serve --port 8080 --jobs 4 &
+#   tools/loadtest.sh                          # 8 clients x 25 requests
+#   tools/loadtest.sh http://127.0.0.1:9090 16 50
+set -euo pipefail
+
+URL="${1:-http://127.0.0.1:8080}"
+CLIENTS="${2:-8}"
+REQUESTS="${3:-25}"
+BODY='{"bench": "li", "cache": "8K:1", "len": 200000, "seed": 7}'
+
+command -v curl >/dev/null || { echo "error: loadtest needs curl" >&2; exit 2; }
+curl -fsS --max-time 5 "$URL/healthz" >/dev/null || {
+    echo "error: no healthy server at $URL — start one with: nls serve" >&2
+    exit 2
+}
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+for c in $(seq 1 "$CLIENTS"); do
+    (
+        for _ in $(seq 1 "$REQUESTS"); do
+            curl -sS -o /dev/null --max-time 30 \
+                -H 'content-type: application/json' \
+                -w '%{http_code} %{time_total}\n' \
+                -X POST --data "$BODY" "$URL/v1/simulate" \
+                || echo "000 0"
+        done > "$out/client-$c"
+    ) &
+done
+wait
+
+cat "$out"/client-* > "$out/all"
+total=$(wc -l < "$out/all")
+shed=$(awk '$1 == 429 || $1 == 503' "$out/all" | wc -l)
+ok=$(awk '$1 == 200 || $1 == 202' "$out/all" | wc -l)
+errors=$((total - shed - ok))
+
+awk '$1 == 200 || $1 == 202 { print $2 }' "$out/all" | sort -n > "$out/lat"
+pct() {
+    local n rank
+    n=$(wc -l < "$out/lat")
+    if [[ "$n" -eq 0 ]]; then
+        echo "n/a"
+        return
+    fi
+    rank=$(( ($1 * n + 99) / 100 ))
+    [[ "$rank" -lt 1 ]] && rank=1
+    awk -v r="$rank" 'NR == r { printf "%.1f ms", $1 * 1000 }' "$out/lat"
+}
+
+echo "loadtest: $CLIENTS clients x $REQUESTS requests against $URL"
+echo "  accepted : $ok"
+echo "  shed     : $shed ($(awk -v s="$shed" -v t="$total" \
+    'BEGIN { printf "%.1f", t ? 100 * s / t : 0 }')% of $total)"
+echo "  errors   : $errors"
+echo "  p50      : $(pct 50)"
+echo "  p99      : $(pct 99)"
